@@ -1,0 +1,136 @@
+"""Section 2.2 ablations — each tuning parameter's causal story.
+
+* StageReplication: "a stage replication value of two effectively doubles
+  the frequency at which this stage is capable of receiving and producing
+  elements" — sweep the hot stage's replication and watch throughput.
+* OrderPreservation: restoring order costs a little; dropping it helps
+  replicated stages slightly.
+* StageFusion: "if the runtime share of a pipeline stage is rather low,
+  the thread and buffer management overhead will outweigh the advantage"
+  — fusing cheap stages on a core-bound machine wins.
+* SequentialExecution: "we ensure that pipeline execution never leads to
+  a slowdown" — find the short-stream crossover where parallel loses.
+"""
+
+from conftest import once
+
+from repro.simcore import Machine, StageCosts, WorkloadCosts, simulate_pipeline
+from repro.simcore.costmodel import imbalanced_workload, video_filter_workload
+
+
+def test_stage_replication_sweep(benchmark, record):
+    wl = imbalanced_workload(n=300, cheap=15e-6, hot=300e-6, hot_index=1)
+    machine = Machine(cores=8)
+
+    def sweep():
+        return {
+            r: simulate_pipeline(wl, machine, {"StageReplication@s1": r})
+            for r in (1, 2, 3, 4, 6, 8)
+        }
+
+    results = once(benchmark, sweep)
+    lines = [f"{'replication':>11} {'makespan(ms)':>13} {'speedup':>8}"]
+    for r, res in results.items():
+        lines.append(
+            f"{r:>11} {res.makespan*1e3:>13.2f} {res.speedup:>8.2f}"
+        )
+    record("\n".join(lines))
+
+    # doubling the bottleneck stage roughly doubles its throughput until
+    # the other stages / cores saturate
+    assert results[2].speedup > results[1].speedup * 1.6
+    assert results[4].speedup > results[2].speedup * 1.3
+    # diminishing returns at the end
+    gain_late = results[8].speedup / results[6].speedup
+    gain_early = results[2].speedup / results[1].speedup
+    assert gain_late < gain_early
+
+
+def test_order_preservation_cost(benchmark, record):
+    wl = imbalanced_workload(n=400, cheap=10e-6, hot=200e-6, hot_index=1)
+    machine = Machine(cores=8)
+
+    def run():
+        ordered = simulate_pipeline(wl, machine, {"StageReplication@s1": 4})
+        unordered = simulate_pipeline(
+            wl, machine,
+            {"StageReplication@s1": 4, "OrderPreservation@s1": False},
+        )
+        return ordered, unordered
+
+    ordered, unordered = once(benchmark, run)
+    record(
+        f"ordered   : {ordered.makespan*1e3:.2f} ms\n"
+        f"unordered : {unordered.makespan*1e3:.2f} ms\n"
+        f"order-preservation overhead: "
+        f"{(ordered.makespan/unordered.makespan - 1)*100:.2f} %"
+    )
+    assert unordered.makespan <= ordered.makespan
+    # the reorder buffer costs a little, not a lot
+    assert ordered.makespan <= unordered.makespan * 1.10
+
+
+def test_stage_fusion_crossover(benchmark, record):
+    machine = Machine(cores=2)
+
+    def run():
+        rows = {}
+        for cost_us in (1, 3, 10, 50, 200):
+            wl = WorkloadCosts(
+                stages=[
+                    StageCosts.constant(f"s{i}", cost_us * 1e-6)
+                    for i in range(4)
+                ],
+                n=300,
+            )
+            split = simulate_pipeline(wl, machine, {})
+            fused = simulate_pipeline(
+                wl, machine,
+                {"StageFusion@s0/s1": True, "StageFusion@s2/s3": True},
+            )
+            rows[cost_us] = (split.makespan, fused.makespan)
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [f"{'stage cost(us)':>14} {'split(ms)':>10} {'fused(ms)':>10} {'winner':>8}"]
+    for cost_us, (split, fused) in rows.items():
+        lines.append(
+            f"{cost_us:>14} {split*1e3:>10.2f} {fused*1e3:>10.2f} "
+            f"{'fused' if fused < split else 'split':>8}"
+        )
+    record("\n".join(lines))
+
+    # cheap stages: fusion wins (buffer/thread overhead dominates)
+    assert rows[1][1] < rows[1][0]
+    assert rows[3][1] < rows[3][0]
+    # expensive stages: keeping them separate is at least competitive
+    assert rows[200][0] <= rows[200][1] * 1.15
+
+
+def test_sequential_execution_crossover(benchmark, record):
+    machine = Machine(cores=4)
+
+    def run():
+        rows = {}
+        for n in (1, 2, 4, 8, 16, 64, 256):
+            wl = video_filter_workload(n=n)
+            par = simulate_pipeline(wl, machine, {})
+            rows[n] = par.speedup
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [f"{'stream length':>13} {'parallel speedup':>17}"]
+    for n, s in rows.items():
+        marker = "  <- SequentialExecution pays off" if s < 1.0 else ""
+        lines.append(f"{n:>13} {s:>17.2f}{marker}")
+    record("\n".join(lines))
+
+    # the crossover exists: very short streams lose, long streams win
+    assert rows[1] < 1.0
+    assert rows[256] > 1.5
+    # and the tuning parameter removes the loss entirely
+    short = video_filter_workload(n=1)
+    seq = simulate_pipeline(
+        short, machine, {"SequentialExecution@pipeline": True}
+    )
+    assert seq.speedup == 1.0

@@ -1,0 +1,38 @@
+"""Section 4.2, Effectivity — locations found, detection rate, false
+positives.
+
+Paper: Patty 3.0 of 3 (100 % in ~39 min), intel 2.25 (75 % in ~47 min),
+manual 2.0 — and the manual group "was the only group that produced
+false-positives ... data races were overlooked by the engineers".
+"""
+
+import pytest
+from conftest import once
+
+from repro.study import ToolKind, run_study
+
+
+def test_effectivity(benchmark, record):
+    results = once(benchmark, run_study)
+    record(results.render_effectivity())
+
+    eff = results.effectivity()
+    patty = eff[ToolKind.PATTY]
+    intel = eff[ToolKind.PARALLEL_STUDIO]
+    manual = eff[ToolKind.MANUAL]
+
+    # Patty: 100 % detection
+    assert patty["avg_locations"] == 3.0
+    assert patty["detection_rate"] == 1.0
+
+    # intel around 75 %
+    assert intel["avg_locations"] == pytest.approx(2.25, abs=0.5)
+
+    # manual group lowest, and the only group with false positives
+    assert manual["avg_locations"] <= intel["avg_locations"]
+    assert manual["false_positives"] > 0
+    assert patty["false_positives"] == 0
+    assert intel["false_positives"] == 0
+
+    # "Patty: 100% in 39 minutes, Parallel Studio: 75% in 47 minutes"
+    assert patty["avg_total_time"] < intel["avg_total_time"]

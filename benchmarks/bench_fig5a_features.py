@@ -1,0 +1,30 @@
+"""Fig. 5a — Desired features of parallelization tools.
+
+The manual control group rates nine candidate features; the paper's
+conclusions: Patty already provides five of the nine and three of the top
+five; intel's Parallel Studio provides two, only one of them (Visualize
+runtime distribution) in the top five.
+"""
+
+from conftest import once
+
+from repro.study import run_study
+
+
+def test_fig5a_desired_features(benchmark, record):
+    results = once(benchmark, run_study)
+    record(results.render_fig5a())
+
+    rows = results.feature_rows
+    assert len(rows) == 9
+    for r in rows:
+        assert -3.0 <= r.lower_quantile <= r.upper_quantile <= 3.0
+
+    cov = results.feature_coverage()
+    assert cov["Patty"] == (5, 3)   # 5 of 9 overall, 3 of the top five
+    assert cov["intel"] == (2, 1)   # 2 of 9 overall, 1 of the top five
+
+    # the single top-five intel feature is the runtime-share visualizer
+    top5 = sorted(rows, key=lambda r: r.average, reverse=True)[:5]
+    intel_top = [r.feature for r in top5 if r.intel_has]
+    assert intel_top == ["Visualize runtime distribution"]

@@ -1,0 +1,42 @@
+"""Fig. 5b — Time measurements (minutes).
+
+Paper: total working time 38.67 / 46.5 / 34 (Patty / intel / manual);
+first identification 6.66 / 13.5 / 2.66; Patty starts using its tool
+immediately (0.33 min) while the intel group ramps up on the annotation
+language and the manual group first wanders to the built-in profiler.
+"""
+
+import pytest
+from conftest import once
+
+from repro.study import ToolKind, run_study
+
+
+def test_fig5b_time_measurements(benchmark, record):
+    results = once(benchmark, run_study)
+    record(results.render_fig5b())
+
+    t = results.times()
+    patty = t[ToolKind.PATTY]
+    intel = t[ToolKind.PARALLEL_STUDIO]
+    manual = t[ToolKind.MANUAL]
+
+    # ordering findings
+    assert manual["total_working_time"] < patty["total_working_time"]
+    assert patty["total_working_time"] < intel["total_working_time"]
+    assert manual["first_identification"] < patty["first_identification"]
+    assert patty["first_identification"] < intel["first_identification"]
+    assert patty["first_tool_usage"] < manual["first_tool_usage"]
+    assert patty["first_tool_usage"] < intel["first_tool_usage"]
+
+    # magnitudes near the paper
+    assert patty["total_working_time"] == pytest.approx(38.67, rel=0.2)
+    assert intel["total_working_time"] == pytest.approx(46.5, rel=0.2)
+    assert manual["total_working_time"] == pytest.approx(34.0, rel=0.2)
+    assert patty["first_identification"] == pytest.approx(6.66, rel=0.4)
+    assert intel["first_identification"] == pytest.approx(13.5, rel=0.4)
+    assert manual["first_identification"] == pytest.approx(2.66, rel=0.6)
+    assert patty["first_tool_usage"] == pytest.approx(0.33, abs=0.35)
+
+    # "the intel group took more than twice as long" (to the first find)
+    assert intel["first_identification"] > 2 * patty["first_identification"] * 0.8

@@ -1,0 +1,49 @@
+"""Section 5 — Dynamic-analysis overhead (runtime and memory increase).
+
+The paper announces the metric ("we will measure the runtime and memory
+increase"); this bench measures it for the reproduction's two dynamic
+analyses — the line profiler and the dependence tracer — over a sample of
+benchmark functions.
+"""
+
+from conftest import once
+
+from repro.benchsuite import get_program
+from repro.evalq import measure_overhead
+
+
+def _rows():
+    rows = []
+    for name in ("montecarlo", "matrixops", "audiochain"):
+        rows.extend(measure_overhead(get_program(name), repeat=3))
+    return rows
+
+
+def test_dynamic_analysis_overhead(benchmark, record):
+    rows = once(benchmark, _rows)
+    lines = [
+        f"{'function':<28} {'plain(ms)':>10} {'profile x':>10} "
+        f"{'trace x':>9} {'mem x':>7}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.program + '.' + r.function:<28} "
+            f"{r.plain_seconds*1e3:>10.3f} {r.profile_factor:>10.1f} "
+            f"{r.trace_factor:>9.1f} {r.memory_factor:>7.1f}"
+        )
+    geo = 1.0
+    for r in rows:
+        geo *= r.trace_factor
+    geo **= 1 / len(rows)
+    lines.append(f"geometric-mean trace overhead: {geo:.1f}x")
+    record("\n".join(lines))
+
+    assert rows
+    for r in rows:
+        # instrumentation costs something but stays "manageable" — the
+        # whole-program-infeasibility the paper cites is about full traces,
+        # not loop-scoped ones
+        assert r.trace_factor < 2000
+        assert r.profiled_seconds > 0
+    # overall, dynamic dependence tracing is clearly not free
+    assert geo > 1.0

@@ -1,0 +1,80 @@
+"""Section 5 — Transformation quality: generated vs hand-tuned parallel
+code.
+
+Paper: "early performance results indicate a parallel performance close
+to manual parallelization that is achieved within minutes and not days of
+work."  On the simulated machines: the auto-tuned Patty configuration
+(tens of measured runs = the 'minutes' budget) against the exhaustive
+optimum (= the expert's 'days'), across core counts and workload shapes.
+"""
+
+from conftest import once
+
+from repro.evalq import transformation_quality
+from repro.simcore import Machine
+from repro.simcore.costmodel import (
+    balanced_workload,
+    imbalanced_workload,
+    video_filter_workload,
+)
+
+
+def _rows():
+    out = []
+    for cores in (2, 4, 8):
+        out.append(
+            transformation_quality(
+                video_filter_workload(n=200),
+                Machine(cores=cores),
+                name="video",
+                budget=60,
+                max_replication=min(8, cores * 2),
+            )
+        )
+    out.append(
+        transformation_quality(
+            balanced_workload(n=200, stages=4, cost=100e-6),
+            Machine(cores=4),
+            name="balanced",
+            budget=60,
+        )
+    )
+    out.append(
+        transformation_quality(
+            imbalanced_workload(n=200, cheap=15e-6, hot=250e-6),
+            Machine(cores=4),
+            name="imbalanced",
+            budget=60,
+        )
+    )
+    return out
+
+
+def test_transformation_quality(benchmark, record):
+    rows = once(benchmark, _rows)
+    lines = [
+        f"{'workload':<12} {'cores':>5} {'seq(ms)':>9} {'default':>8} "
+        f"{'tuned':>8} {'manual':>8} {'tuned/manual':>13} {'evals':>6}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.workload:<12} {r.cores:>5} {r.sequential*1e3:>9.2f} "
+            f"{r.default_speedup:>7.2f}x {r.tuned_speedup:>7.2f}x "
+            f"{r.manual_speedup:>7.2f}x {r.tuned_vs_manual:>13.2f} "
+            f"{r.tuning_evaluations:>6}"
+        )
+    record("\n".join(lines))
+
+    for r in rows:
+        # tuning never hurts, and tuned code is never slower than
+        # sequential (the SequentialExecution guarantee)
+        assert r.tuned_speedup >= r.default_speedup - 1e-9
+        assert r.tuned_speedup >= 1.0
+        # "close to manual": within 10 % of the exhaustive optimum
+        assert r.tuned_vs_manual >= 0.9, r.workload
+        # the 'minutes' budget really is small next to exhaustive search
+        assert r.tuning_evaluations <= 60
+
+    # speedup grows with cores on the video workload
+    video = [r for r in rows if r.workload == "video"]
+    assert video[0].tuned_speedup < video[-1].tuned_speedup

@@ -1,0 +1,75 @@
+"""Across-seed robustness of the simulated user study.
+
+A 10-participant study is a single noisy draw; the default seed is a
+representative one (see repro.study.evaluate.DEFAULT_STUDY_SEED).  This
+bench quantifies how robust each qualitative finding is across many
+replications — the honest statistical footing a simulation can add that
+the original one-shot study could not.
+"""
+
+from conftest import once
+
+from repro.study import ToolKind, run_study
+
+
+FINDINGS = {
+    "patty finds all 3 locations": lambda r: (
+        r.effectivity()[ToolKind.PATTY]["avg_locations"] == 3.0
+    ),
+    "patty > intel comprehensibility": lambda r: (
+        r.comprehensibility()[ToolKind.PATTY]["total"]
+        > r.comprehensibility()[ToolKind.PARALLEL_STUDIO]["total"]
+    ),
+    "patty > intel overall assessment": lambda r: (
+        r.assistance()[ToolKind.PATTY]["overall"]
+        > r.assistance()[ToolKind.PARALLEL_STUDIO]["overall"]
+    ),
+    "patty >= intel >= manual coverage": lambda r: (
+        r.effectivity()[ToolKind.PATTY]["avg_locations"]
+        >= r.effectivity()[ToolKind.PARALLEL_STUDIO]["avg_locations"]
+        >= r.effectivity()[ToolKind.MANUAL]["avg_locations"]
+    ),
+    "false positives only in manual": lambda r: (
+        r.effectivity()[ToolKind.PATTY]["false_positives"] == 0
+        and r.effectivity()[ToolKind.PARALLEL_STUDIO]["false_positives"] == 0
+    ),
+    "manual fastest first find": lambda r: (
+        r.times()[ToolKind.MANUAL]["first_identification"]
+        < r.times()[ToolKind.PATTY]["first_identification"]
+        < r.times()[ToolKind.PARALLEL_STUDIO]["first_identification"]
+    ),
+    "patty immediate tool use": lambda r: (
+        r.times()[ToolKind.PATTY]["first_tool_usage"] < 1.0
+    ),
+    "intel slowest overall": lambda r: (
+        r.times()[ToolKind.PARALLEL_STUDIO]["total_working_time"]
+        > r.times()[ToolKind.PATTY]["total_working_time"]
+    ),
+}
+
+N_SEEDS = 40
+
+
+def test_findings_hold_across_seeds(benchmark, record):
+    def run_all():
+        rates = {name: 0 for name in FINDINGS}
+        for seed in range(1, N_SEEDS + 1):
+            r = run_study(seed=seed)
+            for name, check in FINDINGS.items():
+                rates[name] += bool(check(r))
+        return rates
+
+    rates = once(benchmark, run_all)
+    lines = [f"{'finding':<38} {'holds':>9}"]
+    for name, hits in rates.items():
+        lines.append(f"{name:<38} {hits:>4}/{N_SEEDS}")
+    record("\n".join(lines))
+
+    # the load-bearing findings hold in (almost) every replication
+    assert rates["patty finds all 3 locations"] == N_SEEDS
+    assert rates["false positives only in manual"] == N_SEEDS
+    assert rates["patty immediate tool use"] == N_SEEDS
+    assert rates["patty >= intel >= manual coverage"] >= 0.8 * N_SEEDS
+    assert rates["intel slowest overall"] >= 0.8 * N_SEEDS
+    # the noisy subjective scores still favour Patty in the large majority
+    assert rates["patty > intel comprehensibility"] >= 0.7 * N_SEEDS

@@ -1,0 +1,30 @@
+"""Table 1 — Comprehensibility: average values and standard deviations.
+
+Paper: Patty 2.00/2.00/2.33/2.33 (total 2.17) vs intel Parallel Studio
+1.00/0.75/1.00/1.25 (total 1.00); Patty better on every indicator, with
+smaller deviations on all but complexity.
+"""
+
+from conftest import once
+
+from repro.study import ToolKind, run_study
+from repro.study.questionnaire import COMPREHENSIBILITY_INDICATORS
+
+
+def test_table1_comprehensibility(benchmark, record):
+    results = once(benchmark, run_study)
+    table = results.render_table1()
+    record(table)
+
+    comp = results.comprehensibility()
+    patty = comp[ToolKind.PATTY]
+    intel = comp[ToolKind.PARALLEL_STUDIO]
+
+    # headline: Patty receives better scores across all four indicators
+    for ind in COMPREHENSIBILITY_INDICATORS:
+        assert patty["indicators"][ind][0] > intel["indicators"][ind][0], ind
+
+    # totals near the paper's 2.17 vs 1.00
+    assert patty["total"] == __import__("pytest").approx(2.17, abs=0.45)
+    assert intel["total"] == __import__("pytest").approx(1.00, abs=0.45)
+    assert patty["total"] > intel["total"] + 0.5

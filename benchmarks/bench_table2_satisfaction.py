@@ -1,0 +1,34 @@
+"""Table 2 — Subjective tool assistance.
+
+Paper: perceived support 2.00 vs 1.75; satisfaction with result 0.67 vs
+-0.25 (intel's deviation 2.75, inflated by the multicore expert's
+excellent scores); overall assessment 2.25 vs 1.40.
+"""
+
+import pytest
+from conftest import once
+
+from repro.study import ToolKind, run_study
+
+
+def test_table2_subjective_assistance(benchmark, record):
+    results = once(benchmark, run_study)
+    record(results.render_table2())
+
+    assist = results.assistance()
+    patty = assist[ToolKind.PATTY]
+    intel = assist[ToolKind.PARALLEL_STUDIO]
+    sat = "Subjective satisfaction with result"
+
+    # Patty ahead on satisfaction and overall
+    assert patty["indicators"][sat][0] > intel["indicators"][sat][0]
+    assert patty["overall"] > intel["overall"]
+
+    # the paper's standout observation: intel's satisfaction scores are
+    # wildly spread (std 2.75) because the multicore expert loved it
+    assert intel["indicators"][sat][1] > patty["indicators"][sat][1]
+    assert intel["indicators"][sat][1] > 1.5
+
+    # magnitudes in the paper's neighborhood
+    assert patty["indicators"][sat][0] == pytest.approx(0.67, abs=0.6)
+    assert intel["indicators"][sat][0] == pytest.approx(-0.25, abs=0.7)

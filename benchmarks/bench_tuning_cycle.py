@@ -1,0 +1,89 @@
+"""Fig. 4c — The auto-tuning cycle.
+
+"The auto tuner initializes the program with parameter values, executes
+it, measures and visualizes the runtime, and computes new parameter
+values."  Regenerated as the best-so-far runtime trace of the paper's
+linear tuner, plus the future-work algorithms ([29] hill climbing,
+[30] Nelder-Mead, [31] tabu search) on the same search space.
+"""
+
+from conftest import once
+
+from repro.patterns.tuning import BoolParameter, ChoiceParameter, IntParameter
+from repro.simcore import Machine
+from repro.simcore.costmodel import video_filter_workload
+from repro.tuning import (
+    AutoTuner,
+    HillClimb,
+    LinearSearch,
+    NelderMead,
+    ParameterSpace,
+    TabuSearch,
+)
+from repro.tuning.autotuner import make_pipeline_measure
+
+
+def _space() -> ParameterSpace:
+    return ParameterSpace(
+        [
+            IntParameter(name="StageReplication", target="oil",
+                         default=1, lo=1, hi=8),
+            IntParameter(name="StageReplication", target="convert",
+                         default=1, lo=1, hi=4),
+            BoolParameter(name="OrderPreservation", target="oil",
+                          default=True),
+            BoolParameter(name="SequentialExecution", target="pipeline",
+                          default=False),
+            ChoiceParameter(name="BufferCapacity", target="pipeline",
+                            default=8, choices=(1, 2, 4, 8, 16, 32)),
+        ]
+    )
+
+
+def _run_all():
+    workload = video_filter_workload(n=200)
+    measure = make_pipeline_measure(workload, Machine(cores=4))
+    results = {}
+    for name, alg in (
+        ("linear", LinearSearch()),
+        ("hillclimb", HillClimb(restarts=3)),
+        ("neldermead", NelderMead()),
+        ("tabu", TabuSearch()),
+    ):
+        tuner = AutoTuner(_space(), measure, alg, budget=120)
+        results[name] = tuner.tune()
+    return results, measure
+
+
+def test_tuning_cycle(benchmark, record):
+    results, measure = once(benchmark, _run_all)
+    base = measure(_space().default_config())
+
+    lines = [
+        f"default configuration runtime: {base*1e3:.2f} ms",
+        f"{'algorithm':<12} {'evals':>6} {'best(ms)':>9} {'improvement':>12}",
+    ]
+    for name, res in results.items():
+        lines.append(
+            f"{name:<12} {res.evaluations:>6} {res.best_runtime*1e3:>9.2f} "
+            f"{res.improvement:>11.2f}x"
+        )
+    best_overall = min(r.best_runtime for r in results.values())
+    lines.append(f"best overall: {best_overall*1e3:.2f} ms")
+    for name, res in results.items():
+        trace = [f"{t*1e3:.2f}" for t in res.trace()[:8]]
+        lines.append(f"trace {name:<10}: " + " -> ".join(trace))
+    record("\n".join(lines))
+
+    # every algorithm's cycle improves on the default configuration
+    for name, res in results.items():
+        assert res.best_runtime <= base, name
+        assert res.improvement >= 1.5, name
+        # the trace is monotonically non-increasing (a tuning curve)
+        t = res.trace()
+        assert all(a >= b for a, b in zip(t, t[1:])), name
+
+    # the paper's simple linear tuner is competitive on this space
+    assert results["linear"].best_runtime <= best_overall * 1.15
+    # replication of the hot stage is the decisive knob
+    assert results["linear"].best_config["StageReplication@oil"] >= 2

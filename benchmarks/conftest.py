@@ -1,0 +1,35 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one table or figure of the paper, asserts the
+*shape* findings (who wins, by roughly what factor, where crossovers
+fall), and persists the rendered rows to ``benchmarks/results/<name>.txt``
+so the artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record(request):
+    """Write (and echo) a benchmark's rendered output."""
+
+    def _record(text: str, name: str | None = None) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        fname = name or request.node.name.replace("/", "_")
+        path = RESULTS_DIR / f"{fname}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {fname} ---")
+        print(text)
+
+    return _record
+
+
+def once(benchmark, fn):
+    """Run a reproduction exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""repro — a reproduction of *Patty: a pattern-based parallelization tool
+for the multicore age* (Molitorisz, Müller, Tichy; PMAM/PPoPP 2015).
+
+Public API tour:
+
+>>> from repro import Patty
+>>> patty = Patty(prefer="pipeline")
+>>> result = patty.parallelize('''
+... def work(xs, f):
+...     out = []
+...     for x in xs:
+...         y = f(x)
+...         out.append(y)
+...     return out
+... ''')
+>>> [m.pattern for m in result.matches]
+['pipeline']
+
+Subpackages (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the Patty facade and the four-phase process model
+- :mod:`repro.frontend` — Python-source frontend and IR
+- :mod:`repro.model` — the semantic model (CFG, dependences, call graph,
+  dynamic profiling and optimistic dependence tracing)
+- :mod:`repro.patterns` — the pattern catalog (pipeline, DOALL,
+  master/worker) and tuning-parameter derivation
+- :mod:`repro.tadl` — the tunable architecture description language
+- :mod:`repro.transform` — code generation, tuning files, parallel unit
+  test generation, path-coverage input generation
+- :mod:`repro.runtime` — the parallel runtime library (real threads)
+- :mod:`repro.simcore` — the discrete-event multicore simulator (the
+  performance substrate)
+- :mod:`repro.tuning` — auto-tuning algorithms
+- :mod:`repro.verify` — CHESS-style interleaving exploration and race
+  detection
+- :mod:`repro.benchsuite` — benchmark programs with ground truth
+- :mod:`repro.study` — the user-study simulator
+- :mod:`repro.evalq` — detection-quality / overhead / speedup evaluation
+"""
+
+from repro.core import (
+    Patty,
+    ParallelizationResult,
+    ValidationReport,
+    OperationMode,
+    ProcessModel,
+    Phase,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Patty",
+    "ParallelizationResult",
+    "ValidationReport",
+    "OperationMode",
+    "ProcessModel",
+    "Phase",
+    "__version__",
+]

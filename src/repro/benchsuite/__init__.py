@@ -1,0 +1,31 @@
+"""Benchmark programs with parallelization ground truth.
+
+Two roles, matching the paper's two evaluations:
+
+* the **ray tracer** (13 classes, ~173 lines, 3 ground-truth parallel
+  locations plus a race-carrying decoy) is the user-study subject;
+* the whole suite — video filters, mandelbrot, k-means, desktop-search
+  indexer, n-body, word count, matrix ops, Monte-Carlo, stencil,
+  histogram, audio chain — is the multi-domain corpus of the future-work
+  detection-quality study (precision/recall, F ≈ 70 %).
+
+Every program carries executable source, inputs for the dynamic analyses,
+and per-loop ground truth labels assigned the way the authors did: by
+manual expert parallelization.
+"""
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+from repro.benchsuite.registry import all_programs, get_program, program_names
+
+__all__ = [
+    "BenchmarkProgram",
+    "GroundTruthEntry",
+    "Label",
+    "all_programs",
+    "get_program",
+    "program_names",
+]

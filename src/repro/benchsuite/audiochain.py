@@ -1,0 +1,83 @@
+"""Audio effect chain: a pipeline with a stateful (carried) echo stage.
+
+The classic stream case from the paper's domain list ("signal, image, or
+video processing"): gain and clip stages are replicable, the echo stage
+carries a delay-line and must stay sequential — exactly the PLDD fusion +
+StageReplication interplay.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def process_chain(samples, gain, wet, limit):
+    out = []
+    echo = 0.0
+    for s in samples:
+        g = s * gain
+        e = g + wet * echo
+        echo = e
+        c = max(-limit, min(limit, e))
+        out.append(c)
+    return out
+
+
+def apply_gain(samples, gain, out):
+    for i in range(len(samples)):
+        out[i] = samples[i] * gain
+    return out
+
+
+def rms(samples):
+    total = 0.0
+    for s in samples:
+        total += s * s
+    return (total / len(samples)) ** 0.5
+
+
+def downmix(left, right, out):
+    for i in range(len(left)):
+        out[i] = 0.5 * (left[i] + right[i])
+    return out
+'''
+
+
+def program() -> BenchmarkProgram:
+    samples = [((i * 17) % 21 - 10) / 10.0 for i in range(16)]
+    bp = BenchmarkProgram(
+        name="audiochain",
+        source=SOURCE,
+        description="audio effects: stateful echo pipeline + DOALL kernels",
+        domain="signal",
+        ground_truth=[
+            GroundTruthEntry(
+                "process_chain", "s2", Label.PIPELINE,
+                "gain stage replicable, echo stage carries its delay line, "
+                "clip+collect downstream",
+            ),
+            GroundTruthEntry(
+                "apply_gain", "s0", Label.DOALL,
+                "independent per-sample scaling",
+            ),
+            GroundTruthEntry(
+                "rms", "s1", Label.DOALL,
+                "associative sum of squares",
+            ),
+            GroundTruthEntry(
+                "downmix", "s0", Label.DOALL,
+                "independent per-sample mix",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "process_chain": ((samples, 1.2, 0.4, 0.9), {}),
+        "apply_gain": ((samples, 0.8, [0.0] * len(samples)), {}),
+        "rms": ((samples,), {}),
+        "downmix": ((samples, list(reversed(samples)), [0.0] * len(samples)), {}),
+    }
+    return bp

@@ -1,0 +1,83 @@
+"""Compression kernels: block-parallel encoding vs. sequential streams."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def rle_encode(data):
+    runs = []
+    i = 0
+    while i < len(data):
+        j = i
+        while j < len(data) and data[j] == data[i]:
+            j = j + 1
+        runs.append((data[i], j - i))
+        i = j
+    return runs
+
+
+def encode_blocks(blocks):
+    encoded = []
+    for block in blocks:
+        runs = rle_encode(block)
+        encoded.append(runs)
+    return encoded
+
+
+def delta_encode(values, out):
+    prev = 0
+    for i in range(len(values)):
+        out[i] = values[i] - prev
+        prev = values[i]
+    return out
+
+
+def checksum_blocks(blocks):
+    total = 0
+    for block in blocks:
+        s = 0
+        for b in block:
+            s = s + b
+        total += s % 65521
+    return total
+'''
+
+
+def program() -> BenchmarkProgram:
+    blocks = [[1, 1, 2, 3, 3, 3], [5, 5, 5, 5], [7, 8, 9]]
+    bp = BenchmarkProgram(
+        name="compression",
+        source=SOURCE,
+        description="RLE/delta coding: block DOALL vs. sequential scans",
+        domain="storage",
+        ground_truth=[
+            GroundTruthEntry(
+                "rle_encode", "s2", Label.NEGATIVE,
+                "the scan cursor i carries across runs",
+            ),
+            GroundTruthEntry(
+                "encode_blocks", "s1", Label.PARALLEL,
+                "blocks encode independently with an ordered collector",
+            ),
+            GroundTruthEntry(
+                "delta_encode", "s1", Label.NEGATIVE,
+                "prev carries the previous element across iterations",
+            ),
+            GroundTruthEntry(
+                "checksum_blocks", "s1", Label.DOALL,
+                "per-block checksums combine by an associative sum",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "rle_encode": ((list(blocks[0]),), {}),
+        "encode_blocks": ((blocks,), {}),
+        "delta_encode": (([3, 5, 9, 4], [0] * 4), {}),
+        "checksum_blocks": ((blocks,), {}),
+    }
+    return bp

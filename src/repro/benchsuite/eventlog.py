@@ -1,0 +1,95 @@
+"""Event-log processing with helper-encapsulated mutations.
+
+Object-oriented code — the paper's declared target — hides its side
+effects behind methods: ``ledger.record(e)`` appends, ``index.bump(k)``
+increments a shared counter.  A purely intraprocedural analysis sees
+neither; this program exists to exercise (and to ablate) the
+interprocedural access summaries of :mod:`repro.model.summaries`.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+class Ledger:
+    def __init__(self):
+        self.entries = []
+
+    def record(self, entry):
+        self.entries.append(entry)
+
+
+class CountIndex:
+    def __init__(self):
+        self.counts = {}
+
+    def bump(self, key):
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+
+def enrich(event, factor):
+    return (event[0], event[1] * factor)
+
+
+def post_all(events, ledger, factor):
+    for ev in events:
+        e = enrich(ev, factor)
+        ledger.record(e)
+    return ledger
+
+
+def count_kinds(events, index):
+    for ev in events:
+        kind = ev[0]
+        index.bump(kind)
+    return index
+
+
+def total_value(events, factor):
+    total = 0.0
+    for ev in events:
+        e = enrich(ev, factor)
+        total += e[1]
+    return total
+'''
+
+EVENTS = [("buy", 10.0), ("sell", 3.0), ("buy", 7.5), ("hold", 1.0)]
+
+
+def program() -> BenchmarkProgram:
+    bp = BenchmarkProgram(
+        name="eventlog",
+        source=SOURCE,
+        description="OO event processing: mutations hidden behind methods",
+        domain="business",
+        ground_truth=[
+            GroundTruthEntry(
+                "post_all", "s0", Label.PIPELINE,
+                "enrich stage replicable, the ledger sink must stay "
+                "ordered and sequential (its append hides in a method: "
+                "DOALL would be wrong)",
+            ),
+            GroundTruthEntry(
+                "count_kinds", "s0", Label.NEGATIVE,
+                "index.bump collides for repeated kinds; the mutation is "
+                "only visible interprocedurally",
+            ),
+            GroundTruthEntry(
+                "total_value", "s1", Label.DOALL,
+                "enrich is pure; associative sum",
+            ),
+        ],
+    )
+    ns = bp.namespace()
+    bp.inputs = {
+        "post_all": ((list(EVENTS), ns["Ledger"](), 1.1), {}),
+        "count_kinds": ((list(EVENTS), ns["CountIndex"]()), {}),
+        "total_value": ((list(EVENTS), 1.1), {}),
+    }
+    bp._fixed_ns = ns
+    return bp

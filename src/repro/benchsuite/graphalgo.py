@@ -1,0 +1,120 @@
+"""Graph algorithms: frontier-parallel relaxations vs. sequential orders."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def out_degrees(adj, deg):
+    for u in range(len(adj)):
+        deg[u] = len(adj[u])
+    return deg
+
+
+def pagerank_step(adj, rank, new_rank, damping):
+    n = len(adj)
+    for u in range(n):
+        total = 0.0
+        for v in range(n):
+            if u in adj[v]:
+                total += rank[v] / len(adj[v])
+        new_rank[u] = (1.0 - damping) / n + damping * total
+    return new_rank
+
+
+def pagerank(adj, iterations, damping):
+    n = len(adj)
+    rank = [1.0 / n] * n
+    for it in range(iterations):
+        new_rank = [0.0] * n
+        new_rank = pagerank_step(adj, rank, new_rank, damping)
+        rank = new_rank
+    return rank
+
+
+def bfs_order(adj, start):
+    visited = [False] * len(adj)
+    order = []
+    frontier = [start]
+    visited[start] = True
+    while frontier:
+        nxt = []
+        for u in frontier:
+            order.append(u)
+            for v in adj[u]:
+                if not visited[v]:
+                    visited[v] = True
+                    nxt.append(v)
+        frontier = nxt
+    return order
+
+
+def triangle_count(adj, n):
+    count = 0
+    for u in range(n):
+        for v in adj[u]:
+            if v > u:
+                for w in adj[v]:
+                    if w > v and w in adj[u]:
+                        count += 1
+    return count
+'''
+
+
+def _small_graph():
+    return [
+        [1, 2],
+        [0, 2, 3],
+        [0, 1, 3],
+        [1, 2, 4],
+        [3],
+    ]
+
+
+def program() -> BenchmarkProgram:
+    adj = _small_graph()
+    bp = BenchmarkProgram(
+        name="graphalgo",
+        source=SOURCE,
+        description="pagerank / BFS / triangles: pull-parallel vs ordered",
+        domain="graphs",
+        ground_truth=[
+            GroundTruthEntry(
+                "out_degrees", "s0", Label.DOALL,
+                "independent per-vertex writes",
+            ),
+            GroundTruthEntry(
+                "pagerank_step", "s1", Label.DOALL,
+                "pull-style update: reads old ranks, writes new_rank[u]",
+            ),
+            GroundTruthEntry(
+                "pagerank", "s2", Label.NEGATIVE,
+                "power iterations are sequential",
+            ),
+            GroundTruthEntry(
+                "bfs_order", "s4", Label.NEGATIVE,
+                "frontier expansion carries visited/order across levels",
+            ),
+            GroundTruthEntry(
+                "bfs_order", "s4.b1", Label.NEGATIVE,
+                "within a level, visited marking couples vertices sharing "
+                "neighbours",
+            ),
+            GroundTruthEntry(
+                "triangle_count", "s1", Label.DOALL,
+                "per-vertex counts combine by an associative sum",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "out_degrees": ((adj, [0] * len(adj)), {}),
+        "pagerank_step": ((adj, [0.2] * 5, [0.0] * 5, 0.85), {}),
+        "pagerank": ((adj, 3, 0.85), {}),
+        "bfs_order": ((adj, 0), {}),
+        "triangle_count": ((adj, len(adj)), {}),
+    }
+    return bp

@@ -1,0 +1,111 @@
+"""Benchmark-program plumbing and ground-truth labels."""
+
+from __future__ import annotations
+
+import enum
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.frontend.source import SourceProgram
+
+
+class Label(enum.Enum):
+    """Expert verdict for one loop."""
+
+    DOALL = "doall"
+    PIPELINE = "pipeline"
+    MASTERWORKER = "masterworker"
+    #: parallelizable, pattern choice left open (either doall or pipeline
+    #: counts as a correct detection)
+    PARALLEL = "parallel"
+    #: must not be parallelized (carried dependence, shared mutation, ...)
+    NEGATIVE = "negative"
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """One labelled loop: where it is and what the expert decided."""
+
+    function: str
+    loop_sid: str
+    label: Label
+    reason: str = ""
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.function, self.loop_sid)
+
+
+@dataclass
+class BenchmarkProgram:
+    """A benchmark: source + execution inputs + ground truth."""
+
+    name: str
+    source: str
+    description: str = ""
+    #: base namespace the program executes in (free helpers, imports)
+    env: dict[str, Any] = field(default_factory=dict)
+    #: qualname -> (args, kwargs) enabling the dynamic analyses
+    inputs: dict[str, tuple[tuple, dict]] = field(default_factory=dict)
+    ground_truth: list[GroundTruthEntry] = field(default_factory=list)
+    domain: str = "general"
+    #: pinned execution namespace — set when inputs hold live instances
+    #: whose classes must match the functions under analysis
+    _fixed_ns: dict[str, Any] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.source = textwrap.dedent(self.source)
+
+    # ------------------------------------------------------------------
+    def parse(self) -> SourceProgram:
+        return SourceProgram.from_source(self.source, name=self.name)
+
+    def namespace(self) -> dict[str, Any]:
+        """Execute the program source; return its namespace."""
+        if self._fixed_ns is not None:
+            return self._fixed_ns
+        ns = dict(self.env)
+        exec(compile(self.source, f"<{self.name}>", "exec"), ns)
+        return ns
+
+    def resolve(self, qualname: str, ns: dict[str, Any] | None = None):
+        """Look up a (possibly dotted) function in the executed namespace."""
+        ns = ns or self.namespace()
+        obj: Any = ns
+        for part in qualname.split("."):
+            obj = obj[part] if isinstance(obj, dict) else getattr(obj, part)
+        return obj
+
+    def make_runner(self) -> Callable[[str], tuple | None]:
+        """The runner Patty consumes: qualname -> (fn, args, kwargs)."""
+        ns = self.namespace()
+
+        def runner(qualname: str) -> tuple | None:
+            if qualname not in self.inputs:
+                return None
+            args, kwargs = self.inputs[qualname]
+            args = args() if callable(args) else args
+            return self.resolve(qualname, ns), args, kwargs
+
+        return runner
+
+    # ------------------------------------------------------------------
+    def positive_truth(self) -> list[GroundTruthEntry]:
+        return [g for g in self.ground_truth if g.label is not Label.NEGATIVE]
+
+    def negative_truth(self) -> list[GroundTruthEntry]:
+        return [g for g in self.ground_truth if g.label is Label.NEGATIVE]
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.source.splitlines())
+
+
+def label_matches(label: Label, detected_pattern: str) -> bool:
+    """Does a detection of ``detected_pattern`` satisfy the expert label?"""
+    if label is Label.NEGATIVE:
+        return False
+    if label is Label.PARALLEL:
+        return detected_pattern in ("doall", "pipeline", "masterworker")
+    return label.value == detected_pattern

@@ -1,0 +1,74 @@
+"""Histogramming: the optimism trap.
+
+Binned increments collide in general — the expert label is NEGATIVE — but
+under a profiling input whose values land in pairwise-distinct bins the
+dynamic analysis observes no conflict, so the optimistic detector claims
+DOALL.  This program deliberately ships such an input: it is the suite's
+intentional false positive, the price of optimism that section 2.1 pays
+and the generated unit tests are designed to catch on other inputs.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def fill_histogram(values, bins, nbins, maxv):
+    for v in values:
+        b = int(v * nbins / maxv)
+        if b >= nbins:
+            b = nbins - 1
+        bins[b] = bins[b] + 1
+    return bins
+
+
+def normalize(bins, total, out):
+    for i in range(len(bins)):
+        out[i] = bins[i] / total
+    return out
+
+
+def cumulative(bins, out):
+    running = 0
+    for i in range(len(bins)):
+        running = running + bins[i]
+        out[i] = running
+    return out
+'''
+
+
+def program() -> BenchmarkProgram:
+    nbins = 8
+    # every value maps to a distinct bin: the trap input
+    values = [float(i) + 0.5 for i in range(nbins)]
+    bp = BenchmarkProgram(
+        name="histogram",
+        source=SOURCE,
+        description="binned increments: collides in general, not on the trap input",
+        domain="analytics",
+        ground_truth=[
+            GroundTruthEntry(
+                "fill_histogram", "s0", Label.NEGATIVE,
+                "bins[b] increments collide for values sharing a bin "
+                "(the profiling input hides this: expected false positive)",
+            ),
+            GroundTruthEntry(
+                "normalize", "s0", Label.DOALL,
+                "independent scaling per bin",
+            ),
+            GroundTruthEntry(
+                "cumulative", "s1", Label.NEGATIVE,
+                "prefix sum carries `running`",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "fill_histogram": ((values, [0] * nbins, nbins, float(nbins)), {}),
+        "normalize": (([1, 4, 2, 1], 8.0, [0.0] * 4), {}),
+        "cumulative": (([1, 4, 2, 1], [0] * 4), {}),
+    }
+    return bp

@@ -1,0 +1,103 @@
+"""2-D image processing: convolutions and region growth."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def convolve_rows(img, kernel, out, w, h):
+    kw = len(kernel)
+    half = kw // 2
+    for y in range(h):
+        row = img[y]
+        dst = out[y]
+        for x in range(w):
+            acc = 0.0
+            for k in range(kw):
+                xi = x + k - half
+                if 0 <= xi < w:
+                    acc += row[xi] * kernel[k]
+            dst[x] = acc
+    return out
+
+
+def threshold(img, cut, out, w, h):
+    for y in range(h):
+        for x in range(w):
+            out[y][x] = 1 if img[y][x] >= cut else 0
+    return out
+
+
+def integral_image(img, out, w, h):
+    for y in range(h):
+        running = 0.0
+        for x in range(w):
+            running = running + img[y][x]
+            above = out[y - 1][x] if y > 0 else 0.0
+            out[y][x] = running + above
+    return out
+
+
+def flood_fill(grid, x0, y0, new, w, h):
+    old = grid[y0][x0]
+    if old == new:
+        return grid
+    stack = [(x0, y0)]
+    while stack:
+        x, y = stack.pop()
+        if 0 <= x < w and 0 <= y < h and grid[y][x] == old:
+            grid[y][x] = new
+            stack.append((x + 1, y))
+            stack.append((x - 1, y))
+            stack.append((x, y + 1))
+            stack.append((x, y - 1))
+    return grid
+'''
+
+
+def program() -> BenchmarkProgram:
+    w, h = 6, 4
+    img = [[float((x * 3 + y * 5) % 7) for x in range(w)] for y in range(h)]
+    zeros = lambda: [[0.0] * w for _ in range(h)]
+    bp = BenchmarkProgram(
+        name="imageproc",
+        source=SOURCE,
+        description="convolution / threshold DOALL, scans and fills not",
+        domain="imaging",
+        ground_truth=[
+            GroundTruthEntry(
+                "convolve_rows", "s2", Label.DOALL,
+                "rows convolve independently (read img, write out row)",
+            ),
+            GroundTruthEntry(
+                "threshold", "s0", Label.DOALL,
+                "independent per-pixel classification",
+            ),
+            GroundTruthEntry(
+                "integral_image", "s0", Label.NEGATIVE,
+                "each row needs the previous row's prefix sums",
+            ),
+            GroundTruthEntry(
+                "integral_image", "s0.b1", Label.NEGATIVE,
+                "the inner scan is a prefix sum (running carries)",
+            ),
+            GroundTruthEntry(
+                "flood_fill", "s3", Label.NEGATIVE,
+                "worklist order and in-place marking are stateful",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "convolve_rows": ((img, [0.25, 0.5, 0.25], zeros(), w, h), {}),
+        "threshold": ((img, 3.0, zeros(), w, h), {}),
+        "integral_image": ((img, zeros(), w, h), {}),
+        "flood_fill": (
+            ([[0, 0, 1], [0, 1, 1], [1, 1, 1]], 2, 2, 9, 3, 3),
+            {},
+        ),
+    }
+    return bp

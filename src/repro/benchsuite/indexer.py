@@ -1,0 +1,103 @@
+"""Desktop-search index generator (the domain of the authors' earlier
+pipeline-parallelization case study [28]).
+
+The document loop is a pipeline: parse -> normalize -> score, ending in a
+sequential posting stage.  One variant filters with ``continue`` — humanly
+pipelinable but rejected by the PLCD rule, the suite's intended false
+negative.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def parse_doc(doc):
+    return doc.lower().split()
+
+
+def normalize(words):
+    return [w.strip(".,;") for w in words if w]
+
+
+def score(words):
+    return sum(len(w) for w in words)
+
+
+def build_index(documents, index):
+    doc_id = 0
+    for doc in documents:
+        words = parse_doc(doc)
+        clean = normalize(words)
+        weight = score(clean)
+        index[doc_id] = (clean, weight)
+        doc_id = doc_id + 1
+    return index
+
+
+def build_index_filtered(documents, index):
+    doc_id = 0
+    for doc in documents:
+        words = parse_doc(doc)
+        if not words:
+            continue
+        clean = normalize(words)
+        index[doc_id] = clean
+        doc_id = doc_id + 1
+    return index
+
+
+def merge_postings(shards, merged):
+    for shard in shards:
+        for term in shard:
+            merged[term] = merged.get(term, 0) + shard[term]
+    return merged
+'''
+
+DOCS = [
+    "The quick, brown fox;",
+    "jumps over the lazy dog.",
+    "Pack my box with five dozen jugs,",
+    "now is the time for all good folk",
+]
+
+
+def program() -> BenchmarkProgram:
+    bp = BenchmarkProgram(
+        name="indexer",
+        source=SOURCE,
+        description="desktop-search indexing: document pipeline",
+        domain="search",
+        ground_truth=[
+            GroundTruthEntry(
+                "build_index", "s1", Label.PARALLEL,
+                "parse => normalize => score stages per document, ordered "
+                "posting sink (doc_id makes iterations a counted stream)",
+            ),
+            GroundTruthEntry(
+                "build_index_filtered", "s1", Label.PARALLEL,
+                "same pipeline with an early-out filter stage — humanly "
+                "parallelizable, but the continue trips PLCD (expected "
+                "false negative)",
+            ),
+            GroundTruthEntry(
+                "merge_postings", "s0", Label.NEGATIVE,
+                "merged[term] updates collide across shards",
+            ),
+            GroundTruthEntry(
+                "merge_postings", "s0.b0", Label.NEGATIVE,
+                "same shared dict inside one shard",
+            ),
+        ],
+    )
+    shards = [{"a": 1, "b": 2}, {"b": 1, "c": 4}]
+    bp.inputs = {
+        "build_index": ((list(DOCS), {}), {}),
+        "build_index_filtered": ((list(DOCS) + [""], {}), {}),
+        "merge_postings": ((shards, {}), {}),
+    }
+    return bp

@@ -1,0 +1,99 @@
+"""k-means clustering: parallel assignment, sequential accumulation."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def distance2(p, q):
+    total = 0.0
+    for d in range(len(p)):
+        diff = p[d] - q[d]
+        total += diff * diff
+    return total
+
+
+def assign(points, centroids, labels):
+    for i in range(len(points)):
+        best = 0
+        best_d = distance2(points[i], centroids[0])
+        for c in range(1, len(centroids)):
+            d = distance2(points[i], centroids[c])
+            if d < best_d:
+                best_d = d
+                best = c
+        labels[i] = best
+    return labels
+
+
+def accumulate(points, labels, sums, counts):
+    for i in range(len(points)):
+        c = labels[i]
+        counts[c] = counts[c] + 1
+        row = sums[c]
+        for d in range(len(points[i])):
+            row[d] = row[d] + points[i][d]
+    return sums, counts
+
+
+def update_centroids(sums, counts, centroids):
+    for c in range(len(centroids)):
+        if counts[c] > 0:
+            centroids[c] = [s / counts[c] for s in sums[c]]
+    return centroids
+'''
+
+
+def program() -> BenchmarkProgram:
+    pts = [[float(i % 7), float((i * 3) % 5)] for i in range(12)]
+    cents = [[0.0, 0.0], [3.0, 2.0], [6.0, 4.0]]
+    labels = [0] * len(pts)
+    # labels with collisions so `accumulate` shows its shared writes
+    coll_labels = [i % 3 for i in range(12)]
+    bp = BenchmarkProgram(
+        name="kmeans",
+        source=SOURCE,
+        description="clustering: assignment DOALL, accumulation is not",
+        domain="ml",
+        ground_truth=[
+            GroundTruthEntry(
+                "assign", "s0", Label.DOALL,
+                "per-point label assignment is independent",
+            ),
+            GroundTruthEntry(
+                "assign", "s0.b2", Label.NEGATIVE,
+                "the best-centroid scan carries best/best_d",
+            ),
+            GroundTruthEntry(
+                "accumulate", "s0", Label.NEGATIVE,
+                "counts[c] and sums[c] collide between points of a cluster",
+            ),
+            GroundTruthEntry(
+                "update_centroids", "s0", Label.DOALL,
+                "per-centroid division is independent",
+            ),
+            GroundTruthEntry(
+                "distance2", "s1", Label.NEGATIVE,
+                "tiny reduction; threading overhead dominates (expert: keep "
+                "sequential)",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "assign": ((pts, cents, list(labels)), {}),
+        "accumulate": (
+            (pts, coll_labels, [[0.0, 0.0] for _ in cents], [0] * len(cents)),
+            {},
+        ),
+        "update_centroids": (
+            ([[6.0, 4.0], [9.0, 6.0], [3.0, 1.0]], [2, 3, 1],
+             [[0.0, 0.0] for _ in cents]),
+            {},
+        ),
+        "distance2": (([1.0, 2.0], [3.0, 4.0]), {}),
+    }
+    return bp

@@ -1,0 +1,69 @@
+"""Mandelbrot set: the classic DOALL pixel loop with an inner escape loop."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def escape_time(cx, cy, max_iter):
+    zx = 0.0
+    zy = 0.0
+    n = 0
+    while n < max_iter:
+        if zx * zx + zy * zy > 4.0:
+            break
+        zx, zy = zx * zx - zy * zy + cx, 2.0 * zx * zy + cy
+        n = n + 1
+    return n
+
+
+def render(width, height, max_iter, out):
+    for idx in range(width * height):
+        px = idx % width
+        py = idx // width
+        cx = (px / width) * 3.5 - 2.5
+        cy = (py / height) * 2.0 - 1.0
+        out[idx] = escape_time(cx, cy, max_iter)
+    return out
+
+
+def column_histogram(width, height, image, hist):
+    for idx in range(width * height):
+        col = idx % width
+        hist[col] = hist[col] + image[idx]
+    return hist
+'''
+
+
+def program() -> BenchmarkProgram:
+    bp = BenchmarkProgram(
+        name="mandelbrot",
+        source=SOURCE,
+        description="embarrassingly parallel pixel loop, sequential escape iteration",
+        domain="numeric",
+        ground_truth=[
+            GroundTruthEntry(
+                "render", "s0", Label.DOALL,
+                "pixels are independent; out[idx] writes are disjoint",
+            ),
+            GroundTruthEntry(
+                "escape_time", "s3", Label.NEGATIVE,
+                "the escape iteration carries z across iterations",
+            ),
+            GroundTruthEntry(
+                "column_histogram", "s0", Label.NEGATIVE,
+                "hist[col] accumulation collides between rows of a column",
+            ),
+        ],
+    )
+    w, h = 12, 8
+    bp.inputs = {
+        "render": ((w, h, 24, [0] * (w * h)), {}),
+        "escape_time": ((-0.5, 0.3, 24), {}),
+        "column_histogram": ((w, h, list(range(w * h)), [0] * w), {}),
+    }
+    return bp

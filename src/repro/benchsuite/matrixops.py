@@ -1,0 +1,94 @@
+"""Dense linear algebra: row-parallel matmul, inherently sequential solve."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def matmul(a, b, c, n):
+    for i in range(n):
+        row = a[i]
+        out = c[i]
+        for j in range(n):
+            s = 0.0
+            for k in range(n):
+                s += row[k] * b[k][j]
+            out[j] = s
+    return c
+
+
+def forward_substitution(l, b, x, n):
+    for i in range(n):
+        s = b[i]
+        for j in range(i):
+            s = s - l[i][j] * x[j]
+        x[i] = s / l[i][i]
+    return x
+
+
+def transpose(a, t, n):
+    for i in range(n):
+        for j in range(n):
+            t[j][i] = a[i][j]
+    return t
+
+
+def frobenius(a, n):
+    total = 0.0
+    for i in range(n):
+        for j in range(n):
+            total += a[i][j] * a[i][j]
+    return total ** 0.5
+'''
+
+
+def program() -> BenchmarkProgram:
+    n = 4
+    a = [[float(i * n + j + 1) for j in range(n)] for i in range(n)]
+    b = [[float((i + j) % 3 + 1) for j in range(n)] for i in range(n)]
+    l = [
+        [float(i + 1) if j <= i else 0.0 for j in range(n)] for i in range(n)
+    ]
+    bp = BenchmarkProgram(
+        name="matrixops",
+        source=SOURCE,
+        description="dense kernels: DOALL rows vs. carried triangular solve",
+        domain="numeric",
+        ground_truth=[
+            GroundTruthEntry(
+                "matmul", "s0", Label.DOALL,
+                "output rows are written disjointly",
+            ),
+            GroundTruthEntry(
+                "forward_substitution", "s0", Label.NEGATIVE,
+                "x[i] depends on all previous x[j]",
+            ),
+            GroundTruthEntry(
+                "transpose", "s0", Label.DOALL,
+                "t[j][i] writes are disjoint per source row",
+            ),
+            GroundTruthEntry(
+                "frobenius", "s1", Label.DOALL,
+                "associative sum over independent rows (needs the "
+                "hierarchical lifting a human applies; expected miss)",
+            ),
+            GroundTruthEntry(
+                "frobenius", "s1.b0", Label.DOALL,
+                "the per-row partial sum is itself a clean reduction",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "matmul": (
+            (a, b, [[0.0] * n for _ in range(n)], n),
+            {},
+        ),
+        "forward_substitution": ((l, [1.0] * n, [0.0] * n, n), {}),
+        "transpose": ((a, [[0.0] * n for _ in range(n)], n), {}),
+        "frobenius": ((a, n), {}),
+    }
+    return bp

@@ -1,0 +1,73 @@
+"""Monte-Carlo estimation: reductions over precomputed samples, plus an
+inherently sequential random walk."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def estimate_pi(points):
+    inside = 0
+    for p in points:
+        x = p[0]
+        y = p[1]
+        hit = 1 if x * x + y * y <= 1.0 else 0
+        inside += hit
+    return 4.0 * inside / len(points)
+
+
+def price_paths(payoffs, discount):
+    total = 0.0
+    for v in payoffs:
+        total += v * discount
+    return total / len(payoffs)
+
+
+def random_walk(steps, seed):
+    position = 0.0
+    state = seed
+    path = []
+    for s in range(steps):
+        state = (state * 1103515245 + 12345) % 2147483648
+        delta = (state / 2147483648.0) - 0.5
+        position = position + delta
+        path.append(position)
+    return path
+'''
+
+
+def program() -> BenchmarkProgram:
+    points = [
+        (((i * 37) % 100) / 100.0, ((i * 61) % 100) / 100.0)
+        for i in range(40)
+    ]
+    bp = BenchmarkProgram(
+        name="montecarlo",
+        source=SOURCE,
+        description="sampling reductions vs. a stateful random walk",
+        domain="finance",
+        ground_truth=[
+            GroundTruthEntry(
+                "estimate_pi", "s1", Label.DOALL,
+                "hit test per point, associative count",
+            ),
+            GroundTruthEntry(
+                "price_paths", "s1", Label.DOALL,
+                "associative discounted sum",
+            ),
+            GroundTruthEntry(
+                "random_walk", "s3", Label.NEGATIVE,
+                "the RNG state and the position carry across steps",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "estimate_pi": ((points,), {}),
+        "price_paths": (([1.0, 2.5, 0.0, 3.25, 1.5], 0.97), {}),
+        "random_walk": ((12, 42), {}),
+    }
+    return bp

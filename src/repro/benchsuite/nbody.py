@@ -1,0 +1,97 @@
+"""N-body simulation: parallel force evaluation and integration."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def compute_forces(pos, mass, forces, n, g):
+    for i in range(n):
+        fx = 0.0
+        fy = 0.0
+        for j in range(n):
+            if j != i:
+                dx = pos[j][0] - pos[i][0]
+                dy = pos[j][1] - pos[i][1]
+                r2 = dx * dx + dy * dy + 1e-9
+                f = g * mass[i] * mass[j] / r2
+                fx += f * dx
+                fy += f * dy
+        forces[i] = (fx, fy)
+    return forces
+
+
+def integrate(pos, vel, forces, mass, n, dt):
+    for i in range(n):
+        ax = forces[i][0] / mass[i]
+        ay = forces[i][1] / mass[i]
+        vel[i] = (vel[i][0] + ax * dt, vel[i][1] + ay * dt)
+        pos[i] = (pos[i][0] + vel[i][0] * dt, pos[i][1] + vel[i][1] * dt)
+    return pos, vel
+
+
+def simulate(pos, vel, mass, n, steps, dt, g):
+    trajectory = []
+    for s in range(steps):
+        forces = [(0.0, 0.0)] * n
+        forces = compute_forces(pos, mass, forces, n, g)
+        pos, vel = integrate(pos, vel, forces, mass, n, dt)
+        trajectory.append(pos[0])
+    return trajectory
+
+
+def total_energy(pos, vel, mass, n):
+    kinetic = 0.0
+    for i in range(n):
+        v2 = vel[i][0] ** 2 + vel[i][1] ** 2
+        kinetic += 0.5 * mass[i] * v2
+    return kinetic
+'''
+
+
+def program() -> BenchmarkProgram:
+    n = 5
+    pos = [(float(i), float(i % 3)) for i in range(n)]
+    vel = [(0.1 * i, -0.05 * i) for i in range(n)]
+    mass = [1.0 + 0.2 * i for i in range(n)]
+    forces = [(0.0, 0.0)] * n
+    bp = BenchmarkProgram(
+        name="nbody",
+        source=SOURCE,
+        description="all-pairs gravity: per-body force DOALL, stepped time loop",
+        domain="scientific",
+        ground_truth=[
+            GroundTruthEntry(
+                "compute_forces", "s0", Label.DOALL,
+                "forces[i] written disjointly; positions only read",
+            ),
+            GroundTruthEntry(
+                "compute_forces", "s0.b2", Label.NEGATIVE,
+                "inner pair loop accumulates fx/fy (inner reduction, too "
+                "fine against the outer DOALL)",
+            ),
+            GroundTruthEntry(
+                "integrate", "s0", Label.DOALL,
+                "per-body update, disjoint indices",
+            ),
+            GroundTruthEntry(
+                "simulate", "s1", Label.NEGATIVE,
+                "time steps are inherently sequential",
+            ),
+            GroundTruthEntry(
+                "total_energy", "s1", Label.DOALL,
+                "associative kinetic-energy sum",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "compute_forces": ((list(pos), mass, list(forces), n, 6.674e-3), {}),
+        "integrate": ((list(pos), list(vel), list(forces), mass, n, 0.01), {}),
+        "simulate": ((list(pos), list(vel), mass, n, 3, 0.01, 6.674e-3), {}),
+        "total_energy": ((list(pos), list(vel), mass, n), {}),
+    }
+    return bp

@@ -1,0 +1,280 @@
+"""The user-study benchmark: a ray tracer with 13 classes.
+
+Mirrors the paper's study subject ("The implementation consisted of 13
+classes and 173 lines of code.  We manually analyzed this program before
+to identify all locations that could profit from parallelization").
+
+Ground truth, as in the study:
+
+* 3 locations with parallel potential — the pixel loop, the per-light
+  shading loop, and the supersampling loop;
+* 1 decoy — the statistics-updating loop whose shared-counter race the
+  manual control group overlooked ("this was due to the fact that data
+  races were overlooked by the engineers").
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+class Vec3:
+    def __init__(self, x=0.0, y=0.0, z=0.0):
+        self.x, self.y, self.z = x, y, z
+
+    def add(self, o):
+        return Vec3(self.x + o.x, self.y + o.y, self.z + o.z)
+
+    def sub(self, o):
+        return Vec3(self.x - o.x, self.y - o.y, self.z - o.z)
+
+    def scale(self, s):
+        return Vec3(self.x * s, self.y * s, self.z * s)
+
+    def dot(self, o):
+        return self.x * o.x + self.y * o.y + self.z * o.z
+
+    def norm(self):
+        n = self.dot(self) ** 0.5
+        return self.scale(1.0 / n) if n > 0 else Vec3()
+
+
+class Ray:
+    def __init__(self, origin, direction):
+        self.origin = origin
+        self.direction = direction
+
+    def at(self, t):
+        return self.origin.add(self.direction.scale(t))
+
+
+class HitRecord:
+    def __init__(self, t, point, normal, material):
+        self.t = t
+        self.point = point
+        self.normal = normal
+        self.material = material
+
+
+class Material:
+    def __init__(self, color, diffuse=0.9, specular=0.3):
+        self.color = color
+        self.diffuse = diffuse
+        self.specular = specular
+
+
+class Sphere:
+    def __init__(self, center, radius, material):
+        self.center = center
+        self.radius = radius
+        self.material = material
+
+    def intersect(self, ray):
+        oc = ray.origin.sub(self.center)
+        b = 2.0 * oc.dot(ray.direction)
+        c = oc.dot(oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c
+        if disc < 0:
+            return None
+        t = (-b - disc ** 0.5) / 2.0
+        if t < 1e-4:
+            return None
+        p = ray.at(t)
+        return HitRecord(t, p, p.sub(self.center).norm(), self.material)
+
+
+class Plane:
+    def __init__(self, y, material):
+        self.y = y
+        self.material = material
+
+    def intersect(self, ray):
+        if abs(ray.direction.y) < 1e-9:
+            return None
+        t = (self.y - ray.origin.y) / ray.direction.y
+        if t < 1e-4:
+            return None
+        return HitRecord(t, ray.at(t), Vec3(0.0, 1.0, 0.0), self.material)
+
+
+class Light:
+    def __init__(self, position, intensity):
+        self.position = position
+        self.intensity = intensity
+
+
+class Camera:
+    def __init__(self, origin, width, height):
+        self.origin = origin
+        self.width = width
+        self.height = height
+
+    def ray_for(self, idx):
+        px = idx % self.width
+        py = idx // self.width
+        u = (px + 0.5) / self.width - 0.5
+        v = 0.5 - (py + 0.5) / self.height
+        return Ray(self.origin, Vec3(u, v, 1.0).norm())
+
+
+class Scene:
+    def __init__(self, objects, lights):
+        self.objects = objects
+        self.lights = lights
+
+    def first_hit(self, ray):
+        best = None
+        for obj in self.objects:
+            rec = obj.intersect(ray)
+            if rec is not None and (best is None or rec.t < best.t):
+                best = rec
+        return best
+
+
+class Image:
+    def __init__(self, width, height):
+        self.width = width
+        self.height = height
+        self.pixels = [0.0] * (width * height)
+
+
+class TraceStats:
+    def __init__(self):
+        self.rays = 0
+        self.hits = 0
+
+
+class Sampler:
+    def __init__(self, n):
+        self.n = n
+
+    def offsets(self):
+        return [(i + 0.5) / self.n - 0.5 for i in range(self.n)]
+
+
+class Renderer:
+    def __init__(self, scene, camera):
+        self.scene = scene
+        self.camera = camera
+        self.stats = TraceStats()
+
+    def shade(self, hit):
+        total = 0.0
+        for light in self.scene.lights:
+            ldir = light.position.sub(hit.point).norm()
+            lam = max(0.0, hit.normal.dot(ldir))
+            contrib = light.intensity * lam * hit.material.diffuse
+            total = total + contrib
+        return total
+
+    def trace(self, ray):
+        hit = self.scene.first_hit(ray)
+        if hit is None:
+            return 0.05
+        return self.shade(hit)
+
+    def render(self, image):
+        n = image.width * image.height
+        for idx in range(n):
+            ray = self.camera.ray_for(idx)
+            color = self.trace(ray)
+            image.pixels[idx] = color
+        return image
+
+    def render_aa(self, idx, sampler):
+        acc = 0.0
+        for off in sampler.offsets():
+            ray = self.camera.ray_for(idx)
+            jittered = Ray(ray.origin, ray.direction.add(Vec3(off * 0.001, 0.0, 0.0)).norm())
+            acc += self.trace(jittered)
+        return acc / sampler.n
+
+    def render_with_stats(self, rays):
+        colors = []
+        for ray in rays:
+            hit = self.scene.first_hit(ray)
+            self.stats.rays = self.stats.rays + 1
+            if hit is not None:
+                self.stats.hits = self.stats.hits + 1
+            colors.append(self.shade(hit) if hit is not None else 0.05)
+        return colors
+'''
+
+
+def build_scene_source() -> str:
+    """Helper source appended for building a small test scene."""
+    return SOURCE + '''
+
+def make_scene():
+    red = Material(Vec3(1.0, 0.2, 0.2))
+    blue = Material(Vec3(0.2, 0.2, 1.0))
+    grey = Material(Vec3(0.5, 0.5, 0.5))
+    objects = [
+        Sphere(Vec3(-0.4, 0.0, 3.0), 0.5, red),
+        Sphere(Vec3(0.5, 0.1, 2.5), 0.4, blue),
+        Plane(-0.5, grey),
+    ]
+    lights = [
+        Light(Vec3(2.0, 2.0, 0.0), 0.9),
+        Light(Vec3(-2.0, 1.0, 1.0), 0.5),
+    ]
+    return Scene(objects, lights)
+'''
+
+
+def program() -> BenchmarkProgram:
+    src = build_scene_source()
+    bp = BenchmarkProgram(
+        name="raytracer",
+        source=src,
+        description="the user-study subject: 13 classes, ray tracing",
+        domain="graphics",
+        ground_truth=[
+            GroundTruthEntry(
+                "Renderer.render", "s1", Label.DOALL,
+                "independent pixels; image.pixels[idx] writes are disjoint",
+            ),
+            GroundTruthEntry(
+                "Renderer.shade", "s1", Label.PARALLEL,
+                "per-light contributions combine by an associative sum",
+            ),
+            GroundTruthEntry(
+                "Renderer.render_aa", "s1", Label.PARALLEL,
+                "independent supersamples, associative accumulation",
+            ),
+            GroundTruthEntry(
+                "Scene.first_hit", "s1", Label.NEGATIVE,
+                "closest-hit selection carries `best` across iterations "
+                "(cheap inner loop; not worth a parallel min-reduction)",
+            ),
+            GroundTruthEntry(
+                "Renderer.render_with_stats", "s1", Label.NEGATIVE,
+                "shared TraceStats counters race under parallel execution "
+                "(the decoy the manual group fell for)",
+            ),
+        ],
+    )
+
+    ns = bp.namespace()
+    scene = ns["make_scene"]()
+    camera = ns["Camera"](ns["Vec3"](0.0, 0.0, -1.0), 8, 6)
+    renderer = ns["Renderer"](scene, camera)
+    image = ns["Image"](8, 6)
+    sampler = ns["Sampler"](4)
+    rays = [camera.ray_for(i) for i in range(10)]
+    hit = scene.first_hit(camera.ray_for(27))
+
+    bp.inputs = {
+        "Renderer.render": ((renderer, image), {}),
+        "Renderer.shade": ((renderer, hit), {}),
+        "Renderer.render_aa": ((renderer, 27, sampler), {}),
+        "Renderer.render_with_stats": ((renderer, rays), {}),
+        "Scene.first_hit": ((scene, camera.ray_for(27)), {}),
+    }
+    # make_runner re-execs the source, so resolve against a stable namespace
+    bp._fixed_ns = ns  # type: ignore[attr-defined]
+    return bp

@@ -1,0 +1,78 @@
+"""Registry of all benchmark programs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.benchsuite.ground_truth import BenchmarkProgram
+
+_FACTORIES: dict[str, Callable[[], BenchmarkProgram]] = {}
+
+
+def register(name: str):
+    def deco(factory: Callable[[], BenchmarkProgram]):
+        _FACTORIES[name] = factory
+        return factory
+
+    return deco
+
+
+def _load() -> None:
+    # import for side effects once; modules self-register on import
+    from repro.benchsuite import (  # noqa: F401
+        raytracer,
+        video,
+        mandelbrot,
+        kmeans,
+        indexer,
+        nbody,
+        wordcount,
+        matrixops,
+        montecarlo,
+        stencil,
+        histogram,
+        audiochain,
+        compression,
+        graphalgo,
+        imageproc,
+        textproc,
+        eventlog,
+    )
+
+    for mod in (
+        raytracer,
+        video,
+        mandelbrot,
+        kmeans,
+        indexer,
+        nbody,
+        wordcount,
+        matrixops,
+        montecarlo,
+        stencil,
+        histogram,
+        audiochain,
+        compression,
+        graphalgo,
+        imageproc,
+        textproc,
+        eventlog,
+    ):
+        name = mod.__name__.rsplit(".", 1)[1]
+        if name not in _FACTORIES and hasattr(mod, "program"):
+            _FACTORIES[name] = mod.program
+
+
+def program_names() -> list[str]:
+    _load()
+    return sorted(_FACTORIES)
+
+
+def get_program(name: str) -> BenchmarkProgram:
+    _load()
+    return _FACTORIES[name]()
+
+
+def all_programs() -> list[BenchmarkProgram]:
+    _load()
+    return [_FACTORIES[n]() for n in sorted(_FACTORIES)]

@@ -1,0 +1,76 @@
+"""Stencil codes: Jacobi sweeps parallelize, Gauss-Seidel does not."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def jacobi_sweep(grid, new, n):
+    for i in range(1, n - 1):
+        new[i] = 0.5 * (grid[i - 1] + grid[i + 1])
+    return new
+
+
+def jacobi(grid, steps, n):
+    for s in range(steps):
+        new = [0.0] * n
+        new[0] = grid[0]
+        new[n - 1] = grid[n - 1]
+        new = jacobi_sweep(grid, new, n)
+        grid = new
+    return grid
+
+
+def gauss_seidel_sweep(grid, n):
+    for i in range(1, n - 1):
+        grid[i] = 0.5 * (grid[i - 1] + grid[i + 1])
+    return grid
+
+
+def residual(grid, n):
+    worst = 0.0
+    for i in range(1, n - 1):
+        r = abs(grid[i] - 0.5 * (grid[i - 1] + grid[i + 1]))
+        worst = max(worst, r)
+    return worst
+'''
+
+
+def program() -> BenchmarkProgram:
+    n = 10
+    grid = [float(i % 4) for i in range(n)]
+    bp = BenchmarkProgram(
+        name="stencil",
+        source=SOURCE,
+        description="1-D heat: double-buffered vs. in-place relaxation",
+        domain="scientific",
+        ground_truth=[
+            GroundTruthEntry(
+                "jacobi_sweep", "s0", Label.DOALL,
+                "reads old buffer, writes new: independent points",
+            ),
+            GroundTruthEntry(
+                "jacobi", "s0", Label.NEGATIVE,
+                "time steps are sequential",
+            ),
+            GroundTruthEntry(
+                "gauss_seidel_sweep", "s0", Label.NEGATIVE,
+                "in-place update reads the value written one iteration ago",
+            ),
+            GroundTruthEntry(
+                "residual", "s1", Label.DOALL,
+                "max-reduction over independent residuals",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "jacobi_sweep": ((list(grid), [0.0] * n, n), {}),
+        "jacobi": ((list(grid), 3, n), {}),
+        "gauss_seidel_sweep": ((list(grid), n), {}),
+        "residual": ((list(grid), n), {}),
+    }
+    return bp

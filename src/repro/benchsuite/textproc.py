@@ -1,0 +1,101 @@
+"""Text processing: grep-style scanning vs. stateful parsing."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def grep(lines, needle):
+    hits = []
+    for i, line in enumerate(lines):
+        if needle in line:
+            hits.append((i, line))
+    return hits
+
+
+def longest_line(lines):
+    best = 0
+    for line in lines:
+        best = max(best, len(line))
+    return best
+
+
+def parse_csv_row_lengths(lines, out):
+    for i in range(len(lines)):
+        fields = lines[i].split(",")
+        out[i] = len(fields)
+    return out
+
+
+def balance_parens(text):
+    depth = 0
+    worst = 0
+    for ch in text:
+        if ch == "(":
+            depth = depth + 1
+        elif ch == ")":
+            depth = depth - 1
+        worst = min(worst, depth)
+    return depth, worst
+
+
+def join_numbered(lines):
+    out = []
+    n = 0
+    for line in lines:
+        n = n + 1
+        out.append(str(n) + ": " + line)
+    return out
+'''
+
+LINES = [
+    "alpha,beta,gamma",
+    "needle in a haystack",
+    "plain text",
+    "another needle here",
+]
+
+
+def program() -> BenchmarkProgram:
+    bp = BenchmarkProgram(
+        name="textproc",
+        source=SOURCE,
+        description="scanning DOALL vs. stateful parsing",
+        domain="text",
+        ground_truth=[
+            GroundTruthEntry(
+                "grep", "s1", Label.PARALLEL,
+                "per-line match with an ordered collector; the filter "
+                "lives inside one statement, so PLCD is not violated",
+            ),
+            GroundTruthEntry(
+                "longest_line", "s1", Label.DOALL,
+                "max-reduction over independent lengths",
+            ),
+            GroundTruthEntry(
+                "parse_csv_row_lengths", "s0", Label.DOALL,
+                "independent per-row parse, disjoint out[i]",
+            ),
+            GroundTruthEntry(
+                "balance_parens", "s2", Label.NEGATIVE,
+                "depth threads through every character",
+            ),
+            GroundTruthEntry(
+                "join_numbered", "s2", Label.NEGATIVE,
+                "the running line number is carried (expert: could be "
+                "rewritten with enumerate, but as written it is sequential)",
+            ),
+        ],
+    )
+    bp.inputs = {
+        "grep": ((list(LINES), "needle"), {}),
+        "longest_line": ((list(LINES),), {}),
+        "parse_csv_row_lengths": ((list(LINES), [0] * len(LINES)), {}),
+        "balance_parens": (("(()(()))((",), {}),
+        "join_numbered": ((list(LINES),), {}),
+    }
+    return bp

@@ -1,0 +1,138 @@
+"""The paper's running example: the AviStream filter chain (Fig. 2/3).
+
+Three independent filters per frame, a combining conversion, and an
+ordered sink — the canonical ``(A || B || C+) => D => E`` pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+class Frame:
+    def __init__(self, width, height, data):
+        self.width = width
+        self.height = height
+        self.data = data
+
+
+class CropFilter:
+    def __init__(self, margin):
+        self.margin = margin
+
+    def apply(self, frame):
+        m = self.margin
+        return [v for i, v in enumerate(frame.data) if i % frame.width >= m]
+
+
+class HistogramFilter:
+    def __init__(self, bins):
+        self.bins = bins
+
+    def apply(self, frame):
+        hist = [0] * self.bins
+        for v in frame.data:
+            hist[min(self.bins - 1, int(v * self.bins))] += 1
+        return hist
+
+
+class OilFilter:
+    def __init__(self, radius):
+        self.radius = radius
+
+    def apply(self, frame):
+        out = []
+        r = self.radius
+        data = frame.data
+        for i in range(len(data)):
+            lo = max(0, i - r)
+            hi = min(len(data), i + r + 1)
+            window = data[lo:hi]
+            out.append(max(window))
+        return out
+
+
+class Converter:
+    def apply(self, crop, hist, oil):
+        total = sum(hist) or 1
+        mean_oil = sum(oil) / (len(oil) or 1)
+        mean_crop = sum(crop) / (len(crop) or 1)
+        return (mean_crop, mean_oil, total)
+
+
+class AviStream:
+    def __init__(self, frames=None):
+        self.frames = list(frames or [])
+
+    def add(self, frame):
+        self.frames.append(frame)
+
+
+def process(avi_in, crop_filter, histogram_filter, oil_filter, converter):
+    results = []
+    for frame in avi_in.frames:
+        c = crop_filter.apply(frame)
+        h = histogram_filter.apply(frame)
+        o = oil_filter.apply(frame)
+        r = converter.apply(c, h, o)
+        results.append(r)
+    return results
+
+
+def make_stream(n_frames, width, height):
+    frames = []
+    for k in range(n_frames):
+        data = [((i * 7 + k * 13) % 101) / 101.0 for i in range(width * height)]
+        frames.append(Frame(width, height, data))
+    return AviStream(frames)
+'''
+
+
+def program() -> BenchmarkProgram:
+    bp = BenchmarkProgram(
+        name="video",
+        source=SOURCE,
+        description="the paper's AviStream example: filter-chain pipeline",
+        domain="video",
+        ground_truth=[
+            GroundTruthEntry(
+                "process", "s1", Label.PARALLEL,
+                "the paper's showcase: (crop || histogram || oil+) => "
+                "convert => collect; frames are also fully independent, so "
+                "DOALL is equally valid",
+            ),
+            GroundTruthEntry(
+                "HistogramFilter.apply", "s1", Label.NEGATIVE,
+                "bin increments collide across elements",
+            ),
+            GroundTruthEntry(
+                "OilFilter.apply", "s3", Label.PARALLEL,
+                "windows are read-only, the output is an ordered collector",
+            ),
+            GroundTruthEntry(
+                "make_stream", "s1", Label.PARALLEL,
+                "frame synthesis is independent per frame",
+            ),
+        ],
+    )
+    ns = bp.namespace()
+    stream = ns["make_stream"](6, 8, 4)
+    filters = (
+        ns["CropFilter"](1),
+        ns["HistogramFilter"](8),
+        ns["OilFilter"](2),
+        ns["Converter"](),
+    )
+    frame = stream.frames[0]
+    bp.inputs = {
+        "process": ((stream,) + filters, {}),
+        "HistogramFilter.apply": ((filters[1], frame), {}),
+        "OilFilter.apply": ((filters[2], frame), {}),
+        "make_stream": ((4, 6, 3), {}),
+    }
+    bp._fixed_ns = ns
+    return bp

@@ -1,0 +1,74 @@
+"""Word count: tokenization parallelizes, shared-dict counting does not."""
+
+from __future__ import annotations
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+)
+
+SOURCE = '''
+def tokenize(documents):
+    token_lists = []
+    for doc in documents:
+        cleaned = doc.lower()
+        words = cleaned.split()
+        token_lists.append(words)
+    return token_lists
+
+
+def count_words(token_lists, counts):
+    for words in token_lists:
+        for w in words:
+            counts[w] = counts.get(w, 0) + 1
+    return counts
+
+
+def total_length(documents):
+    total = 0
+    for doc in documents:
+        total += len(doc)
+    return total
+'''
+
+DOCS = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "quick quick slow",
+]
+
+
+def program() -> BenchmarkProgram:
+    bp = BenchmarkProgram(
+        name="wordcount",
+        source=SOURCE,
+        description="text processing: map parallel, shared reduce not",
+        domain="text",
+        ground_truth=[
+            GroundTruthEntry(
+                "tokenize", "s1", Label.PARALLEL,
+                "per-document tokenization with an ordered collector",
+            ),
+            GroundTruthEntry(
+                "count_words", "s0", Label.NEGATIVE,
+                "counts[w] updates collide across documents",
+            ),
+            GroundTruthEntry(
+                "count_words", "s0.b0", Label.NEGATIVE,
+                "inner word loop shares the same dict",
+            ),
+            GroundTruthEntry(
+                "total_length", "s1", Label.DOALL,
+                "associative sum of independent lengths",
+            ),
+        ],
+    )
+    token_lists = [d.lower().split() for d in DOCS]
+    bp.inputs = {
+        "tokenize": ((list(DOCS),), {}),
+        "count_words": ((token_lists, {}), {}),
+        "total_length": ((list(DOCS),), {}),
+    }
+    return bp

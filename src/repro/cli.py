@@ -1,0 +1,320 @@
+"""Command-line interface.
+
+The IDE integration of the original is out of scope for a library, but
+its workflows are not; each subcommand is one of them:
+
+* ``analyze``   — phases 1+2 on a Python source file (or a bundled
+  benchmark): semantic model, dependence report, detected patterns.
+* ``transform`` — phases 3+4: write the annotated source, the generated
+  parallel source, and the tuning configuration file.
+* ``tune``      — the performance-validation cycle on the simulated
+  machine (Fig. 4c).
+* ``validate``  — generate and run the parallel unit tests of a bundled
+  benchmark's detected patterns (correctness validation).
+* ``study``     — run the simulated user study and print the paper's
+  tables and figures.
+* ``quality``   — the detection-quality evaluation (precision/recall/F)
+  over the benchmark suite.
+* ``programs``  — list the bundled benchmark programs.
+
+Run ``python -m repro <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.core import Patty
+from repro.frontend.source import SourceProgram
+from repro.model.semantic import build_semantic_model
+from repro.patterns.catalog import default_catalog
+from repro.report import detection_report, overlay_listing
+
+
+def _load_source(path: str) -> str:
+    return pathlib.Path(path).read_text()
+
+
+# ---------------------------------------------------------------------------
+# analyze
+# ---------------------------------------------------------------------------
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    catalog = default_catalog(prefer=args.prefer)
+    if args.benchmark:
+        from repro.benchsuite import get_program
+
+        bp = get_program(args.benchmark)
+        program = bp.parse()
+        runner = bp.make_runner() if args.dynamic else None
+    else:
+        program = SourceProgram.from_source(
+            _load_source(args.file), name=args.file
+        )
+        runner = None
+
+    shown = 0
+    for func in program:
+        if args.function and func.qualname != args.function:
+            continue
+        if not any(s.is_loop for s in func.walk()):
+            continue
+        supplied = runner(func.qualname) if runner else None
+        fn, fargs, fkwargs = supplied if supplied else (None, (), {})
+        model = build_semantic_model(
+            func, fn=fn, args=fargs, kwargs=fkwargs, program=program
+        )
+        matches = catalog.detect(model)
+        print(detection_report(model, matches))
+        if args.overlay and matches:
+            print()
+            print(overlay_listing(func, matches[0], model))
+        print("=" * 70)
+        shown += 1
+    if shown == 0:
+        print("no functions with loops found", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# transform
+# ---------------------------------------------------------------------------
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    source = _load_source(args.file)
+    patty = Patty(prefer=args.prefer)
+    result = patty.parallelize(source)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    for fname, annotated in result.annotated_sources.items():
+        (out / f"{fname}.annotated.py").write_text(annotated)
+    for fname, src in result.parallel_sources.items():
+        (out / f"{fname}.parallel.py").write_text(src)
+    (out / "tuning.json").write_text(json.dumps(result.tuning, indent=2))
+
+    print(f"{len(result.matches)} pattern(s) detected:")
+    for m in result.matches:
+        print(f"  {m.location}: {m.pattern}")
+    for fname, reason in result.skipped:
+        print(f"  skipped {fname}: {reason}", file=sys.stderr)
+    print(f"artifacts written to {out}/")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# tune
+# ---------------------------------------------------------------------------
+
+_ALGORITHMS = {
+    "linear": "LinearSearch",
+    "hillclimb": "HillClimb",
+    "neldermead": "NelderMead",
+    "tabu": "TabuSearch",
+}
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    import repro.tuning as tuning
+    from repro.simcore import Machine
+    from repro.simcore.costmodel import (
+        balanced_workload,
+        imbalanced_workload,
+        video_filter_workload,
+    )
+    from repro.evalq.speedup import pipeline_space
+    from repro.tuning.autotuner import make_pipeline_measure
+
+    workloads = {
+        "video": video_filter_workload(n=args.elements),
+        "balanced": balanced_workload(n=args.elements),
+        "imbalanced": imbalanced_workload(n=args.elements),
+    }
+    wl = workloads[args.workload]
+    machine = Machine(cores=args.cores)
+    space = pipeline_space(wl, max_replication=args.cores * 2)
+    measure = make_pipeline_measure(wl, machine)
+    algorithm = getattr(tuning, _ALGORITHMS[args.algorithm])()
+    tuner = tuning.AutoTuner(space, measure, algorithm, budget=args.budget)
+    result = tuner.tune()
+
+    base = measure(space.default_config())
+    print(f"workload {args.workload}, {args.cores} cores, "
+          f"{space.size()} configurations")
+    print(f"default : {base * 1e3:8.2f} ms")
+    print(f"tuned   : {result.best_runtime * 1e3:8.2f} ms "
+          f"({result.improvement:.2f}x, {result.evaluations} evaluations)")
+    print("best configuration:")
+    for key, value in sorted(result.best_config.items()):
+        print(f"  {key} = {value!r}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# validate
+# ---------------------------------------------------------------------------
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.benchsuite import get_program
+    from repro.transform.testgen import (
+        generate_unit_tests,
+        render_pytest_source,
+    )
+    from repro.verify import run_parallel_test
+
+    bp = get_program(args.benchmark)
+    program = bp.parse()
+    runner = bp.make_runner()
+    catalog = default_catalog(prefer=args.prefer)
+    failures = 0
+    ran = 0
+    all_tests = []
+    for func in program:
+        supplied = runner(func.qualname)
+        if supplied is None:
+            continue
+        fn, fargs, fkwargs = supplied
+        model = build_semantic_model(func, fn=fn, args=fargs, kwargs=fkwargs)
+        for match in catalog.detect(model):
+            if match.loop_sid not in model.loops:
+                continue
+            for test in generate_unit_tests(
+                match, model.loop(match.loop_sid)
+            ):
+                all_tests.append(test)
+                res = run_parallel_test(test)
+                print(res.summary())
+                ran += 1
+                failures += not res.passed
+    if args.emit:
+        path = pathlib.Path(args.emit)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_pytest_source(all_tests))
+        print(f"generated tests written to {path}")
+    if ran == 0:
+        print("no parallel unit tests generated", file=sys.stderr)
+    print(
+        f"{ran} test(s), {failures} failure(s): "
+        + ("PARALLEL ERRORS FOUND" if failures else "VALIDATED")
+    )
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# study / quality / programs
+# ---------------------------------------------------------------------------
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from repro.study import run_study
+
+    results = run_study(seed=args.seed) if args.seed else run_study()
+    print("== Table 1: Comprehensibility ==")
+    print(results.render_table1())
+    print("\n== Table 2: Subjective tool assistance ==")
+    print(results.render_table2())
+    print("\n== Fig 5a: Desired features ==")
+    print(results.render_fig5a())
+    print("\n== Fig 5b: Time measurements ==")
+    print(results.render_fig5b())
+    print("\n== Effectivity ==")
+    print(results.render_effectivity())
+    return 0
+
+
+def cmd_quality(args: argparse.Namespace) -> int:
+    from repro.evalq import evaluate_suite
+
+    suite = evaluate_suite(dynamic=not args.static)
+    print(suite.table())
+    return 0
+
+
+def cmd_programs(args: argparse.Namespace) -> int:
+    from repro.benchsuite import all_programs
+
+    for bp in all_programs():
+        print(
+            f"{bp.name:<14} {bp.domain:<10} {bp.n_lines:>4} lines  "
+            f"{len(bp.positive_truth())}+/{len(bp.negative_truth())}-  "
+            f"{bp.description}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Patty reproduction: pattern-based parallelization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="detect parallel patterns")
+    p.add_argument("file", nargs="?", help="Python source file")
+    p.add_argument("--benchmark", help="bundled benchmark name instead")
+    p.add_argument("--function", help="restrict to one function")
+    p.add_argument("--prefer", default="doall",
+                   choices=["doall", "pipeline"])
+    p.add_argument("--dynamic", action="store_true",
+                   help="run the dynamic analyses (benchmarks only)")
+    p.add_argument("--overlay", action="store_true",
+                   help="print the stage/share source overlay")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("transform", help="generate parallel code + tuning file")
+    p.add_argument("file")
+    p.add_argument("--out", default="patty-out")
+    p.add_argument("--prefer", default="doall",
+                   choices=["doall", "pipeline"])
+    p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser("tune", help="auto-tune on the simulated machine")
+    p.add_argument("--workload", default="video",
+                   choices=["video", "balanced", "imbalanced"])
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--elements", type=int, default=200)
+    p.add_argument("--budget", type=int, default=100)
+    p.add_argument("--algorithm", default="linear",
+                   choices=sorted(_ALGORITHMS))
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("validate",
+                       help="run generated parallel unit tests")
+    p.add_argument("--benchmark", required=True)
+    p.add_argument("--prefer", default="doall",
+                   choices=["doall", "pipeline"])
+    p.add_argument("--emit", help="also write the tests as a pytest file")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("study", help="run the simulated user study")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=cmd_study)
+
+    p = sub.add_parser("quality", help="detection-quality evaluation")
+    p.add_argument("--static", action="store_true",
+                   help="pessimistic static analysis only (ablation)")
+    p.set_defaults(func=cmd_quality)
+
+    p = sub.add_parser("programs", help="list bundled benchmark programs")
+    p.set_defaults(func=cmd_programs)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "analyze" and not (args.file or args.benchmark):
+        parser.error("analyze needs a FILE or --benchmark")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

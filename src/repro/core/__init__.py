@@ -1,0 +1,34 @@
+"""Patty's orchestration layer: the process model and the tool facade."""
+
+from repro.core.errors import (
+    PattyError,
+    AnalysisError,
+    AnnotationError,
+    TransformationError,
+    ValidationError,
+)
+from repro.core.modes import OperationMode
+from repro.core.process import Phase, PhaseState, PhaseArtifacts, ProcessModel
+from repro.core.patty import (
+    Patty,
+    ParallelizationResult,
+    ValidationReport,
+    match_from_annotation,
+)
+
+__all__ = [
+    "PattyError",
+    "AnalysisError",
+    "AnnotationError",
+    "TransformationError",
+    "ValidationError",
+    "OperationMode",
+    "Phase",
+    "PhaseState",
+    "PhaseArtifacts",
+    "ProcessModel",
+    "Patty",
+    "ParallelizationResult",
+    "ValidationReport",
+    "match_from_annotation",
+]

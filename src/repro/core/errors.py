@@ -1,0 +1,23 @@
+"""Error hierarchy for the Patty tool layer."""
+
+from __future__ import annotations
+
+
+class PattyError(Exception):
+    """Base class for tool-level failures."""
+
+
+class AnalysisError(PattyError):
+    """The semantic model could not be built."""
+
+
+class AnnotationError(PattyError):
+    """A TADL annotation could not be resolved against the source."""
+
+
+class TransformationError(PattyError):
+    """Code generation failed for a detected pattern."""
+
+
+class ValidationError(PattyError):
+    """Correctness validation found parallel errors."""

@@ -1,0 +1,53 @@
+"""Patty's operation modes (requirement R3: flexible parallelization).
+
+Section 3 of the paper defines four modes addressing different skill
+levels (the conclusion counts five by splitting the programming modes
+into their higher-level/TADL and lower-level/library variants); each maps
+onto a concrete entry point of this library:
+
+1. **AUTOMATIC** — no user action: :meth:`repro.core.patty.Patty.parallelize`
+   runs detection, annotation, transformation, test and tuning-file
+   generation end to end.
+2. **ARCHITECTURE_BASED** — the engineer writes TADL annotations (like
+   OpenMP pragmas) and Patty transforms them:
+   :meth:`repro.core.patty.Patty.transform_annotated`.
+3. **LIBRARY_BASED** — explicit parallel programming against the runtime
+   data types (:mod:`repro.runtime`); no automatic assistance, lowest
+   abstraction.
+4. **VALIDATION** — no source insight needed: run the generated parallel
+   unit tests under the race explorer and re-tune the configuration for
+   the current machine: :meth:`repro.core.patty.Patty.validate` /
+   :meth:`repro.core.patty.Patty.tune`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OperationMode(enum.Enum):
+    AUTOMATIC = "automatic"
+    ARCHITECTURE_BASED = "architecture-based"
+    LIBRARY_BASED = "library-based"
+    VALIDATION = "validation"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    OperationMode.AUTOMATIC: (
+        "fully automatic detection, annotation and transformation"
+    ),
+    OperationMode.ARCHITECTURE_BASED: (
+        "engineer-written TADL annotations, automatic transformation"
+    ),
+    OperationMode.LIBRARY_BASED: (
+        "explicit parallel programming with the runtime library types"
+    ),
+    OperationMode.VALIDATION: (
+        "performance and correctness validation of an existing "
+        "parallelization, without source insight"
+    ),
+}

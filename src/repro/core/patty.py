@@ -1,0 +1,400 @@
+"""The Patty facade: pattern-based parallelization as one object.
+
+This module stands in for the Visual Studio plugin: headless, but with the
+same surface — run the process end to end (automatic mode), transform
+hand-written TADL annotations (architecture-based mode), and validate or
+re-tune existing parallelizations (validation mode).  Library-based mode
+is simply :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import AnnotationError
+from repro.core.modes import OperationMode
+from repro.core.process import Phase, ProcessModel
+from repro.frontend.ir import IRFunction
+from repro.frontend.source import SourceProgram
+from repro.model.semantic import SemanticModel, build_semantic_model
+from repro.patterns.base import PatternMatch, StagePartition
+from repro.patterns.catalog import PatternCatalog, default_catalog
+from repro.patterns.pipeline import StageDag
+from repro.tadl.annotate import (
+    TadlAnnotation,
+    extract_annotations,
+    strip_annotations,
+)
+from repro.tadl.ast import DataParallel, Parallel, Pipeline as TadlPipeline, StageRef
+from repro.transform.codegen import (
+    CodegenError,
+    compile_parallel,
+    generate_annotated_source,
+    generate_parallel_source,
+)
+from repro.transform.testgen import generate_unit_tests
+from repro.transform.tuningfile import tuning_file_dict
+from repro.verify.parunit import UnitTestResult, run_parallel_test
+
+
+@dataclass
+class ParallelizationResult:
+    """Everything automatic mode produces for one program."""
+
+    program: SourceProgram
+    process: ProcessModel
+    matches: list[PatternMatch] = field(default_factory=list)
+    annotated_sources: dict[str, str] = field(default_factory=dict)
+    parallel_sources: dict[str, str] = field(default_factory=dict)
+    parallel_functions: dict[str, Callable] = field(default_factory=dict)
+    tuning: dict[str, Any] = field(default_factory=dict)
+    unit_tests: list[Any] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    def match_at(self, function: str) -> PatternMatch:
+        for m in self.matches:
+            if m.function == function:
+                return m
+        raise KeyError(function)
+
+
+@dataclass
+class ValidationReport:
+    """Validation-mode outcome: one result per generated unit test."""
+
+    results: list[UnitTestResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def summary(self) -> str:
+        lines = [r.summary() for r in self.results]
+        verdict = "VALIDATED" if self.passed else "PARALLEL ERRORS FOUND"
+        return "\n".join(lines + [verdict])
+
+
+class Patty:
+    """The tool: a pattern catalog plus the process-model driver."""
+
+    def __init__(
+        self,
+        catalog: PatternCatalog | None = None,
+        prefer: str = "doall",
+    ) -> None:
+        self.catalog = catalog or default_catalog(prefer=prefer)
+        self.mode: OperationMode = OperationMode.AUTOMATIC
+
+    # ------------------------------------------------------------------
+    # mode 1: automatic parallelization
+    # ------------------------------------------------------------------
+    def parallelize(
+        self,
+        source: str | SourceProgram,
+        runner: Callable[[str], tuple | None] | None = None,
+        envs: dict[str, dict] | None = None,
+        costs: dict[str, dict[str, dict[str, float]]] | None = None,
+        compile_env: dict[str, Any] | None = None,
+        generate_code: bool = True,
+        generate_tests: bool = True,
+    ) -> ParallelizationResult:
+        """Run all four phases over a program.
+
+        ``runner(qualname)`` optionally returns ``(fn, args, kwargs)`` to
+        enable the dynamic analyses for a function; ``envs`` supplies exec
+        environments for source-only functions; ``costs`` supplies modelled
+        statement costs (simulator-backed runs).  ``compile_env`` is the
+        namespace generated functions are compiled against.
+        """
+        self.mode = OperationMode.AUTOMATIC
+        program = (
+            source
+            if isinstance(source, SourceProgram)
+            else SourceProgram.from_source(source)
+        )
+        process = ProcessModel()
+        result = ParallelizationResult(program=program, process=process)
+
+        # ---- phase 1: model creation --------------------------------
+        process.begin(Phase.MODEL_CREATION)
+        models: dict[str, SemanticModel] = {}
+        for func in program:
+            fn = args = None
+            kwargs: dict = {}
+            if runner is not None:
+                supplied = runner(func.qualname)
+                if supplied is not None:
+                    fn, args, kwargs = supplied
+            models[func.qualname] = build_semantic_model(
+                func,
+                fn=fn,
+                args=args or (),
+                kwargs=kwargs or {},
+                env=(envs or {}).get(func.qualname),
+                program=program,
+                costs=(costs or {}).get(func.qualname),
+            )
+        process.artifacts.semantic_models = models
+        process.complete(Phase.MODEL_CREATION)
+
+        # ---- phase 2: pattern analysis ------------------------------
+        process.begin(Phase.PATTERN_ANALYSIS)
+        for model in models.values():
+            result.matches.extend(self.catalog.detect(model))
+        process.artifacts.matches = result.matches
+        process.complete(Phase.PATTERN_ANALYSIS)
+
+        # ---- phase 3: tunable architecture (TADL annotation) --------
+        process.begin(Phase.TUNABLE_ARCHITECTURE)
+        for m in result.matches:
+            func = program.function(m.function)
+            try:
+                result.annotated_sources[m.function] = (
+                    generate_annotated_source(func, m)
+                )
+            except Exception as exc:  # annotation is best-effort cosmetics
+                result.skipped.append((m.function, f"annotation: {exc}"))
+            process.artifacts.architecture_descriptions.append(str(m.tadl))
+        process.artifacts.annotated_sources = result.annotated_sources
+        process.complete(Phase.TUNABLE_ARCHITECTURE)
+
+        # ---- phase 4: code transform --------------------------------
+        process.begin(Phase.CODE_TRANSFORM)
+        if generate_code:
+            for m in result.matches:
+                func = program.function(m.function)
+                try:
+                    src = generate_parallel_source(func, m)
+                    result.parallel_sources[m.function] = src
+                    if compile_env is not None:
+                        result.parallel_functions[m.function] = (
+                            compile_parallel(func, m, compile_env)
+                        )
+                except CodegenError as exc:
+                    result.skipped.append((m.function, str(exc)))
+        result.tuning = tuning_file_dict(result.matches, program.name)
+        if generate_tests:
+            for m in result.matches:
+                model = models[m.function]
+                if m.loop_sid in model.loops:
+                    result.unit_tests.extend(
+                        generate_unit_tests(m, model.loop(m.loop_sid))
+                    )
+        process.artifacts.parallel_sources = result.parallel_sources
+        process.artifacts.tuning_file = result.tuning
+        process.artifacts.unit_tests = result.unit_tests
+        process.complete(Phase.CODE_TRANSFORM)
+        return result
+
+    # ------------------------------------------------------------------
+    # mode 2: architecture-based parallel programming
+    # ------------------------------------------------------------------
+    def transform_annotated(
+        self,
+        annotated_source: str,
+        compile_env: dict[str, Any] | None = None,
+    ) -> ParallelizationResult:
+        """Process engineer-written TADL annotations (OpenMP-style).
+
+        Each annotation block must immediately precede a for-loop.  Stage
+        maps are optional: without one, stages default to one top-level
+        body statement each, named in order.
+        """
+        self.mode = OperationMode.ARCHITECTURE_BASED
+        annotations = extract_annotations(annotated_source)
+        if not annotations:
+            raise AnnotationError("source contains no TADL annotations")
+        stripped = strip_annotations(annotated_source)
+        program = SourceProgram.from_source(stripped)
+        process = ProcessModel()
+        result = ParallelizationResult(program=program, process=process)
+        process.begin(Phase.MODEL_CREATION)
+        models = {
+            f.qualname: build_semantic_model(f, program=program)
+            for f in program
+        }
+        process.complete(Phase.MODEL_CREATION)
+        process.begin(Phase.PATTERN_ANALYSIS)
+
+        # map annotated lines from the annotated to the stripped source
+        ann_lines = _annotation_line_offsets(annotated_source)
+        for ann in annotations:
+            stripped_line = ann.line - ann_lines[ann.line]
+            func, loop_sid = _loop_at_line(program, stripped_line)
+            model = models[func.qualname]
+            match = match_from_annotation(func, loop_sid, ann, model)
+            result.matches.append(match)
+        process.complete(Phase.PATTERN_ANALYSIS)
+        process.begin(Phase.TUNABLE_ARCHITECTURE)
+        process.complete(Phase.TUNABLE_ARCHITECTURE)
+        process.begin(Phase.CODE_TRANSFORM)
+        for m in result.matches:
+            func = program.function(m.function)
+            src = generate_parallel_source(func, m)
+            result.parallel_sources[m.function] = src
+            if compile_env is not None:
+                result.parallel_functions[m.function] = compile_parallel(
+                    func, m, compile_env
+                )
+        result.tuning = tuning_file_dict(result.matches, program.name)
+        for m in result.matches:
+            model = models[m.function]
+            if m.loop_sid in model.loops:
+                result.unit_tests.extend(
+                    generate_unit_tests(m, model.loop(m.loop_sid))
+                )
+        process.complete(Phase.CODE_TRANSFORM)
+        return result
+
+    # ------------------------------------------------------------------
+    # mode 4: program validation
+    # ------------------------------------------------------------------
+    def validate(self, result: ParallelizationResult) -> ValidationReport:
+        """Run every generated parallel unit test under the explorer."""
+        self.mode = OperationMode.VALIDATION
+        report = ValidationReport()
+        for test in result.unit_tests:
+            report.results.append(run_parallel_test(test))
+        return report
+
+    def tune(
+        self,
+        match: PatternMatch,
+        measure: Callable[[dict], float],
+        algorithm: Any = None,
+        budget: int = 100,
+    ):
+        """Auto-tune one pattern's parameters against a measurement
+        backend (real runtime or simulator)."""
+        from repro.tuning import AutoTuner, LinearSearch, ParameterSpace
+
+        self.mode = OperationMode.VALIDATION
+        space = ParameterSpace(list(match.tuning))
+        tuner = AutoTuner(
+            space, measure, algorithm or LinearSearch(), budget=budget
+        )
+        return tuner.tune()
+
+
+# ---------------------------------------------------------------------------
+# architecture-based-mode helpers
+# ---------------------------------------------------------------------------
+
+def _annotation_line_offsets(annotated_source: str) -> dict[int, int]:
+    """For each 1-based line, how many annotation lines precede it."""
+    from repro.tadl.annotate import _PATTERN_RE, _STAGES_RE, _TADL_RE
+
+    offsets: dict[int, int] = {}
+    count = 0
+    for i, line in enumerate(annotated_source.splitlines(), start=1):
+        offsets[i] = count
+        if _TADL_RE.match(line) or _STAGES_RE.match(line) or _PATTERN_RE.match(
+            line
+        ):
+            count += 1
+    offsets[len(offsets) + 1] = count
+    return offsets
+
+
+def _loop_at_line(
+    program: SourceProgram, line: int
+) -> tuple[IRFunction, str]:
+    for func in program:
+        for st in func.walk():
+            if st.is_loop and st.line == line:
+                return func, st.sid
+    raise AnnotationError(f"no loop found at line {line}")
+
+
+def dag_from_tadl(expr, names: list[str]) -> StageDag:
+    """Rebuild the stage DAG from a TADL expression's level structure."""
+    if isinstance(expr, TadlPipeline):
+        levels = list(expr.stages)
+    else:
+        levels = [expr]
+    index = {n: i for i, n in enumerate(names)}
+    dag = StageDag(n=len(names))
+    level_indices: list[list[int]] = []
+    for node in levels:
+        if isinstance(node, Parallel):
+            level_indices.append(
+                [index[s.name] for s in node.children if isinstance(s, StageRef)]
+            )
+        elif isinstance(node, StageRef):
+            level_indices.append([index[node.name]])
+        else:
+            raise AnnotationError(f"unsupported TADL element: {node}")
+    for a, b in zip(level_indices, level_indices[1:]):
+        for i in a:
+            for j in b:
+                dag.edges.add((i, j))
+    return dag
+
+
+def match_from_annotation(
+    func: IRFunction,
+    loop_sid: str,
+    ann: TadlAnnotation,
+    model: SemanticModel,
+) -> PatternMatch:
+    """Build a transformable match from an engineer-written annotation."""
+    from repro.frontend.source import SourceLocation
+
+    loop_model = model.loop(loop_sid)
+    body = loop_model.loop.body
+    loc = SourceLocation(
+        function=func.qualname, sid=loop_sid, line=loop_model.loop.line
+    )
+
+    if ann.pattern == "doall" or isinstance(ann.expression, DataParallel):
+        return PatternMatch(
+            pattern="doall",
+            function=func.qualname,
+            location=loc,
+            tadl=ann.expression,
+            stages=ann.stages or {"BODY": [s.sid for s in body]},
+            tuning=[],
+            confidence=1.0,
+            notes=["engineer-written annotation"],
+            extras={
+                "reductions": loop_model.reductions,
+                "collectors": loop_model.collectors,
+            },
+        )
+
+    refs = [n for n in ann.expression.walk() if isinstance(n, StageRef)]
+    names = [r.name for r in refs]
+    if ann.stages:
+        stages = [list(ann.stages[n]) for n in names]
+    else:
+        if len(names) != len(body):
+            raise AnnotationError(
+                f"annotation names {len(names)} stages but the loop body "
+                f"has {len(body)} statements; add a TADL-stages map"
+            )
+        stages = [[s.sid] for s in body]
+    partition = StagePartition(
+        stages=stages,
+        names=names,
+        replicable=[r.replicable for r in refs],
+    )
+    dag = dag_from_tadl(ann.expression, names)
+    carried = sorted(
+        {
+            e.symbol.name
+            for e in loop_model.static_deps.carried()
+            if "." not in e.symbol.name and "[" not in e.symbol.name
+        }
+    )
+    return PatternMatch(
+        pattern="pipeline",
+        function=func.qualname,
+        location=loc,
+        tadl=ann.expression,
+        stages=partition.stage_map(),
+        tuning=[],
+        confidence=1.0,
+        notes=["engineer-written annotation"],
+        extras={"partition": partition, "dag": dag, "carried_names": carried},
+    )

@@ -1,0 +1,106 @@
+"""The four-phase process model (the paper's Fig. 1).
+
+Phases: Model Creation -> Pattern Analysis -> Tunable Architecture ->
+Code Transform.  The :class:`ProcessModel` tracks phase state the way the
+IDE's process chart does (requirement R1: "the process chart always
+highlights the current state of processing, its input and output data")
+and accumulates each phase's artifacts (requirement R2: phase artifacts
+are available to the engineer after every step).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Phase(enum.Enum):
+    MODEL_CREATION = "Model Creation"
+    PATTERN_ANALYSIS = "Pattern Analysis"
+    TUNABLE_ARCHITECTURE = "Tunable Architecture"
+    CODE_TRANSFORM = "Code Transform"
+
+    @property
+    def index(self) -> int:
+        return list(Phase).index(self)
+
+
+class PhaseState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class PhaseArtifacts:
+    """Everything the four phases produce, keyed for IDE-style display."""
+
+    # phase 1
+    semantic_models: dict[str, Any] = field(default_factory=dict)
+    # phase 2
+    matches: list[Any] = field(default_factory=list)
+    # phase 3
+    annotated_sources: dict[str, str] = field(default_factory=dict)
+    architecture_descriptions: list[str] = field(default_factory=list)
+    # phase 4
+    parallel_sources: dict[str, str] = field(default_factory=dict)
+    parallel_functions: dict[str, Callable] = field(default_factory=dict)
+    tuning_file: dict[str, Any] = field(default_factory=dict)
+    unit_tests: list[Any] = field(default_factory=list)
+
+
+@dataclass
+class ProcessModel:
+    """Phase bookkeeping plus an event log of state transitions."""
+
+    states: dict[Phase, PhaseState] = field(
+        default_factory=lambda: {p: PhaseState.PENDING for p in Phase}
+    )
+    artifacts: PhaseArtifacts = field(default_factory=PhaseArtifacts)
+    log: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def current_phase(self) -> Phase | None:
+        for p in Phase:
+            if self.states[p] is PhaseState.RUNNING:
+                return p
+        return None
+
+    def begin(self, phase: Phase) -> None:
+        prev = [p for p in Phase if p.index < phase.index]
+        for p in prev:
+            if self.states[p] is not PhaseState.COMPLETED:
+                raise RuntimeError(
+                    f"cannot begin {phase.value!r}: {p.value!r} is "
+                    f"{self.states[p].value}"
+                )
+        self.states[phase] = PhaseState.RUNNING
+        self.log.append((phase.value, "running"))
+
+    def complete(self, phase: Phase) -> None:
+        if self.states[phase] is not PhaseState.RUNNING:
+            raise RuntimeError(f"{phase.value!r} is not running")
+        self.states[phase] = PhaseState.COMPLETED
+        self.log.append((phase.value, "completed"))
+
+    def fail(self, phase: Phase, reason: str = "") -> None:
+        self.states[phase] = PhaseState.FAILED
+        self.log.append((phase.value, f"failed: {reason}"))
+
+    @property
+    def finished(self) -> bool:
+        return all(s is PhaseState.COMPLETED for s in self.states.values())
+
+    def chart(self) -> str:
+        """A text rendering of the process chart (Fig. 4a)."""
+        marks = {
+            PhaseState.PENDING: " ",
+            PhaseState.RUNNING: ">",
+            PhaseState.COMPLETED: "x",
+            PhaseState.FAILED: "!",
+        }
+        return " -> ".join(
+            f"[{marks[self.states[p]]}] {p.value}" for p in Phase
+        )

@@ -1,0 +1,35 @@
+"""Quantitative evaluation of the tool itself.
+
+Implements the three metrics the paper's future-work section defines:
+
+* **detection quality** — precision/recall/F-score of the pattern
+  detector against the benchsuite ground truth ("a balanced F-score of
+  approximately 70%");
+* **analysis overhead** — runtime and memory inflation of the dynamic
+  analyses;
+* **transformation quality** — performance of generated code versus
+  hand-tuned parallel and sequential versions ("parallel performance
+  close to manual parallelization ... within minutes and not days").
+"""
+
+from repro.evalq.detection import (
+    DetectionOutcome,
+    SuiteOutcome,
+    evaluate_program,
+    evaluate_suite,
+    suppress_nested,
+)
+from repro.evalq.overhead import OverheadRow, measure_overhead
+from repro.evalq.speedup import SpeedupRow, transformation_quality
+
+__all__ = [
+    "DetectionOutcome",
+    "SuiteOutcome",
+    "evaluate_program",
+    "evaluate_suite",
+    "suppress_nested",
+    "OverheadRow",
+    "measure_overhead",
+    "SpeedupRow",
+    "transformation_quality",
+]

@@ -1,0 +1,198 @@
+"""Detection quality: precision / recall / F-score against ground truth.
+
+Scoring rules:
+
+* the tool's report is taken at *outermost-match* granularity — a match
+  nested inside another reported match is the same suggestion, not a
+  second one (``suppress_nested``);
+* a detection is a **true positive** when the expert labelled that loop
+  with a compatible pattern (``Label.PARALLEL`` accepts any pattern);
+* a detection on a ``NEGATIVE`` or unlabelled loop is a **false
+  positive**;
+* an undetected positive label whose loop is not covered by an enclosing
+  detection is a **false negative**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchsuite.ground_truth import (
+    BenchmarkProgram,
+    GroundTruthEntry,
+    Label,
+    label_matches,
+)
+from repro.patterns.base import PatternMatch
+from repro.patterns.catalog import PatternCatalog, default_catalog
+
+
+def suppress_nested(matches: list[PatternMatch]) -> list[PatternMatch]:
+    """Keep only matches not nested inside another reported match."""
+    tops: set[tuple[str, str]] = set()
+    final: list[PatternMatch] = []
+    for m in sorted(matches, key=lambda m: (m.function, m.loop_sid)):
+        if any(
+            m.function == f and m.loop_sid.startswith(s + ".")
+            for f, s in tops
+        ):
+            continue
+        tops.add((m.function, m.loop_sid))
+        final.append(m)
+    return final
+
+
+@dataclass
+class DetectionOutcome:
+    """Per-program confusion counts plus the classified details."""
+
+    program: str
+    true_positives: list[tuple[PatternMatch, GroundTruthEntry]] = field(
+        default_factory=list
+    )
+    false_positives: list[PatternMatch] = field(default_factory=list)
+    false_negatives: list[GroundTruthEntry] = field(default_factory=list)
+
+    @property
+    def tp(self) -> int:
+        return len(self.true_positives)
+
+    @property
+    def fp(self) -> int:
+        return len(self.false_positives)
+
+    @property
+    def fn(self) -> int:
+        return len(self.false_negatives)
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def evaluate_program(
+    bp: BenchmarkProgram,
+    catalog: PatternCatalog | None = None,
+    dynamic: bool = True,
+    interprocedural: bool = True,
+) -> DetectionOutcome:
+    """Run the detector over one benchmark and score against ground truth.
+
+    ``dynamic=False`` runs the purely static (pessimistic) analysis — the
+    ablation of the paper's optimistic choice.  ``interprocedural=False``
+    additionally drops the call-effect summaries.
+    """
+    catalog = catalog or default_catalog()
+    prog = bp.parse()
+    runner = bp.make_runner() if dynamic else None
+    matches = suppress_nested(
+        catalog.detect_in_program(
+            prog, runner=runner, interprocedural=interprocedural
+        )
+    )
+
+    out = DetectionOutcome(program=bp.name)
+    gt = {g.key: g for g in bp.ground_truth}
+    detected: set[tuple[str, str]] = set()
+    tops = {(m.function, m.loop_sid) for m in matches}
+
+    for m in matches:
+        g = gt.get((m.function, m.loop_sid))
+        detected.add((m.function, m.loop_sid))
+        if g is not None and label_matches(g.label, m.pattern):
+            out.true_positives.append((m, g))
+        else:
+            out.false_positives.append(m)
+
+    for key, g in gt.items():
+        if g.label is Label.NEGATIVE or key in detected:
+            continue
+        # covered by an enclosing reported match -> not a miss
+        if any(
+            key[0] == f and key[1].startswith(s + ".") for f, s in tops
+        ):
+            continue
+        out.false_negatives.append(g)
+    return out
+
+
+@dataclass
+class SuiteOutcome:
+    """Aggregate over the whole suite (micro-averaged)."""
+
+    outcomes: list[DetectionOutcome] = field(default_factory=list)
+
+    @property
+    def tp(self) -> int:
+        return sum(o.tp for o in self.outcomes)
+
+    @property
+    def fp(self) -> int:
+        return sum(o.fp for o in self.outcomes)
+
+    @property
+    def fn(self) -> int:
+        return sum(o.fn for o in self.outcomes)
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def table(self) -> str:
+        lines = [
+            f"{'program':<14} {'TP':>3} {'FP':>3} {'FN':>3} "
+            f"{'prec':>6} {'rec':>6} {'F1':>6}"
+        ]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.program:<14} {o.tp:>3} {o.fp:>3} {o.fn:>3} "
+                f"{o.precision:>6.2f} {o.recall:>6.2f} {o.f1:>6.2f}"
+            )
+        lines.append(
+            f"{'TOTAL':<14} {self.tp:>3} {self.fp:>3} {self.fn:>3} "
+            f"{self.precision:>6.2f} {self.recall:>6.2f} {self.f1:>6.2f}"
+        )
+        return "\n".join(lines)
+
+
+def evaluate_suite(
+    programs: list[BenchmarkProgram] | None = None,
+    catalog: PatternCatalog | None = None,
+    dynamic: bool = True,
+    interprocedural: bool = True,
+) -> SuiteOutcome:
+    from repro.benchsuite import all_programs
+
+    return SuiteOutcome(
+        outcomes=[
+            evaluate_program(
+                bp,
+                catalog=catalog,
+                dynamic=dynamic,
+                interprocedural=interprocedural,
+            )
+            for bp in (programs or all_programs())
+        ]
+    )

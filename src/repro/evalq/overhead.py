@@ -1,0 +1,94 @@
+"""Dynamic-analysis overhead: runtime and memory inflation.
+
+"We want to quantify the runtime overhead by the dynamic analysis, so we
+will measure the runtime and memory increase" (paper, section 5).  Three
+figures per analysed function: the line-profiler inflation, the
+dependence-tracer inflation, and peak-memory inflation.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+from repro.benchsuite.ground_truth import BenchmarkProgram
+from repro.model.dyndep import trace_loop
+from repro.model.profile import profile_function
+
+
+@dataclass
+class OverheadRow:
+    program: str
+    function: str
+    plain_seconds: float
+    profiled_seconds: float
+    traced_seconds: float
+    plain_peak_bytes: int
+    traced_peak_bytes: int
+
+    @property
+    def profile_factor(self) -> float:
+        return self.profiled_seconds / max(self.plain_seconds, 1e-12)
+
+    @property
+    def trace_factor(self) -> float:
+        return self.traced_seconds / max(self.plain_seconds, 1e-12)
+
+    @property
+    def memory_factor(self) -> float:
+        return self.traced_peak_bytes / max(self.plain_peak_bytes, 1)
+
+
+def measure_overhead(
+    bp: BenchmarkProgram, repeat: int = 3
+) -> list[OverheadRow]:
+    """Measure analysis overheads for every function with inputs."""
+    prog = bp.parse()
+    ns = bp.namespace()
+    rows: list[OverheadRow] = []
+    for qualname, (args, kwargs) in bp.inputs.items():
+        fn = bp.resolve(qualname, ns)
+        func_ir = prog.function(qualname)
+        loops = [s.sid for s in func_ir.walk() if s.is_loop]
+        if not loops:
+            continue
+        loop_sid = loops[0]
+
+        # plain
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        for _ in range(repeat):
+            fn(*args, **kwargs)
+        plain = (time.perf_counter() - t0) / repeat
+        _, plain_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        # line profiler
+        t0 = time.perf_counter()
+        for _ in range(repeat):
+            profile_function(fn, args, kwargs, measure_plain=False)
+        profiled = (time.perf_counter() - t0) / repeat
+
+        # dependence tracer
+        env = dict(ns)
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        for _ in range(repeat):
+            trace_loop(func_ir, loop_sid, args, kwargs, env)
+        traced = (time.perf_counter() - t0) / repeat
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        rows.append(
+            OverheadRow(
+                program=bp.name,
+                function=qualname,
+                plain_seconds=plain,
+                profiled_seconds=profiled,
+                traced_seconds=traced,
+                plain_peak_bytes=plain_peak,
+                traced_peak_bytes=traced_peak,
+            )
+        )
+    return rows

@@ -1,0 +1,136 @@
+"""Transformation quality: generated-code performance versus manual.
+
+Paper, section 5: "early performance results indicate a parallel
+performance close to manual parallelization that is achieved within
+minutes and not days of work."  Reproduced on the simulated machine:
+
+* **sequential** — the original loop;
+* **patty-default** — the detected pattern with default tuning values;
+* **patty-tuned** — after an auto-tuning cycle (the 'minutes' budget);
+* **manual** — an exhaustive-search optimum standing in for the skilled
+  engineer's hand-tuned configuration (the 'days' budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.simcore.costmodel import WorkloadCosts
+from repro.simcore.machine import Machine
+from repro.simcore.simulate import simulate_pipeline
+from repro.tuning import AutoTuner, LinearSearch, ParameterSpace
+from repro.patterns.tuning import (
+    BoolParameter,
+    ChoiceParameter,
+    IntParameter,
+    TuningParameter,
+)
+
+
+@dataclass
+class SpeedupRow:
+    workload: str
+    cores: int
+    sequential: float
+    patty_default: float
+    patty_tuned: float
+    manual: float
+    tuning_evaluations: int
+
+    @property
+    def default_speedup(self) -> float:
+        return self.sequential / self.patty_default
+
+    @property
+    def tuned_speedup(self) -> float:
+        return self.sequential / self.patty_tuned
+
+    @property
+    def manual_speedup(self) -> float:
+        return self.sequential / self.manual
+
+    @property
+    def tuned_vs_manual(self) -> float:
+        """How close tuned gets to the manual optimum (1.0 = equal)."""
+        return self.manual / self.patty_tuned
+
+
+def pipeline_space(
+    workload: WorkloadCosts, max_replication: int = 8
+) -> ParameterSpace:
+    """The tuning space Patty derives for a pipeline over this workload."""
+    params: list[TuningParameter] = []
+    for s in workload.stages:
+        if s.replicable:
+            params.append(
+                IntParameter(
+                    name="StageReplication",
+                    target=s.name,
+                    default=1,
+                    lo=1,
+                    hi=max_replication,
+                )
+            )
+    for a, b in zip(workload.stages, workload.stages[1:]):
+        params.append(
+            BoolParameter(
+                name="StageFusion", target=f"{a.name}/{b.name}", default=False
+            )
+        )
+    params.append(
+        BoolParameter(
+            name="SequentialExecution", target="pipeline", default=False
+        )
+    )
+    params.append(
+        ChoiceParameter(
+            name="BufferCapacity",
+            target="pipeline",
+            default=8,
+            choices=(2, 8, 32),
+        )
+    )
+    return ParameterSpace(params)
+
+
+def _manual_optimum(
+    space: ParameterSpace,
+    measure: Callable[[dict[str, Any]], float],
+    cap: int = 4096,
+) -> float:
+    """Exhaustive search = the expert with unlimited time."""
+    from repro.tuning import ExhaustiveSearch
+
+    result = ExhaustiveSearch(cap=cap).tune(space, measure, cap)
+    return result.best_runtime
+
+
+def transformation_quality(
+    workload: WorkloadCosts,
+    machine: Machine,
+    name: str = "workload",
+    budget: int = 80,
+    max_replication: int | None = None,
+) -> SpeedupRow:
+    """One row of the transformation-quality table."""
+    max_replication = max_replication or machine.cores
+    space = pipeline_space(workload, max_replication=max_replication)
+
+    def measure(config: dict[str, Any]) -> float:
+        return simulate_pipeline(workload, machine, config).makespan
+
+    sequential = workload.sequential_time()
+    default = measure(space.default_config())
+    tuner = AutoTuner(space, measure, LinearSearch(), budget=budget)
+    result = tuner.tune()
+    manual = _manual_optimum(space, measure)
+    return SpeedupRow(
+        workload=name,
+        cores=machine.cores,
+        sequential=sequential,
+        patty_default=default,
+        patty_tuned=result.best_runtime,
+        manual=manual,
+        tuning_evaluations=result.evaluations,
+    )

@@ -1,0 +1,32 @@
+"""Source-code frontend: Python ``ast`` to Patty's intermediate representation.
+
+The original Patty operates on C# inside Visual Studio.  This reproduction
+analyses Python source instead (see DESIGN.md, substitution table).  The
+frontend parses a function into a small statement-level IR that the semantic
+model (:mod:`repro.model`) and pattern detectors (:mod:`repro.patterns`)
+consume.
+"""
+
+from repro.frontend.ir import (
+    IRFunction,
+    IRStatement,
+    IRLoop,
+    StatementKind,
+)
+from repro.frontend.parser import parse_function, parse_module
+from repro.frontend.rwsets import Symbol, AccessSets, extract_accesses
+from repro.frontend.source import SourceLocation, SourceProgram
+
+__all__ = [
+    "IRFunction",
+    "IRStatement",
+    "IRLoop",
+    "StatementKind",
+    "parse_function",
+    "parse_module",
+    "Symbol",
+    "AccessSets",
+    "extract_accesses",
+    "SourceLocation",
+    "SourceProgram",
+]

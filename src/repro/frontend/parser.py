@@ -1,0 +1,181 @@
+"""Parse Python source / function objects into the IR."""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable
+
+from repro.frontend.ir import IRFunction, IRLoop, IRStatement, kind_of
+from repro.frontend.rwsets import Policy, Symbol, extract_accesses
+
+
+def _segment(source_lines: list[str], node: ast.stmt) -> str:
+    """Source text of a statement (best effort)."""
+    try:
+        start = node.lineno - 1
+        end = getattr(node, "end_lineno", node.lineno)
+        return "\n".join(source_lines[start:end])
+    except Exception:  # pragma: no cover - defensive
+        return ""
+
+
+def _build_statements(
+    stmts: list[ast.stmt],
+    prefix: str,
+    source_lines: list[str],
+    policy: Policy,
+) -> list[IRStatement]:
+    out: list[IRStatement] = []
+    for i, node in enumerate(stmts):
+        sid = f"{prefix}{i}"
+        acc = extract_accesses(node, policy)
+        ir = IRStatement(
+            sid=sid,
+            kind=kind_of(node),
+            node=node,
+            line=node.lineno,
+            end_line=getattr(node, "end_lineno", node.lineno),
+            accesses=acc,
+            source=_segment(source_lines, node),
+        )
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            ir.body = _build_statements(body, f"{sid}.b", source_lines, policy)
+        orelse = getattr(node, "orelse", None)
+        if isinstance(orelse, list) and orelse:
+            ir.orelse = _build_statements(orelse, f"{sid}.e", source_lines, policy)
+        out.append(ir)
+    return out
+
+
+def _function_def(tree: ast.Module, name: str | None) -> ast.FunctionDef:
+    defs = [n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+    if not defs:
+        raise ValueError("source contains no function definition")
+    if name is None:
+        return defs[0]
+    for d in defs:
+        if d.name == name:
+            return d
+    raise ValueError(f"no function named {name!r} in source")
+
+
+def parse_function(
+    fn: Callable | str,
+    name: str | None = None,
+    policy: Policy = "optimistic",
+) -> IRFunction:
+    """Parse a Python function (object or source text) into an IRFunction.
+
+    Parameters
+    ----------
+    fn:
+        A plain function object (its source is recovered via ``inspect``) or
+        a string of Python source containing at least one ``def``.
+    name:
+        When the source holds several functions, which one to pick.
+    policy:
+        Read/write-set policy for calls, see :mod:`repro.frontend.rwsets`.
+    """
+    filename = "<string>"
+    first_line = 1
+    if callable(fn):
+        source = textwrap.dedent(inspect.getsource(fn))
+        filename = getattr(inspect.getmodule(fn), "__file__", None) or "<string>"
+        try:
+            _, first_line = inspect.getsourcelines(fn)
+        except (OSError, TypeError):  # pragma: no cover - defensive
+            first_line = 1
+        if name is None:
+            name = fn.__name__
+    else:
+        source = textwrap.dedent(fn)
+
+    tree = ast.parse(source)
+    fdef = _function_def(tree, name)
+    source_lines = source.splitlines()
+    body = _build_statements(fdef.body, "s", source_lines, policy)
+    params = [a.arg for a in fdef.args.args]
+    return IRFunction(
+        name=fdef.name,
+        qualname=fdef.name,
+        params=params,
+        body=body,
+        node=fdef,
+        source=source,
+        filename=filename,
+        first_line=first_line,
+    )
+
+
+def parse_module(
+    source: str, policy: Policy = "optimistic", filename: str = "<string>"
+) -> list[IRFunction]:
+    """Parse every top-level function (and method) in a module source."""
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    source_lines = source.splitlines()
+    functions: list[IRFunction] = []
+
+    def visit(nodes: list[ast.stmt], scope: str) -> None:
+        for node in nodes:
+            if isinstance(node, ast.FunctionDef):
+                qual = f"{scope}{node.name}" if scope else node.name
+                body = _build_statements(node.body, "s", source_lines, policy)
+                functions.append(
+                    IRFunction(
+                        name=node.name,
+                        qualname=qual,
+                        params=[a.arg for a in node.args.args],
+                        body=body,
+                        node=node,
+                        source=source,
+                        filename=filename,
+                    )
+                )
+                visit(node.body, f"{qual}.")
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, f"{scope}{node.name}.")
+
+    visit(tree.body, "")
+    return functions
+
+
+def loop_info(stmt: IRStatement) -> IRLoop:
+    """Derive the PLPL header facts for a loop statement."""
+    node = stmt.node
+    info = IRLoop(stmt=stmt)
+    if isinstance(node, ast.For):
+        info.targets = _target_symbols(node.target)
+        header = extract_accesses(node)
+        info.stream_reads = set(header.reads)
+        info.is_foreach = True
+        if isinstance(node.iter, ast.Call):
+            callee = node.iter.func
+            if isinstance(callee, ast.Name) and callee.id == "range":
+                info.is_counted = True
+            if (
+                isinstance(callee, ast.Name)
+                and callee.id == "enumerate"
+            ):
+                info.is_counted = True
+    elif isinstance(node, ast.While):
+        header = extract_accesses(node)
+        info.stream_reads = set(header.reads)
+        info.is_foreach = False
+    return info
+
+
+def _target_symbols(target: ast.expr) -> set[Symbol]:
+    syms: set[Symbol] = set()
+    if isinstance(target, ast.Name):
+        syms.add(Symbol(target.id))
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            syms |= _target_symbols(elt)
+    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+        acc = extract_accesses(ast.Assign(targets=[target], value=ast.Constant(0)))
+        syms |= acc.writes
+    return syms

@@ -1,0 +1,365 @@
+"""Read/write-set extraction for Python statements.
+
+Every statement in the IR carries an :class:`AccessSets` describing the
+abstract memory locations it may read and write.  Locations are modelled by
+:class:`Symbol`:
+
+* a plain variable ``x`` -> ``Symbol("x")``
+* an attribute ``obj.field`` -> ``Symbol("obj.field")`` (base ``obj``)
+* a subscripted container ``arr[i]`` -> ``Symbol("arr[*]")`` (base ``arr``);
+  element-precise disambiguation is left to the *dynamic* dependence tracer
+  (:mod:`repro.model.dyndep`), mirroring Patty's optimistic strategy of
+  combining coarse static facts with precise runtime observations.
+
+Calls are the usual static-analysis pain point.  Patty is *optimistic*
+(section 2.1 of the paper): it prefers under-approximating dependencies and
+validating the result afterwards.  We support both policies:
+
+* ``optimistic`` - unknown calls are pure; only a curated table of known
+  mutating methods (``list.append``, ``set.add``, ``dict.update``, ...)
+  writes its receiver.
+* ``pessimistic`` - unknown calls write their receiver and every argument
+  that names a location, the classic compiler over-approximation the paper
+  contrasts against in section 6.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+Policy = Literal["optimistic", "pessimistic"]
+
+#: Methods known to mutate their receiver.  The table intentionally covers
+#: the containers used by the benchmark suite; anything absent is treated
+#: according to the active policy.
+MUTATING_METHODS: frozenset[str] = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "write",
+        "writelines",
+        "put",
+        "push",
+        "enqueue",
+        "accumulate_into",
+    }
+)
+
+#: Methods known to be pure even under the pessimistic policy.
+PURE_METHODS: frozenset[str] = frozenset(
+    {
+        "get",
+        "keys",
+        "values",
+        "items",
+        "count",
+        "index",
+        "copy",
+        "split",
+        "strip",
+        "lower",
+        "upper",
+        "join",
+        "startswith",
+        "endswith",
+        "format",
+        "read",
+        "dot",
+        "sum",
+        "mean",
+        "apply",
+    }
+)
+
+
+@dataclass(frozen=True, order=True)
+class Symbol:
+    """An abstract memory location.
+
+    ``name`` is the canonical spelling (``"x"``, ``"obj.field"``,
+    ``"arr[*]"``).  ``base`` is the root variable the location hangs off,
+    used to coarsen comparisons (two symbols *may alias* iff they are equal,
+    or one is a container/attribute projection of the other's base).
+    """
+
+    name: str
+
+    @property
+    def base(self) -> str:
+        root = self.name.split(".", 1)[0]
+        return root.split("[", 1)[0]
+
+    @property
+    def is_container(self) -> bool:
+        return self.name.endswith("[*]")
+
+    @property
+    def is_attribute(self) -> bool:
+        return "." in self.name
+
+    def may_alias(self, other: "Symbol") -> bool:
+        """Conservative may-alias test used by the static dependence builder."""
+        if self == other:
+            return True
+        # A container or attribute projection conflicts with its whole base
+        # and with sibling projections of the same base.
+        return self.base == other.base and (
+            self.is_container
+            or other.is_container
+            or self.is_attribute
+            or other.is_attribute
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass
+class AccessSets:
+    """Reads, writes and outgoing calls of one statement."""
+
+    reads: set[Symbol] = field(default_factory=set)
+    writes: set[Symbol] = field(default_factory=set)
+    calls: list[str] = field(default_factory=list)
+
+    def union(self, other: "AccessSets") -> "AccessSets":
+        return AccessSets(
+            reads=self.reads | other.reads,
+            writes=self.writes | other.writes,
+            calls=self.calls + other.calls,
+        )
+
+    @property
+    def touched(self) -> set[Symbol]:
+        return self.reads | self.writes
+
+
+def _expr_symbol(node: ast.expr) -> Symbol | None:
+    """Best-effort canonical symbol for an lvalue-ish expression."""
+    if isinstance(node, ast.Name):
+        return Symbol(node.id)
+    if isinstance(node, ast.Attribute):
+        base = _expr_symbol(node.value)
+        if base is not None:
+            return Symbol(f"{base.name}.{node.attr}")
+        return None
+    if isinstance(node, ast.Subscript):
+        base = _expr_symbol(node.value)
+        if base is not None:
+            return Symbol(f"{base.name}[*]")
+        return None
+    return None
+
+
+def _call_name(node: ast.Call) -> str:
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        base = _expr_symbol(fn.value)
+        prefix = base.name if base is not None else "<expr>"
+        return f"{prefix}.{fn.attr}"
+    return "<expr>"
+
+
+class _AccessVisitor(ast.NodeVisitor):
+    """Walk an expression/statement collecting reads, writes and calls."""
+
+    def __init__(self, policy: Policy) -> None:
+        self.policy = policy
+        self.acc = AccessSets()
+
+    # -- reads ---------------------------------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.acc.reads.add(Symbol(node.id))
+        elif isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.acc.writes.add(Symbol(node.id))
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        sym = _expr_symbol(node)
+        if isinstance(node.ctx, ast.Load):
+            if sym is not None:
+                self.acc.reads.add(sym)
+        else:
+            if sym is not None:
+                self.acc.writes.add(sym)
+            base = _expr_symbol(node.value)
+            if base is not None:
+                self.acc.reads.add(base)
+        # Still visit the base expression for nested reads (o.a.b, f(x).a).
+        self.visit(node.value)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        sym = _expr_symbol(node)
+        if isinstance(node.ctx, ast.Load):
+            if sym is not None:
+                self.acc.reads.add(sym)
+        else:
+            if sym is not None:
+                self.acc.writes.add(sym)
+            base = _expr_symbol(node.value)
+            if base is not None:
+                self.acc.reads.add(base)
+        self.visit(node.value)
+        self.visit(node.slice)
+
+    # -- scoped expressions ---------------------------------------------
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        """Comprehension targets are expression-local in Python 3: they
+        must not surface as statement-level reads or writes."""
+        sub = _AccessVisitor(self.policy)
+        for gen in node.generators:  # type: ignore[attr-defined]
+            sub.visit(gen.iter)
+            for cond in gen.ifs:
+                sub.visit(cond)
+        if isinstance(node, ast.DictComp):
+            sub.visit(node.key)
+            sub.visit(node.value)
+        else:
+            sub.visit(node.elt)  # type: ignore[attr-defined]
+        locals_: set[str] = set()
+        for gen in node.generators:  # type: ignore[attr-defined]
+            for n in ast.walk(gen.target):
+                if isinstance(n, ast.Name):
+                    locals_.add(n.id)
+        self.acc.reads |= {r for r in sub.acc.reads if r.base not in locals_}
+        self.acc.writes |= {w for w in sub.acc.writes if w.base not in locals_}
+        self.acc.calls += sub.acc.calls
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        sub = _AccessVisitor(self.policy)
+        sub.visit(node.body)
+        params = {a.arg for a in node.args.args}
+        self.acc.reads |= {r for r in sub.acc.reads if r.base not in params}
+        self.acc.writes |= {w for w in sub.acc.writes if w.base not in params}
+        self.acc.calls += sub.acc.calls
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        self.acc.calls.append(name)
+        fn = node.func
+        if isinstance(fn, ast.Attribute):
+            receiver = _expr_symbol(fn.value)
+            method = fn.attr
+            if receiver is not None:
+                self.acc.reads.add(receiver)
+                if method in MUTATING_METHODS:
+                    # o.append(x) writes the container's elements.
+                    self.acc.writes.add(Symbol(f"{receiver.name}[*]"))
+                elif method not in PURE_METHODS and self.policy == "pessimistic":
+                    self.acc.writes.add(Symbol(f"{receiver.name}[*]"))
+            # visit receiver subexpressions without re-treating it as a call
+            self.visit(fn.value)
+        elif isinstance(fn, ast.Name):
+            self.acc.reads.add(Symbol(fn.id))
+        for arg in node.args:
+            self.visit(arg)
+            if self.policy == "pessimistic":
+                sym = _expr_symbol(arg)
+                if sym is not None:
+                    self.acc.writes.add(sym)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+
+def extract_accesses(node: ast.AST, policy: Policy = "optimistic") -> AccessSets:
+    """Compute the :class:`AccessSets` of a single statement or expression.
+
+    For compound statements (``if``/``for``/``while``) only the *header* is
+    analysed here; bodies are separate IR statements with their own sets.
+    """
+    visitor = _AccessVisitor(policy)
+
+    if isinstance(node, ast.Assign):
+        for tgt in node.targets:
+            _visit_target(visitor, tgt)
+        visitor.visit(node.value)
+    elif isinstance(node, ast.AugAssign):
+        sym = _expr_symbol(node.target)
+        if sym is not None:
+            visitor.acc.reads.add(sym)
+            visitor.acc.writes.add(sym)
+        if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+            base = _expr_symbol(node.target.value)
+            if base is not None:
+                visitor.acc.reads.add(base)
+            if isinstance(node.target, ast.Subscript):
+                visitor.visit(node.target.slice)
+        visitor.visit(node.value)
+    elif isinstance(node, ast.AnnAssign):
+        if node.target is not None:
+            _visit_target(visitor, node.target)
+        if node.value is not None:
+            visitor.visit(node.value)
+    elif isinstance(node, ast.For):
+        _visit_target(visitor, node.target)
+        visitor.visit(node.iter)
+    elif isinstance(node, ast.While):
+        visitor.visit(node.test)
+    elif isinstance(node, ast.If):
+        visitor.visit(node.test)
+    elif isinstance(node, (ast.Return, ast.Expr)):
+        if node.value is not None:
+            visitor.visit(node.value)
+    elif isinstance(node, ast.With):
+        for item in node.items:
+            visitor.visit(item.context_expr)
+            if item.optional_vars is not None:
+                _visit_target(visitor, item.optional_vars)
+    elif isinstance(node, (ast.Break, ast.Continue, ast.Pass)):
+        pass
+    else:
+        visitor.visit(node)
+
+    return visitor.acc
+
+
+def _visit_target(visitor: _AccessVisitor, tgt: ast.expr) -> None:
+    """Handle an assignment target, including tuple unpacking."""
+    if isinstance(tgt, (ast.Tuple, ast.List)):
+        for elt in tgt.elts:
+            _visit_target(visitor, elt)
+        return
+    if isinstance(tgt, ast.Name):
+        visitor.acc.writes.add(Symbol(tgt.id))
+        return
+    if isinstance(tgt, (ast.Attribute, ast.Subscript)):
+        sym = _expr_symbol(tgt)
+        if sym is not None:
+            visitor.acc.writes.add(sym)
+        base = _expr_symbol(tgt.value)
+        if base is not None:
+            visitor.acc.reads.add(base)
+        if isinstance(tgt, ast.Subscript):
+            visitor.visit(tgt.slice)
+        return
+    if isinstance(tgt, ast.Starred):
+        _visit_target(visitor, tgt.value)
+        return
+    visitor.visit(tgt)
+
+
+def symbols_of(names: Iterable[str]) -> set[Symbol]:
+    """Convenience: build a symbol set from canonical spellings."""
+    return {Symbol(n) for n in names}

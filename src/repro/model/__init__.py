@@ -1,0 +1,50 @@
+"""The semantic model: Patty's "cross product" of program facts.
+
+Section 2.1 of the paper: *"we build the cross product from the control
+flow graph, the data dependencies, the call graph, and runtime
+information"*.  Each factor is one module here; :mod:`repro.model.semantic`
+assembles them into :class:`SemanticModel`, the input to pattern detection.
+"""
+
+from repro.model.cfg import CFG, build_cfg
+from repro.model.dominance import dominators, postdominators, immediate_dominators
+from repro.model.defuse import ReachingDefinitions, DefUseChains, compute_defuse
+from repro.model.dependence import (
+    DepKind,
+    Dependence,
+    DependenceGraph,
+    build_body_dependences,
+    find_reductions,
+    find_collectors,
+)
+from repro.model.callgraph import CallGraph, build_callgraph
+from repro.model.profile import LineProfile, StatementProfile, profile_function
+from repro.model.dyndep import DynamicTrace, trace_loop, refine_dependences
+from repro.model.semantic import SemanticModel, build_semantic_model
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "dominators",
+    "postdominators",
+    "immediate_dominators",
+    "ReachingDefinitions",
+    "DefUseChains",
+    "compute_defuse",
+    "DepKind",
+    "Dependence",
+    "DependenceGraph",
+    "build_body_dependences",
+    "find_reductions",
+    "find_collectors",
+    "CallGraph",
+    "build_callgraph",
+    "LineProfile",
+    "StatementProfile",
+    "profile_function",
+    "DynamicTrace",
+    "trace_loop",
+    "refine_dependences",
+    "SemanticModel",
+    "build_semantic_model",
+]

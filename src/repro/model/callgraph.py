@@ -1,0 +1,68 @@
+"""Call graph over a :class:`~repro.frontend.source.SourceProgram`.
+
+Resolution is name-based: a call ``f(...)`` resolves to any program
+function named ``f``; a method call ``obj.m(...)`` resolves to any method
+``*.m`` in the program (object-oriented code being Patty's stated target).
+Unresolved callees are kept as external nodes, which the detectors use to
+decide whether a stage's work is self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.source import SourceProgram
+
+
+@dataclass
+class CallGraph:
+    """callers/callees maps keyed by function qualname (or external name)."""
+
+    callees: dict[str, set[str]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+    external: set[str] = field(default_factory=set)
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        self.callees.setdefault(caller, set()).add(callee)
+        self.callers.setdefault(callee, set()).add(caller)
+
+    def transitive_callees(self, root: str) -> set[str]:
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            n = stack.pop()
+            for c in self.callees.get(n, ()):
+                if c not in seen:
+                    seen.add(c)
+                    stack.append(c)
+        return seen
+
+    def is_recursive(self, name: str) -> bool:
+        return name in self.transitive_callees(name)
+
+
+def build_callgraph(program: SourceProgram) -> CallGraph:
+    cg = CallGraph()
+    by_name: dict[str, list[str]] = {}
+    by_method: dict[str, list[str]] = {}
+    for f in program:
+        cg.callees.setdefault(f.qualname, set())
+        by_name.setdefault(f.name, []).append(f.qualname)
+        if "." in f.qualname:
+            by_method.setdefault(f.name, []).append(f.qualname)
+
+    for f in program:
+        for st in f.walk():
+            for call in st.calls:
+                if "." in call:
+                    method = call.rsplit(".", 1)[1]
+                    targets = by_method.get(method) or by_name.get(method)
+                else:
+                    targets = by_name.get(call)
+                if targets:
+                    for t in targets:
+                        cg.add_edge(f.qualname, t)
+                else:
+                    cg.external.add(call)
+                    cg.add_edge(f.qualname, call)
+    return cg

@@ -1,0 +1,154 @@
+"""Control-flow graph over IR statements.
+
+Nodes are statement ids plus the synthetic ``ENTRY``/``EXIT``.  Compound
+statements contribute their header as a node (branch point); their bodies
+are flattened into the graph.  ``break``/``continue``/``return`` edges are
+resolved against the enclosing loop, which is exactly the information the
+PLCD rule (control dependencies that escape an iteration) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.ir import IRFunction, IRStatement, StatementKind
+
+ENTRY = "<entry>"
+EXIT = "<exit>"
+
+
+@dataclass
+class CFG:
+    """A conventional successor/predecessor-set CFG."""
+
+    function: str
+    succs: dict[str, set[str]] = field(default_factory=dict)
+    preds: dict[str, set[str]] = field(default_factory=dict)
+    statements: dict[str, IRStatement] = field(default_factory=dict)
+
+    def add_node(self, sid: str) -> None:
+        self.succs.setdefault(sid, set())
+        self.preds.setdefault(sid, set())
+
+    def add_edge(self, src: str, dst: str) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        self.succs[src].add(dst)
+        self.preds[dst].add(src)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self.succs)
+
+    def reachable(self, start: str = ENTRY) -> set[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            n = stack.pop()
+            for m in self.succs.get(n, ()):
+                if m not in seen:
+                    seen.add(m)
+                    stack.append(m)
+        return seen
+
+    def back_edges(self) -> set[tuple[str, str]]:
+        """Edges (u, v) where v dominates u — i.e. loop back edges."""
+        from repro.model.dominance import dominators
+
+        dom = dominators(self)
+        return {
+            (u, v)
+            for u in self.succs
+            for v in self.succs[u]
+            if v in dom.get(u, set())
+        }
+
+
+@dataclass
+class _Frame:
+    """Targets for control transfers inside the statement list being built."""
+
+    break_target: str | None = None
+    continue_target: str | None = None
+
+
+def build_cfg(func: IRFunction) -> CFG:
+    """Construct the CFG of a function."""
+    cfg = CFG(function=func.qualname)
+    cfg.add_node(ENTRY)
+    cfg.add_node(EXIT)
+
+    def seq(
+        stmts: list[IRStatement], preds: list[str], frame: _Frame
+    ) -> list[str]:
+        """Wire a statement sequence; return the exits that fall through."""
+        current = preds
+        for st in stmts:
+            cfg.statements[st.sid] = st
+            for p in current:
+                cfg.add_edge(p, st.sid)
+            current = one(st, frame)
+            if not current:
+                # everything past an unconditional transfer is dead code, but
+                # we still materialize it so sids stay addressable
+                for rest in stmts[stmts.index(st) + 1 :]:
+                    for sub in rest.walk():
+                        cfg.add_node(sub.sid)
+                        cfg.statements[sub.sid] = sub
+                return []
+        return current
+
+    def one(st: IRStatement, frame: _Frame) -> list[str]:
+        """Wire one statement; return its fall-through exit nodes."""
+        if st.kind is StatementKind.IF:
+            then_exits = seq(st.body, [st.sid], frame)
+            if st.orelse:
+                else_exits = seq(st.orelse, [st.sid], frame)
+            else:
+                else_exits = [st.sid]
+            return then_exits + else_exits
+        if st.kind in (StatementKind.FOR, StatementKind.WHILE):
+            inner = _Frame(break_target=None, continue_target=st.sid)
+            body_exits = seq(st.body, [st.sid], inner)
+            for e in body_exits:
+                cfg.add_edge(e, st.sid)  # back edge
+            exits = [st.sid]  # loop condition false / stream exhausted
+            exits.extend(_drain_breaks(cfg, st, inner))
+            # for-else: runs on normal exhaustion; modelled as successor of
+            # the header, merged with the plain exit
+            if st.orelse:
+                else_exits = seq(st.orelse, [st.sid], frame)
+                exits = else_exits + [x for x in exits if x != st.sid]
+            return exits
+        if st.kind is StatementKind.RETURN or st.kind is StatementKind.RAISE:
+            cfg.add_edge(st.sid, EXIT)
+            return []
+        if st.kind is StatementKind.BREAK:
+            frame_breaks.setdefault(id_of_frame(frame), []).append(st.sid)
+            return []
+        if st.kind is StatementKind.CONTINUE:
+            if frame.continue_target is not None:
+                cfg.add_edge(st.sid, frame.continue_target)
+            return []
+        if st.kind is StatementKind.WITH:
+            return seq(st.body, [st.sid], frame)
+        cfg.add_node(st.sid)
+        return [st.sid]
+
+    # break bookkeeping: breaks recorded per innermost loop frame
+    frame_breaks: dict[int, list[str]] = {}
+
+    def id_of_frame(frame: _Frame) -> int:
+        return id(frame)
+
+    def _drain_breaks(cfg: CFG, loop_st: IRStatement, frame: _Frame) -> list[str]:
+        return frame_breaks.pop(id(frame), [])
+
+    top = _Frame()
+    exits = seq(func.body, [ENTRY], top)
+    for e in exits:
+        cfg.add_edge(e, EXIT)
+    if not cfg.preds[EXIT]:
+        # e.g. an infinite loop: keep EXIT reachable for dominance algorithms
+        cfg.add_edge(ENTRY, EXIT)
+    return cfg

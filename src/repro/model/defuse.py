@@ -1,0 +1,102 @@
+"""Reaching definitions and def-use chains over the CFG.
+
+A *definition* is a (statement id, symbol) pair.  Kills are must-kills:
+only a plain-name write kills earlier definitions of the same symbol —
+``a[i] = x`` does *not* kill ``a[*]``, which is what lets loop-carried
+container dependencies surface in :mod:`repro.model.dependence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.ir import IRFunction
+from repro.frontend.rwsets import Symbol
+from repro.model.cfg import CFG, ENTRY
+
+Definition = tuple[str, Symbol]  # (sid, symbol)
+
+#: pseudo-definition site for values that flow in from outside the function
+PARAM_DEF = "<param>"
+
+
+@dataclass
+class ReachingDefinitions:
+    """IN/OUT definition sets per CFG node."""
+
+    in_sets: dict[str, set[Definition]] = field(default_factory=dict)
+    out_sets: dict[str, set[Definition]] = field(default_factory=dict)
+
+    def reaching(self, sid: str, symbol: Symbol) -> set[Definition]:
+        """Definitions of (something aliasing) ``symbol`` that reach ``sid``."""
+        return {
+            d for d in self.in_sets.get(sid, set()) if d[1].may_alias(symbol)
+        }
+
+
+@dataclass
+class DefUseChains:
+    """use->defs and def->uses maps at statement granularity."""
+
+    uses: dict[tuple[str, Symbol], set[Definition]] = field(default_factory=dict)
+    defs: dict[Definition, set[tuple[str, Symbol]]] = field(default_factory=dict)
+
+    def defs_reaching_use(self, sid: str, symbol: Symbol) -> set[Definition]:
+        return self.uses.get((sid, symbol), set())
+
+
+def _must_kill(sym: Symbol) -> bool:
+    """A write to ``sym`` kills previous defs only if it overwrites the
+    whole location: plain names do, container elements and attributes of
+    possibly-shared objects do not."""
+    return not sym.is_container and not sym.is_attribute
+
+
+def compute_defuse(
+    func: IRFunction, cfg: CFG
+) -> tuple[ReachingDefinitions, DefUseChains]:
+    """Iterative reaching-definitions dataflow plus chain extraction."""
+    gens: dict[str, set[Definition]] = {}
+    kills: dict[str, set[Symbol]] = {}
+    for sid, st in cfg.statements.items():
+        gens[sid] = {(sid, w) for w in st.writes}
+        kills[sid] = {w for w in st.writes if _must_kill(w)}
+
+    entry_defs: set[Definition] = {
+        (PARAM_DEF, Symbol(p)) for p in func.params
+    }
+
+    rd = ReachingDefinitions()
+    nodes = cfg.nodes
+    for n in nodes:
+        rd.in_sets[n] = set()
+        rd.out_sets[n] = set()
+    rd.out_sets[ENTRY] = set(entry_defs)
+
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            if n == ENTRY:
+                continue
+            new_in: set[Definition] = set()
+            for p in cfg.preds.get(n, ()):
+                new_in |= rd.out_sets.get(p, set())
+            killset = kills.get(n, set())
+            survivors = {
+                d for d in new_in if not any(d[1] == k for k in killset)
+            }
+            new_out = survivors | gens.get(n, set())
+            if new_in != rd.in_sets[n] or new_out != rd.out_sets[n]:
+                rd.in_sets[n] = new_in
+                rd.out_sets[n] = new_out
+                changed = True
+
+    chains = DefUseChains()
+    for sid, st in cfg.statements.items():
+        for r in st.reads:
+            ds = rd.reaching(sid, r)
+            chains.uses[(sid, r)] = ds
+            for d in ds:
+                chains.defs.setdefault(d, set()).add((sid, r))
+    return rd, chains

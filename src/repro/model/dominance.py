@@ -1,0 +1,99 @@
+"""Dominator / postdominator computation.
+
+The graphs here are function-sized (tens of nodes), so the simple iterative
+set-based algorithm is plenty fast and keeps the code auditable — the
+guides' "make it work, make it right, measure before optimizing" ordering.
+"""
+
+from __future__ import annotations
+
+from repro.model.cfg import CFG, ENTRY, EXIT
+
+
+def dominators(cfg: CFG) -> dict[str, set[str]]:
+    """Full dominator sets: dom[n] = nodes that dominate n (including n)."""
+    nodes = set(cfg.reachable(ENTRY))
+    dom: dict[str, set[str]] = {n: set(nodes) for n in nodes}
+    dom[ENTRY] = {ENTRY}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            if n == ENTRY:
+                continue
+            preds = [p for p in cfg.preds.get(n, ()) if p in nodes]
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds))
+            else:
+                new = set()
+            new = new | {n}
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return dom
+
+
+def postdominators(cfg: CFG) -> dict[str, set[str]]:
+    """Postdominator sets computed on the reversed CFG from EXIT."""
+    # reverse reachability from EXIT
+    nodes: set[str] = {EXIT}
+    stack = [EXIT]
+    while stack:
+        n = stack.pop()
+        for p in cfg.preds.get(n, ()):
+            if p not in nodes:
+                nodes.add(p)
+                stack.append(p)
+    pdom: dict[str, set[str]] = {n: set(nodes) for n in nodes}
+    pdom[EXIT] = {EXIT}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            if n == EXIT:
+                continue
+            succs = [s for s in cfg.succs.get(n, ()) if s in nodes]
+            if succs:
+                new = set.intersection(*(pdom[s] for s in succs))
+            else:
+                new = set()
+            new = new | {n}
+            if new != pdom[n]:
+                pdom[n] = new
+                changed = True
+    return pdom
+
+
+def immediate_dominators(cfg: CFG) -> dict[str, str | None]:
+    """idom[n]: the unique closest strict dominator of n (None for ENTRY)."""
+    dom = dominators(cfg)
+    idom: dict[str, str | None] = {ENTRY: None}
+    for n, ds in dom.items():
+        if n == ENTRY:
+            continue
+        strict = ds - {n}
+        # the immediate dominator is the strict dominator dominated by all
+        # other strict dominators
+        best = None
+        for c in strict:
+            if all(c in dom[d] or c == d for d in strict):
+                best = c
+                break
+        idom[n] = best
+    return idom
+
+
+def dominance_frontier(cfg: CFG) -> dict[str, set[str]]:
+    """Classic Cytron et al. dominance frontiers (used by tests as an
+    invariant check on the CFG, and available for future SSA construction)."""
+    idom = immediate_dominators(cfg)
+    df: dict[str, set[str]] = {n: set() for n in idom}
+    for n in idom:
+        preds = [p for p in cfg.preds.get(n, ()) if p in idom]
+        if len(preds) >= 2:
+            for p in preds:
+                runner = p
+                while runner is not None and runner != idom[n]:
+                    df[runner].add(n)
+                    runner = idom[runner]
+    return df

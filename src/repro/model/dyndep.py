@@ -1,0 +1,450 @@
+"""Dynamic (optimistic) dependence profiling.
+
+Patty "uses optimistic parallelization analyses" (section 2.1): the static
+may-dependences of :mod:`repro.model.dependence` are refined against what a
+real execution actually touched, in the spirit of dependence profilers such
+as SD3 [34] scaled down to loop-body granularity.
+
+Mechanics: the target function's AST is instrumented so that, before each
+top-level statement of the chosen loop body, a tracer receives the concrete
+memory *cells* the statement is about to touch:
+
+* a plain variable        -> ``("name", "x")``
+* a container element     -> ``("elem", id(container), index_value)``
+* an object attribute     -> ``("attr", id(obj), "field")``
+* a container, unindexed  -> ``("cont", id(container))``
+
+Element-granular cells are what make the analysis *optimistic*: a static
+``a[*]`` self-conflict disappears when every iteration demonstrably touches
+``a[i]`` for a distinct ``i``.  Index expressions are evaluated lazily in
+the user frame via a generated closure; if evaluation fails (name not yet
+bound on this path) the tracer falls back to the coarse static cells.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.frontend.ir import IRFunction
+from repro.frontend.rwsets import Symbol
+from repro.model.dependence import DepKind, DependenceGraph
+
+#: A concrete memory cell.  Every shape leads with its kind and the *root
+#: variable name* the access was spelled through, so refinement can match
+#: observations back to static symbols:
+#:   ("name", var) | ("elem", root, id, index) | ("attr", root, id, attr)
+#:   | ("cont", root, id)
+Cell = tuple
+
+
+def cell_root(cell: Cell) -> str:
+    """The root variable name a cell was accessed through."""
+    return cell[1]
+
+
+@dataclass(frozen=True)
+class ObservedDep:
+    src: str
+    dst: str
+    kind: DepKind
+    carried: bool
+    base: str = ""
+    distance: int = 0
+
+
+@dataclass
+class DynamicTrace:
+    """Recorded accesses of one instrumented loop execution."""
+
+    loop_sid: str
+    iterations: int = 0
+    #: (iteration, sid, cell, is_write) in program order
+    accesses: list[tuple[int, str, Cell, bool]] = field(default_factory=list)
+    result: Any = None
+
+    def observed_dependences(self) -> set[ObservedDep]:
+        """Pairwise conflicts grouped per cell."""
+        by_cell: dict[Cell, list[tuple[int, str, bool]]] = {}
+        for it, sid, cell, w in self.accesses:
+            by_cell.setdefault(cell, []).append((it, sid, w))
+        deps: set[ObservedDep] = set()
+        for cell, events in by_cell.items():
+            root = cell_root(cell)
+            for i, (it_a, sid_a, w_a) in enumerate(events):
+                for it_b, sid_b, w_b in events[i + 1 :]:
+                    if not (w_a or w_b):
+                        continue  # read-read is not a dependence
+                    if w_a and w_b:
+                        kind = DepKind.OUTPUT
+                    elif w_a:
+                        kind = DepKind.FLOW
+                    else:
+                        kind = DepKind.ANTI
+                    deps.add(
+                        ObservedDep(
+                            src=sid_a,
+                            dst=sid_b,
+                            kind=kind,
+                            carried=it_a != it_b,
+                            base=root,
+                            distance=it_b - it_a,
+                        )
+                    )
+        return deps
+
+
+class _Tracer:
+    """Runtime callee of the instrumented code."""
+
+    def __init__(self, loop_sid: str) -> None:
+        self.trace = DynamicTrace(loop_sid=loop_sid)
+        self._iter = -1
+
+    def next_iter(self) -> None:
+        self._iter += 1
+        self.trace.iterations += 1
+
+    @staticmethod
+    def c(f: Callable[[], Cell]):
+        """Guarded evaluation of one cell: None when it cannot be computed
+        on this path (unbound name, missing key, ...)."""
+        try:
+            cell = f()
+            hash(cell)
+            return cell
+        except Exception:
+            return None
+
+    def rec(
+        self,
+        sid: str,
+        fine: Callable[[], tuple[list[Cell], list[Cell]]],
+        coarse_reads: list[Cell],
+        coarse_writes: list[Cell],
+    ) -> None:
+        try:
+            reads, writes = fine()
+        except Exception:
+            reads, writes = coarse_reads, coarse_writes
+        it = self._iter
+        for c in reads:
+            if c is not None:
+                self.trace.accesses.append((it, sid, c, False))
+        for c in writes:
+            if c is not None:
+                self.trace.accesses.append((it, sid, c, True))
+
+
+# ---------------------------------------------------------------------------
+# instrumentation
+# ---------------------------------------------------------------------------
+
+_SAFE_INDEX_NODES = (
+    ast.Name,
+    ast.Constant,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Tuple,
+    ast.Subscript,  # idx[i] — a load, side-effect-free for containers
+    ast.operator,
+    ast.unaryop,
+    ast.Load,
+)
+
+
+def _index_is_safe(node: ast.expr) -> bool:
+    return all(isinstance(n, _SAFE_INDEX_NODES) for n in ast.walk(node))
+
+
+def _base_text(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _base_text(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _safe_load_text(node: ast.expr) -> str | None:
+    """Source of a side-effect-free lvalue chain (``t``, ``a.b``,
+    ``t[j]``, ``a.rows[i]``) usable inside a generated ``id(...)``."""
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return _base_text(node)
+    if isinstance(node, ast.Subscript):
+        base = _safe_load_text(node.value)
+        if base is not None and _index_is_safe(node.slice):
+            return f"{base}[{ast.unparse(node.slice)}]"
+    return None
+
+
+def _root_of(text: str) -> str:
+    return text.split(".", 1)[0].split("[", 1)[0]
+
+
+def _guard(expr: str) -> str:
+    return f"__pt__.c(lambda: {expr})"
+
+
+def _subscript_cells(stmt: ast.stmt) -> tuple[list[str], list[str]]:
+    """Guarded cell-expression texts for all subscripts in a statement."""
+    reads: list[str] = []
+    writes: list[str] = []
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Subscript):
+            base = _safe_load_text(node.value)
+            if base is None:
+                continue
+            root = _root_of(base)
+            if _index_is_safe(node.slice):
+                idx = ast.unparse(node.slice)
+                cell = _guard(f'("elem", {root!r}, id({base}), ({idx}))')
+            else:
+                cell = _guard(f'("cont", {root!r}, id({base}))')
+            if isinstance(node.ctx, ast.Store):
+                writes.append(cell)
+            else:
+                reads.append(cell)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            from repro.frontend.rwsets import MUTATING_METHODS
+
+            base = _safe_load_text(node.func.value)
+            if base is not None and node.func.attr in MUTATING_METHODS:
+                root = _root_of(base)
+                writes.append(_guard(f'("cont", {root!r}, id({base}))'))
+    return reads, writes
+
+
+def _name_cells(ir_stmt) -> tuple[list[Cell], list[Cell]]:
+    """Coarse static cells (also the fallback when fine eval fails)."""
+    acc = ir_stmt.deep_accesses()
+
+    def cell(sym: Symbol) -> Cell:
+        return ("name", sym.name)
+
+    reads = [cell(s) for s in sorted(acc.reads)]
+    writes = [cell(s) for s in sorted(acc.writes)]
+    return reads, writes
+
+
+def _attr_cells(stmt: ast.stmt) -> tuple[list[str], list[str]]:
+    reads: list[str] = []
+    writes: list[str] = []
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Attribute):
+            base = _safe_load_text(node.value)
+            if base is None:
+                continue  # attribute of a call result etc.
+            root = _root_of(base)
+            cell = _guard(f'("attr", {root!r}, id({base}), "{node.attr}")')
+            if isinstance(node.ctx, ast.Store):
+                writes.append(cell)
+            elif isinstance(node.ctx, ast.Load):
+                reads.append(cell)
+    return reads, writes
+
+
+_HEADER_FRAGMENTS = {
+    ast.For: lambda n: [n.target, n.iter],
+    ast.While: lambda n: [n.test],
+    ast.If: lambda n: [n.test],
+    ast.With: lambda n: [i.context_expr for i in n.items],
+}
+
+
+def _cells_of_fragments(fragments: list[ast.AST]) -> tuple[list[str], list[str]]:
+    reads: list[str] = []
+    writes: list[str] = []
+    holder = ast.Expr(value=ast.Constant(0))
+    for frag in fragments:
+        if isinstance(frag, ast.stmt):
+            node: ast.AST = frag
+        else:
+            node = ast.Expr(value=frag)  # wrap expressions for walking
+        r1, w1 = _subscript_cells(node)  # type: ignore[arg-type]
+        r2, w2 = _attr_cells(node)  # type: ignore[arg-type]
+        reads += r1 + r2
+        writes += w1 + w2
+    del holder
+    return reads, writes
+
+
+def _build_rec_call(sid: str, ir_stmt, header_only: bool = False) -> ast.stmt:
+    """The tracer call inserted before one statement.
+
+    ``header_only`` is used for compound statements: their bodies are
+    instrumented recursively (each nested statement gets its own call with
+    live bindings), so the compound's own call covers just the header.
+    """
+    if header_only:
+        frag_fn = _HEADER_FRAGMENTS.get(type(ir_stmt.node))
+        fragments = frag_fn(ir_stmt.node) if frag_fn else []
+        sub_attr = _cells_of_fragments(fragments)
+        sub_r, sub_w = sub_attr
+        attr_r: list[str] = []
+        attr_w: list[str] = []
+        coarse_r = [("name", s.name) for s in sorted(ir_stmt.accesses.reads)]
+        coarse_w = [("name", s.name) for s in sorted(ir_stmt.accesses.writes)]
+        plain_r = [
+            repr(c) for c in coarse_r if "[" not in c[1] and "." not in c[1]
+        ]
+        plain_w = [
+            repr(c) for c in coarse_w if "[" not in c[1] and "." not in c[1]
+        ]
+        fine_reads = ", ".join(plain_r + sub_r)
+        fine_writes = ", ".join(plain_w + sub_w)
+        src = (
+            f"__pt__.rec({sid!r}, lambda: ([{fine_reads}], [{fine_writes}]), "
+            f"{coarse_r!r}, {coarse_w!r})"
+        )
+        return ast.parse(src).body[0]
+    return _build_rec_call_full(sid, ir_stmt)
+
+
+def _build_rec_call_full(sid: str, ir_stmt) -> ast.stmt:
+    sub_r, sub_w = _subscript_cells(ir_stmt.node)
+    attr_r, attr_w = _attr_cells(ir_stmt.node)
+    coarse_r, coarse_w = _name_cells(ir_stmt)
+
+    # plain-name cells never fail to evaluate; bake them into the fine list
+    plain_r = [repr(c) for c in coarse_r if c[0] == "name" and "[" not in c[1]
+               and "." not in c[1]]
+    plain_w = [repr(c) for c in coarse_w if c[0] == "name" and "[" not in c[1]
+               and "." not in c[1]]
+
+    fine_reads = ", ".join(plain_r + sub_r + attr_r)
+    fine_writes = ", ".join(plain_w + sub_w + attr_w)
+    src = (
+        f"__pt__.rec({sid!r}, lambda: ([{fine_reads}], [{fine_writes}]), "
+        f"{coarse_r!r}, {coarse_w!r})"
+    )
+    return ast.parse(src).body[0]
+
+
+def _instrument_block(
+    ir_stmts, ast_stmts: list[ast.stmt], top_sid: "str | None"
+) -> list[ast.stmt]:
+    """Insert tracer calls before every statement, recursively.
+
+    Nested statements are attributed to their *top-level* body statement
+    (``top_sid``), because the dependence graph lives at that granularity;
+    recursion guarantees the tracer always evaluates index expressions
+    under live bindings (inner-loop variables included).
+    """
+    out: list[ast.stmt] = []
+    for ir_stmt, node in zip(ir_stmts, ast_stmts):
+        sid = top_sid or ir_stmt.sid
+        if ir_stmt.is_compound:
+            out.append(_build_rec_call(sid, ir_stmt, header_only=True))
+            node.body = _instrument_block(ir_stmt.body, node.body, sid)
+            if ir_stmt.orelse:
+                node.orelse = _instrument_block(
+                    ir_stmt.orelse, node.orelse, sid
+                )
+            out.append(node)
+        else:
+            out.append(_build_rec_call(sid, ir_stmt))
+            out.append(node)
+    return out
+
+
+def instrument_loop(func_ir: IRFunction, loop_sid: str) -> ast.Module:
+    """Return a module AST defining an instrumented copy of the function."""
+    loop_ir = func_ir.statement(loop_sid)
+    fdef = copy.deepcopy(func_ir.node)
+
+    # locate the loop node inside the copied tree by (lineno, col_offset)
+    target_key = (loop_ir.node.lineno, loop_ir.node.col_offset)
+    loop_node: ast.stmt | None = None
+    for node in ast.walk(fdef):
+        if isinstance(node, (ast.For, ast.While)):
+            if (node.lineno, node.col_offset) == target_key:
+                loop_node = node
+                break
+    if loop_node is None:  # pragma: no cover - defensive
+        raise ValueError(f"loop {loop_sid} not found in {func_ir.name}")
+
+    new_body: list[ast.stmt] = [ast.parse("__pt__.next_iter()").body[0]]
+    for ir_stmt, node in zip(loop_ir.body, loop_node.body):
+        if ir_stmt.is_compound:
+            new_body.append(
+                _build_rec_call(ir_stmt.sid, ir_stmt, header_only=True)
+            )
+            node.body = _instrument_block(ir_stmt.body, node.body, ir_stmt.sid)
+            if ir_stmt.orelse:
+                node.orelse = _instrument_block(
+                    ir_stmt.orelse, node.orelse, ir_stmt.sid
+                )
+            new_body.append(node)
+        else:
+            new_body.append(_build_rec_call(ir_stmt.sid, ir_stmt))
+            new_body.append(node)
+    loop_node.body = new_body
+
+    module = ast.Module(body=[fdef], type_ignores=[])
+    ast.fix_missing_locations(module)
+    return module
+
+
+def trace_loop(
+    func_ir: IRFunction,
+    loop_sid: str,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    env: dict | None = None,
+) -> DynamicTrace:
+    """Execute the function with the given inputs, tracing one loop.
+
+    ``env`` supplies the globals the function needs (helper functions,
+    imported names).  The traced function's return value is preserved on
+    the trace so callers can check semantic equivalence.
+    """
+    kwargs = kwargs or {}
+    module = instrument_loop(func_ir, loop_sid)
+    code = compile(module, filename=f"<instrumented {func_ir.name}>", mode="exec")
+    tracer = _Tracer(loop_sid)
+    namespace: dict[str, Any] = dict(env or {})
+    namespace["__pt__"] = tracer
+    exec(code, namespace)
+    fn = namespace[func_ir.name]
+    tracer.trace.result = fn(*args, **kwargs)
+    return tracer.trace
+
+
+def refine_dependences(
+    static_graph: DependenceGraph, trace: DynamicTrace
+) -> DependenceGraph:
+    """Optimistic refinement: keep only statically-possible dependences that
+    were actually observed.
+
+    This is deliberately unsound under unexercised inputs — exactly the
+    trade-off the paper makes and then repairs with generated parallel unit
+    tests and race detection (section 2.1).  With an empty trace the static
+    graph is returned unchanged.
+    """
+    if trace.iterations == 0:
+        return static_graph
+    observed = trace.observed_dependences()
+    keys = {(d.src, d.dst, d.kind, d.carried, d.base) for d in observed}
+
+    def matches(e) -> bool:
+        # edges from interprocedural summaries cannot be observed by the
+        # callee-blind tracer: optimism does not extend to them
+        if e.via_call:
+            return True
+        # an observation supports a static edge only when it concerns the
+        # same root variable — a carried dep on an inner counter must not
+        # keep an unrelated container edge alive
+        for base in (e.symbol.name, e.symbol.base):
+            if (e.src, e.dst, e.kind, e.carried, base) in keys:
+                return True
+        return False
+
+    kept = {e for e in static_graph.edges if matches(e)}
+    return DependenceGraph(
+        loop_sid=static_graph.loop_sid,
+        statements=list(static_graph.statements),
+        edges=kept,
+    )

@@ -1,0 +1,182 @@
+"""Dynamic runtime profiling.
+
+Patty's semantic model includes "runtime information": per-statement
+runtime shares drive the PLTP tuning-parameter derivation (StageFusion for
+cheap stages, StageReplication for the bottleneck stage).  This module is
+the reproduction's profiler: a ``sys.settrace``-based line profiler plus an
+aggregator that folds line timings onto IR statements.
+
+The profiler also measures its own intrusion (wall-clock and peak-memory
+inflation versus an uninstrumented run) — the overhead metric the paper's
+future-work section announces; ``benchmarks/bench_overhead.py`` reports it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.frontend.ir import IRFunction, IRStatement
+
+
+@dataclass
+class LineProfile:
+    """Per-line hit counts and cumulative seconds for one function."""
+
+    filename: str
+    hits: dict[int, int] = field(default_factory=dict)
+    seconds: dict[int, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    plain_seconds: float = 0.0  # uninstrumented reference run
+    peak_memory: int = 0
+    plain_peak_memory: int = 0
+    result: Any = None
+
+    @property
+    def overhead_factor(self) -> float:
+        """Instrumented / plain wall-clock ratio (>= 1 in practice)."""
+        if self.plain_seconds <= 0:
+            return 1.0
+        return self.total_seconds / self.plain_seconds
+
+    @property
+    def memory_overhead_factor(self) -> float:
+        if self.plain_peak_memory <= 0:
+            return 1.0
+        return self.peak_memory / self.plain_peak_memory
+
+
+def profile_function(
+    fn: Callable,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    measure_plain: bool = True,
+) -> LineProfile:
+    """Run ``fn`` under a line tracer and collect per-line timings."""
+    kwargs = kwargs or {}
+    code = fn.__code__
+    prof = LineProfile(filename=code.co_filename)
+
+    state = {"line": None, "t": 0.0}
+
+    def tracer(frame, event, arg):  # noqa: ANN001 - sys.settrace signature
+        if frame.f_code is not code:
+            return None
+        now = time.perf_counter()
+        if event == "line" or event == "return":
+            prev = state["line"]
+            if prev is not None:
+                prof.seconds[prev] = prof.seconds.get(prev, 0.0) + (
+                    now - state["t"]
+                )
+            if event == "line":
+                prof.hits[frame.f_lineno] = prof.hits.get(frame.f_lineno, 0) + 1
+                state["line"] = frame.f_lineno
+                state["t"] = time.perf_counter()
+            else:
+                state["line"] = None
+        return tracer
+
+    if measure_plain:
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        prof.plain_seconds = time.perf_counter() - t0
+        _, prof.plain_peak_memory = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    tracemalloc.start()
+    old = sys.gettrace()
+    t0 = time.perf_counter()
+    sys.settrace(tracer)
+    try:
+        prof.result = fn(*args, **kwargs)
+    finally:
+        sys.settrace(old)
+    prof.total_seconds = time.perf_counter() - t0
+    _, prof.peak_memory = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return prof
+
+
+@dataclass
+class StatementProfile:
+    """Runtime shares per IR statement (the PLTP input).
+
+    ``share[sid]`` is the fraction of the profiled time attributable to the
+    statement (including nested lines), normalized over the statements it
+    was built for.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    hits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values()) or 1e-12
+
+    def share(self, sid: str) -> float:
+        return self.seconds.get(sid, 0.0) / self.total
+
+    def shares(self) -> dict[str, float]:
+        t = self.total
+        return {sid: s / t for sid, s in self.seconds.items()}
+
+    def hottest(self) -> str | None:
+        if not self.seconds:
+            return None
+        return max(self.seconds, key=lambda s: self.seconds[s])
+
+    @classmethod
+    def from_line_profile(
+        cls,
+        statements: list[IRStatement],
+        line_profile: LineProfile,
+        line_offset: int = 0,
+    ) -> "StatementProfile":
+        """Fold line timings onto statements.
+
+        ``line_offset`` maps IR-relative line numbers to the absolute line
+        numbers the tracer saw (``func.first_line - 1`` for functions parsed
+        from live callables).
+        """
+        sp = cls()
+        for st in statements:
+            lo = st.line + line_offset
+            hi = st.end_line + line_offset
+            secs = sum(
+                t for ln, t in line_profile.seconds.items() if lo <= ln <= hi
+            )
+            hit = sum(
+                h for ln, h in line_profile.hits.items() if lo <= ln <= hi
+            )
+            sp.seconds[st.sid] = secs
+            sp.hits[st.sid] = hit
+        return sp
+
+    @classmethod
+    def from_costs(cls, costs: dict[str, float]) -> "StatementProfile":
+        """Build directly from known per-statement costs (used by tests and
+        by the simulator-backed benchmarks, where costs are modelled)."""
+        sp = cls()
+        sp.seconds = dict(costs)
+        sp.hits = {sid: 1 for sid in costs}
+        return sp
+
+
+def profile_loop_statements(
+    func_ir: IRFunction,
+    loop_sid: str,
+    fn: Callable,
+    args: tuple = (),
+    kwargs: dict | None = None,
+) -> tuple[StatementProfile, LineProfile]:
+    """Profile ``fn`` and aggregate onto the body statements of one loop."""
+    lp = profile_function(fn, args, kwargs)
+    loop_stmt = func_ir.statement(loop_sid)
+    offset = func_ir.first_line - 1
+    sp = StatementProfile.from_line_profile(loop_stmt.body, lp, offset)
+    return sp, lp

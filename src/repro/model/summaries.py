@@ -1,0 +1,222 @@
+"""Interprocedural access summaries.
+
+The semantic model is "the cross product" of the CFG, the data
+dependencies, **the call graph** and runtime information.  This module is
+where the call graph earns its place in that product: for every function
+of a program it computes which *parameters* the function reads and whose
+heap cells (container elements / attributes) it reads or writes —
+transitively through resolved calls, to a fixpoint.
+
+The dependence builder then maps callee summaries onto call arguments, so
+
+    def add_to(sink, v):
+        sink.append(v)
+
+    for x in xs:
+        add_to(out, x)        # <- the write to out[*] is now visible
+
+carries the ``out[*]`` mutation to the call site.  Unresolved callees keep
+the configured policy (optimistic: pure), exactly as before.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.frontend.ir import IRFunction
+from repro.frontend.rwsets import MUTATING_METHODS, AccessSets, Symbol
+from repro.frontend.source import SourceProgram
+
+
+@dataclass
+class FunctionSummary:
+    """Externally visible effects of one function, per parameter index."""
+
+    params: list[str] = field(default_factory=list)
+    #: parameter value is read (almost always true; kept for completeness)
+    value_reads: set[int] = field(default_factory=set)
+    #: heap cells reachable from the parameter are read
+    elem_reads: set[int] = field(default_factory=set)
+    #: heap cells reachable from the parameter are written
+    elem_writes: set[int] = field(default_factory=set)
+
+    def merge_from(self, other: "FunctionSummary", mapping: dict[int, int]) -> bool:
+        """Fold a callee summary through an argument mapping
+        (callee param index -> caller param index).  Returns True when the
+        caller summary grew (fixpoint detection)."""
+        grew = False
+        for callee_i, caller_i in mapping.items():
+            if callee_i in other.value_reads and caller_i not in self.value_reads:
+                self.value_reads.add(caller_i)
+                grew = True
+            if callee_i in other.elem_reads and caller_i not in self.elem_reads:
+                self.elem_reads.add(caller_i)
+                grew = True
+            if callee_i in other.elem_writes and caller_i not in self.elem_writes:
+                self.elem_writes.add(caller_i)
+                grew = True
+        return grew
+
+
+def _table_writes_resolved_in_program(
+    func: IRFunction, by_name: dict[str, list[str]]
+) -> set[Symbol]:
+    """Receiver-element writes the static mutating-method table added for
+    method names that actually resolve to *program* functions.
+
+    ``vec.add(o)`` matches ``set.add`` in the table, but when ``add`` is a
+    program method its real effects come from its own summary through the
+    fixpoint — the table write is a name collision and must not seed the
+    direct summary.
+    """
+    bogus: set[Symbol] = set()
+    for st in func.walk():
+        for node in ast.walk(st.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+                and node.func.attr in by_name
+            ):
+                base = _arg_base_text(node.func.value)
+                if base is not None:
+                    bogus.add(Symbol(f"{base}[*]"))
+    return bogus
+
+
+def _direct_summary(
+    func: IRFunction, by_name: dict[str, list[str]] | None = None
+) -> FunctionSummary:
+    """Parameter effects visible in the function's own statements."""
+    s = FunctionSummary(params=list(func.params))
+    index = {p: i for i, p in enumerate(func.params)}
+    ignore = (
+        _table_writes_resolved_in_program(func, by_name) if by_name else set()
+    )
+    for st in func.walk():
+        for r in st.accesses.reads:
+            i = index.get(r.base)
+            if i is None:
+                continue
+            s.value_reads.add(i)
+            if r.is_container or r.is_attribute:
+                s.elem_reads.add(i)
+        for w in st.accesses.writes:
+            if w in ignore:
+                continue
+            i = index.get(w.base)
+            if i is None:
+                continue
+            if w.is_container or w.is_attribute:
+                s.elem_writes.add(i)
+            # a plain rebinding of the parameter name has no external effect
+    return s
+
+
+def _call_sites(func: IRFunction):
+    """(callee spelling, argument expressions incl. the receiver) pairs."""
+    for st in func.walk():
+        for node in ast.walk(st.node):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Name):
+                yield fn.id, list(node.args)
+            elif isinstance(fn, ast.Attribute):
+                yield fn.attr, [fn.value, *node.args]
+
+
+def _arg_param_index(arg: ast.expr, params: dict[str, int]) -> int | None:
+    """Caller-parameter index an argument expression passes through, when
+    the argument is that parameter (or a projection of it)."""
+    node = arg
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return params.get(node.id)
+    return None
+
+
+def compute_summaries(
+    program: SourceProgram, max_rounds: int = 10
+) -> dict[str, FunctionSummary]:
+    """Fixpoint of direct summaries folded through resolved call sites.
+
+    Resolution is the same name-based scheme as the call graph: free calls
+    by function name, method calls by method name (the receiver becomes
+    argument 0).  Ambiguous names fold every candidate (may-effects).
+    """
+    by_name: dict[str, list[str]] = {}
+    for f in program:
+        by_name.setdefault(f.name, []).append(f.qualname)
+    summaries = {f.qualname: _direct_summary(f, by_name) for f in program}
+
+    funcs = {f.qualname: f for f in program}
+    for _ in range(max_rounds):
+        grew = False
+        for qual, func in funcs.items():
+            caller = summaries[qual]
+            params = {p: i for i, p in enumerate(func.params)}
+            for callee_name, args in _call_sites(func):
+                for callee_qual in by_name.get(callee_name, []):
+                    callee = summaries[callee_qual]
+                    mapping: dict[int, int] = {}
+                    for k, arg in enumerate(args):
+                        if k >= len(callee.params):
+                            break
+                        i = _arg_param_index(arg, params)
+                        if i is not None:
+                            mapping[k] = i
+                    if mapping and caller.merge_from(callee, mapping):
+                        grew = True
+        if not grew:
+            break
+    return summaries
+
+
+def call_effects(
+    stmt_node: ast.stmt,
+    summaries: dict[str, FunctionSummary],
+    by_name: dict[str, list[str]],
+) -> AccessSets:
+    """Heap effects a statement's resolved calls add at the call site.
+
+    Mutating methods from the known table are already handled by the
+    read/write-set extractor; this covers calls into *program* functions.
+    """
+    acc = AccessSets()
+    for node in ast.walk(stmt_node):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            name, args = fn.id, list(node.args)
+        elif isinstance(fn, ast.Attribute):
+            if fn.attr in MUTATING_METHODS and fn.attr not in by_name:
+                continue  # a genuine container mutation, covered statically
+            name, args = fn.attr, [fn.value, *node.args]
+        else:
+            continue
+        for qual in by_name.get(name, []):
+            summary = summaries[qual]
+            for k, arg in enumerate(args):
+                if k >= len(summary.params):
+                    break
+                base = _arg_base_text(arg)
+                if base is None:
+                    continue
+                if k in summary.elem_reads:
+                    acc.reads.add(Symbol(f"{base}[*]"))
+                if k in summary.elem_writes:
+                    acc.writes.add(Symbol(f"{base}[*]"))
+    return acc
+
+
+def _arg_base_text(arg: ast.expr) -> str | None:
+    if isinstance(arg, ast.Name):
+        return arg.id
+    if isinstance(arg, ast.Attribute):
+        inner = _arg_base_text(arg.value)
+        return f"{inner}.{arg.attr}" if inner else None
+    return None

@@ -1,0 +1,41 @@
+"""Source-pattern detection: mapping sequential code onto parallel patterns.
+
+This package is the heart of the paper's contribution: a catalog of
+(sequential source pattern, parallel target pattern) pairs and the rules
+that match them against the semantic model.  Implemented patterns — the
+same three as the paper — are **pipeline**, **data-parallel loop** and
+**master/worker**.
+"""
+
+from repro.patterns.base import (
+    PatternMatch,
+    SourcePattern,
+    StagePartition,
+)
+from repro.patterns.tuning import (
+    TuningParameter,
+    BoolParameter,
+    IntParameter,
+    ChoiceParameter,
+)
+from repro.patterns.pipeline import PipelinePattern, partition_stages
+from repro.patterns.doall import DoallPattern
+from repro.patterns.masterworker import MasterWorkerPattern, independent_groups
+from repro.patterns.catalog import PatternCatalog, default_catalog
+
+__all__ = [
+    "PatternMatch",
+    "SourcePattern",
+    "StagePartition",
+    "TuningParameter",
+    "BoolParameter",
+    "IntParameter",
+    "ChoiceParameter",
+    "PipelinePattern",
+    "partition_stages",
+    "DoallPattern",
+    "MasterWorkerPattern",
+    "independent_groups",
+    "PatternCatalog",
+    "default_catalog",
+]

@@ -1,0 +1,43 @@
+"""The parallel runtime library.
+
+"For the purpose of standardization, we implemented a runtime library that
+contains data types for parallel patterns and that is capable of handling
+tuning parameters" (paper, section 2.1).  Generated code — and engineers
+using Patty's *library-based parallel programming* mode — instantiate
+these types directly:
+
+>>> from repro.runtime import Item, MasterWorker, Pipeline
+>>> p1 = Item(lambda x: x + 1, name="inc", replicable=True)
+>>> p2 = Item(lambda x: x * 2, name="dbl")
+>>> pipe = Pipeline(p1, p2)
+>>> pipe.run([1, 2, 3])
+[4, 6, 8]
+"""
+
+from repro.runtime.buffer import BoundedBuffer, EndOfStream
+from repro.runtime.item import Item
+from repro.runtime.masterworker import MasterWorker
+from repro.runtime.pipeline import Pipeline, PipelineError
+from repro.runtime.parallel_for import (
+    parallel_for,
+    parallel_reduce,
+    configured_parallel_for,
+)
+from repro.runtime.futures import AutoFuture, spawn, join_all
+from repro.runtime.tunable import TuningConfig
+
+__all__ = [
+    "BoundedBuffer",
+    "EndOfStream",
+    "Item",
+    "MasterWorker",
+    "Pipeline",
+    "PipelineError",
+    "parallel_for",
+    "parallel_reduce",
+    "configured_parallel_for",
+    "AutoFuture",
+    "spawn",
+    "join_all",
+    "TuningConfig",
+]

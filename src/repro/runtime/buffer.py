@@ -1,0 +1,68 @@
+"""Bounded inter-stage buffers.
+
+Stage-binding pipelines "use buffers to connect predecessor and successor
+stages" (paper, section 2.2).  The buffer is a small bounded blocking queue
+with explicit end-of-stream handling; its capacity is the
+``BufferCapacity`` tuning parameter.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any
+
+
+class EndOfStream:
+    """Unique end-of-stream marker (one instance per pipeline run)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<end-of-stream>"
+
+
+class BoundedBuffer:
+    """A blocking FIFO with bounded capacity.
+
+    Implemented directly on a condition variable rather than
+    ``queue.Queue`` so tests can introspect occupancy (idle/overfull stages
+    are the phenomena StageReplication and StageFusion exist to fix).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self.max_occupancy = 0  # high-water mark, for diagnostics
+
+    def put(self, item: Any) -> None:
+        with self._not_full:
+            while len(self._items) >= self.capacity:
+                self._not_full.wait()
+            self._items.append(item)
+            self.max_occupancy = max(self.max_occupancy, len(self._items))
+            self._not_empty.notify()
+
+    def put_front(self, item: Any) -> None:
+        """Requeue at the head (sentinel redistribution between replicas);
+        deliberately ignores the capacity bound to avoid shutdown deadlock."""
+        with self._not_empty:
+            self._items.appendleft(item)
+            self._not_empty.notify()
+
+    def get(self) -> Any:
+        with self._not_empty:
+            while not self._items:
+                self._not_empty.wait()
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

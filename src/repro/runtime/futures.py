@@ -1,0 +1,54 @@
+"""AutoFutures — asynchronous single results.
+
+The authors' earlier work [20] ("Automatic parallelization using
+autofutures") wraps independent computations in implicitly-joined futures;
+the runtime library keeps the primitive because the master/worker code
+generator uses it for fire-and-join statement groups.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+
+class AutoFuture:
+    """Start ``fn(*args, **kwargs)`` immediately on a helper thread; the
+    value is joined on first access."""
+
+    def __init__(self, fn: Callable, *args: Any, **kwargs: Any) -> None:
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+
+        def run() -> None:
+            try:
+                self._value = fn(*args, **kwargs)
+            except BaseException as exc:
+                self._error = exc
+            finally:
+                self._done.set()
+
+        self._thread = threading.Thread(target=run, name="autofuture")
+        self._thread.start()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError("autofuture did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+def spawn(fn: Callable, *args: Any, **kwargs: Any) -> AutoFuture:
+    """Convenience constructor mirroring the generated-code spelling."""
+    return AutoFuture(fn, *args, **kwargs)
+
+
+def join_all(*futures: AutoFuture) -> list[Any]:
+    """Join a group of futures, re-raising the first failure."""
+    return [f.result() for f in futures]

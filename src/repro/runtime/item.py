@@ -1,0 +1,76 @@
+"""Pipeline work items.
+
+The paper's generated code (Fig. 3d) wraps each stage's work in an
+``Item``::
+
+    Item p1 = new Item(cropFilter.Apply());
+    ...
+    mw.Item(p3).replicable = true;
+
+An :class:`Item` here is the same: a named unary function plus its
+stage-level tuning state (replication degree, order preservation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Item:
+    """One pipeline stage's work function and tuning state."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        name: str | None = None,
+        replicable: bool = False,
+        replication: int = 1,
+        order_preservation: bool = True,
+    ) -> None:
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "stage")
+        self.replicable = replicable
+        self._replication = replication
+        self.order_preservation = order_preservation
+
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    @replication.setter
+    def replication(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("replication must be >= 1")
+        if value > 1 and not self.replicable:
+            raise ValueError(
+                f"stage {self.name!r} is not replicable; replication > 1 "
+                "would violate its ordering side effects"
+            )
+        self._replication = value
+
+    def apply(self, value: Any) -> Any:
+        return self.fn(value)
+
+    def fused_with(self, other: "Item") -> "Item":
+        """StageFusion: compose two adjacent stages into one thread's work.
+
+        The fused stage is replicable only if both parts are (a sequential
+        part would otherwise lose its ordering guarantee).
+        """
+        first, second = self.fn, other.fn
+
+        def fused(value: Any) -> Any:
+            return second(first(value))
+
+        item = Item(
+            fused,
+            name=f"{self.name}+{other.name}",
+            replicable=self.replicable and other.replicable,
+            order_preservation=self.order_preservation
+            or other.order_preservation,
+        )
+        return item
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rep = f", replication={self.replication}" if self.replication > 1 else ""
+        return f"Item({self.name}{rep})"

@@ -1,0 +1,98 @@
+"""The master/worker parallel pattern.
+
+Two usages, matching the paper:
+
+* standalone — a master distributes independent tasks to a worker pool and
+  joins the results (:meth:`MasterWorker.run`, :meth:`map`);
+* as a pipeline element (Fig. 3d: ``Pipeline(mw, p4, p5)``) — for each
+  stream element every member item is applied and the results merged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.runtime.item import Item
+
+
+class MasterWorker:
+    """Execute independent work items with a pool of worker threads."""
+
+    def __init__(
+        self,
+        *items: Item,
+        workers: int | None = None,
+        merge: Callable[[Any, Sequence[Any]], Any] | None = None,
+        name: str = "masterworker",
+    ) -> None:
+        self.items: list[Item] = list(items)
+        self.workers = workers or max(len(self.items), 1)
+        self.merge = merge or (lambda value, results: tuple(results))
+        self.name = name
+        # pipeline-element tuning state (an MW group is one pipeline stage)
+        self.replicable = all(i.replicable for i in self.items) if items else False
+        self.replication = 1
+        self.order_preservation = True
+
+    def item(self, index_or_name: int | str) -> Item:
+        """Address a member item (the paper's ``mw.Item(p3)``)."""
+        if isinstance(index_or_name, int):
+            return self.items[index_or_name]
+        for it in self.items:
+            if it.name == index_or_name:
+                return it
+        raise KeyError(index_or_name)
+
+    # ------------------------------------------------------------------
+    # standalone usage
+    # ------------------------------------------------------------------
+    def run(self, tasks: Iterable[Callable[[], Any]]) -> list[Any]:
+        """Execute independent thunks; results in task order."""
+        tasks = list(tasks)
+        results: list[Any] = [None] * len(tasks)
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+        next_task = [0]
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    i = next_task[0]
+                    if i >= len(tasks):
+                        return
+                    next_task[0] += 1
+                try:
+                    results[i] = tasks[i]()
+                except BaseException as exc:  # propagate to the master
+                    with lock:
+                        errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, name=f"{self.name}-w{k}")
+            for k in range(min(self.workers, len(tasks)) or 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def map(self, fn: Callable[[Any], Any], values: Iterable[Any]) -> list[Any]:
+        """Parallel map preserving input order."""
+        vals = list(values)
+        return self.run([lambda v=v: fn(v) for v in vals])
+
+    # ------------------------------------------------------------------
+    # pipeline-element usage
+    # ------------------------------------------------------------------
+    def apply(self, value: Any) -> Any:
+        """Apply every member to the stream element, merge the results."""
+        results = self.run([lambda it=it: it.apply(value) for it in self.items])
+        return self.merge(value, results)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MasterWorker({', '.join(i.name for i in self.items)})"

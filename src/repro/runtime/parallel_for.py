@@ -1,0 +1,173 @@
+"""The data-parallel loop target pattern.
+
+``parallel_for`` executes independent loop iterations on a worker pool,
+honouring the DOALL tuning parameters (``NumWorkers``, ``ChunkSize``,
+``Schedule``, ``SequentialExecution``).  Results are collected in index
+order — the "ordered collector" transformation for ``out.append(...)``
+loops — and ``parallel_reduce`` implements the reduction idiom with an
+associative combiner.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+
+def _chunks(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    return [(i, min(i + chunk_size, n)) for i in range(0, n, chunk_size)]
+
+
+def parallel_for(
+    values: Iterable[Any],
+    body: Callable[[Any], Any],
+    workers: int = 4,
+    chunk_size: int = 1,
+    schedule: str = "dynamic",
+    sequential: bool = False,
+    sequential_threshold: int = 0,
+) -> list[Any]:
+    """Apply ``body`` to every value; return results in input order.
+
+    ``schedule="static"`` pre-assigns chunks round-robin to workers;
+    ``"dynamic"`` lets workers pull the next chunk from a shared counter.
+    ``sequential=True`` (the SequentialExecution parameter) or a stream
+    shorter than ``sequential_threshold`` falls back to a plain loop so the
+    transformed program is never slower than the original.
+    """
+    vals = list(values)
+    n = len(vals)
+    if sequential or n <= sequential_threshold or workers <= 1 or n == 0:
+        return [body(v) for v in vals]
+
+    results: list[Any] = [None] * n
+    errors: list[BaseException] = []
+    chunks = _chunks(n, max(1, chunk_size))
+    nworkers = min(workers, len(chunks))
+
+    if schedule == "static":
+        assignments: list[list[tuple[int, int]]] = [[] for _ in range(nworkers)]
+        for i, c in enumerate(chunks):
+            assignments[i % nworkers].append(c)
+
+        def static_worker(mine: list[tuple[int, int]]) -> None:
+            try:
+                for lo, hi in mine:
+                    for i in range(lo, hi):
+                        results[i] = body(vals[i])
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=static_worker, args=(assignments[k],))
+            for k in range(nworkers)
+        ]
+    elif schedule == "dynamic":
+        lock = threading.Lock()
+        next_chunk = [0]
+
+        def dynamic_worker() -> None:
+            try:
+                while True:
+                    with lock:
+                        k = next_chunk[0]
+                        if k >= len(chunks):
+                            return
+                        next_chunk[0] += 1
+                    lo, hi = chunks[k]
+                    for i in range(lo, hi):
+                        results[i] = body(vals[i])
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=dynamic_worker) for _ in range(nworkers)
+        ]
+    else:
+        raise ValueError(f"unknown schedule {schedule!r}")
+
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+def parallel_reduce(
+    values: Iterable[Any],
+    body: Callable[[Any], Any],
+    op: Callable[[Any, Any], Any],
+    init: Any,
+    workers: int = 4,
+    chunk_size: int = 16,
+    sequential: bool = False,
+) -> Any:
+    """Map ``body`` over values and fold with the associative ``op``.
+
+    Each worker folds its chunks locally; partial results are combined in
+    chunk order, so even a merely-associative (non-commutative) ``op`` is
+    safe.
+    """
+    vals = list(values)
+    n = len(vals)
+    if sequential or workers <= 1 or n == 0:
+        acc = init
+        for v in vals:
+            acc = op(acc, body(v))
+        return acc
+
+    chunks = _chunks(n, max(1, chunk_size))
+    partials: list[Any] = [init] * len(chunks)
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    next_chunk = [0]
+
+    def worker() -> None:
+        try:
+            while True:
+                with lock:
+                    k = next_chunk[0]
+                    if k >= len(chunks):
+                        return
+                    next_chunk[0] += 1
+                lo, hi = chunks[k]
+                acc = init
+                for i in range(lo, hi):
+                    acc = op(acc, body(vals[i]))
+                partials[k] = acc
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker)
+        for _ in range(min(workers, len(chunks)))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+    acc = init
+    for p in partials:
+        acc = op(acc, p)
+    return acc
+
+
+def configured_parallel_for(
+    values: Iterable[Any],
+    body: Callable[[Any], Any],
+    config: dict[str, Any],
+) -> list[Any]:
+    """``parallel_for`` driven by a tuning configuration mapping."""
+    return parallel_for(
+        values,
+        body,
+        workers=int(config.get("NumWorkers@loop", 4)),
+        chunk_size=int(config.get("ChunkSize@loop", 1)),
+        schedule=str(config.get("Schedule@loop", "dynamic")),
+        sequential=bool(config.get("SequentialExecution@loop", False)),
+    )

@@ -1,0 +1,339 @@
+"""The tunable stage-binding pipeline.
+
+Implements the paper's pipeline target pattern with every PLTP tuning
+parameter honoured at run time:
+
+* ``StageReplication@<stage>`` — run the stage's work in parallel to
+  itself on consecutive stream elements (hierarchical parallelism);
+* ``OrderPreservation@<stage>`` — restore element order after a
+  replicated stage with a reorder buffer;
+* ``StageFusion@<a>/<b>`` — execute two adjacent stages in one thread,
+  saving thread and buffer overhead when a stage is cheap;
+* ``SequentialExecution@pipeline`` — run the whole pipeline in the calling
+  thread ("never leads to a slowdown" on short streams);
+* ``BufferCapacity@pipeline`` — inter-stage buffer bound.
+
+Threads are bound to stages (the paper's design choice), elements flow
+through bounded buffers carrying ``(sequence, value)`` pairs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+from repro.runtime.buffer import BoundedBuffer, EndOfStream
+from repro.runtime.item import Item
+from repro.runtime.masterworker import MasterWorker
+
+Element = Item | MasterWorker
+
+
+class PipelineError(RuntimeError):
+    """A stage raised; re-raised in the caller with the stage name."""
+
+
+class _Reorderer:
+    """Releases (seq, value) pairs to the output buffer in sequence order."""
+
+    def __init__(self, out: BoundedBuffer) -> None:
+        self.out = out
+        self.expected = 0
+        self.pending: dict[int, Any] = {}
+        self.lock = threading.Lock()
+
+    def put(self, seq: int, value: Any) -> None:
+        with self.lock:
+            self.pending[seq] = value
+            while self.expected in self.pending:
+                self.out.put((self.expected, self.pending.pop(self.expected)))
+                self.expected += 1
+
+    def flush(self) -> None:
+        with self.lock:
+            for seq in sorted(self.pending):
+                self.out.put((seq, self.pending.pop(seq)))
+
+
+class Pipeline:
+    """A pipeline over :class:`Item` / :class:`MasterWorker` elements.
+
+    Mirrors the paper's generated code::
+
+        p = Pipeline(mw, p4, p5)
+        p.input = avi_in.images
+        p.run()
+        return p.output
+    """
+
+    def __init__(
+        self,
+        *elements: Element,
+        buffer_capacity: int = 8,
+        sequential: bool = False,
+        sequential_threshold: int = 0,
+        name: str = "pipeline",
+    ) -> None:
+        if not elements:
+            raise ValueError("a pipeline needs at least one element")
+        self.elements: list[Element] = list(elements)
+        self.buffer_capacity = buffer_capacity
+        self.sequential = sequential
+        self.sequential_threshold = sequential_threshold
+        self.name = name
+        self.input: Iterable[Any] | None = None
+        self.output: list[Any] = []
+        self._fusions: set[str] = set()
+        self.stats: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # tuning
+    # ------------------------------------------------------------------
+    def element(self, name: str) -> Element:
+        for el in self.elements:
+            if el.name == name:
+                return el
+        raise KeyError(name)
+
+    def _resolve(self, name: str) -> tuple[Element, MasterWorker | None]:
+        """Find a stage by name, descending into master/worker groups.
+
+        Returns (element, enclosing_group).  Mirrors the paper's
+        ``mw.Item(p3)`` addressing of grouped items.
+        """
+        for el in self.elements:
+            if el.name == name:
+                return el, None
+            if isinstance(el, MasterWorker):
+                for member in el.items:
+                    if member.name == name:
+                        return member, el
+        raise KeyError(name)
+
+    def configure(self, config: dict[str, Any]) -> None:
+        """Apply a tuning configuration ({'StageReplication@B': 2, ...}).
+
+        Unknown stage names raise; unknown parameter names raise — a typo in
+        a tuning file must not be silently ignored.
+        """
+        for key, value in config.items():
+            if "@" not in key:
+                raise KeyError(f"malformed tuning key {key!r}")
+            pname, target = key.split("@", 1)
+            if pname == "StageReplication":
+                el, group = self._resolve(target)
+                if group is None:
+                    el.replication = int(value)
+                else:
+                    # replicating a grouped item widens the whole group
+                    # stage (the group applies every member per element)
+                    el.replication = int(value)
+                    if not group.replicable and int(value) > 1:
+                        raise ValueError(
+                            f"group {group.name!r} holding stage {target!r} "
+                            "is not replicable"
+                        )
+                    group.replication = max(
+                        getattr(m, "replication", 1) for m in group.items
+                    )
+            elif pname == "OrderPreservation":
+                el, group = self._resolve(target)
+                (group or el).order_preservation = bool(value)
+            elif pname == "StageFusion":
+                if "/" not in target:
+                    raise KeyError(f"StageFusion target must be 'a/b': {key!r}")
+                if value:
+                    self._fusions.add(target)
+                else:
+                    self._fusions.discard(target)
+            elif pname == "SequentialExecution":
+                self.sequential = bool(value)
+            elif pname == "BufferCapacity":
+                self.buffer_capacity = int(value)
+            elif pname in ("NumWorkers", "ChunkSize", "Schedule"):
+                continue  # parameters of sibling patterns; tolerated in shared files
+            else:
+                raise KeyError(f"unknown tuning parameter {pname!r}")
+
+    def _effective_elements(self) -> list[Element]:
+        """Apply StageFusion pairs to the element list."""
+        elements = list(self.elements)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(elements) - 1):
+                a, b = elements[i], elements[i + 1]
+                pair = f"{a.name}/{b.name}"
+                if pair in self._fusions and isinstance(a, Item) and isinstance(b, Item):
+                    elements[i : i + 2] = [a.fused_with(b)]
+                    changed = True
+                    break
+        return elements
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, input: Iterable[Any] | None = None) -> list[Any]:
+        """Execute the pipeline over ``input`` (or ``self.input``)."""
+        if input is not None:
+            self.input = input
+        if self.input is None:
+            raise ValueError("pipeline has no input stream")
+        values = list(self.input)
+
+        elements = self._effective_elements()
+        if self.sequential or len(values) <= self.sequential_threshold:
+            self.output = self._run_sequential(values, elements)
+            return self.output
+        self.output = list(self._stream_threaded(iter(values), elements))
+        return self.output
+
+    def stream(self, input: Iterable[Any] | None = None):
+        """Lazy execution over a possibly unbounded stream.
+
+        The input iterable is consumed on demand (backpressure comes from
+        the bounded buffers) and results are yielded as the final stage
+        delivers them — the truly continuous data flow of the paper's
+        pipeline characterization.  ``SequentialExecution`` degrades to a
+        plain generator loop.
+        """
+        if input is not None:
+            self.input = input
+        if self.input is None:
+            raise ValueError("pipeline has no input stream")
+        elements = self._effective_elements()
+        if self.sequential:
+            def seq_gen():
+                for v in self.input:  # type: ignore[union-attr]
+                    for el in elements:
+                        v = el.apply(v)
+                    yield v
+
+            return seq_gen()
+        return self._stream_threaded(iter(self.input), elements)
+
+    def _run_sequential(
+        self, values: list[Any], elements: list[Element]
+    ) -> list[Any]:
+        out = []
+        for v in values:
+            for el in elements:
+                v = el.apply(v)
+            out.append(v)
+        return out
+
+    def _stream_threaded(self, values, elements: list[Element]):
+        eos = EndOfStream()
+        n = len(elements)
+        buffers = [
+            BoundedBuffer(self.buffer_capacity) for _ in range(n + 1)
+        ]
+        errors: list[tuple[str, BaseException]] = []
+        err_lock = threading.Lock()
+
+        def fail(stage: str, exc: BaseException) -> None:
+            with err_lock:
+                errors.append((stage, exc))
+
+        threads: list[threading.Thread] = []
+
+        # implicit first stage: the StreamGenerator (PLPL); consumes the
+        # input lazily — the bounded buffer provides backpressure
+        def generator() -> None:
+            try:
+                for seq, v in enumerate(values):
+                    if errors:
+                        break
+                    buffers[0].put((seq, v))
+            except BaseException as exc:
+                fail("<stream-generator>", exc)
+            buffers[0].put(eos)
+
+        threads.append(
+            threading.Thread(target=generator, name=f"{self.name}-gen")
+        )
+
+        for i, el in enumerate(elements):
+            replication = getattr(el, "replication", 1)
+            inbuf, outbuf = buffers[i], buffers[i + 1]
+            ordered = replication > 1 and getattr(el, "order_preservation", True)
+            reorder = _Reorderer(outbuf) if ordered else None
+            remaining = [replication]
+            stage_lock = threading.Lock()
+
+            def stage_worker(
+                el: Element = el,
+                inbuf: BoundedBuffer = inbuf,
+                outbuf: BoundedBuffer = outbuf,
+                reorder: _Reorderer | None = reorder,
+                remaining: list[int] = remaining,
+                stage_lock: threading.Lock = stage_lock,
+            ) -> None:
+                while True:
+                    item = inbuf.get()
+                    if isinstance(item, EndOfStream):
+                        with stage_lock:
+                            remaining[0] -= 1
+                            last = remaining[0] == 0
+                        if not last:
+                            inbuf.put(item)  # hand the sentinel to a sibling
+                        else:
+                            if reorder is not None:
+                                reorder.flush()
+                            outbuf.put(item)
+                        return
+                    seq, value = item
+                    if errors:
+                        continue  # drain mode: keep buffers moving upstream
+                    try:
+                        result = el.apply(value)
+                    except BaseException as exc:
+                        fail(el.name, exc)
+                        continue  # switch to drain mode until the sentinel
+                    if reorder is not None:
+                        reorder.put(seq, result)
+                    else:
+                        outbuf.put((seq, result))
+
+            for r in range(replication):
+                threads.append(
+                    threading.Thread(
+                        target=stage_worker, name=f"{self.name}-{el.name}-{r}"
+                    )
+                )
+
+        for t in threads:
+            t.start()
+
+        # the caller consumes the final buffer; values are yielded as they
+        # arrive (seq order when every replicated stage preserves order,
+        # arrival order otherwise — the OrderPreservation=False contract)
+        final = buffers[-1]
+        finished = False
+        try:
+            while True:
+                item = final.get()
+                if isinstance(item, EndOfStream):
+                    finished = True
+                    break
+                if not errors:
+                    yield item[1]
+        finally:
+            if not finished:
+                # the consumer abandoned the stream: switch the pipeline
+                # into drain mode and swallow the remainder so every
+                # blocked stage can unwind before we join
+                fail("<consumer>", GeneratorExit("stream abandoned"))
+                while not isinstance(final.get(), EndOfStream):
+                    pass
+            for t in threads:
+                t.join()
+            self.stats = {
+                "buffer_high_water": [b.max_occupancy for b in buffers],
+                "stages": [el.name for el in elements],
+            }
+            if finished and errors:
+                stage, exc = errors[0]
+                raise PipelineError(
+                    f"stage {stage!r} failed: {exc!r}"
+                ) from exc

@@ -1,0 +1,38 @@
+"""Discrete-event multicore simulator.
+
+DESIGN.md substitution: the paper measures parallel performance on real
+.NET threads over real multicore hardware; under CPython's GIL (and a
+single-core CI container) wall-clock speedups are meaningless, so every
+performance experiment runs on this simulator instead.  It models cores,
+per-element stage costs, thread-spawn/synchronization/buffer overheads,
+bounded buffers and order-preservation delays — the quantities the PLTP
+tuning parameters trade against each other — on top of a small
+coroutine-based DES kernel (:mod:`repro.simcore.events`).
+"""
+
+from repro.simcore.events import Environment, Event, Process, Resource, Store
+from repro.simcore.machine import Machine
+from repro.simcore.costmodel import StageCosts, WorkloadCosts
+from repro.simcore.simulate import (
+    SimResult,
+    simulate_pipeline,
+    simulate_doall,
+    simulate_masterworker,
+    simulate_sequential,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Resource",
+    "Store",
+    "Machine",
+    "StageCosts",
+    "WorkloadCosts",
+    "SimResult",
+    "simulate_pipeline",
+    "simulate_doall",
+    "simulate_masterworker",
+    "simulate_sequential",
+]

@@ -1,0 +1,139 @@
+"""Per-element cost models for the simulated workloads.
+
+A :class:`StageCosts` answers "how long does stage *i* spend on element
+*k*" — constant, imbalanced, or randomized (seeded); a
+:class:`WorkloadCosts` bundles the stage list with the stream length.
+Benchmark files build these to mirror the paper's workloads (video filter
+chains, ray tracing rows, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+CostFn = Callable[[int], float]
+
+
+@dataclass
+class StageCosts:
+    """Per-element processing cost of one pipeline stage."""
+
+    name: str
+    fn: CostFn
+    replicable: bool = True
+
+    @classmethod
+    def constant(
+        cls, name: str, cost: float, replicable: bool = True
+    ) -> "StageCosts":
+        return cls(name=name, fn=lambda k: cost, replicable=replicable)
+
+    @classmethod
+    def jittered(
+        cls,
+        name: str,
+        mean: float,
+        jitter: float = 0.2,
+        seed: int = 0,
+        replicable: bool = True,
+    ) -> "StageCosts":
+        """Uniform jitter around a mean, deterministic per element."""
+        rng = random.Random(seed ^ hash(name) & 0xFFFFFFFF)
+        n_cache: dict[int, float] = {}
+
+        def fn(k: int) -> float:
+            if k not in n_cache:
+                n_cache[k] = mean * (1.0 + jitter * (2 * rng.random() - 1.0))
+            return n_cache[k]
+
+        return cls(name=name, fn=fn, replicable=replicable)
+
+    def cost(self, k: int) -> float:
+        return self.fn(k)
+
+    def total(self, n: int) -> float:
+        return sum(self.fn(k) for k in range(n))
+
+
+@dataclass
+class WorkloadCosts:
+    """A stream of ``n`` elements through a chain of stages."""
+
+    stages: list[StageCosts]
+    n: int
+    #: per-element cost of the implicit StreamGenerator (loop header)
+    generator_cost: float = 0.2e-6
+
+    def sequential_time(self) -> float:
+        """Time of the original sequential loop (header + body per element)."""
+        return self.n * self.generator_cost + sum(
+            s.total(self.n) for s in self.stages
+        )
+
+    def bottleneck(self) -> int:
+        """Index of the stage with the largest total runtime share."""
+        totals = [s.total(self.n) for s in self.stages]
+        return max(range(len(totals)), key=totals.__getitem__)
+
+    def shares(self) -> list[float]:
+        totals = [s.total(self.n) for s in self.stages]
+        grand = sum(totals) or 1e-30
+        return [t / grand for t in totals]
+
+
+def video_filter_workload(
+    n: int = 200,
+    crop: float = 40e-6,
+    histogram: float = 45e-6,
+    oil: float = 220e-6,
+    convert: float = 60e-6,
+    collect: float = 5e-6,
+    seed: int = 7,
+) -> WorkloadCosts:
+    """The paper's Fig. 2 AviStream example: three parallel filters, a
+    combiner and a sink; the oil filter dominates (the StageReplication
+    showcase)."""
+    return WorkloadCosts(
+        stages=[
+            StageCosts.jittered("crop", crop, 0.15, seed),
+            StageCosts.jittered("histogram", histogram, 0.15, seed + 1),
+            StageCosts.jittered("oil", oil, 0.25, seed + 2),
+            StageCosts.jittered("convert", convert, 0.10, seed + 3),
+            StageCosts.constant("collect", collect, replicable=False),
+        ],
+        n=n,
+    )
+
+
+def balanced_workload(
+    n: int = 200, stages: int = 4, cost: float = 80e-6
+) -> WorkloadCosts:
+    """Evenly distributed stage times — the pipeline's best case
+    (Tournavitis & Franke's observation cited in section 2.2)."""
+    return WorkloadCosts(
+        stages=[
+            StageCosts.constant(f"s{i}", cost) for i in range(stages)
+        ],
+        n=n,
+    )
+
+
+def imbalanced_workload(
+    n: int = 200,
+    cheap: float = 10e-6,
+    hot: float = 300e-6,
+    stages: int = 4,
+    hot_index: int = 1,
+) -> WorkloadCosts:
+    """One dominating stage — StageReplication's motivating case."""
+    return WorkloadCosts(
+        stages=[
+            StageCosts.constant(
+                f"s{i}", hot if i == hot_index else cheap
+            )
+            for i in range(stages)
+        ],
+        n=n,
+    )

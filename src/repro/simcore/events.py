@@ -1,0 +1,222 @@
+"""A minimal coroutine-based discrete-event simulation kernel.
+
+The shape deliberately follows SimPy's process-interaction style (an
+external dependency we cannot assume offline): simulation logic is written
+as generators that ``yield`` events — timeouts, resource requests, store
+gets/puts — and an :class:`Environment` advances virtual time.
+
+Only the features the pattern simulators need are implemented, which keeps
+the kernel small enough to verify by reading.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator
+
+
+class Event:
+    """A one-shot occurrence; callbacks fire when it triggers."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.processed = False  # set once callbacks have been dispatched
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.value = value
+        self.triggered = True
+        self.env._schedule(self, 0.0)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} triggered={self.triggered}>"
+
+
+class Timeout(Event):
+    def __init__(self, env: "Environment", delay: float) -> None:
+        super().__init__(env)
+        if delay < 0:
+            raise ValueError("negative delay")
+        self.triggered = True
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Drives a generator; triggers (as an event) when the generator ends."""
+
+    def __init__(self, env: "Environment", gen: Generator) -> None:
+        super().__init__(env)
+        self.gen = gen
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            nxt = self.gen.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(nxt, Event):
+            raise TypeError(
+                f"process yielded {nxt!r}; only Event instances are allowed"
+            )
+        if nxt.processed:
+            # the event already fired; resume immediately (same virtual time)
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            relay.succeed(nxt.value)
+        else:
+            nxt.callbacks.append(self._resume)
+
+
+class Environment:
+    """The event loop: a heap of (time, tiebreak, event)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), event))
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap empties (or virtual ``until``)."""
+        while self._heap:
+            t, _, event = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            self.now = t
+            # snapshot: callbacks may add further callbacks to *other* events
+            callbacks, event.callbacks = event.callbacks, []
+            event.processed = True
+            for cb in callbacks:
+                cb(event)
+        return self.now
+
+
+class Resource:
+    """A counted resource (e.g. CPU cores) with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: deque[Event] = deque()
+        # occupancy integral for utilization reporting
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Event:
+        ev = Event(self.env)
+        self._account()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self) -> None:
+        self._account()
+        if self._waiting:
+            ev = self._waiting.popleft()
+            ev.succeed()  # hand the slot over; in_use stays constant
+        else:
+            self.in_use -= 1
+
+    def utilization(self, horizon: float) -> float:
+        self._account()
+        if horizon <= 0:
+            return 0.0
+        return self._busy_time / (horizon * self.capacity)
+
+
+class Store:
+    """A bounded FIFO channel between processes."""
+
+    def __init__(self, env: Environment, capacity: int = 2**30) -> None:
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        self.max_occupancy = 0
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            self.max_occupancy = max(self.max_occupancy, len(self.items))
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._drain_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            pev, item = self._putters.popleft()
+            self.items.append(item)
+            self.max_occupancy = max(self.max_occupancy, len(self.items))
+            pev.succeed()
+
+
+def all_of(env: Environment, events: list[Event]) -> Event:
+    """An event that triggers when every constituent has triggered."""
+    done = Event(env)
+    remaining = [len(events)]
+    if not events:
+        return done.succeed()
+
+    def on_done(_: Event) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            done.succeed()
+
+    for ev in events:
+        if ev.processed:
+            remaining[0] -= 1
+        else:
+            ev.callbacks.append(on_done)
+    if remaining[0] == 0 and not done.triggered:
+        done.succeed()
+    return done

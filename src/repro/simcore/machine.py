@@ -1,0 +1,44 @@
+"""The simulated target multicore platform.
+
+Overhead magnitudes follow the usual order on commodity multicores:
+spawning a thread costs tens of microseconds, a synchronized buffer
+operation about a microsecond.  Absolute values matter less than their
+*ratios* to stage costs — those ratios produce the paper's phenomena
+(threading overhead dominating short streams, fusion paying off for cheap
+stages, replication paying off for hot ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A symmetric multicore with uniform cores."""
+
+    cores: int = 4
+    #: one-time cost of creating a worker thread
+    thread_spawn: float = 50e-6
+    #: cost of one synchronized buffer put or get
+    buffer_op: float = 1.0e-6
+    #: cost of acquiring/releasing a lock or semaphore
+    sync_op: float = 0.5e-6
+    #: per-element bookkeeping when OrderPreservation reorders output
+    reorder_op: float = 0.8e-6
+    #: per-chunk dispatch cost of a dynamic DOALL schedule
+    dispatch_op: float = 1.2e-6
+
+    def with_cores(self, cores: int) -> "Machine":
+        return replace(self, cores=cores)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("a machine needs at least one core")
+
+
+#: the platform used by the paper-shaped benchmarks unless stated otherwise
+DEFAULT_MACHINE = Machine(cores=4)
+
+#: a generous server used by scaling sweeps
+BIG_MACHINE = Machine(cores=16)

@@ -1,0 +1,51 @@
+"""User-study simulator.
+
+DESIGN.md substitution: the paper's evaluation is a 10-participant user
+study; humans cannot be re-run, so this package models them.  Each
+participant is a skill-parameterized stochastic agent; each tool (Patty,
+"Parallel Studio", manual Visual Studio) is a behavioural model whose
+constants are calibrated to the causal story the paper tells — Patty's
+immediate automatic detection, Intel's annotation-language ramp-up,
+the manual group's fast profiler-driven first find, low coverage and
+race-oblivious false positives.  Every reported statistic (Tables 1-2,
+Fig. 5a/5b, the effectivity numbers) is *recomputed* from simulated
+sessions and questionnaires, not transcribed.
+"""
+
+from repro.study.skills import SkillClass, SkillProfile
+from repro.study.participants import Participant, recruit, compose_groups
+from repro.study.tools import ToolKind, ToolModel, PATTY, PARALLEL_STUDIO, MANUAL
+from repro.study.session import SessionResult, simulate_session
+from repro.study.questionnaire import (
+    COMPREHENSIBILITY_INDICATORS,
+    ASSISTANCE_INDICATORS,
+    normalize_score,
+    fill_questionnaire,
+)
+from repro.study.features import FEATURES, Feature, feature_survey
+from repro.study.evaluate import DEFAULT_STUDY_SEED, StudyResults, run_study
+
+__all__ = [
+    "SkillClass",
+    "SkillProfile",
+    "Participant",
+    "recruit",
+    "compose_groups",
+    "ToolKind",
+    "ToolModel",
+    "PATTY",
+    "PARALLEL_STUDIO",
+    "MANUAL",
+    "SessionResult",
+    "simulate_session",
+    "COMPREHENSIBILITY_INDICATORS",
+    "ASSISTANCE_INDICATORS",
+    "normalize_score",
+    "fill_questionnaire",
+    "FEATURES",
+    "Feature",
+    "feature_survey",
+    "DEFAULT_STUDY_SEED",
+    "StudyResults",
+    "run_study",
+]

@@ -1,0 +1,90 @@
+"""Fig. 5a: desired features of parallelization tools.
+
+The manual control group rated how helpful nine tool features would have
+been; the figure plots averages with upper/lower quantiles, colouring the
+features Patty already provides.  The paper's conclusions: Patty covers
+five of the nine features and three of the top five; Parallel Studio
+covers two overall and one of the top five (Visualize runtime
+distribution).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.study.participants import Participant
+from repro.study.tools import PARALLEL_STUDIO, PATTY
+
+
+@dataclass(frozen=True)
+class Feature:
+    name: str
+    #: latent desirability on the [-3, +3] scale
+    desirability: float
+    spread: float
+
+
+#: calibrated so that the top five (by mean) contain three Patty features
+#: and exactly one Parallel Studio feature, matching the paper's counts
+FEATURES: tuple[Feature, ...] = (
+    Feature("Emphasize source", 1.2, 0.8),
+    Feature("Model source", 0.6, 1.0),
+    Feature("Visualize call graph", 1.3, 0.9),
+    Feature("Visualize runtime distribution", 2.4, 0.5),
+    Feature("Show data dependencies", 2.1, 0.6),
+    Feature("Show control dependencies", 1.0, 0.9),
+    Feature("Provide parallel strategies", 2.3, 0.6),
+    Feature("Support validation", 1.9, 0.8),
+    Feature("Support performance optimization", 1.9, 0.7),
+)
+
+
+@dataclass
+class FeatureSurveyRow:
+    feature: str
+    average: float
+    lower_quantile: float
+    upper_quantile: float
+    patty_has: bool
+    intel_has: bool
+
+
+def feature_survey(
+    manual_group: list[Participant], rng: random.Random
+) -> list[FeatureSurveyRow]:
+    """Sample the manual group's feature ratings (Fig. 5a data)."""
+    rows: list[FeatureSurveyRow] = []
+    for feat in FEATURES:
+        votes = sorted(
+            max(-3.0, min(3.0, rng.gauss(feat.desirability, feat.spread)))
+            for _ in manual_group
+        )
+        n = len(votes)
+        avg = sum(votes) / n
+        rows.append(
+            FeatureSurveyRow(
+                feature=feat.name,
+                average=avg,
+                lower_quantile=votes[max(0, n // 4)],
+                upper_quantile=votes[min(n - 1, (3 * n) // 4)],
+                patty_has=feat.name in PATTY.features,
+                intel_has=feat.name in PARALLEL_STUDIO.features,
+            )
+        )
+    return rows
+
+
+def coverage_counts(
+    rows: list[FeatureSurveyRow],
+) -> dict[str, tuple[int, int]]:
+    """(overall, top-five) feature coverage per tool."""
+    top5 = {
+        r.feature
+        for r in sorted(rows, key=lambda r: r.average, reverse=True)[:5]
+    }
+    patty_all = sum(r.patty_has for r in rows)
+    patty_top = sum(r.patty_has for r in rows if r.feature in top5)
+    intel_all = sum(r.intel_has for r in rows)
+    intel_top = sum(r.intel_has for r in rows if r.feature in top5)
+    return {"Patty": (patty_all, patty_top), "intel": (intel_all, intel_top)}

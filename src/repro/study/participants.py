@@ -1,0 +1,84 @@
+"""Participant pool and group composition."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.study.skills import SkillClass, SkillProfile
+
+
+@dataclass(frozen=True)
+class Participant:
+    pid: int
+    profile: SkillProfile
+
+    @property
+    def skill_class(self) -> SkillClass:
+        return self.profile.skill_class
+
+
+def recruit(n: int = 10, seed: int = 2015) -> list[Participant]:
+    """Recruit ``n`` participants with the paper's skill spread: a couple
+    of multicore experts, a majority of experienced sequential engineers,
+    and some novices."""
+    rng = random.Random(seed)
+    pool: list[Participant] = []
+    for pid in range(n):
+        if pid < 2:  # multicore-experienced
+            profile = SkillProfile(
+                software=rng.uniform(0.7, 0.95),
+                multicore=rng.uniform(0.65, 0.9),
+            )
+        elif pid < 7:  # experienced SE, little multicore
+            profile = SkillProfile(
+                software=rng.uniform(0.5, 0.85),
+                multicore=rng.uniform(0.1, 0.45),
+            )
+        else:  # inexperienced
+            profile = SkillProfile(
+                software=rng.uniform(0.15, 0.45),
+                multicore=rng.uniform(0.0, 0.25),
+            )
+        pool.append(Participant(pid=pid, profile=profile))
+    return pool
+
+
+def compose_groups(
+    participants: list[Participant],
+    sizes: tuple[int, ...] = (3, 4, 3),
+) -> list[list[Participant]]:
+    """Skill-balanced group assignment (greedy snake draft).
+
+    Mirrors "from this score we composed three groups with an equal
+    average experience level": participants are sorted by interview score
+    and dealt to the group with the lowest running average that still has
+    room.
+    """
+    if sum(sizes) != len(participants):
+        raise ValueError("group sizes must cover all participants")
+    order = sorted(
+        participants, key=lambda p: p.profile.overall, reverse=True
+    )
+    groups: list[list[Participant]] = [[] for _ in sizes]
+
+    def running_avg(i: int) -> float:
+        g = groups[i]
+        return sum(p.profile.overall for p in g) / len(g) if g else 0.0
+
+    for p in order:
+        open_groups = [
+            i for i, g in enumerate(groups) if len(g) < sizes[i]
+        ]
+        target = min(open_groups, key=running_avg)
+        groups[target].append(p)
+    return groups
+
+
+def group_balance(groups: list[list[Participant]]) -> float:
+    """Max pairwise difference of the groups' average interview scores —
+    small means the composition is balanced."""
+    avgs = [
+        sum(p.profile.overall for p in g) / len(g) for g in groups if g
+    ]
+    return max(avgs) - min(avgs)

@@ -1,0 +1,137 @@
+"""Questionnaire model and score normalization.
+
+The paper uses the standardized format of Laugwitz et al. [32]: items on
+a 0-7 scale in *cross-value order* (for some items 0 is best, for others
+7), later normalized to [-3 (worst), +3 (best)].
+
+Latent tool qualities are calibrated to the study's findings (Patty rated
+higher on every indicator; the Intel group's satisfaction highly spread,
+with the most multicore-skilled participant loving the tool); participant
+noise produces the per-group standard deviations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.study.participants import Participant
+from repro.study.session import SessionResult
+from repro.study.tools import ToolKind
+
+COMPREHENSIBILITY_INDICATORS = (
+    "Clarity",
+    "Complexity",
+    "Perceivability",
+    "Learnability",
+)
+
+ASSISTANCE_INDICATORS = (
+    "Perceived tool support",
+    "Subjective satisfaction with result",
+)
+
+#: latent quality per (tool, indicator) on the [-3, +3] scale — the
+#: calibration constants of the simulator (targets: Table 1 and Table 2)
+_LATENT: dict[tuple[ToolKind, str], tuple[float, float]] = {
+    # (mean, participant spread)
+    (ToolKind.PATTY, "Clarity"): (2.0, 0.7),
+    (ToolKind.PATTY, "Complexity"): (2.0, 1.4),
+    (ToolKind.PATTY, "Perceivability"): (2.33, 0.8),
+    (ToolKind.PATTY, "Learnability"): (2.33, 0.6),
+    (ToolKind.PARALLEL_STUDIO, "Clarity"): (1.0, 1.7),
+    (ToolKind.PARALLEL_STUDIO, "Complexity"): (0.75, 1.0),
+    (ToolKind.PARALLEL_STUDIO, "Perceivability"): (1.0, 1.0),
+    (ToolKind.PARALLEL_STUDIO, "Learnability"): (1.25, 1.6),
+    (ToolKind.PATTY, "Perceived tool support"): (2.0, 1.7),
+    (ToolKind.PATTY, "Subjective satisfaction with result"): (0.67, 0.6),
+    (ToolKind.PARALLEL_STUDIO, "Perceived tool support"): (1.75, 1.0),
+    (ToolKind.PARALLEL_STUDIO, "Subjective satisfaction with result"): (
+        -0.25,
+        2.75,
+    ),
+}
+
+#: indicators whose raw 0-7 item is reversed (0 = best) — the paper's
+#: "cross-value order"
+_REVERSED = frozenset({"Complexity", "Subjective satisfaction with result"})
+
+
+def to_raw(normalized: float, reversed_item: bool) -> float:
+    """[-3, +3] -> the 0-7 questionnaire scale (possibly reversed)."""
+    raw = normalized + 3.0 + 0.5  # -3..+3 -> 0.5..6.5, centered on items
+    raw = min(7.0, max(0.0, raw))
+    return 7.0 - raw if reversed_item else raw
+
+
+def normalize_score(raw: float, reversed_item: bool) -> float:
+    """The 0-7 item back to [-3 (worst), +3 (best)] (inverse of to_raw)."""
+    value = 7.0 - raw if reversed_item else raw
+    return value - 3.5
+
+
+@dataclass
+class Questionnaire:
+    """One participant's normalized answers."""
+
+    participant: Participant
+    tool: ToolKind
+    answers: dict[str, float]
+
+
+def fill_questionnaire(
+    session: SessionResult, rng: random.Random
+) -> Questionnaire:
+    """Sample a questionnaire from the latent tool qualities.
+
+    The satisfaction item also reacts to the objective outcome: finding
+    everything feels good, and (per the paper's anecdote) high multicore
+    skill inflates the Intel tool's scores.
+    """
+    tool = session.tool
+    prof = session.participant.profile
+    answers: dict[str, float] = {}
+    for indicator in COMPREHENSIBILITY_INDICATORS + ASSISTANCE_INDICATORS:
+        key = (tool, indicator)
+        if key not in _LATENT:
+            continue
+        mean, spread = _LATENT[key]
+        value = rng.gauss(mean, spread)
+        if indicator == "Subjective satisfaction with result":
+            # satisfaction reacts to the objective result: every missed
+            # location hurts
+            value += 0.6 * (session.n_correct - 3)
+            if tool is ToolKind.PARALLEL_STUDIO:
+                # the multicore expert "gave intel's Parallel Studio
+                # excellent scores"
+                value += 2.5 * max(0.0, prof.multicore - 0.5)
+        # round-trip through the 0-7 cross-value form like the real
+        # questionnaire; four items per indicator, averaged, as in the
+        # standardized format of [32]
+        reversed_item = indicator in _REVERSED
+        items = []
+        for _ in range(4):
+            raw = round(to_raw(value + rng.gauss(0.0, 0.5), reversed_item))
+            raw = min(7, max(0, raw))
+            items.append(normalize_score(raw, reversed_item))
+        score = sum(items) / len(items)
+        answers[indicator] = max(-3.0, min(3.0, score))
+    return Questionnaire(
+        participant=session.participant, tool=tool, answers=answers
+    )
+
+
+def aggregate(
+    questionnaires: list[Questionnaire], indicators: tuple[str, ...]
+) -> dict[str, tuple[float, float]]:
+    """Per-indicator (average, standard deviation) like Tables 1 and 2."""
+    out: dict[str, tuple[float, float]] = {}
+    for ind in indicators:
+        values = [q.answers[ind] for q in questionnaires if ind in q.answers]
+        if not values:
+            continue
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / max(1, n - 1)
+        out[ind] = (mean, var**0.5)
+    return out

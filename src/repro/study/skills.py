@@ -1,0 +1,45 @@
+"""Participant skill modelling.
+
+The paper classifies participants "from inexperienced in software
+engineering, experienced in software engineering but inexperienced in
+multicore engineering, to experienced in multicore engineering"; skill
+levels were retrieved in pre-study interviews and groups composed with an
+equal average experience level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SkillClass(enum.Enum):
+    INEXPERIENCED = "inexperienced in software engineering"
+    EXPERIENCED_SE = "experienced in SE, inexperienced in multicore"
+    EXPERIENCED_MC = "experienced in multicore engineering"
+
+
+@dataclass(frozen=True)
+class SkillProfile:
+    """Continuous skills in [0, 1] plus the paper's coarse class."""
+
+    software: float
+    multicore: float
+
+    def __post_init__(self) -> None:
+        for v in (self.software, self.multicore):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError("skill levels live in [0, 1]")
+
+    @property
+    def skill_class(self) -> SkillClass:
+        if self.multicore >= 0.6:
+            return SkillClass.EXPERIENCED_MC
+        if self.software >= 0.5:
+            return SkillClass.EXPERIENCED_SE
+        return SkillClass.INEXPERIENCED
+
+    @property
+    def overall(self) -> float:
+        """The interview score used for group balancing."""
+        return 0.5 * (self.software + self.multicore)

@@ -1,0 +1,122 @@
+"""Behavioural tool models.
+
+Calibration targets come straight from the paper's observations:
+
+* **Patty** — "the Patty group immediately started parallelizing (avg
+  0.33 min)"; automatic detection reports every candidate, so coverage is
+  limited only by the participant accepting the output; first correct
+  location after the analysis run, avg ≈ 6.66 min; total ≈ 38.67 min.
+* **Parallel Studio** — "a fixed parallelization process that requires
+  the engineers to know an annotation language"; first location ≈ 13.5
+  min, total ≈ 46.5 min, coverage ≈ 75 % (avg 2.25 of 3).
+* **Manual** — participants found the built-in profiler during the
+  introduction and ran it immediately: first location ≈ 2.66 min, total ≈
+  34 min (finished first, confident), coverage lowest (avg 2.0) and "the
+  only group that produced false-positives ... data races were overlooked".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ToolKind(enum.Enum):
+    PATTY = "Patty"
+    PARALLEL_STUDIO = "intel Parallel Studio"
+    MANUAL = "manual (Visual Studio)"
+
+
+@dataclass(frozen=True)
+class ToolModel:
+    """Constants driving the session simulation (minutes / probabilities)."""
+
+    kind: ToolKind
+    #: minutes until the participant uses the tool as intended
+    first_use_mean: float
+    first_use_spread: float
+    #: minutes until the first correct location is identified
+    first_find_mean: float
+    first_find_spread: float
+    #: total working time, minutes
+    total_mean: float
+    total_spread: float
+    #: base probability of reporting each true candidate location
+    coverage_base: float
+    #: how strongly multicore skill lifts coverage (added at skill = 1)
+    coverage_skill_gain: float
+    #: probability of reporting the race decoy as parallelizable
+    decoy_base: float
+    #: how strongly multicore skill *suppresses* the decoy
+    decoy_skill_drop: float
+    #: does the tool's analysis itself filter the decoy (race awareness)?
+    filters_races: bool
+    #: ramp-up cost in minutes for learning an annotation language,
+    #: scaled down by software-engineering skill
+    learning_cost: float = 0.0
+    #: features covered, for the Fig. 5a comparison
+    features: frozenset[str] = field(default_factory=frozenset)
+
+
+PATTY = ToolModel(
+    kind=ToolKind.PATTY,
+    first_use_mean=0.33,
+    first_use_spread=0.15,
+    first_find_mean=6.66,
+    first_find_spread=1.8,
+    total_mean=38.67,
+    total_spread=5.0,
+    coverage_base=1.0,  # the detector reports all three candidates
+    coverage_skill_gain=0.0,
+    decoy_base=0.05,
+    decoy_skill_drop=0.05,
+    filters_races=True,
+    learning_cost=0.0,
+    features=frozenset(
+        {
+            "Emphasize source",
+            "Model source",
+            "Show data dependencies",
+            "Provide parallel strategies",
+            "Support validation",
+        }
+    ),
+)
+
+PARALLEL_STUDIO = ToolModel(
+    kind=ToolKind.PARALLEL_STUDIO,
+    first_use_mean=5.5,
+    first_use_spread=2.0,
+    first_find_mean=9.5,
+    first_find_spread=3.0,
+    total_mean=44.0,
+    total_spread=6.0,
+    coverage_base=0.68,
+    coverage_skill_gain=0.35,
+    decoy_base=0.15,
+    decoy_skill_drop=0.15,
+    filters_races=True,  # Parallel Inspector flags the race before reporting
+    learning_cost=6.0,
+    features=frozenset(
+        {"Visualize runtime distribution", "Visualize call graph"}
+    ),
+)
+
+MANUAL = ToolModel(
+    kind=ToolKind.MANUAL,
+    first_use_mean=1.5,  # time until the built-in profiler is launched
+    first_use_spread=0.8,
+    first_find_mean=2.66,
+    first_find_spread=1.0,
+    total_mean=34.0,
+    total_spread=4.0,
+    coverage_base=0.40,  # the profiler reveals one hot loop; the rest is reading
+    coverage_skill_gain=0.30,
+    decoy_base=0.95,
+    decoy_skill_drop=0.45,
+    filters_races=False,
+    learning_cost=0.0,
+    features=frozenset(),
+)
+
+ALL_TOOLS = (PATTY, PARALLEL_STUDIO, MANUAL)

@@ -1,0 +1,51 @@
+"""TADL — the Tunable Architecture Description Language.
+
+Patty adapts TADL [23] as the interface between *detection* and
+*transformation* (paper, section 2.1): every detected pattern is expressed
+as a TADL annotation embedded in the source, e.g.::
+
+    # TADL: (A || B || C+) => D => E
+
+where ``=>`` composes pipeline stages, ``||`` composes master/worker
+siblings, a postfix ``+`` marks a stage as *replicable*, and a postfix
+``*`` marks a data-parallel (DOALL) unit.  The annotation is plain
+commentary to tools that cannot process TADL — mirroring the paper's
+preprocessor-directive trick — and a machine-readable architecture to
+those that can.
+"""
+
+from repro.tadl.ast import (
+    TadlNode,
+    StageRef,
+    Parallel,
+    Pipeline,
+    DataParallel,
+    stages_of,
+)
+from repro.tadl.lexer import TadlLexError, tokenize
+from repro.tadl.parser import TadlParseError, parse_tadl
+from repro.tadl.printer import format_tadl
+from repro.tadl.annotate import (
+    TadlAnnotation,
+    annotate_source,
+    extract_annotations,
+    strip_annotations,
+)
+
+__all__ = [
+    "TadlNode",
+    "StageRef",
+    "Parallel",
+    "Pipeline",
+    "DataParallel",
+    "stages_of",
+    "TadlLexError",
+    "tokenize",
+    "TadlParseError",
+    "parse_tadl",
+    "format_tadl",
+    "TadlAnnotation",
+    "annotate_source",
+    "extract_annotations",
+    "strip_annotations",
+]

@@ -1,0 +1,120 @@
+"""Embedding TADL annotations in Python source.
+
+The original implements TADL "as a code annotation using preprocessor
+directives" so that incapable compilers see plain source.  The Python
+equivalent is structured comments — invisible to the interpreter, visible
+to Patty::
+
+    # TADL: (A || B || C+) => D => E
+    # TADL-stages: A=s2.b0; B=s2.b1; C=s2.b2; D=s2.b3; E=s2.b4
+    # TADL-pattern: pipeline
+    for img in stream:
+        ...
+
+Annotations are inserted *at the detected location* (requirement R1:
+results reflect back to the source) and can be parsed back out, which is
+how operation mode 2 (architecture-based parallel programming: engineers
+hand-write annotations, Patty transforms them) enters the process.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.tadl.ast import TadlNode
+from repro.tadl.parser import parse_tadl
+from repro.tadl.printer import format_tadl
+
+_TADL_RE = re.compile(r"^(?P<indent>\s*)#\s*TADL:\s*(?P<expr>.+?)\s*$")
+_STAGES_RE = re.compile(r"^\s*#\s*TADL-stages:\s*(?P<map>.+?)\s*$")
+_PATTERN_RE = re.compile(r"^\s*#\s*TADL-pattern:\s*(?P<name>\w+)\s*$")
+
+
+@dataclass
+class TadlAnnotation:
+    """One annotation block: architecture + stage map + pattern name."""
+
+    expression: TadlNode
+    #: stage name -> statement sid(s), comma-separated in the source form
+    stages: dict[str, list[str]] = field(default_factory=dict)
+    pattern: str = "pipeline"
+    line: int = 0  # 1-based line of the annotated statement (after the block)
+
+    def render(self, indent: str = "") -> list[str]:
+        lines = [f"{indent}# TADL: {format_tadl(self.expression)}"]
+        if self.stages:
+            mapping = "; ".join(
+                f"{name}={','.join(sids)}" for name, sids in self.stages.items()
+            )
+            lines.append(f"{indent}# TADL-stages: {mapping}")
+        lines.append(f"{indent}# TADL-pattern: {self.pattern}")
+        return lines
+
+
+def annotate_source(
+    source: str, line: int, annotation: TadlAnnotation
+) -> str:
+    """Insert an annotation block immediately before 1-based ``line``."""
+    lines = source.splitlines()
+    if not 1 <= line <= len(lines) + 1:
+        raise ValueError(f"line {line} outside source (1..{len(lines)})")
+    target = lines[line - 1] if line <= len(lines) else ""
+    indent = target[: len(target) - len(target.lstrip())]
+    block = annotation.render(indent)
+    new_lines = lines[: line - 1] + block + lines[line - 1 :]
+    return "\n".join(new_lines) + ("\n" if source.endswith("\n") else "")
+
+
+def extract_annotations(source: str) -> list[TadlAnnotation]:
+    """Parse every TADL annotation block out of a source text."""
+    lines = source.splitlines()
+    found: list[TadlAnnotation] = []
+    i = 0
+    while i < len(lines):
+        m = _TADL_RE.match(lines[i])
+        if m is None:
+            i += 1
+            continue
+        ann = TadlAnnotation(expression=parse_tadl(m.group("expr")))
+        j = i + 1
+        while j < len(lines):
+            sm = _STAGES_RE.match(lines[j])
+            pm = _PATTERN_RE.match(lines[j])
+            if sm is not None:
+                ann.stages = _parse_stage_map(sm.group("map"))
+                j += 1
+            elif pm is not None:
+                ann.pattern = pm.group("name")
+                j += 1
+            else:
+                break
+        ann.line = j + 1  # the annotated statement follows the block
+        found.append(ann)
+        i = j
+    return found
+
+
+def strip_annotations(source: str) -> str:
+    """Remove all TADL annotation blocks (the inverse of annotate_source)."""
+    out = [
+        ln
+        for ln in source.splitlines()
+        if not (
+            _TADL_RE.match(ln) or _STAGES_RE.match(ln) or _PATTERN_RE.match(ln)
+        )
+    ]
+    return "\n".join(out) + ("\n" if source.endswith("\n") else "")
+
+
+def _parse_stage_map(text: str) -> dict[str, list[str]]:
+    mapping: dict[str, list[str]] = {}
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"malformed TADL-stages entry: {part!r}")
+        name, sids = part.split("=", 1)
+        mapping[name.strip()] = [s.strip() for s in sids.split(",") if s.strip()]
+    return mapping

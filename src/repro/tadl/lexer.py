@@ -1,0 +1,50 @@
+"""Tokenizer for TADL expressions."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class TadlLexError(ValueError):
+    """Raised on characters outside the TADL alphabet."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # NAME | PIPE2 | ARROW | PLUS | STAR | LPAREN | RPAREN | EOF
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<ARROW>=>)
+  | (?P<PIPE2>\|\|)
+  | (?P<PLUS>\+)
+  | (?P<STAR>\*)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize; raises :class:`TadlLexError` on any unrecognized input."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise TadlLexError(
+                f"unexpected character {text[pos]!r} at position {pos} in TADL"
+            )
+        kind = m.lastgroup or ""
+        if kind != "WS":
+            tokens.append(Token(kind=kind, text=m.group(), pos=pos))
+        pos = m.end()
+    tokens.append(Token(kind="EOF", text="", pos=len(text)))
+    return tokens

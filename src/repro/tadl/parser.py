@@ -1,0 +1,114 @@
+"""Recursive-descent parser for TADL expressions.
+
+Grammar (lowest precedence first)::
+
+    expr    := par ( '=>' par )*          # pipeline composition
+    par     := unit ( '||' unit )*        # master/worker composition
+    unit    := primary ( '+' | '*' )?     # replicable / data-parallel
+    primary := NAME | '(' expr ')'
+
+``A => B => C`` parses to one flat :class:`Pipeline` (the composition is
+associative); likewise for ``||``.
+"""
+
+from __future__ import annotations
+
+from repro.tadl.ast import DataParallel, Parallel, Pipeline, StageRef, TadlNode
+from repro.tadl.lexer import Token, tokenize
+
+
+class TadlParseError(ValueError):
+    """Raised when a TADL expression is malformed."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def eat(self, kind: str) -> Token:
+        tok = self.cur
+        if tok.kind != kind:
+            raise TadlParseError(
+                f"expected {kind} at position {tok.pos}, found {tok.kind} "
+                f"({tok.text!r})"
+            )
+        self.i += 1
+        return tok
+
+    # ------------------------------------------------------------------
+    def parse(self) -> TadlNode:
+        node = self.expr()
+        if self.cur.kind != "EOF":
+            raise TadlParseError(
+                f"trailing input at position {self.cur.pos}: {self.cur.text!r}"
+            )
+        return node
+
+    def expr(self) -> TadlNode:
+        parts = [self.par()]
+        while self.cur.kind == "ARROW":
+            self.eat("ARROW")
+            parts.append(self.par())
+        if len(parts) == 1:
+            return parts[0]
+        # flatten nested pipelines produced by parenthesized sub-pipelines
+        flat: list[TadlNode] = []
+        for p in parts:
+            if isinstance(p, Pipeline):
+                flat.extend(p.stages)
+            else:
+                flat.append(p)
+        return Pipeline(tuple(flat))
+
+    def par(self) -> TadlNode:
+        parts = [self.unit()]
+        while self.cur.kind == "PIPE2":
+            self.eat("PIPE2")
+            parts.append(self.unit())
+        if len(parts) == 1:
+            return parts[0]
+        flat: list[TadlNode] = []
+        for p in parts:
+            if isinstance(p, Parallel):
+                flat.extend(p.children)
+            else:
+                flat.append(p)
+        return Parallel(tuple(flat))
+
+    def unit(self) -> TadlNode:
+        node = self.primary()
+        if self.cur.kind == "PLUS":
+            self.eat("PLUS")
+            if isinstance(node, StageRef):
+                node = StageRef(node.name, replicable=True)
+            else:
+                raise TadlParseError(
+                    "'+' (replicable) applies to a single stage name"
+                )
+        elif self.cur.kind == "STAR":
+            self.eat("STAR")
+            node = DataParallel(node)
+        return node
+
+    def primary(self) -> TadlNode:
+        if self.cur.kind == "NAME":
+            return StageRef(self.eat("NAME").text)
+        if self.cur.kind == "LPAREN":
+            self.eat("LPAREN")
+            node = self.expr()
+            self.eat("RPAREN")
+            return node
+        raise TadlParseError(
+            f"expected a stage name or '(' at position {self.cur.pos}, "
+            f"found {self.cur.kind}"
+        )
+
+
+def parse_tadl(text: str) -> TadlNode:
+    """Parse a TADL expression string into its AST."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,40 @@
+"""Canonical formatting of TADL expressions.
+
+``format_tadl`` and :func:`repro.tadl.parser.parse_tadl` round-trip:
+``parse(format(x)) == x`` for every well-formed AST (property-tested in
+``tests/test_tadl.py``).
+"""
+
+from __future__ import annotations
+
+from repro.tadl.ast import DataParallel, Parallel, Pipeline, StageRef, TadlNode
+
+
+def format_tadl(node: TadlNode) -> str:
+    """Render a TADL AST to its canonical surface syntax."""
+    return _fmt(node, parent=None)
+
+
+def _fmt(node: TadlNode, parent: str | None) -> str:
+    if isinstance(node, StageRef):
+        return f"{node.name}+" if node.replicable else node.name
+    if isinstance(node, Parallel):
+        inner = " || ".join(_fmt(c, "par") for c in node.children)
+        # '||' binds tighter than '=>'; parenthesize inside pipelines for
+        # readability (matching the paper's "(A || B || C+) => D => E")
+        if parent in ("pipe", "unary"):
+            return f"({inner})"
+        return inner
+    if isinstance(node, Pipeline):
+        inner = " => ".join(_fmt(s, "pipe") for s in node.stages)
+        if parent is not None:
+            return f"({inner})"
+        return inner
+    if isinstance(node, DataParallel):
+        child = _fmt(node.child, "unary")
+        if isinstance(node.child, StageRef) and not node.child.replicable:
+            return f"{child}*"
+        if child.startswith("("):
+            return f"{child}*"
+        return f"({child})*"
+    raise TypeError(f"not a TADL node: {node!r}")

@@ -1,0 +1,47 @@
+"""Target-pattern transformation: annotated source -> parallel source.
+
+The process model's second half (Fig. 1): TADL annotations are inserted at
+the detected locations, then transformed into parallel source code that
+instantiates the runtime library; alongside the code the phase emits the
+tuning configuration file and generated parallel unit tests.
+"""
+
+from repro.transform.codegen import (
+    CodegenError,
+    generate_annotated_source,
+    generate_parallel_source,
+    compile_parallel,
+)
+from repro.transform.tuningfile import (
+    write_tuning_file,
+    read_tuning_file,
+    tuning_file_dict,
+)
+from repro.transform.testgen import (
+    generate_unit_tests,
+    doall_iteration_test,
+    replicated_stage_test,
+    render_pytest_source,
+)
+from repro.transform.pathcov import (
+    enumerate_paths,
+    branch_coverage,
+    generate_inputs,
+)
+
+__all__ = [
+    "CodegenError",
+    "generate_annotated_source",
+    "generate_parallel_source",
+    "compile_parallel",
+    "write_tuning_file",
+    "read_tuning_file",
+    "tuning_file_dict",
+    "generate_unit_tests",
+    "doall_iteration_test",
+    "replicated_stage_test",
+    "render_pytest_source",
+    "enumerate_paths",
+    "branch_coverage",
+    "generate_inputs",
+]

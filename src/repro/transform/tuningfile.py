@@ -1,0 +1,71 @@
+"""The tuning configuration file (the paper's Fig. 3c artifact).
+
+JSON with one entry per tuning parameter: name, target, current value,
+domain and source location.  "After program termination, all values in the
+configuration file can be changed, making the parallel applications
+automatically tunable on the target hardware without the need to
+recompile."
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.patterns.base import PatternMatch
+from repro.patterns.tuning import TuningParameter, from_dict
+from repro.tadl.printer import format_tadl
+
+
+def tuning_file_dict(
+    matches: Iterable[PatternMatch], program: str = "<program>"
+) -> dict[str, Any]:
+    """The serializable form of every match's tuning parameters."""
+    entries = []
+    for m in matches:
+        entries.append(
+            {
+                "pattern": m.pattern,
+                "function": m.function,
+                "location": str(m.location),
+                "tadl": format_tadl(m.tadl),
+                "parameters": [p.to_dict() for p in m.tuning],
+            }
+        )
+    return {"program": program, "version": 1, "patterns": entries}
+
+
+def write_tuning_file(
+    matches: Iterable[PatternMatch],
+    path: str | Path,
+    program: str = "<program>",
+) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(tuning_file_dict(matches, program), indent=2) + "\n"
+    )
+    return path
+
+
+def read_tuning_file(
+    path: str | Path,
+) -> list[tuple[str, str, list[TuningParameter]]]:
+    """Load a tuning file back: [(pattern, location, parameters)]."""
+    data = json.loads(Path(path).read_text())
+    out = []
+    for entry in data.get("patterns", []):
+        params = [from_dict(d) for d in entry.get("parameters", [])]
+        out.append((entry.get("pattern", ""), entry.get("location", ""), params))
+    return out
+
+
+def config_for_location(
+    path: str | Path, location: str
+) -> dict[str, Any]:
+    """The {key: value} configuration of one pattern instance, as the
+    generated code consumes it (``fn(..., __tuning__=config)``)."""
+    for _, loc, params in read_tuning_file(path):
+        if loc == location:
+            return {p.key: p.value for p in params}
+    raise KeyError(f"no pattern at location {location!r} in {path}")

@@ -1,0 +1,35 @@
+"""Auto-tuning: the performance-validation phase.
+
+Fig. 4c of the paper: "The auto tuner initializes the program with
+parameter values, executes it, measures and visualizes the runtime, and
+computes new parameter values."  The measurement backend is pluggable — a
+real :mod:`repro.runtime` execution or (for every benchmark here) a
+:mod:`repro.simcore` simulation.
+
+Algorithms: the paper's own tuner "explores the search space linearly in
+each dimension" (:class:`LinearSearch`); the future-work references are
+also implemented — hill climbing with restarts [29], Nelder–Mead [30] and
+tabu search [31].
+"""
+
+from repro.tuning.space import ParameterSpace
+from repro.tuning.result import Measurement, TuningResult
+from repro.tuning.exhaustive import ExhaustiveSearch
+from repro.tuning.linear import LinearSearch
+from repro.tuning.hillclimb import HillClimb
+from repro.tuning.nelder_mead import NelderMead
+from repro.tuning.tabu import TabuSearch
+from repro.tuning.autotuner import AutoTuner, Tuner
+
+__all__ = [
+    "ParameterSpace",
+    "Measurement",
+    "TuningResult",
+    "ExhaustiveSearch",
+    "LinearSearch",
+    "HillClimb",
+    "NelderMead",
+    "TabuSearch",
+    "AutoTuner",
+    "Tuner",
+]

@@ -1,0 +1,98 @@
+"""The auto-tuning cycle.
+
+``AutoTuner`` wraps a measurement function (configuration -> runtime) with
+caching, evaluation budgets and a pluggable search algorithm, implementing
+the execute–measure–update loop of Fig. 4c.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.tuning.result import TuningResult
+from repro.tuning.space import Config, ParameterSpace
+
+MeasureFn = Callable[[Config], float]
+
+
+class Tuner(Protocol):
+    """A search algorithm over a parameter space."""
+
+    def tune(
+        self, space: ParameterSpace, measure: MeasureFn, budget: int
+    ) -> TuningResult:  # pragma: no cover - interface
+        ...
+
+
+class AutoTuner:
+    """Budgeted, cached tuning driver."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        measure: MeasureFn,
+        algorithm: Tuner,
+        budget: int = 100,
+    ) -> None:
+        self.space = space
+        self.raw_measure = measure
+        self.algorithm = algorithm
+        self.budget = budget
+        self._cache: dict[tuple, float] = {}
+        self.result: TuningResult | None = None
+
+    def _measure(self, config: Config, result: TuningResult) -> float:
+        key = self.space.freeze(config)
+        if key in self._cache:
+            return self._cache[key]
+        runtime = float(self.raw_measure(config))
+        self._cache[key] = runtime
+        result.record(config, runtime, self.space.keys)
+        return runtime
+
+    def tune(self) -> TuningResult:
+        result = TuningResult()
+
+        def measure(config: Config) -> float:
+            if result.evaluations >= self.budget:
+                raise _BudgetExhausted
+            return self._measure(config, result)
+
+        try:
+            inner = self.algorithm.tune(self.space, measure, self.budget)
+            # algorithms record through our closure; keep our result object
+            # but trust the algorithm's best if it differs (cached revisits)
+            if inner.best_runtime < result.best_runtime:
+                result.best_runtime = inner.best_runtime
+                result.best_config = inner.best_config
+        except _BudgetExhausted:
+            pass
+        self.result = result
+        return result
+
+
+class _BudgetExhausted(Exception):
+    pass
+
+
+def make_pipeline_measure(
+    workload: Any, machine: Any
+) -> MeasureFn:
+    """A measurement backend running the pipeline simulator."""
+    from repro.simcore.simulate import simulate_pipeline
+
+    def measure(config: Config) -> float:
+        return simulate_pipeline(workload, machine, config).makespan
+
+    return measure
+
+
+def make_doall_measure(
+    element_costs: list[float], machine: Any
+) -> MeasureFn:
+    from repro.simcore.simulate import simulate_doall
+
+    def measure(config: Config) -> float:
+        return simulate_doall(element_costs, machine, config).makespan
+
+    return measure

@@ -1,0 +1,31 @@
+"""Exhaustive enumeration — the reference tuner.
+
+Not in the paper (no engineer waits for a full sweep), but the evaluation
+needs a ground-truth optimum: the transformation-quality study uses it as
+the stand-in for the expert's "days of work", and tuner tests check their
+algorithms against it on small spaces.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.tuning.result import TuningResult
+from repro.tuning.space import ParameterSpace
+
+
+class ExhaustiveSearch:
+    def __init__(self, cap: int = 100_000) -> None:
+        self.cap = cap
+
+    def tune(self, space: ParameterSpace, measure, budget: int) -> TuningResult:
+        result = TuningResult()
+        keys = space.keys
+        domains = [space.domain(k) for k in keys]
+        for i, combo in enumerate(itertools.product(*domains)):
+            if i >= self.cap:
+                break
+            config = dict(zip(keys, combo))
+            t = measure(config)
+            result.record(config, t, keys)
+        return result

@@ -1,0 +1,49 @@
+"""Hill climbing with random restarts (the run-time tuner of [29])."""
+
+from __future__ import annotations
+
+import random
+
+from repro.tuning.result import TuningResult
+from repro.tuning.space import Config, ParameterSpace
+
+
+class HillClimb:
+    def __init__(self, restarts: int = 3, seed: int = 0) -> None:
+        self.restarts = restarts
+        self.seed = seed
+
+    def tune(self, space: ParameterSpace, measure, budget: int) -> TuningResult:
+        rng = random.Random(self.seed)
+        result = TuningResult()
+        global_best: Config | None = None
+        global_time = float("inf")
+
+        for restart in range(self.restarts):
+            current = (
+                space.default_config()
+                if restart == 0
+                else space.random_config(rng)
+            )
+            current_time = measure(current)
+            result.record(current, current_time, space.keys)
+
+            while True:
+                best_neighbor: Config | None = None
+                best_time = current_time
+                for nb in space.neighbors(current):
+                    t = measure(nb)
+                    result.record(nb, t, space.keys)
+                    if t < best_time:
+                        best_time = t
+                        best_neighbor = nb
+                if best_neighbor is None:
+                    break  # local optimum
+                current, current_time = best_neighbor, best_time
+
+            if current_time < global_time:
+                global_best, global_time = current, current_time
+
+        result.best_config = dict(global_best or space.default_config())
+        result.best_runtime = global_time
+        return result

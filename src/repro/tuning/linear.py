@@ -1,0 +1,45 @@
+"""The paper's tuning algorithm.
+
+Section 3 (R1): "we employ a basic tuning algorithm that explores the
+search space linearly in each dimension" — coordinate descent over the
+parameter domains, keeping the best value of each dimension before moving
+to the next, optionally repeated until a pass yields no improvement.
+"""
+
+from __future__ import annotations
+
+from repro.tuning.result import TuningResult
+from repro.tuning.space import Config, ParameterSpace
+
+
+class LinearSearch:
+    def __init__(self, passes: int = 2) -> None:
+        self.passes = passes
+
+    def tune(self, space: ParameterSpace, measure, budget: int) -> TuningResult:
+        result = TuningResult()
+        current: Config = space.default_config()
+        best_time = measure(current)
+        result.record(current, best_time, space.keys)
+
+        for _ in range(self.passes):
+            improved = False
+            for p in space.parameters:
+                best_value = current[p.key]
+                for value in p.domain():
+                    if value == current[p.key]:
+                        continue
+                    trial = dict(current)
+                    trial[p.key] = value
+                    t = measure(trial)
+                    result.record(trial, t, space.keys)
+                    if t < best_time:
+                        best_time = t
+                        best_value = value
+                        improved = True
+                current[p.key] = best_value
+            if not improved:
+                break
+        result.best_config = dict(current)
+        result.best_runtime = best_time
+        return result

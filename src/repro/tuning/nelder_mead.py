@@ -1,0 +1,95 @@
+"""Nelder–Mead simplex search [30] over the parameter-index space.
+
+Tuning domains are finite and ordered, so each configuration is encoded as
+a vector of domain indices; the simplex moves in that relaxed continuous
+space and every evaluation rounds back to the nearest valid configuration
+(the standard discrete adaptation).
+"""
+
+from __future__ import annotations
+
+from repro.tuning.result import TuningResult
+from repro.tuning.space import ParameterSpace
+
+
+class NelderMead:
+    def __init__(
+        self,
+        alpha: float = 1.0,   # reflection
+        gamma: float = 2.0,   # expansion
+        rho: float = 0.5,     # contraction
+        sigma: float = 0.5,   # shrink
+        max_iter: int = 60,
+    ) -> None:
+        self.alpha = alpha
+        self.gamma = gamma
+        self.rho = rho
+        self.sigma = sigma
+        self.max_iter = max_iter
+
+    def tune(self, space: ParameterSpace, measure, budget: int) -> TuningResult:
+        result = TuningResult()
+        dims = len(space.parameters)
+
+        def f(vec: list[float]) -> float:
+            config = space.decode(space.clip(vec))
+            t = measure(config)
+            result.record(config, t, space.keys)
+            return t
+
+        # initial simplex: the default plus one vertex stepped per dimension
+        x0 = space.encode(space.default_config())
+        simplex = [list(x0)]
+        for d in range(dims):
+            v = list(x0)
+            hi = len(space.parameters[d].domain()) - 1
+            v[d] = v[d] + 1 if v[d] < hi else max(0.0, v[d] - 1)
+            simplex.append(v)
+        values = [f(v) for v in simplex]
+
+        for _ in range(self.max_iter):
+            order = sorted(range(len(simplex)), key=lambda i: values[i])
+            simplex = [simplex[i] for i in order]
+            values = [values[i] for i in order]
+            best, worst = values[0], values[-1]
+            if worst - best < 1e-15:
+                break
+
+            centroid = [
+                sum(v[d] for v in simplex[:-1]) / (len(simplex) - 1)
+                for d in range(dims)
+            ]
+            xr = [
+                centroid[d] + self.alpha * (centroid[d] - simplex[-1][d])
+                for d in range(dims)
+            ]
+            fr = f(xr)
+            if fr < values[0]:
+                xe = [
+                    centroid[d] + self.gamma * (xr[d] - centroid[d])
+                    for d in range(dims)
+                ]
+                fe = f(xe)
+                if fe < fr:
+                    simplex[-1], values[-1] = xe, fe
+                else:
+                    simplex[-1], values[-1] = xr, fr
+            elif fr < values[-2]:
+                simplex[-1], values[-1] = xr, fr
+            else:
+                xc = [
+                    centroid[d] + self.rho * (simplex[-1][d] - centroid[d])
+                    for d in range(dims)
+                ]
+                fc = f(xc)
+                if fc < values[-1]:
+                    simplex[-1], values[-1] = xc, fc
+                else:
+                    for i in range(1, len(simplex)):
+                        simplex[i] = [
+                            simplex[0][d]
+                            + self.sigma * (simplex[i][d] - simplex[0][d])
+                            for d in range(dims)
+                        ]
+                        values[i] = f(simplex[i])
+        return result

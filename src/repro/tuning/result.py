@@ -1,0 +1,57 @@
+"""Tuning outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+Config = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One tuning-cycle iteration: a configuration and its runtime."""
+
+    config: tuple
+    runtime: float
+    index: int
+
+
+@dataclass
+class TuningResult:
+    """The tuner's report: best configuration plus the full history
+    (Fig. 4c visualizes exactly this trace)."""
+
+    best_config: Config = field(default_factory=dict)
+    best_runtime: float = float("inf")
+    history: list[Measurement] = field(default_factory=list)
+    evaluations: int = 0
+
+    def record(self, config: Config, runtime: float, keys: list[str]) -> None:
+        self.evaluations += 1
+        self.history.append(
+            Measurement(
+                config=tuple(config[k] for k in keys),
+                runtime=runtime,
+                index=self.evaluations,
+            )
+        )
+        if runtime < self.best_runtime:
+            self.best_runtime = runtime
+            self.best_config = dict(config)
+
+    @property
+    def improvement(self) -> float:
+        """Runtime of the first evaluation divided by the best found."""
+        if not self.history or self.best_runtime <= 0:
+            return 1.0
+        return self.history[0].runtime / self.best_runtime
+
+    def trace(self) -> list[float]:
+        """Best-so-far runtime after each evaluation (a tuning curve)."""
+        out: list[float] = []
+        best = float("inf")
+        for m in self.history:
+            best = min(best, m.runtime)
+            out.append(best)
+        return out

@@ -1,0 +1,46 @@
+"""Tabu search [31] over the one-step neighbor move set."""
+
+from __future__ import annotations
+
+import collections
+
+from repro.tuning.result import TuningResult
+from repro.tuning.space import Config, ParameterSpace
+
+
+class TabuSearch:
+    def __init__(self, tenure: int = 12, max_iter: int = 60) -> None:
+        self.tenure = tenure
+        self.max_iter = max_iter
+
+    def tune(self, space: ParameterSpace, measure, budget: int) -> TuningResult:
+        result = TuningResult()
+        current: Config = space.default_config()
+        current_time = measure(current)
+        result.record(current, current_time, space.keys)
+        best, best_time = dict(current), current_time
+
+        tabu: collections.deque[tuple] = collections.deque(maxlen=self.tenure)
+        tabu.append(space.freeze(current))
+
+        for _ in range(self.max_iter):
+            candidates = []
+            for nb in space.neighbors(current):
+                key = space.freeze(nb)
+                t = measure(nb)
+                result.record(nb, t, space.keys)
+                aspiration = t < best_time
+                if key in tabu and not aspiration:
+                    continue
+                candidates.append((t, key, nb))
+            if not candidates:
+                break
+            candidates.sort(key=lambda c: c[0])
+            current_time, key, current = candidates[0]
+            tabu.append(key)
+            if current_time < best_time:
+                best, best_time = dict(current), current_time
+
+        result.best_config = best
+        result.best_runtime = best_time
+        return result

@@ -1,0 +1,45 @@
+"""Correctness validation: systematic interleaving exploration + races.
+
+Patty "generates parallel unit tests for each tunable parallel pattern"
+and executes them "on the dynamic data race detector CHESS [24]", which
+"computes and provokes all possible thread interleavings" (section 2.1).
+
+This package is that substrate, rebuilt:
+
+* :mod:`repro.verify.schedule` — a CHESS-style stateless explorer: tasks
+  run on real threads but every shared access is a scheduling point
+  controlled by a serializing scheduler; depth-first enumeration (with
+  CHESS's preemption bounding) covers the interleaving space.
+* :mod:`repro.verify.races` — happens-before (vector clock) and lockset
+  race detection over the recorded access logs.
+* :mod:`repro.verify.parunit` — the parallel-unit-test harness tying the
+  two together.
+"""
+
+from repro.verify.schedule import (
+    Explorer,
+    ExplorationResult,
+    TaskHandle,
+    DeadlockError,
+)
+from repro.verify.races import (
+    Access,
+    RaceReport,
+    vector_clock_races,
+    lockset_races,
+)
+from repro.verify.parunit import ParallelUnitTest, UnitTestResult, run_parallel_test
+
+__all__ = [
+    "Explorer",
+    "ExplorationResult",
+    "TaskHandle",
+    "DeadlockError",
+    "Access",
+    "RaceReport",
+    "vector_clock_races",
+    "lockset_races",
+    "ParallelUnitTest",
+    "UnitTestResult",
+    "run_parallel_test",
+]

@@ -1,0 +1,176 @@
+"""Dynamic data-race detection over access logs.
+
+Two classic detectors:
+
+* :func:`vector_clock_races` — happens-before: thread and lock vector
+  clocks (FastTrack-style, simplified to full VCs).  Precise on the
+  observed execution: a reported race really is unordered.
+* :func:`lockset_races` — Eraser-style: a location engaged by several
+  threads with an empty common lockset *may* race.  More false positives,
+  catches races the observed ordering happened to serialize.
+
+The parallel-unit-test harness runs both over every interleaving the
+explorer produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Access:
+    """One logged shared-memory operation."""
+
+    tid: int
+    var: str
+    is_write: bool
+    locks: frozenset[str]
+    step: int
+    kind: str = "mem"  # "mem" | "acquire" | "release"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    var: str
+    first: tuple[int, int]   # (tid, step)
+    second: tuple[int, int]
+    kind: str                # "write-write" | "read-write" | "write-read"
+    detector: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.detector}] {self.kind} race on {self.var!r}: "
+            f"task {self.first[0]} (step {self.first[1]}) vs "
+            f"task {self.second[0]} (step {self.second[1]})"
+        )
+
+
+class _VC(dict):
+    """A sparse vector clock."""
+
+    def join(self, other: "_VC") -> None:
+        for k, v in other.items():
+            if self.get(k, 0) < v:
+                self[k] = v
+
+    def copy(self) -> "_VC":
+        return _VC(self)
+
+    def leq(self, other: "_VC") -> bool:
+        return all(other.get(k, 0) >= v for k, v in self.items())
+
+
+def vector_clock_races(log: Iterable[Access]) -> list[RaceReport]:
+    """Happens-before detection with lock-induced ordering."""
+    threads: dict[int, _VC] = {}
+    locks: dict[str, _VC] = {}
+    last_writes: dict[str, list[tuple[int, int, _VC]]] = {}
+    last_reads: dict[str, list[tuple[int, int, _VC]]] = {}
+    races: list[RaceReport] = []
+    seen_pairs: set[tuple] = set()
+
+    def clock(tid: int) -> _VC:
+        if tid not in threads:
+            threads[tid] = _VC({tid: 1})
+        return threads[tid]
+
+    for acc in log:
+        vc = clock(acc.tid)
+        if acc.kind == "acquire":
+            vc.join(locks.get(acc.var, _VC()))
+            continue
+        if acc.kind == "release":
+            locks[acc.var] = vc.copy()
+            vc[acc.tid] = vc.get(acc.tid, 0) + 1
+            continue
+
+        if acc.is_write:
+            for prev_tid, prev_step, prev_vc in last_writes.get(acc.var, []):
+                if prev_tid != acc.tid and not prev_vc.leq(vc):
+                    _report(
+                        races, seen_pairs, acc.var, (prev_tid, prev_step),
+                        (acc.tid, acc.step), "write-write", "vector-clock",
+                    )
+            for prev_tid, prev_step, prev_vc in last_reads.get(acc.var, []):
+                if prev_tid != acc.tid and not prev_vc.leq(vc):
+                    _report(
+                        races, seen_pairs, acc.var, (prev_tid, prev_step),
+                        (acc.tid, acc.step), "read-write", "vector-clock",
+                    )
+            last_writes.setdefault(acc.var, []).append(
+                (acc.tid, acc.step, vc.copy())
+            )
+            last_reads[acc.var] = []
+        else:
+            for prev_tid, prev_step, prev_vc in last_writes.get(acc.var, []):
+                if prev_tid != acc.tid and not prev_vc.leq(vc):
+                    _report(
+                        races, seen_pairs, acc.var, (prev_tid, prev_step),
+                        (acc.tid, acc.step), "write-read", "vector-clock",
+                    )
+            last_reads.setdefault(acc.var, []).append(
+                (acc.tid, acc.step, vc.copy())
+            )
+        vc[acc.tid] = vc.get(acc.tid, 0) + 1
+    return races
+
+
+def lockset_races(log: Iterable[Access]) -> list[RaceReport]:
+    """Eraser lockset discipline: every shared location must be
+    consistently protected by at least one common lock."""
+    candidate: dict[str, frozenset[str]] = {}
+    owners: dict[str, set[int]] = {}
+    first_access: dict[str, Access] = {}
+    writers: dict[str, bool] = {}
+    races: list[RaceReport] = []
+    reported: set[str] = set()
+
+    for acc in log:
+        if acc.kind != "mem":
+            continue
+        owners.setdefault(acc.var, set()).add(acc.tid)
+        writers[acc.var] = writers.get(acc.var, False) or acc.is_write
+        if acc.var not in candidate:
+            candidate[acc.var] = acc.locks
+            first_access[acc.var] = acc
+        else:
+            candidate[acc.var] = candidate[acc.var] & acc.locks
+        if (
+            len(owners[acc.var]) > 1
+            and writers[acc.var]
+            and not candidate[acc.var]
+            and acc.var not in reported
+        ):
+            reported.add(acc.var)
+            fa = first_access[acc.var]
+            races.append(
+                RaceReport(
+                    var=acc.var,
+                    first=(fa.tid, fa.step),
+                    second=(acc.tid, acc.step),
+                    kind="write-write" if acc.is_write else "write-read",
+                    detector="lockset",
+                )
+            )
+    return races
+
+
+def _report(
+    races: list[RaceReport],
+    seen: set,
+    var: str,
+    first: tuple[int, int],
+    second: tuple[int, int],
+    kind: str,
+    detector: str,
+) -> None:
+    key = (var, first[0], second[0], kind)
+    if key in seen:
+        return
+    seen.add(key)
+    races.append(
+        RaceReport(var=var, first=first, second=second, kind=kind,
+                   detector=detector)
+    )

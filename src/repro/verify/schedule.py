@@ -1,0 +1,387 @@
+"""CHESS-style systematic scheduler.
+
+Test tasks are ordinary Python callables that receive a
+:class:`TaskHandle` and perform every shared-memory access through it
+(``read``/``write``/``acquire``/``release``/``yield_point``).  Each such
+call is a *scheduling point*: the task parks, and a scheduler running in
+the controlling thread decides who proceeds.  Exactly one task runs at a
+time, so a run is fully determined by its decision sequence — which is
+what makes depth-first enumeration of all interleavings possible
+(stateless model checking, as in CHESS [24]).
+
+Features reproduced from CHESS: exhaustive enumeration for small tests,
+*preemption bounding* (most bugs need few preemptions, so bounding them
+tames the exponential), deadlock detection, and per-run access logs that
+feed the race detectors.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.verify.races import Access
+
+
+class DeadlockError(RuntimeError):
+    """All remaining tasks are blocked on locks."""
+
+
+class _Aborted(BaseException):
+    """Internal: unwinds a task during scheduler shutdown."""
+
+
+@dataclass
+class RunResult:
+    """One explored interleaving."""
+
+    decisions: list[int] = field(default_factory=list)
+    enabled_counts: list[int] = field(default_factory=list)
+    enabled_sets: list[tuple[int, ...]] = field(default_factory=list)
+    preemptions: list[int] = field(default_factory=list)  # cumulative, per step
+    schedule: list[int] = field(default_factory=list)     # chosen tid per step
+    log: list[Access] = field(default_factory=list)
+    final_state: dict[str, Any] = field(default_factory=dict)
+    deadlock: bool = False
+    error: BaseException | None = None
+
+
+class TaskHandle:
+    """The API test tasks use for all shared interactions."""
+
+    def __init__(self, controller: "_Controller", tid: int) -> None:
+        self._c = controller
+        self.tid = tid
+
+    def read(self, var: str) -> Any:
+        self._c.park(self.tid, ("read", var))
+        return self._c.do_read(self.tid, var)
+
+    def write(self, var: str, value: Any) -> None:
+        self._c.park(self.tid, ("write", var))
+        self._c.do_write(self.tid, var, value)
+
+    def acquire(self, lock: str) -> None:
+        self._c.park(self.tid, ("acquire", lock))
+        self._c.do_acquire(self.tid, lock)
+
+    def release(self, lock: str) -> None:
+        self._c.park(self.tid, ("release", lock))
+        self._c.do_release(self.tid, lock)
+
+    def yield_point(self) -> None:
+        self._c.park(self.tid, ("yield", ""))
+
+    # convenience -------------------------------------------------------
+    def locked(self, lock: str) -> "_LockCtx":
+        return _LockCtx(self, lock)
+
+    def add(self, var: str, delta: Any) -> None:
+        """A deliberately racy read-modify-write (two scheduling points)."""
+        self.write(var, self.read(var) + delta)
+
+
+class _LockCtx:
+    def __init__(self, handle: TaskHandle, lock: str) -> None:
+        self.handle, self.lock = handle, lock
+
+    def __enter__(self) -> "_LockCtx":
+        self.handle.acquire(self.lock)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.handle.release(self.lock)
+
+
+class _Controller:
+    """Serializes one run of the task set along a decision prefix."""
+
+    def __init__(
+        self,
+        tasks: Sequence[Callable[[TaskHandle], None]],
+        initial_state: dict[str, Any],
+        prefix: list[int],
+    ) -> None:
+        self.tasks = list(tasks)
+        self.state = dict(initial_state)
+        self.prefix = list(prefix)
+        self.cv = threading.Condition()
+        n = len(self.tasks)
+        self.pending: list[tuple[str, str] | None] = [None] * n
+        self.granted = [False] * n
+        self.finished = [False] * n
+        self.errors: list[BaseException] = []
+        self.locks: dict[str, int | None] = {}
+        self.locks_held: list[set[str]] = [set() for _ in range(n)]
+        self.result = RunResult()
+        self.step = 0
+        self.aborting = False
+
+    # ------- task side --------------------------------------------------
+    def park(self, tid: int, op: tuple[str, str]) -> None:
+        with self.cv:
+            self.pending[tid] = op
+            self.cv.notify_all()
+            while not self.granted[tid]:
+                self.cv.wait()
+            # consume the grant so the scheduler knows we are running
+            self.granted[tid] = False
+            self.pending[tid] = None
+            if self.aborting:
+                self.cv.notify_all()
+                raise _Aborted
+            self.cv.notify_all()
+
+    def task_done(self, tid: int, error: BaseException | None) -> None:
+        with self.cv:
+            self.finished[tid] = True
+            if error is not None:
+                self.errors.append(error)
+            self.cv.notify_all()
+
+    def do_read(self, tid: int, var: str) -> Any:
+        self.result.log.append(
+            Access(
+                tid=tid,
+                var=var,
+                is_write=False,
+                locks=frozenset(self.locks_held[tid]),
+                step=len(self.result.log),
+            )
+        )
+        return self.state.get(var)
+
+    def do_write(self, tid: int, var: str, value: Any) -> None:
+        self.result.log.append(
+            Access(
+                tid=tid,
+                var=var,
+                is_write=True,
+                locks=frozenset(self.locks_held[tid]),
+                step=len(self.result.log),
+            )
+        )
+        self.state[var] = value
+
+    def do_acquire(self, tid: int, lock: str) -> None:
+        assert self.locks.get(lock) is None, "scheduler granted a held lock"
+        self.locks[lock] = tid
+        self.locks_held[tid].add(lock)
+        self.result.log.append(
+            Access(
+                tid=tid,
+                var=lock,
+                is_write=False,
+                locks=frozenset(self.locks_held[tid]),
+                step=len(self.result.log),
+                kind="acquire",
+            )
+        )
+
+    def do_release(self, tid: int, lock: str) -> None:
+        if self.locks.get(lock) != tid:
+            raise RuntimeError(f"task {tid} releases lock {lock!r} it does not hold")
+        self.result.log.append(
+            Access(
+                tid=tid,
+                var=lock,
+                is_write=False,
+                locks=frozenset(self.locks_held[tid]),
+                step=len(self.result.log),
+                kind="release",
+            )
+        )
+        self.locks[lock] = None
+        self.locks_held[tid].discard(lock)
+
+    # ------- scheduler side ----------------------------------------------
+    def _enabled(self) -> list[int]:
+        enabled = []
+        for tid, op in enumerate(self.pending):
+            if self.finished[tid] or op is None:
+                continue
+            if op[0] == "acquire" and self.locks.get(op[1]) is not None:
+                continue  # blocked on a held lock
+            enabled.append(tid)
+        return enabled
+
+    def _all_parked(self) -> bool:
+        return all(
+            self.finished[tid] or self.pending[tid] is not None
+            for tid in range(len(self.tasks))
+        )
+
+    def run(self) -> RunResult:
+        threads = []
+        for tid, task in enumerate(self.tasks):
+            handle = TaskHandle(self, tid)
+
+            def runner(task=task, handle=handle, tid=tid) -> None:
+                error: BaseException | None = None
+                try:
+                    task(handle)
+                except _Aborted:
+                    pass  # shutdown unwind, not a test failure
+                except BaseException as exc:
+                    error = exc
+                self.task_done(tid, error)
+
+            t = threading.Thread(target=runner, name=f"chess-task-{tid}")
+            threads.append(t)
+
+        for t in threads:
+            t.start()
+
+        last_tid: int | None = None
+        preemptions = 0
+        with self.cv:
+            while True:
+                while not self._all_parked():
+                    self.cv.wait()
+                if self.errors:
+                    break
+                if all(self.finished):
+                    break
+                enabled = self._enabled()
+                if not enabled:
+                    self.result.deadlock = True
+                    break
+                if self.step < len(self.prefix):
+                    choice = min(self.prefix[self.step], len(enabled) - 1)
+                else:
+                    # default policy: keep running the same task (fewest
+                    # preemptions first, CHESS's search order)
+                    choice = (
+                        enabled.index(last_tid) if last_tid in enabled else 0
+                    )
+                tid = enabled[choice]
+                if (
+                    last_tid is not None
+                    and tid != last_tid
+                    and last_tid in enabled
+                ):
+                    preemptions += 1
+                self.result.decisions.append(choice)
+                self.result.enabled_counts.append(len(enabled))
+                self.result.enabled_sets.append(tuple(enabled))
+                self.result.preemptions.append(preemptions)
+                self.result.schedule.append(tid)
+                self.step += 1
+                last_tid = tid
+                self.granted[tid] = True
+                self.cv.notify_all()
+                # wait for the grant to be consumed ...
+                while self.granted[tid] and not self.finished[tid]:
+                    self.cv.wait()
+                # ... and for the task to park again or finish
+                while not (self.finished[tid] or self.pending[tid] is not None):
+                    self.cv.wait()
+
+            # unblock any survivors so threads can exit (deadlock/error case)
+            if not all(self.finished):
+                self.aborting = True
+                for tid in range(len(self.tasks)):
+                    self.granted[tid] = True
+                self.cv.notify_all()
+                while not all(self.finished):
+                    self.cv.wait()
+
+        for t in threads:
+            t.join(timeout=5.0)
+        self.result.final_state = dict(self.state)
+        if self.errors:
+            self.result.error = self.errors[0]
+        return self.result
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregate over all explored interleavings."""
+
+    runs: int = 0
+    deadlocks: int = 0
+    errors: list[tuple[list[int], BaseException]] = field(default_factory=list)
+    #: distinct final states observed (value nondeterminism = likely race)
+    final_states: set = field(default_factory=set)
+    logs: list[list[Access]] = field(default_factory=list)
+    schedules: list[list[int]] = field(default_factory=list)
+    exhausted: bool = True
+
+    @property
+    def deterministic(self) -> bool:
+        return len(self.final_states) <= 1
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.errors) or self.deadlocks > 0
+
+
+class Explorer:
+    """Depth-first enumeration of interleavings with preemption bounding."""
+
+    def __init__(
+        self,
+        max_schedules: int = 2000,
+        preemption_bound: int | None = None,
+    ) -> None:
+        self.max_schedules = max_schedules
+        self.preemption_bound = preemption_bound
+
+    def explore(
+        self,
+        make_tasks: Callable[[], Sequence[Callable[[TaskHandle], None]]],
+        initial_state: dict[str, Any] | None = None,
+        state_key: Callable[[dict[str, Any]], Any] | None = None,
+    ) -> ExplorationResult:
+        """Run every interleaving of ``make_tasks()`` (fresh tasks per run).
+
+        ``state_key`` projects the final shared state to a hashable value
+        for determinism checking (default: sorted items, stringified).
+        """
+        initial_state = dict(initial_state or {})
+        key = state_key or (
+            lambda s: tuple(sorted((k, repr(v)) for k, v in s.items()))
+        )
+        result = ExplorationResult()
+        stack: list[list[int]] = [[]]
+        seen_prefixes: set[tuple[int, ...]] = set()
+
+        while stack:
+            if result.runs >= self.max_schedules:
+                result.exhausted = False
+                break
+            prefix = stack.pop()
+            run = _Controller(make_tasks(), initial_state, prefix).run()
+            result.runs += 1
+            result.logs.append(run.log)
+            result.schedules.append(run.schedule)
+            if run.deadlock:
+                result.deadlocks += 1
+            if run.error is not None:
+                result.errors.append((run.decisions, run.error))
+            else:
+                result.final_states.add(key(run.final_state))
+
+            # expand: alternatives at every step at or beyond the prefix
+            for i in range(len(prefix), len(run.decisions)):
+                for alt in range(run.enabled_counts[i]):
+                    if alt == run.decisions[i]:
+                        continue
+                    if self.preemption_bound is not None:
+                        before = run.preemptions[i - 1] if i > 0 else 0
+                        prev_tid = run.schedule[i - 1] if i > 0 else None
+                        alt_tid = run.enabled_sets[i][alt]
+                        preemptive = (
+                            prev_tid is not None
+                            and prev_tid in run.enabled_sets[i]
+                            and alt_tid != prev_tid
+                        )
+                        if before + (1 if preemptive else 0) > self.preemption_bound:
+                            continue
+                    new_prefix = run.decisions[:i] + [alt]
+                    tkey = tuple(new_prefix)
+                    if tkey not in seen_prefixes:
+                        seen_prefixes.add(tkey)
+                        stack.append(new_prefix)
+        return result

@@ -1,0 +1,94 @@
+"""Shared fixtures: canonical source snippets used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import parse_function
+from repro.model import build_semantic_model
+
+#: the paper's Fig. 2 video-filter loop
+VIDEO_SRC = """
+def process(stream, crop, histo, oil, conv):
+    out = []
+    for img in stream:
+        c = crop(img)
+        h = histo(img)
+        o = oil(img)
+        r = conv(c, h, o)
+        out.append(r)
+    return out
+"""
+
+#: a stateful stream loop: one fused carried stage + parallel tail
+SMOOTH_SRC = """
+def smooth(xs, f):
+    out = []
+    prev = 0.0
+    for x in xs:
+        y = f(x, prev)
+        prev = x
+        out.append(y)
+    return out
+"""
+
+#: a clean associative reduction
+REDUCE_SRC = """
+def sum_sq(xs):
+    acc = 0
+    for x in xs:
+        acc += x * x
+    return acc
+"""
+
+#: an element-disjoint in-place update (DOALL modulo optimism)
+SCALE_SRC = """
+def scale(a, n):
+    for i in range(n):
+        a[i] = a[i] * 2
+    return a
+"""
+
+#: a genuine cross-iteration overlap (never parallel)
+SHIFT_SRC = """
+def shift(a, n):
+    for i in range(n):
+        a[i] = a[i + 1] * 2
+    return a
+"""
+
+
+@pytest.fixture
+def video_ir():
+    return parse_function(VIDEO_SRC)
+
+
+@pytest.fixture
+def video_model(video_ir):
+    return build_semantic_model(video_ir)
+
+
+@pytest.fixture
+def smooth_ir():
+    return parse_function(SMOOTH_SRC)
+
+
+@pytest.fixture
+def smooth_model(smooth_ir):
+    return build_semantic_model(smooth_ir)
+
+
+@pytest.fixture
+def video_env():
+    return dict(
+        crop=lambda x: x + 1,
+        histo=lambda x: x * 2,
+        oil=lambda x: -x,
+        conv=lambda a, b, c: (a, b, c),
+    )
+
+
+def video_expected(stream, env):
+    return [
+        (env["crop"](x), env["histo"](x), env["oil"](x)) for x in stream
+    ]

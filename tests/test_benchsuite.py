@@ -1,0 +1,212 @@
+"""The benchmark suite: programs parse, run, and carry valid ground truth."""
+
+import pytest
+
+from repro.benchsuite import Label, all_programs, get_program, program_names
+from repro.benchsuite.ground_truth import label_matches
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return all_programs()
+
+
+class TestRegistry:
+    def test_seventeen_programs(self, programs):
+        assert len(programs) == 17
+
+    def test_names_sorted(self):
+        names = program_names()
+        assert names == sorted(names)
+        assert "raytracer" in names and "video" in names
+
+    def test_get_program(self):
+        assert get_program("mandelbrot").name == "mandelbrot"
+
+
+class TestWellFormedness:
+    def test_all_parse(self, programs):
+        for bp in programs:
+            prog = bp.parse()
+            assert len(prog) > 0, bp.name
+
+    def test_ground_truth_sids_are_loops(self, programs):
+        for bp in programs:
+            prog = bp.parse()
+            for g in bp.ground_truth:
+                st = prog.function(g.function).statement(g.loop_sid)
+                assert st.is_loop, f"{bp.name} {g.function}:{g.loop_sid}"
+
+    def test_every_program_has_positive_and_negative_truth(self, programs):
+        for bp in programs:
+            assert bp.positive_truth(), bp.name
+        # negatives exist suite-wide (not necessarily per program)
+        assert any(bp.negative_truth() for bp in programs)
+
+    def test_namespaces_execute(self, programs):
+        for bp in programs:
+            ns = bp.namespace()
+            assert ns, bp.name
+
+    def test_inputs_are_runnable(self, programs):
+        for bp in programs:
+            ns = bp.namespace()
+            for qualname, (args, kwargs) in bp.inputs.items():
+                fn = bp.resolve(qualname, ns)
+                fn(*args, **kwargs)  # must not raise
+
+    def test_runner_protocol(self, programs):
+        for bp in programs:
+            runner = bp.make_runner()
+            for qualname in bp.inputs:
+                supplied = runner(qualname)
+                assert supplied is not None
+                fn, args, kwargs = supplied
+                assert callable(fn)
+            assert runner("no_such_function") is None
+
+
+class TestLabelMatching:
+    def test_parallel_accepts_any_pattern(self):
+        for p in ("doall", "pipeline", "masterworker"):
+            assert label_matches(Label.PARALLEL, p)
+
+    def test_exact_labels(self):
+        assert label_matches(Label.DOALL, "doall")
+        assert not label_matches(Label.DOALL, "pipeline")
+
+    def test_negative_never_matches(self):
+        assert not label_matches(Label.NEGATIVE, "doall")
+
+
+class TestRaytracer:
+    def test_thirteen_classes(self):
+        import ast
+
+        bp = get_program("raytracer")
+        tree = ast.parse(bp.source)
+        classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+        assert len(classes) == 13
+
+    def test_three_true_locations_one_decoy(self):
+        bp = get_program("raytracer")
+        positives = bp.positive_truth()
+        assert len(positives) == 3
+        decoys = [
+            g for g in bp.negative_truth()
+            if "race" in g.reason or "decoy" in g.reason
+        ]
+        assert decoys
+
+    def test_renders_an_image(self):
+        bp = get_program("raytracer")
+        ns = bp.namespace()
+        scene = ns["make_scene"]()
+        cam = ns["Camera"](ns["Vec3"](0.0, 0.0, -1.0), 8, 6)
+        renderer = ns["Renderer"](scene, cam)
+        img = renderer.render(ns["Image"](8, 6))
+        assert len(img.pixels) == 48
+        assert any(p > 0.05 for p in img.pixels)  # something was hit
+        assert any(p == pytest.approx(0.05) for p in img.pixels)  # and missed
+
+    def test_stats_decoy_counts(self):
+        bp = get_program("raytracer")
+        ns = bp.namespace()
+        scene = ns["make_scene"]()
+        cam = ns["Camera"](ns["Vec3"](0.0, 0.0, -1.0), 4, 4)
+        r = ns["Renderer"](scene, cam)
+        rays = [cam.ray_for(i) for i in range(16)]
+        r.render_with_stats(rays)
+        assert r.stats.rays == 16
+        assert 0 <= r.stats.hits <= 16
+
+
+class TestVideo:
+    def test_process_runs(self):
+        bp = get_program("video")
+        ns = bp.namespace()
+        stream = ns["make_stream"](3, 6, 4)
+        out = ns["process"](
+            stream,
+            ns["CropFilter"](1),
+            ns["HistogramFilter"](4),
+            ns["OilFilter"](1),
+            ns["Converter"](),
+        )
+        assert len(out) == 3
+        assert all(len(r) == 3 for r in out)
+
+
+class TestProgramSemantics:
+    """Spot-check that benchmark kernels compute what they claim."""
+
+    def test_mandelbrot_escape(self):
+        ns = get_program("mandelbrot").namespace()
+        assert ns["escape_time"](0.0, 0.0, 30) == 30  # inside the set
+        assert ns["escape_time"](2.0, 2.0, 30) < 3  # far outside
+
+    def test_kmeans_assign(self):
+        ns = get_program("kmeans").namespace()
+        labels = ns["assign"](
+            [[0.0, 0.0], [5.0, 5.0]], [[0.0, 0.0], [5.0, 5.0]], [0, 0]
+        )
+        assert labels == [0, 1]
+
+    def test_matmul_identity(self):
+        ns = get_program("matrixops").namespace()
+        n = 3
+        ident = [[1.0 if i == j else 0.0 for j in range(n)] for i in range(n)]
+        a = [[float(i + j) for j in range(n)] for i in range(n)]
+        c = ns["matmul"](a, ident, [[0.0] * n for _ in range(n)], n)
+        assert c == a
+
+    def test_forward_substitution(self):
+        ns = get_program("matrixops").namespace()
+        l = [[2.0, 0.0], [1.0, 4.0]]
+        x = ns["forward_substitution"](l, [4.0, 10.0], [0.0, 0.0], 2)
+        assert x == [2.0, 2.0]
+
+    def test_wordcount(self):
+        ns = get_program("wordcount").namespace()
+        counts = ns["count_words"]([["a", "b", "a"]], {})
+        assert counts == {"a": 2, "b": 1}
+
+    def test_montecarlo_pi_in_range(self):
+        bp = get_program("montecarlo")
+        ns = bp.namespace()
+        args, _ = bp.inputs["estimate_pi"]
+        pi = ns["estimate_pi"](*args)
+        assert 2.0 < pi < 4.0
+
+    def test_stencil_jacobi_converges_toward_linear(self):
+        ns = get_program("stencil").namespace()
+        n = 8
+        grid = [0.0] * n
+        grid[0], grid[-1] = 0.0, 7.0
+        out = ns["jacobi"](list(grid), 400, n)
+        expected = [i * 1.0 for i in range(n)]
+        assert all(abs(a - b) < 0.1 for a, b in zip(out, expected))
+
+    def test_audiochain_echo_is_stateful(self):
+        ns = get_program("audiochain").namespace()
+        out = ns["process_chain"]([1.0, 0.0, 0.0], 1.0, 0.5, 10.0)
+        # the echo decays: 1, 0.5, 0.25
+        assert out == [1.0, 0.5, 0.25]
+
+    def test_nbody_energy_positive(self):
+        bp = get_program("nbody")
+        ns = bp.namespace()
+        args, _ = bp.inputs["total_energy"]
+        assert ns["total_energy"](*args) > 0
+
+    def test_histogram_totals(self):
+        ns = get_program("histogram").namespace()
+        bins = ns["fill_histogram"]([0.5, 1.5, 2.5], [0, 0, 0, 0], 4, 4.0)
+        assert sum(bins) == 3
+
+    def test_indexer_builds_entries(self):
+        bp = get_program("indexer")
+        ns = bp.namespace()
+        args, _ = bp.inputs["build_index"]
+        index = ns["build_index"](list(args[0]), {})
+        assert len(index) == len(args[0])

@@ -1,0 +1,176 @@
+"""Control-flow graph and dominance."""
+
+import pytest
+
+from repro.frontend import parse_function
+from repro.model.cfg import CFG, ENTRY, EXIT, build_cfg
+from repro.model.dominance import (
+    dominance_frontier,
+    dominators,
+    immediate_dominators,
+    postdominators,
+)
+
+
+def cfg_of(src: str) -> CFG:
+    return build_cfg(parse_function(src))
+
+
+class TestLinear:
+    def test_straight_line(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n    return b")
+        assert cfg.succs[ENTRY] == {"s0"}
+        assert cfg.succs["s0"] == {"s1"}
+        assert cfg.succs["s1"] == {"s2"}
+        assert cfg.succs["s2"] == {EXIT}
+
+    def test_implicit_fallthrough_to_exit(self):
+        cfg = cfg_of("def f():\n    a = 1")
+        assert EXIT in cfg.succs["s0"]
+
+
+class TestBranches:
+    def test_if_else_diamond(self):
+        cfg = cfg_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        assert cfg.succs["s0"] == {"s0.b0", "s0.e0"}
+        assert cfg.succs["s0.b0"] == {"s1"}
+        assert cfg.succs["s0.e0"] == {"s1"}
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("def f(c):\n    if c:\n        x = 1\n    return 0\n")
+        assert cfg.succs["s0"] == {"s0.b0", "s1"}
+
+    def test_early_return_in_branch(self):
+        cfg = cfg_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        assert cfg.succs["s0.b0"] == {EXIT}
+
+
+class TestLoops:
+    def test_for_back_edge(self):
+        cfg = cfg_of("def f(xs):\n    for x in xs:\n        y = x\n")
+        assert "s0" in cfg.succs["s0.b0"]  # back edge
+        assert (("s0.b0", "s0") in cfg.back_edges())
+
+    def test_loop_exit(self):
+        cfg = cfg_of(
+            "def f(xs):\n    for x in xs:\n        y = x\n    return y\n"
+        )
+        assert "s1" in cfg.succs["s0"]
+
+    def test_break_jumps_past_loop(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        break\n"
+            "    return 1\n"
+        )
+        assert "s1" in cfg.succs["s0.b0"]
+        assert "s0" not in cfg.succs["s0.b0"]
+
+    def test_continue_jumps_to_header(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        continue\n"
+        )
+        assert cfg.succs["s0.b0"] == {"s0"}
+
+    def test_while_shape(self):
+        cfg = cfg_of("def f(n):\n    while n:\n        n -= 1\n")
+        assert "s0" in cfg.succs["s0.b0"]
+
+    def test_nested_loop_continue_targets_inner(self):
+        cfg = cfg_of(
+            "def f(a):\n"
+            "    for i in a:\n"
+            "        for j in a:\n"
+            "            continue\n"
+        )
+        assert cfg.succs["s0.b0.b0"] == {"s0.b0"}
+
+    def test_infinite_loop_keeps_exit_reachable(self):
+        cfg = cfg_of("def f():\n    while True:\n        pass\n")
+        assert EXIT in cfg.reachable()
+
+
+class TestReachability:
+    def test_all_statements_reachable(self):
+        cfg = cfg_of(
+            "def f(xs, c):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        if c:\n"
+            "            t += x\n"
+            "    return t\n"
+        )
+        reach = cfg.reachable()
+        for sid in ("s0", "s1", "s1.b0", "s1.b0.b0", "s2"):
+            assert sid in reach
+
+
+class TestDominance:
+    SRC = (
+        "def f(c, xs):\n"
+        "    a = 0\n"
+        "    if c:\n"
+        "        a = 1\n"
+        "    for x in xs:\n"
+        "        a += x\n"
+        "    return a\n"
+    )
+
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of(self.SRC)
+        dom = dominators(cfg)
+        for n, ds in dom.items():
+            assert ENTRY in ds
+
+    def test_node_dominates_itself(self):
+        cfg = cfg_of(self.SRC)
+        for n, ds in dominators(cfg).items():
+            assert n in ds
+
+    def test_branch_does_not_dominate_join(self):
+        cfg = cfg_of(self.SRC)
+        dom = dominators(cfg)
+        assert "s1.b0" not in dom["s2"]
+        assert "s1" in dom["s2"]
+
+    def test_idom_unique_and_consistent(self):
+        cfg = cfg_of(self.SRC)
+        dom = dominators(cfg)
+        idom = immediate_dominators(cfg)
+        for n, d in idom.items():
+            if n == ENTRY:
+                assert d is None
+            else:
+                assert d in dom[n]
+
+    def test_postdominators_exit(self):
+        cfg = cfg_of(self.SRC)
+        pdom = postdominators(cfg)
+        for n, ds in pdom.items():
+            assert EXIT in ds
+
+    def test_dominance_frontier_at_join(self):
+        cfg = cfg_of(self.SRC)
+        df = dominance_frontier(cfg)
+        # the if-branch's frontier is the join point (the loop header s2)
+        assert "s2" in df.get("s1.b0", set())
+
+    def test_loop_header_in_own_frontier(self):
+        cfg = cfg_of("def f(xs):\n    for x in xs:\n        y = x\n")
+        df = dominance_frontier(cfg)
+        assert "s0" in df.get("s0", set()) or "s0" in df.get("s0.b0", set())

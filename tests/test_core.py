@@ -1,0 +1,262 @@
+"""The process model and the Patty facade (all operation modes)."""
+
+import textwrap
+
+import pytest
+
+from repro import Patty
+from repro.core import (
+    AnnotationError,
+    OperationMode,
+    Phase,
+    PhaseState,
+    ProcessModel,
+)
+from repro.tadl import format_tadl
+
+from tests.conftest import VIDEO_SRC, video_expected
+
+
+class TestProcessModel:
+    def test_phases_progress_in_order(self):
+        pm = ProcessModel()
+        for phase in Phase:
+            pm.begin(phase)
+            pm.complete(phase)
+        assert pm.finished
+
+    def test_cannot_skip_phase(self):
+        pm = ProcessModel()
+        with pytest.raises(RuntimeError):
+            pm.begin(Phase.PATTERN_ANALYSIS)
+
+    def test_cannot_complete_unstarted(self):
+        pm = ProcessModel()
+        with pytest.raises(RuntimeError):
+            pm.complete(Phase.MODEL_CREATION)
+
+    def test_current_phase(self):
+        pm = ProcessModel()
+        pm.begin(Phase.MODEL_CREATION)
+        assert pm.current_phase is Phase.MODEL_CREATION
+
+    def test_fail_recorded(self):
+        pm = ProcessModel()
+        pm.begin(Phase.MODEL_CREATION)
+        pm.fail(Phase.MODEL_CREATION, "boom")
+        assert pm.states[Phase.MODEL_CREATION] is PhaseState.FAILED
+        assert any("boom" in entry for _, entry in pm.log)
+
+    def test_chart_renders_states(self):
+        pm = ProcessModel()
+        pm.begin(Phase.MODEL_CREATION)
+        chart = pm.chart()
+        assert "[>] Model Creation" in chart
+        assert "[ ] Pattern Analysis" in chart
+
+    def test_log_accumulates(self):
+        pm = ProcessModel()
+        pm.begin(Phase.MODEL_CREATION)
+        pm.complete(Phase.MODEL_CREATION)
+        assert pm.log == [
+            ("Model Creation", "running"),
+            ("Model Creation", "completed"),
+        ]
+
+
+class TestOperationModes:
+    def test_four_modes(self):
+        assert len(OperationMode) == 4
+
+    def test_descriptions(self):
+        for mode in OperationMode:
+            assert mode.description
+
+
+class TestAutomaticMode:
+    def test_end_to_end_static(self, video_env):
+        patty = Patty(prefer="pipeline")
+        res = patty.parallelize(VIDEO_SRC, compile_env=dict(video_env))
+        assert res.process.finished
+        assert [m.pattern for m in res.matches] == ["pipeline"]
+        assert "process" in res.annotated_sources
+        assert "process" in res.parallel_sources
+        fn = res.parallel_functions["process"]
+        stream = [1, 2, 3]
+        assert fn(stream, *video_env.values()) == video_expected(
+            stream, video_env
+        )
+
+    def test_tuning_file_dict(self, video_env):
+        res = Patty(prefer="pipeline").parallelize(VIDEO_SRC)
+        assert res.tuning["patterns"][0]["pattern"] == "pipeline"
+        assert res.tuning["patterns"][0]["parameters"]
+
+    def test_dynamic_runner_enables_tests(self, video_env):
+        ns = dict(video_env)
+        exec(textwrap.dedent(VIDEO_SRC), ns)
+        patty = Patty(prefer="pipeline")
+        res = patty.parallelize(
+            VIDEO_SRC,
+            runner=lambda q: (
+                (ns["process"], ([1, 2, 3],) + tuple(video_env.values()), {})
+                if q == "process"
+                else None
+            ),
+        )
+        assert res.matches[0].confidence == 1.0
+        assert res.unit_tests
+        report = patty.validate(res)
+        assert report.passed
+        assert patty.mode is OperationMode.VALIDATION
+
+    def test_skipped_codegen_recorded(self):
+        src = (
+            "def f(q, out):\n"
+            "    while q:\n"
+            "        x = q.pop()\n"
+            "        y = g(x)\n"
+            "        out.append(y)\n"
+        )
+        res = Patty(prefer="pipeline").parallelize(src)
+        if res.matches:
+            assert res.skipped  # while-loop codegen is unsupported
+
+    def test_match_at(self, video_env):
+        res = Patty(prefer="pipeline").parallelize(VIDEO_SRC)
+        assert res.match_at("process").pattern == "pipeline"
+        with pytest.raises(KeyError):
+            res.match_at("zzz")
+
+    def test_multiple_functions(self):
+        src = VIDEO_SRC + (
+            "\n"
+            "def total(xs):\n"
+            "    acc = 0\n"
+            "    for x in xs:\n"
+            "        acc += x\n"
+            "    return acc\n"
+        )
+        res = Patty().parallelize(src)
+        assert {m.function for m in res.matches} == {"process", "total"}
+
+
+class TestArchitectureBasedMode:
+    def test_transform_simple_annotation(self):
+        ann_src = (
+            "def work(xs, f, g):\n"
+            "    out = []\n"
+            "    # TADL: A => B\n"
+            "    for x in xs:\n"
+            "        y = f(x)\n"
+            "        out.append(g(y))\n"
+            "    return out\n"
+        )
+        env = dict(f=lambda x: x + 1, g=lambda y: y * 10)
+        patty = Patty()
+        res = patty.transform_annotated(ann_src, compile_env=env)
+        assert patty.mode is OperationMode.ARCHITECTURE_BASED
+        fn = res.parallel_functions["work"]
+        assert fn([1, 2, 3], env["f"], env["g"]) == [20, 30, 40]
+
+    def test_doall_annotation(self):
+        ann_src = (
+            "def sq(xs):\n"
+            "    out = []\n"
+            "    # TADL: BODY*\n"
+            "    # TADL-pattern: doall\n"
+            "    for x in xs:\n"
+            "        out.append(x * x)\n"
+            "    return out\n"
+        )
+        res = Patty().transform_annotated(ann_src, compile_env={})
+        assert res.parallel_functions["sq"]([1, 2, 3]) == [1, 4, 9]
+
+    def test_replicable_marker_respected(self):
+        ann_src = (
+            "def work(xs, f, g):\n"
+            "    out = []\n"
+            "    # TADL: A+ => B\n"
+            "    for x in xs:\n"
+            "        y = f(x)\n"
+            "        out.append(g(y))\n"
+            "    return out\n"
+        )
+        env = dict(f=lambda x: x - 1, g=lambda y: y * 2)
+        res = Patty().transform_annotated(ann_src, compile_env=env)
+        fn = res.parallel_functions["work"]
+        got = fn(
+            list(range(10)), env["f"], env["g"],
+            __tuning__={"StageReplication@A": 3},
+        )
+        assert got == [(x - 1) * 2 for x in range(10)]
+
+    def test_no_annotations_raises(self):
+        with pytest.raises(AnnotationError):
+            Patty().transform_annotated("def f():\n    pass\n")
+
+    def test_annotation_not_on_loop_raises(self):
+        bad = "# TADL: A => B\nx = 1\n"
+        with pytest.raises(AnnotationError):
+            Patty().transform_annotated(bad)
+
+    def test_stage_count_mismatch_raises(self):
+        bad = (
+            "def f(xs, out):\n"
+            "    # TADL: A => B => C\n"
+            "    for x in xs:\n"
+            "        out.append(x)\n"
+        )
+        with pytest.raises(AnnotationError):
+            Patty().transform_annotated(bad)
+
+    def test_explicit_stage_map(self):
+        ann_src = (
+            "def work(xs, f, g):\n"
+            "    out = []\n"
+            "    # TADL: A => B\n"
+            "    # TADL-stages: A=s1.b0,s1.b1; B=s1.b2\n"
+            "    for x in xs:\n"
+            "        y = f(x)\n"
+            "        z = y + 1\n"
+            "        out.append(g(z))\n"
+            "    return out\n"
+        )
+        env = dict(f=lambda x: x * 2, g=lambda y: -y)
+        res = Patty().transform_annotated(ann_src, compile_env=env)
+        fn = res.parallel_functions["work"]
+        assert fn([1, 2], env["f"], env["g"]) == [-(1 * 2 + 1), -(2 * 2 + 1)]
+
+
+class TestTuneMode:
+    def test_tune_match_against_simulator(self, video_env):
+        from repro.simcore import Machine
+        from repro.simcore.costmodel import video_filter_workload
+        from repro.simcore.simulate import simulate_pipeline
+
+        patty = Patty(prefer="pipeline")
+        res = patty.parallelize(VIDEO_SRC)
+        match = res.matches[0]
+        wl = video_filter_workload(n=100)
+        name_map = {
+            "A": "crop", "B": "histogram", "C": "oil",
+            "D": "convert", "E": "collect", "pipeline": "pipeline",
+        }
+
+        def measure(config):
+            mapped = {}
+            for key, value in config.items():
+                pname, target = key.split("@", 1)
+                if "/" in target:
+                    a, b = target.split("/")
+                    target = f"{name_map[a]}/{name_map[b]}"
+                else:
+                    target = name_map[target]
+                mapped[f"{pname}@{target}"] = value
+            return simulate_pipeline(wl, Machine(cores=4), mapped).makespan
+
+        result = patty.tune(match, measure, budget=60)
+        assert result.best_runtime < measure(
+            {p.key: p.default for p in match.tuning}
+        ) * 1.0001
+        assert result.best_config["StageReplication@C"] >= 2

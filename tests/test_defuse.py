@@ -1,0 +1,88 @@
+"""Reaching definitions and def-use chains."""
+
+from repro.frontend import parse_function
+from repro.frontend.rwsets import Symbol
+from repro.model.cfg import build_cfg
+from repro.model.defuse import PARAM_DEF, compute_defuse
+
+
+def analyse(src: str):
+    ir = parse_function(src)
+    cfg = build_cfg(ir)
+    rd, chains = compute_defuse(ir, cfg)
+    return ir, cfg, rd, chains
+
+
+class TestReachingDefinitions:
+    def test_param_reaches_first_use(self):
+        _, _, rd, chains = analyse("def f(x):\n    y = x\n    return y")
+        defs = chains.defs_reaching_use("s0", Symbol("x"))
+        assert (PARAM_DEF, Symbol("x")) in defs
+
+    def test_assignment_kills_param(self):
+        _, _, rd, chains = analyse(
+            "def f(x):\n    x = 1\n    return x"
+        )
+        defs = chains.defs_reaching_use("s1", Symbol("x"))
+        assert defs == {("s0", Symbol("x"))}
+
+    def test_branch_merges_definitions(self):
+        _, _, rd, chains = analyse(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        defs = chains.defs_reaching_use("s1", Symbol("x"))
+        assert {d[0] for d in defs} == {"s0.b0", "s0.e0"}
+
+    def test_loop_carried_definition_reaches_header_use(self):
+        _, _, rd, chains = analyse(
+            "def f(xs):\n"
+            "    acc = 0\n"
+            "    for x in xs:\n"
+            "        acc = acc + x\n"
+            "    return acc\n"
+        )
+        defs = chains.defs_reaching_use("s1.b0", Symbol("acc"))
+        assert {d[0] for d in defs} == {"s0", "s1.b0"}
+
+    def test_container_write_does_not_kill(self):
+        _, _, rd, chains = analyse(
+            "def f(a, i):\n"
+            "    a[i] = 1\n"
+            "    return a\n"
+        )
+        defs = chains.defs_reaching_use("s1", Symbol("a"))
+        # both the parameter binding and the element write reach the return
+        sources = {d[0] for d in defs}
+        assert PARAM_DEF in sources and "s0" in sources
+
+    def test_plain_write_kills_previous(self):
+        _, _, rd, chains = analyse(
+            "def f():\n    x = 1\n    x = 2\n    return x\n"
+        )
+        defs = chains.defs_reaching_use("s2", Symbol("x"))
+        assert defs == {("s1", Symbol("x"))}
+
+
+class TestDefUseChains:
+    def test_def_to_uses(self):
+        _, _, _, chains = analyse(
+            "def f():\n    x = 1\n    y = x\n    z = x\n    return y + z\n"
+        )
+        uses = chains.defs.get(("s0", Symbol("x")), set())
+        assert {u[0] for u in uses} == {"s1", "s2"}
+
+    def test_unused_definition_has_no_uses(self):
+        _, _, _, chains = analyse("def f():\n    x = 1\n    return 2\n")
+        assert chains.defs.get(("s0", Symbol("x")), set()) == set()
+
+    def test_aliased_use_links_container_def(self):
+        _, _, _, chains = analyse(
+            "def f(a, i):\n    a[i] = 1\n    return a\n"
+        )
+        defs = chains.defs_reaching_use("s1", Symbol("a"))
+        assert ("s0", Symbol("a[*]")) in defs

@@ -1,0 +1,389 @@
+"""Loop-body dependence analysis: the heart of the detector."""
+
+import pytest
+
+from repro.frontend import parse_function
+from repro.frontend.parser import loop_info
+from repro.frontend.rwsets import Symbol
+from repro.model.dependence import (
+    DepKind,
+    build_body_dependences,
+    find_collectors,
+    find_reductions,
+    statement_exposed_reads,
+)
+from repro.model.semantic import live_after
+
+
+def deps_of(src: str, loop_sid: str = None):
+    ir = parse_function(src)
+    loops = [s for s in ir.walk() if s.is_loop]
+    loop_stmt = loops[0] if loop_sid is None else ir.statement(loop_sid)
+    loop = loop_info(loop_stmt)
+    return loop, build_body_dependences(loop, live_after(ir, loop_stmt))
+
+
+def edge_set(dg, kind=None, carried=None):
+    return {
+        (e.src, e.dst, e.symbol.name)
+        for e in dg.edges
+        if (kind is None or e.kind is kind)
+        and (carried is None or e.carried == carried)
+    }
+
+
+class TestIndependentDeps:
+    def test_flow_within_iteration(self, video_ir):
+        loop = loop_info(video_ir.body[1])
+        dg = build_body_dependences(loop)
+        flows = edge_set(dg, DepKind.FLOW, carried=False)
+        assert ("s1.b0", "s1.b3", "c") in flows
+        assert ("s1.b1", "s1.b3", "h") in flows
+        assert ("s1.b2", "s1.b3", "o") in flows
+        assert ("s1.b3", "s1.b4", "r") in flows
+
+    def test_no_spurious_flow_between_producers(self, video_ir):
+        loop = loop_info(video_ir.body[1])
+        dg = build_body_dependences(loop)
+        flows = edge_set(dg, DepKind.FLOW, carried=False)
+        assert not any(
+            (a, b) in {(x[0], x[1]) for x in flows}
+            for a, b in [("s1.b0", "s1.b1"), ("s1.b1", "s1.b2")]
+        )
+
+    def test_anti_within_iteration(self):
+        _, dg = deps_of(
+            "def f(xs):\n"
+            "    y = 0\n"
+            "    for x in xs:\n"
+            "        u = y\n"
+            "        y = x\n"
+        )
+        antis = edge_set(dg, DepKind.ANTI, carried=False)
+        assert ("s1.b0", "s1.b1", "y") in antis
+
+
+class TestCarriedDeps:
+    def test_accumulator_self_flow(self):
+        _, dg = deps_of(
+            "def f(xs):\n"
+            "    seen = None\n"
+            "    for x in xs:\n"
+            "        seen = combine(seen, x)\n"
+        )
+        assert ("s1.b0", "s1.b0", "seen") in edge_set(
+            dg, DepKind.FLOW, carried=True
+        )
+
+    def test_prev_pattern_carried_pair(self, smooth_ir):
+        loop = loop_info(smooth_ir.body[2])
+        dg = build_body_dependences(loop, live_after(smooth_ir, smooth_ir.body[2]))
+        carried = edge_set(dg, DepKind.FLOW, carried=True)
+        assert ("s2.b1", "s2.b0", "prev") in carried
+
+    def test_loop_target_is_privatized(self, video_ir):
+        loop = loop_info(video_ir.body[1])
+        dg = build_body_dependences(loop)
+        assert not any(e.symbol.name == "img" for e in dg.carried())
+
+    def test_iteration_local_not_carried(self, video_ir):
+        loop = loop_info(video_ir.body[1])
+        dg = build_body_dependences(loop)
+        for name in ("c", "h", "o", "r"):
+            assert not any(
+                e.symbol.name == name for e in dg.carried()
+            ), name
+
+    def test_container_self_overlap_has_carried_anti(self):
+        _, dg = deps_of(
+            "def f(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = a[i + 1] * 2\n"
+            "    return a\n"
+        )
+        antis = edge_set(dg, DepKind.ANTI, carried=True)
+        assert ("s0.b0", "s0.b0", "a[*]") in antis
+
+    def test_escaping_scalar_output_dep(self):
+        _, dg = deps_of(
+            "def f(xs):\n"
+            "    last = None\n"
+            "    for x in xs:\n"
+            "        last = x\n"
+            "    return last\n"
+        )
+        outs = edge_set(dg, DepKind.OUTPUT, carried=True)
+        assert ("s1.b0", "s1.b0", "last") in outs
+
+    def test_non_escaping_rebind_has_no_output_dep(self):
+        _, dg = deps_of(
+            "def f(xs, out):\n"
+            "    for x in xs:\n"
+            "        t = x * 2\n"
+            "        out[x] = t\n"
+            "    return out\n"
+        )
+        assert not any(e.symbol.name == "t" for e in dg.carried())
+
+
+class TestExposureRecursion:
+    def test_inner_loop_counter_not_exposed(self):
+        _, dg = deps_of(
+            "def f(a, b, c, n):\n"
+            "    for i in range(n):\n"
+            "        row = a[i]\n"
+            "        out = c[i]\n"
+            "        for j in range(n):\n"
+            "            s = 0.0\n"
+            "            for k in range(n):\n"
+            "                s += row[k] * b[k][j]\n"
+            "            out[j] = s\n"
+            "    return c\n",
+        )
+        carried_names = {e.symbol.name for e in dg.carried()}
+        for name in ("j", "k", "s", "row", "out"):
+            assert name not in carried_names, name
+
+    def test_inner_accumulator_initialized_outside_is_carried(self):
+        _, dg = deps_of(
+            "def f(a, n):\n"
+            "    total = 0.0\n"
+            "    for i in range(n):\n"
+            "        for j in range(n):\n"
+            "            total += a[i][j]\n"
+            "    return total\n"
+        )
+        assert any(e.symbol.name == "total" for e in dg.carried())
+
+    def test_if_branch_kill_is_intersection(self):
+        # x only assigned in one branch: the read after the if is exposed
+        _, dg = deps_of(
+            "def f(xs, c):\n"
+            "    x = 0\n"
+            "    for e in xs:\n"
+            "        if c:\n"
+            "            x = e\n"
+            "        y = use(x)\n"
+        )
+        assert any(
+            e.symbol.name == "x" and e.carried for e in dg.edges
+        )
+
+    def test_both_branches_kill(self):
+        _, dg = deps_of(
+            "def f(xs, c):\n"
+            "    for e in xs:\n"
+            "        if c:\n"
+            "            x = e\n"
+            "        else:\n"
+            "            x = -e\n"
+            "        y = use(x)\n"
+        )
+        assert not any(e.symbol.name == "x" and e.carried for e in dg.edges)
+
+    def test_statement_exposed_reads_simple(self):
+        ir = parse_function("def f(a):\n    x = a\n    y = x\n")
+        e0, killed = statement_exposed_reads(ir.body[0], set())
+        assert Symbol("a") in e0
+        e1, _ = statement_exposed_reads(ir.body[1], killed)
+        assert Symbol("x") not in e1
+
+    def test_self_read_is_exposed(self):
+        ir = parse_function("def f():\n    x = x + 1\n")
+        e, _ = statement_exposed_reads(ir.body[0], set())
+        assert Symbol("x") in e
+
+
+class TestSlotVsProjection:
+    def test_rebound_row_pointer_not_carried(self):
+        _, dg = deps_of(
+            "def f(a, out, n):\n"
+            "    for i in range(n):\n"
+            "        row = a[i]\n"
+            "        out[i] = row[0] + row[1]\n"
+            "    return out\n"
+        )
+        assert not any(e.symbol.name == "row" for e in dg.carried())
+
+    def test_persistent_pointer_chase_is_carried(self):
+        _, dg = deps_of(
+            "def f(head, n, out):\n"
+            "    cur = head\n"
+            "    for i in range(n):\n"
+            "        out[i] = cur.value\n"
+            "        cur = cur.next\n"
+            "    return out\n"
+        )
+        assert any(e.symbol.name == "cur" for e in dg.carried())
+
+
+class TestLiveAfter:
+    def test_reads_after_loop(self):
+        ir = parse_function(
+            "def f(xs):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        t = x\n"
+            "    return t\n"
+        )
+        syms = live_after(ir, ir.body[1])
+        assert Symbol("t") in syms
+
+    def test_enclosing_loop_reads_count(self):
+        ir = parse_function(
+            "def f(a, n):\n"
+            "    for i in range(n):\n"
+            "        u = a[i]\n"
+            "        for j in range(n):\n"
+            "            a[j] = j\n"
+        )
+        inner = ir.statement("s0.b1")
+        syms = live_after(ir, inner)
+        assert any(s.name == "a[*]" for s in syms)
+
+
+class TestReductions:
+    def test_augassign_add(self):
+        loop, _ = deps_of(REDUCE := (
+            "def f(xs):\n"
+            "    acc = 0\n"
+            "    for x in xs:\n"
+            "        acc += x * x\n"
+            "    return acc\n"
+        ))
+        reds = find_reductions(loop)
+        assert len(reds) == 1
+        assert reds[0].symbol == Symbol("acc")
+        assert reds[0].op == "add"
+        assert reds[0].expr == "x * x"
+
+    def test_explicit_add_form(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        t = t + f2(x)\n"
+            "    return t\n"
+        )
+        reds = find_reductions(loop)
+        assert [r.op for r in reds] == ["add"]
+        assert reds[0].expr == "f2(x)"
+
+    def test_min_reduction(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    best = 1e9\n"
+            "    for x in xs:\n"
+            "        best = min(best, x)\n"
+            "    return best\n"
+        )
+        reds = find_reductions(loop)
+        assert [r.op for r in reds] == ["min"]
+        assert reds[0].expr == "x"
+
+    def test_mult_reduction(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    p = 1\n"
+            "    for x in xs:\n"
+            "        p *= x\n"
+            "    return p\n"
+        )
+        assert [r.op for r in find_reductions(loop)] == ["mult"]
+
+    def test_subtraction_is_not_associative(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        t = t - x\n"
+            "    return t\n"
+        )
+        assert find_reductions(loop) == []
+
+    def test_accumulator_read_elsewhere_disqualifies(self):
+        loop, _ = deps_of(
+            "def f(xs, out):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        t += x\n"
+            "        out.append(t)\n"
+            "    return t\n"
+        )
+        assert find_reductions(loop) == []
+
+    def test_rhs_reading_accumulator_disqualifies(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    t = 1\n"
+            "    for x in xs:\n"
+            "        t += t * x\n"
+            "    return t\n"
+        )
+        assert find_reductions(loop) == []
+
+
+class TestCollectors:
+    def test_append_collector(self, video_ir):
+        loop = loop_info(video_ir.body[1])
+        cols = find_collectors(loop)
+        assert len(cols) == 1
+        assert cols[0].symbol == Symbol("out[*]")
+        assert cols[0].method == "append"
+
+    def test_container_read_elsewhere_disqualifies(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(x)\n"
+            "        y = out[0]\n"
+            "    return out\n"
+        )
+        assert find_collectors(loop) == []
+
+    def test_self_referential_append_disqualifies(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(len(out))\n"
+            "    return out\n"
+        )
+        assert find_collectors(loop) == []
+
+    def test_rebound_container_disqualifies(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(x)\n"
+            "        out = list(out)\n"
+            "    return out\n"
+        )
+        assert find_collectors(loop) == []
+
+    def test_set_add_collector(self):
+        loop, _ = deps_of(
+            "def f(xs):\n"
+            "    seen = set()\n"
+            "    for x in xs:\n"
+            "        seen.add(x)\n"
+            "    return seen\n"
+        )
+        assert [c.method for c in find_collectors(loop)] == ["add"]
+
+
+class TestGraphOps:
+    def test_without(self, video_ir):
+        loop = loop_info(video_ir.body[1])
+        dg = build_body_dependences(loop)
+        carried = dg.carried()
+        pruned = dg.without(carried)
+        assert pruned.carried() == set()
+        assert pruned.independent() == dg.independent()
+
+    def test_successors(self, video_ir):
+        loop = loop_info(video_ir.body[1])
+        dg = build_body_dependences(loop)
+        assert "s1.b3" in dg.successors("s1.b0", carried=False)

@@ -1,0 +1,263 @@
+"""Dynamic dependence tracing and optimistic refinement."""
+
+import pytest
+
+from repro.frontend import parse_function
+from repro.frontend.parser import loop_info
+from repro.model.dependence import DepKind, build_body_dependences
+from repro.model.dyndep import (
+    DynamicTrace,
+    ObservedDep,
+    refine_dependences,
+    trace_loop,
+)
+from repro.model.semantic import live_after
+
+
+def run_trace(src: str, args, env=None, loop_sid=None):
+    ir = parse_function(src)
+    loops = [s for s in ir.walk() if s.is_loop]
+    sid = loop_sid or loops[0].sid
+    return ir, trace_loop(ir, sid, args=args, env=env or {})
+
+
+class TestTracing:
+    def test_iteration_count(self):
+        _, tr = run_trace(
+            "def f(xs, out):\n"
+            "    for x in xs:\n"
+            "        out.append(x)\n"
+            "    return out\n",
+            ([1, 2, 3], []),
+        )
+        assert tr.iterations == 3
+
+    def test_result_preserved(self):
+        _, tr = run_trace(
+            "def f(xs):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        t += x\n"
+            "    return t\n",
+            ([1, 2, 3],),
+        )
+        assert tr.result == 6
+
+    def test_element_cells_disjoint(self):
+        _, tr = run_trace(
+            "def f(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = a[i] * 2\n"
+            "    return a\n",
+            ([1, 2, 3, 4], 4),
+        )
+        deps = tr.observed_dependences()
+        assert not any(d.carried and d.base == "a" for d in deps)
+
+    def test_element_cells_overlapping(self):
+        _, tr = run_trace(
+            "def f(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = a[i + 1] * 2\n"
+            "    return a\n",
+            ([1, 2, 3, 4, 5], 4),
+        )
+        deps = tr.observed_dependences()
+        assert any(d.carried and d.base == "a" for d in deps)
+
+    def test_scalar_accumulator_observed(self):
+        _, tr = run_trace(
+            "def f(xs):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        t = t + x\n"
+            "    return t\n",
+            ([1, 2, 3],),
+        )
+        deps = tr.observed_dependences()
+        assert any(
+            d.carried and d.base == "t" and d.kind is DepKind.FLOW
+            for d in deps
+        )
+
+    def test_indirect_index_distinct(self):
+        _, tr = run_trace(
+            "def f(a, idx, n):\n"
+            "    for i in range(n):\n"
+            "        a[idx[i]] = a[idx[i]] + 1\n"
+            "    return a\n",
+            ([0, 0, 0], [0, 1, 2], 3),
+        )
+        assert not any(
+            d.carried and d.base == "a" for d in tr.observed_dependences()
+        )
+
+    def test_indirect_index_colliding(self):
+        _, tr = run_trace(
+            "def f(a, idx, n):\n"
+            "    for i in range(n):\n"
+            "        a[idx[i]] = a[idx[i]] + 1\n"
+            "    return a\n",
+            ([0, 0, 0], [1, 1, 2], 3),
+        )
+        assert any(
+            d.carried and d.base == "a" for d in tr.observed_dependences()
+        )
+
+    def test_nested_loop_inner_bindings_live(self):
+        # inner-loop writes must be recorded with live index values
+        _, tr = run_trace(
+            "def f(shards, merged):\n"
+            "    for shard in shards:\n"
+            "        for term in shard:\n"
+            "            merged[term] = merged.get(term, 0) + shard[term]\n"
+            "    return merged\n",
+            ([{"a": 1, "b": 2}, {"b": 1}], {}),
+        )
+        assert any(
+            d.carried and d.base == "merged" and d.kind is DepKind.OUTPUT
+            for d in tr.observed_dependences()
+        )
+
+    def test_attribute_chain_cells(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.inner = type('I', (), {'count': 0})()\n"
+            "def f(s, n):\n"
+            "    for i in range(n):\n"
+            "        s.inner.count = s.inner.count + 1\n"
+            "    return s.inner.count\n"
+        )
+        ns: dict = {}
+        exec(src, ns)
+        ir = parse_function(src, name="f")
+        tr = trace_loop(ir, "s0", args=(ns["S"](), 3), env=ns)
+        deps = tr.observed_dependences()
+        assert any(d.carried and d.base == "s" for d in deps)
+
+    def test_nested_subscript_write_recorded(self):
+        _, tr = run_trace(
+            "def f(t, a, n):\n"
+            "    for i in range(n):\n"
+            "        for j in range(n):\n"
+            "            t[j][i] = a[i][j]\n"
+            "    return t\n",
+            ([[0, 0], [0, 0]], [[1, 2], [3, 4]], 2),
+        )
+        # writes to t's rows are element-disjoint -> no carried t conflict
+        assert not any(
+            d.carried and d.base == "t" and d.kind is DepKind.OUTPUT
+            for d in tr.observed_dependences()
+        )
+
+    def test_method_as_loop_function(self):
+        src = (
+            "class C:\n"
+            "    def work(self, xs, out):\n"
+            "        for x in xs:\n"
+            "            out.append(x * self.k)\n"
+            "        return out\n"
+        )
+        ns: dict = {}
+        exec(src, ns)
+        obj = ns["C"]()
+        obj.k = 10
+        from repro.frontend.parser import parse_module
+
+        funcs = parse_module(src)
+        work = [f for f in funcs if f.name == "work"][0]
+        tr = trace_loop(work, "s0", args=(obj, [1, 2], []), env=ns)
+        assert tr.iterations == 2
+        assert tr.result == [10, 20]
+
+
+class TestRefinement:
+    def _graph_and_trace(self, src, args):
+        ir = parse_function(src)
+        loop_stmt = [s for s in ir.walk() if s.is_loop][0]
+        loop = loop_info(loop_stmt)
+        dg = build_body_dependences(loop, live_after(ir, loop_stmt))
+        tr = trace_loop(ir, loop.sid, args=args, env={})
+        return dg, tr
+
+    def test_refinement_drops_unobserved(self):
+        dg, tr = self._graph_and_trace(
+            "def f(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = a[i] * 2\n"
+            "    return a\n",
+            ([1, 2, 3, 4], 4),
+        )
+        refined = refine_dependences(dg, tr)
+        assert not refined.carried()
+
+    def test_refinement_keeps_observed(self):
+        dg, tr = self._graph_and_trace(
+            "def f(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = a[i + 1] * 2\n"
+            "    return a\n",
+            ([1, 2, 3, 4, 5], 4),
+        )
+        refined = refine_dependences(dg, tr)
+        assert any(e.symbol.name == "a[*]" for e in refined.carried())
+
+    def test_empty_trace_returns_static(self):
+        dg, _ = self._graph_and_trace(
+            "def f(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = a[i] * 2\n"
+            "    return a\n",
+            ([1], 1),
+        )
+        empty = DynamicTrace(loop_sid="s0")
+        assert refine_dependences(dg, empty) is dg
+
+    def test_base_mismatch_not_kept_alive(self):
+        # a carried dep on one variable must not keep edges on another
+        dg, tr = self._graph_and_trace(
+            "def f(a, n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total = total + a[i]\n"
+            "        a[i] = 0\n"
+            "    return total, a\n",
+            ([1, 2, 3], 3),
+        )
+        refined = refine_dependences(dg, tr)
+        bases = {e.symbol.base for e in refined.carried()}
+        assert "total" in bases
+        assert "a" not in bases
+
+
+class TestObservedDeps:
+    def test_read_read_is_not_a_dependence(self):
+        tr = DynamicTrace(loop_sid="L", iterations=2)
+        tr.accesses = [
+            (0, "s0", ("name", "x"), False),
+            (1, "s0", ("name", "x"), False),
+        ]
+        assert tr.observed_dependences() == set()
+
+    def test_kinds(self):
+        tr = DynamicTrace(loop_sid="L", iterations=2)
+        tr.accesses = [
+            (0, "a", ("name", "x"), True),
+            (0, "b", ("name", "x"), False),
+            (1, "a", ("name", "x"), True),
+        ]
+        deps = tr.observed_dependences()
+        kinds = {(d.src, d.dst, d.kind, d.carried) for d in deps}
+        assert ("a", "b", DepKind.FLOW, False) in kinds
+        assert ("b", "a", DepKind.ANTI, True) in kinds
+        assert ("a", "a", DepKind.OUTPUT, True) in kinds
+
+    def test_unhashable_cell_guard(self):
+        from repro.model.dyndep import _Tracer
+
+        assert _Tracer.c(lambda: ("elem", "a", 1, [1, 2])) is None
+        assert _Tracer.c(lambda: ("elem", "a", 1, (1, 2))) == (
+            "elem", "a", 1, (1, 2),
+        )
+        assert _Tracer.c(lambda: undefined_name) is None  # noqa: F821

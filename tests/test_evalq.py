@@ -1,0 +1,155 @@
+"""Evaluation metrics: detection quality, overhead, transformation quality."""
+
+import pytest
+
+from repro.benchsuite import get_program
+from repro.evalq import (
+    evaluate_program,
+    evaluate_suite,
+    measure_overhead,
+    suppress_nested,
+    transformation_quality,
+)
+from repro.evalq.detection import DetectionOutcome, SuiteOutcome
+from repro.frontend.source import SourceLocation
+from repro.patterns.base import PatternMatch
+from repro.tadl import parse_tadl
+
+
+def _match(function: str, sid: str, pattern: str = "doall") -> PatternMatch:
+    return PatternMatch(
+        pattern=pattern,
+        function=function,
+        location=SourceLocation(function=function, sid=sid, line=1),
+        tadl=parse_tadl("BODY*"),
+    )
+
+
+class TestSuppressNested:
+    def test_nested_suppressed(self):
+        outer = _match("f", "s0")
+        inner = _match("f", "s0.b1")
+        assert suppress_nested([inner, outer]) == [outer]
+
+    def test_other_function_kept(self):
+        a = _match("f", "s0")
+        b = _match("g", "s0.b1")
+        assert len(suppress_nested([a, b])) == 2
+
+    def test_inner_without_outer_kept(self):
+        inner = _match("f", "s0.b1")
+        assert suppress_nested([inner]) == [inner]
+
+
+class TestScoring:
+    def test_outcome_math(self):
+        o = DetectionOutcome(program="p")
+        o.true_positives = [(None, None)] * 3
+        o.false_positives = [None]
+        o.false_negatives = [None] * 2
+        assert o.precision == pytest.approx(0.75)
+        assert o.recall == pytest.approx(0.6)
+        assert o.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+
+    def test_empty_outcome_is_perfect(self):
+        o = DetectionOutcome(program="p")
+        assert o.precision == 1.0 and o.recall == 1.0
+
+    def test_single_program(self):
+        out = evaluate_program(get_program("mandelbrot"))
+        assert out.tp >= 1
+        # the escape loop and the column histogram must not be reported
+        fp_locs = {
+            (m.function, m.loop_sid) for m in out.false_positives
+        }
+        assert ("escape_time", "s3") not in fp_locs
+
+    def test_histogram_trap_is_a_false_positive(self):
+        out = evaluate_program(get_program("histogram"))
+        assert any(
+            m.function == "fill_histogram" for m in out.false_positives
+        )
+
+    def test_indexer_plcd_is_a_false_negative(self):
+        out = evaluate_program(get_program("indexer"))
+        assert any(
+            g.function == "build_index_filtered"
+            for g in out.false_negatives
+        )
+
+    def test_static_mode_runs(self):
+        out = evaluate_program(get_program("montecarlo"), dynamic=False)
+        assert out.tp + out.fp + out.fn > 0
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return evaluate_suite()
+
+    def test_f_score_in_paper_band(self, suite):
+        # "high values for precision and recall with a balanced F-score of
+        # approximately 70%" — our corpus is smaller and cleaner, so we
+        # accept the band [0.65, 0.95]
+        assert 0.65 <= suite.f1 <= 0.95
+
+    def test_has_both_error_kinds(self, suite):
+        assert suite.fp > 0  # optimism produces some false positives
+        assert suite.fn > 0  # PLCD et al. produce some misses
+
+    def test_precision_and_recall_high(self, suite):
+        assert suite.precision >= 0.6
+        assert suite.recall >= 0.7
+
+    def test_table_renders(self, suite):
+        table = suite.table()
+        assert "TOTAL" in table and "raytracer" in table
+
+    def test_optimism_ablation(self, suite):
+        static = evaluate_suite(dynamic=False)
+        # the optimistic (dynamic) analysis finds at least as much true
+        # parallelism as the pessimistic static one
+        assert suite.tp >= static.tp
+
+
+class TestOverhead:
+    def test_rows_have_sane_factors(self):
+        rows = measure_overhead(get_program("montecarlo"), repeat=2)
+        assert rows
+        for r in rows:
+            assert r.plain_seconds > 0
+            assert r.profiled_seconds > 0
+            assert r.traced_seconds > 0
+            assert r.memory_factor >= 0.5
+
+
+class TestTransformationQuality:
+    def test_tuned_close_to_manual(self):
+        from repro.simcore import Machine
+        from repro.simcore.costmodel import video_filter_workload
+
+        row = transformation_quality(
+            video_filter_workload(n=120),
+            Machine(cores=4),
+            name="video",
+            budget=60,
+            max_replication=4,
+        )
+        assert row.tuned_speedup >= row.default_speedup
+        assert row.manual >= 0  # exhaustive optimum exists
+        # "parallel performance close to manual parallelization"
+        assert row.tuned_vs_manual >= 0.9
+        # never slower than sequential after tuning
+        assert row.tuned_speedup >= 1.0
+
+    def test_speedup_row_properties(self):
+        from repro.simcore import Machine
+        from repro.simcore.costmodel import balanced_workload
+
+        row = transformation_quality(
+            balanced_workload(n=100, stages=3, cost=100e-6),
+            Machine(cores=4),
+            budget=40,
+        )
+        assert row.manual <= row.patty_tuned * 1.0001
+        assert row.tuning_evaluations <= 40

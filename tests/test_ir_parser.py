@@ -1,0 +1,225 @@
+"""IR construction and the Python frontend."""
+
+import pytest
+
+from repro.frontend import (
+    IRFunction,
+    SourceProgram,
+    StatementKind,
+    parse_function,
+    parse_module,
+)
+from repro.frontend.parser import loop_info
+
+
+class TestParseFunction:
+    def test_from_source_string(self, video_ir):
+        assert video_ir.name == "process"
+        assert video_ir.params == ["stream", "crop", "histo", "oil", "conv"]
+
+    def test_from_callable(self):
+        def f(a, b):
+            c = a + b
+            return c
+
+        ir = parse_function(f)
+        assert ir.name == "f"
+        assert ir.params == ["a", "b"]
+        assert ir.first_line > 1  # real file position recorded
+
+    def test_named_selection(self):
+        src = "def a():\n    pass\n\ndef b():\n    pass\n"
+        assert parse_function(src, name="b").name == "b"
+
+    def test_missing_function_raises(self):
+        with pytest.raises(ValueError):
+            parse_function("x = 1")
+
+    def test_missing_named_function_raises(self):
+        with pytest.raises(ValueError):
+            parse_function("def a():\n    pass", name="zz")
+
+
+class TestStatementIds:
+    def test_top_level_ids(self, video_ir):
+        assert [s.sid for s in video_ir.body] == ["s0", "s1", "s2"]
+
+    def test_nested_ids(self, video_ir):
+        loop = video_ir.body[1]
+        assert [s.sid for s in loop.body] == [
+            "s1.b0",
+            "s1.b1",
+            "s1.b2",
+            "s1.b3",
+            "s1.b4",
+        ]
+
+    def test_else_branch_ids(self):
+        ir = parse_function(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        sids = [s.sid for s in ir.walk()]
+        assert "s0.b0" in sids and "s0.e0" in sids
+
+    def test_statement_lookup(self, video_ir):
+        st = video_ir.statement("s1.b3")
+        assert st.kind is StatementKind.ASSIGN
+
+    def test_statement_lookup_missing(self, video_ir):
+        with pytest.raises(KeyError):
+            video_ir.statement("s99")
+
+
+class TestStatementKinds:
+    def test_kinds(self):
+        ir = parse_function(
+            "def f(xs):\n"
+            "    total = 0\n"
+            "    total += 1\n"
+            "    print(total)\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "        continue\n"
+            "    while total:\n"
+            "        total -= 1\n"
+            "    return total\n"
+        )
+        kinds = {s.sid: s.kind for s in ir.walk()}
+        assert kinds["s0"] is StatementKind.ASSIGN
+        assert kinds["s1"] is StatementKind.AUGASSIGN
+        assert kinds["s2"] is StatementKind.CALL
+        assert kinds["s3"] is StatementKind.FOR
+        assert kinds["s3.b0"] is StatementKind.IF
+        assert kinds["s3.b0.b0"] is StatementKind.BREAK
+        assert kinds["s3.b1"] is StatementKind.CONTINUE
+        assert kinds["s4"] is StatementKind.WHILE
+        assert kinds["s5"] is StatementKind.RETURN
+
+    def test_control_transfer_detection(self):
+        ir = parse_function(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            return x\n"
+        )
+        assert ir.body[0].contains_control_transfer()
+
+    def test_no_control_transfer(self, video_ir):
+        assert not video_ir.body[1].contains_control_transfer()
+
+
+class TestDeepAccesses:
+    def test_compound_aggregates_children(self):
+        ir = parse_function(
+            "def f(xs, out):\n"
+            "    for x in xs:\n"
+            "        if x > 0:\n"
+            "            out.append(x)\n"
+        )
+        deep = ir.body[0].body[0].deep_accesses()
+        assert "out[*]" in {w.name for w in deep.writes}
+
+    def test_walk_preorder(self, video_ir):
+        sids = [s.sid for s in video_ir.walk()]
+        assert sids.index("s1") < sids.index("s1.b0") < sids.index("s2")
+
+
+class TestLoops:
+    def test_loops_found(self, video_ir):
+        assert [l.sid for l in video_ir.loops()] == ["s1"]
+
+    def test_loop_info_foreach(self, video_ir):
+        info = loop_info(video_ir.body[1])
+        assert info.is_foreach and not info.is_counted
+        assert {s.name for s in info.targets} == {"img"}
+        assert "stream" in {s.name for s in info.stream_reads}
+
+    def test_loop_info_counted(self):
+        ir = parse_function("def f(n):\n    for i in range(n):\n        pass")
+        info = loop_info(ir.body[0])
+        assert info.is_counted
+
+    def test_loop_info_enumerate(self):
+        ir = parse_function(
+            "def f(xs):\n    for i, x in enumerate(xs):\n        pass"
+        )
+        info = loop_info(ir.body[0])
+        assert info.is_counted
+        assert {s.name for s in info.targets} == {"i", "x"}
+
+    def test_loop_info_while(self):
+        ir = parse_function("def f(n):\n    while n > 0:\n        n -= 1")
+        info = loop_info(ir.body[0])
+        assert not info.is_foreach
+        assert "n" in {s.name for s in info.stream_reads}
+
+    def test_top_level_loops_skip_nested(self):
+        ir = parse_function(
+            "def f(a):\n"
+            "    for i in a:\n"
+            "        for j in a:\n"
+            "            pass\n"
+        )
+        assert [l.sid for l in ir.top_level_loops()] == ["s0"]
+        assert [l.sid for l in ir.loops()] == ["s0", "s0.b0"]
+
+    def test_n_statements(self, video_ir):
+        assert video_ir.n_statements == 8
+
+
+class TestParseModule:
+    def test_functions_and_methods(self):
+        funcs = parse_module(
+            "def free():\n"
+            "    pass\n"
+            "class C:\n"
+            "    def m(self):\n"
+            "        pass\n"
+            "    class Inner:\n"
+            "        def deep(self):\n"
+            "            pass\n"
+        )
+        quals = {f.qualname for f in funcs}
+        assert quals == {"free", "C.m", "C.Inner.deep"}
+
+    def test_source_program(self):
+        prog = SourceProgram.from_source(
+            "def a(xs):\n"
+            "    for x in xs:\n"
+            "        pass\n"
+            "def b():\n"
+            "    return 1\n"
+        )
+        assert len(prog) == 2
+        assert [f.qualname for f in prog.functions_with_loops()] == ["a"]
+
+    def test_program_location(self):
+        prog = SourceProgram.from_source(
+            "def a(xs):\n    for x in xs:\n        pass\n"
+        )
+        loc = prog.location("a", "s0")
+        assert loc.line == 2
+
+    def test_bare_method_name_resolution(self):
+        prog = SourceProgram.from_source(
+            "class C:\n    def m(self):\n        pass\n"
+        )
+        assert prog.function("m").qualname == "C.m"
+
+    def test_ambiguous_bare_name_raises(self):
+        prog = SourceProgram.from_source(
+            "class A:\n    def m(self):\n        pass\n"
+            "class B:\n    def m(self):\n        pass\n"
+        )
+        with pytest.raises(KeyError):
+            prog.function("m")
+
+    def test_n_lines(self):
+        prog = SourceProgram.from_source("def a():\n    pass\n")
+        assert prog.n_lines == 2

@@ -1,0 +1,124 @@
+"""Dynamic line profiling, statement shares, and the call graph."""
+
+import time
+
+from repro.frontend import SourceProgram, parse_function
+from repro.model.callgraph import build_callgraph
+from repro.model.profile import (
+    LineProfile,
+    StatementProfile,
+    profile_function,
+    profile_loop_statements,
+)
+
+
+def busy(iterations: int) -> float:
+    x = 0.0
+    for i in range(iterations):
+        x += i * 0.5
+    return x
+
+
+class TestLineProfile:
+    def test_hits_recorded(self):
+        def f(n):
+            t = 0
+            for i in range(n):
+                t += i
+            return t
+
+        prof = profile_function(f, (5,))
+        assert prof.result == 10
+        assert sum(prof.hits.values()) > 5
+
+    def test_total_time_positive(self):
+        prof = profile_function(busy, (2000,))
+        assert prof.total_seconds > 0
+        assert prof.plain_seconds > 0
+
+    def test_overhead_factor_at_least_one_ish(self):
+        prof = profile_function(busy, (20000,))
+        assert prof.overhead_factor > 0.5  # tracing is never free
+
+    def test_memory_fields(self):
+        prof = profile_function(lambda: [0] * 10000, ())
+        assert prof.peak_memory > 0
+
+
+class TestStatementProfile:
+    def test_from_costs(self):
+        sp = StatementProfile.from_costs({"a": 3.0, "b": 1.0})
+        assert sp.share("a") == 0.75
+        assert sp.hottest() == "a"
+
+    def test_shares_sum_to_one(self):
+        sp = StatementProfile.from_costs({"a": 1.0, "b": 2.0, "c": 1.0})
+        assert abs(sum(sp.shares().values()) - 1.0) < 1e-9
+
+    def test_empty_profile(self):
+        sp = StatementProfile()
+        assert sp.hottest() is None
+        assert sp.share("zz") == 0.0
+
+    def test_hot_statement_from_real_run(self):
+        src = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        cheap = x + 1\n"
+            "        costly = sum(range(x * 50))\n"
+            "        out.append(costly + cheap)\n"
+            "    return out\n"
+        )
+        ir = parse_function(src)
+        ns: dict = {}
+        exec(src, ns)
+        sp, _ = profile_loop_statements(ir, "s1", ns["f"], (list(range(30)),))
+        assert sp.hottest() == "s1.b1"
+        assert sp.share("s1.b1") > sp.share("s1.b0")
+
+
+class TestCallGraph:
+    PROG = (
+        "def helper(x):\n"
+        "    return x + 1\n"
+        "def top(xs):\n"
+        "    t = 0\n"
+        "    for x in xs:\n"
+        "        t += helper(x)\n"
+        "    return t\n"
+        "class C:\n"
+        "    def m(self, x):\n"
+        "        return helper(x)\n"
+        "    def caller(self, x):\n"
+        "        return self.m(x)\n"
+        "def rec(n):\n"
+        "    return rec(n - 1) if n else 0\n"
+    )
+
+    def test_direct_call_edge(self):
+        cg = build_callgraph(SourceProgram.from_source(self.PROG))
+        assert "helper" in cg.callees["top"]
+
+    def test_method_resolution(self):
+        cg = build_callgraph(SourceProgram.from_source(self.PROG))
+        assert "C.m" in cg.callees["C.caller"]
+
+    def test_external_callee_tracked(self):
+        cg = build_callgraph(
+            SourceProgram.from_source("def f(x):\n    return math.sqrt(x)\n")
+        )
+        assert "math.sqrt" in cg.external
+
+    def test_transitive_callees(self):
+        cg = build_callgraph(SourceProgram.from_source(self.PROG))
+        assert "helper" in cg.transitive_callees("C.caller")
+
+    def test_recursion_detected(self):
+        cg = build_callgraph(SourceProgram.from_source(self.PROG))
+        assert cg.is_recursive("rec")
+        assert not cg.is_recursive("helper")
+
+    def test_callers_inverse(self):
+        cg = build_callgraph(SourceProgram.from_source(self.PROG))
+        assert "top" in cg.callers["helper"]

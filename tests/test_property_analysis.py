@@ -1,0 +1,222 @@
+"""Property tests on analysis-layer invariants.
+
+These pin down structural guarantees the pattern detectors rely on:
+partitions really partition, stage order respects program order,
+loop-independent flow never points backwards, and replicable stages are
+exactly the carried-dependence-free ones.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.rwsets import Symbol
+from repro.model.dependence import DepKind, Dependence, DependenceGraph
+from repro.patterns import partition_stages
+from repro.patterns.pipeline import StageDag, build_stage_dag
+
+# ---------------------------------------------------------------------------
+# random dependence graphs over a statement list
+# ---------------------------------------------------------------------------
+
+_N = st.integers(2, 8)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(_N)
+    sids = [f"s{i}" for i in range(n)]
+    edges: set[Dependence] = set()
+    n_carried = draw(st.integers(0, n))
+    for _ in range(n_carried):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        edges.add(
+            Dependence(
+                sids[a], sids[b], Symbol(f"v{a}_{b}"), DepKind.FLOW, True
+            )
+        )
+    n_flow = draw(st.integers(0, n))
+    for _ in range(n_flow):
+        a = draw(st.integers(0, n - 2))
+        b = draw(st.integers(a + 1, n - 1))
+        edges.add(
+            Dependence(
+                sids[a], sids[b], Symbol(f"f{a}_{b}"), DepKind.FLOW, False
+            )
+        )
+    dg = DependenceGraph(loop_sid="L", statements=sids, edges=edges)
+    return sids, dg
+
+
+class TestPartitionInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(graphs())
+    def test_stages_partition_the_body(self, data):
+        sids, dg = data
+        p = partition_stages(sids, dg)
+        flat = [s for stage in p.stages for s in stage]
+        assert flat == sids  # complete, ordered, no duplication
+
+    @settings(max_examples=150, deadline=None)
+    @given(graphs())
+    def test_carried_endpoints_share_a_stage(self, data):
+        sids, dg = data
+        p = partition_stages(sids, dg)
+        for e in dg.carried():
+            assert p.index_of_sid(e.src) == p.index_of_sid(e.dst), e
+
+    @settings(max_examples=150, deadline=None)
+    @given(graphs())
+    def test_replicable_iff_untouched_by_carried(self, data):
+        sids, dg = data
+        p = partition_stages(sids, dg)
+        touched = {e.src for e in dg.carried()} | {
+            e.dst for e in dg.carried()
+        }
+        for i, stage in enumerate(p.stages):
+            expected = all(s not in touched for s in stage)
+            assert p.replicable[i] == expected
+
+    @settings(max_examples=150, deadline=None)
+    @given(graphs())
+    def test_stage_names_unique(self, data):
+        sids, dg = data
+        p = partition_stages(sids, dg)
+        assert len(set(p.names)) == len(p.names)
+
+    @settings(max_examples=100, deadline=None)
+    @given(graphs())
+    def test_scc_fusion_never_coarser_than_needed(self, data):
+        sids, dg = data
+        interval = partition_stages(sids, dg, fusion="interval")
+        scc = partition_stages(sids, dg, fusion="scc")
+        # both modes keep carried endpoints together
+        for e in dg.carried():
+            assert scc.index_of_sid(e.src) == scc.index_of_sid(e.dst)
+        # the body stays a partition in both
+        assert sorted(s for st_ in scc.stages for s in st_) == sorted(sids)
+        assert sorted(s for st_ in interval.stages for s in st_) == sorted(
+            sids
+        )
+
+
+class TestStageDagInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(graphs())
+    def test_dag_edges_point_forward(self, data):
+        sids, dg = data
+        p = partition_stages(sids, dg)
+        dag = build_stage_dag(p, dg)
+        for a, b in dag.edges:
+            assert a < b
+
+    @settings(max_examples=150, deadline=None)
+    @given(graphs())
+    def test_levels_cover_all_stages_once(self, data):
+        sids, dg = data
+        p = partition_stages(sids, dg)
+        dag = build_stage_dag(p, dg)
+        flat = [i for lvl in dag.levels() for i in lvl]
+        assert sorted(flat) == list(range(len(p)))
+
+    @settings(max_examples=150, deadline=None)
+    @given(graphs())
+    def test_levels_respect_dependences(self, data):
+        sids, dg = data
+        p = partition_stages(sids, dg)
+        dag = build_stage_dag(p, dg)
+        level_of: dict[int, int] = {}
+        for depth, lvl in enumerate(dag.levels()):
+            for i in lvl:
+                level_of[i] = depth
+        for a, b in dag.edges:
+            assert level_of[a] < level_of[b]
+
+
+class TestLoopAnalysisInvariants:
+    """Invariants over real parsed loops (not synthetic graphs)."""
+
+    _BODIES = st.lists(
+        st.sampled_from(
+            [
+                "u = f(x)",
+                "w = g(u)",
+                "acc = acc + w",
+                "out.append(w)",
+                "prev = x",
+                "u = h(prev, x)",
+                "arr[x] = u",
+            ]
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_BODIES)
+    def test_independent_flow_points_forward(self, body_lines):
+        from repro.frontend import parse_function
+        from repro.frontend.parser import loop_info
+        from repro.model.dependence import build_body_dependences
+
+        body = "\n".join(f"        {ln}" for ln in body_lines)
+        src = (
+            "def work(xs, f, g, h, out, arr):\n"
+            "    acc = 0\n"
+            "    prev = 0\n"
+            "    for x in xs:\n"
+            f"{body}\n"
+            "    return acc, out, arr\n"
+        )
+        ir = parse_function(src)
+        loop_stmt = [s for s in ir.walk() if s.is_loop][0]
+        dg = build_body_dependences(loop_info(loop_stmt))
+        order = {s.sid: i for i, s in enumerate(loop_stmt.body)}
+        for e in dg.independent():
+            if e.kind is DepKind.FLOW:
+                assert order[e.src] < order[e.dst], e
+
+    @settings(max_examples=100, deadline=None)
+    @given(_BODIES)
+    def test_edges_reference_body_statements(self, body_lines):
+        from repro.frontend import parse_function
+        from repro.frontend.parser import loop_info
+        from repro.model.dependence import build_body_dependences
+
+        body = "\n".join(f"        {ln}" for ln in body_lines)
+        src = (
+            "def work(xs, f, g, h, out, arr):\n"
+            "    acc = 0\n"
+            "    prev = 0\n"
+            "    for x in xs:\n"
+            f"{body}\n"
+            "    return acc, out, arr\n"
+        )
+        ir = parse_function(src)
+        loop_stmt = [s for s in ir.walk() if s.is_loop][0]
+        dg = build_body_dependences(loop_info(loop_stmt))
+        sids = {s.sid for s in loop_stmt.body}
+        for e in dg.edges:
+            assert e.src in sids and e.dst in sids
+
+    @settings(max_examples=100, deadline=None)
+    @given(_BODIES)
+    def test_loop_targets_never_carry(self, body_lines):
+        from repro.frontend import parse_function
+        from repro.frontend.parser import loop_info
+        from repro.model.dependence import build_body_dependences
+
+        body = "\n".join(f"        {ln}" for ln in body_lines)
+        src = (
+            "def work(xs, f, g, h, out, arr):\n"
+            "    acc = 0\n"
+            "    prev = 0\n"
+            "    for x in xs:\n"
+            f"{body}\n"
+            "    return acc, out, arr\n"
+        )
+        ir = parse_function(src)
+        loop_stmt = [s for s in ir.walk() if s.is_loop][0]
+        dg = build_body_dependences(loop_info(loop_stmt))
+        assert not any(e.symbol.name == "x" for e in dg.carried())

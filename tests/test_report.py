@@ -1,0 +1,98 @@
+"""Text renderings of the phase artifacts."""
+
+import textwrap
+
+from repro.frontend import parse_function
+from repro.model import build_semantic_model
+from repro.patterns import default_catalog
+from repro.report import (
+    dependence_report,
+    detection_report,
+    match_report,
+    overlay_listing,
+    semantic_summary,
+)
+
+from tests.conftest import VIDEO_SRC
+
+
+def _dynamic_model():
+    env = dict(
+        crop=lambda x: x + 1,
+        histo=lambda x: x * 2,
+        oil=lambda x: -x,
+        conv=lambda a, b, c: (a, b, c),
+    )
+    ns = dict(env)
+    exec(textwrap.dedent(VIDEO_SRC), ns)
+    ir = parse_function(VIDEO_SRC)
+    model = build_semantic_model(
+        ir, fn=ns["process"], args=([1, 2, 3],) + tuple(env.values())
+    )
+    return ir, model
+
+
+class TestOverlayListing:
+    def test_gutter_has_stages(self):
+        ir, model = _dynamic_model()
+        match = default_catalog(prefer="pipeline").detect(model)[0]
+        out = overlay_listing(ir, match, model)
+        assert "sid" in out.splitlines()[0]
+        # stage names mark the body statements
+        assert any(" A " in line and "crop(img)" in line for line in out.splitlines())
+        assert any(" E " in line and "out.append" in line for line in out.splitlines())
+
+    def test_share_column_present_with_profile(self):
+        ir, model = _dynamic_model()
+        match = default_catalog(prefer="pipeline").detect(model)[0]
+        out = overlay_listing(ir, match, model)
+        assert "%" in out
+
+    def test_works_without_match(self, video_ir):
+        out = overlay_listing(video_ir)
+        assert "for img in stream" in out
+
+
+class TestDependenceReport:
+    def test_static_vs_refined_labels(self):
+        _, model = _dynamic_model()
+        lm = model.loop("s1")
+        refined = dependence_report(lm)
+        static = dependence_report(lm, show_static=True)
+        assert "optimistic" in refined
+        assert "pessimistic" in static
+
+    def test_kinds_rendered(self, smooth_model):
+        out = dependence_report(smooth_model.loop("s2"))
+        assert "--flow[" in out
+        assert "loop-carried" in out
+
+    def test_collectors_listed(self, video_model):
+        out = dependence_report(video_model.loop("s1"))
+        assert "collectors: out[*].append" in out
+
+
+class TestSummaries:
+    def test_semantic_summary(self):
+        _, model = _dynamic_model()
+        out = semantic_summary(model)
+        assert "dynamic refinement" in out
+        assert "trace: 3 iterations" in out
+
+    def test_match_report(self, video_model):
+        match = default_catalog(prefer="pipeline").detect(video_model)[0]
+        out = match_report(match)
+        assert "TADL       : (A+ || B+ || C+) => D+ => E" in out
+        assert "StageReplication@A" in out
+        assert "static only" in out
+
+    def test_detection_report_no_matches(self):
+        ir = parse_function(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+        )
+        model = build_semantic_model(ir)
+        out = detection_report(model, [])
+        assert "no parallelization candidates" in out

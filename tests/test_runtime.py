@@ -1,0 +1,526 @@
+"""The parallel runtime library: buffers, items, pipelines, MW, loops."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (
+    AutoFuture,
+    BoundedBuffer,
+    EndOfStream,
+    Item,
+    MasterWorker,
+    Pipeline,
+    PipelineError,
+    configured_parallel_for,
+    join_all,
+    parallel_for,
+    parallel_reduce,
+    spawn,
+)
+
+
+class TestBoundedBuffer:
+    def test_fifo(self):
+        b = BoundedBuffer(4)
+        for i in range(3):
+            b.put(i)
+        assert [b.get() for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(0)
+
+    def test_put_blocks_when_full(self):
+        b = BoundedBuffer(1)
+        b.put(1)
+        done = threading.Event()
+
+        def producer():
+            b.put(2)
+            done.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.02)
+        assert not done.is_set()
+        assert b.get() == 1
+        t.join(timeout=2)
+        assert done.is_set()
+
+    def test_get_blocks_until_put(self):
+        b = BoundedBuffer(2)
+        got: list = []
+
+        def consumer():
+            got.append(b.get())
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.02)
+        b.put(42)
+        t.join(timeout=2)
+        assert got == [42]
+
+    def test_put_front(self):
+        b = BoundedBuffer(4)
+        b.put(1)
+        b.put_front(0)
+        assert b.get() == 0
+
+    def test_high_water_mark(self):
+        b = BoundedBuffer(8)
+        for i in range(5):
+            b.put(i)
+        assert b.max_occupancy == 5
+
+
+class TestItem:
+    def test_apply(self):
+        assert Item(lambda x: x + 1).apply(1) == 2
+
+    def test_default_name_from_fn(self):
+        def crop(x):
+            return x
+
+        assert Item(crop).name == "crop"
+
+    def test_replication_requires_replicable(self):
+        it = Item(lambda x: x, name="s")
+        with pytest.raises(ValueError):
+            it.replication = 2
+
+    def test_replication_validates_positive(self):
+        it = Item(lambda x: x, replicable=True)
+        with pytest.raises(ValueError):
+            it.replication = 0
+
+    def test_fusion_composes(self):
+        a = Item(lambda x: x + 1, name="a", replicable=True)
+        b = Item(lambda x: x * 2, name="b", replicable=True)
+        fused = a.fused_with(b)
+        assert fused.apply(3) == 8
+        assert fused.name == "a+b"
+        assert fused.replicable
+
+    def test_fusion_with_sequential_part_not_replicable(self):
+        a = Item(lambda x: x, name="a", replicable=True)
+        b = Item(lambda x: x, name="b", replicable=False)
+        assert not a.fused_with(b).replicable
+
+
+class TestMasterWorker:
+    def test_run_preserves_order(self):
+        mw = MasterWorker(workers=4)
+        results = mw.run([lambda i=i: i * i for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_map(self):
+        mw = MasterWorker(workers=3)
+        assert mw.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
+
+    def test_error_propagates(self):
+        mw = MasterWorker(workers=2)
+        with pytest.raises(ValueError):
+            mw.run([lambda: 1, lambda: (_ for _ in ()).throw(ValueError("x"))])
+
+    def test_apply_merges(self):
+        mw = MasterWorker(
+            Item(lambda x: x + 1, name="inc"),
+            Item(lambda x: x * 2, name="dbl"),
+            merge=lambda v, rs: sum(rs),
+        )
+        assert mw.apply(3) == 4 + 6
+
+    def test_default_merge_is_tuple(self):
+        mw = MasterWorker(Item(lambda x: x, name="a"), Item(lambda x: -x, name="b"))
+        assert mw.apply(2) == (2, -2)
+
+    def test_item_addressing(self):
+        a = Item(lambda x: x, name="a")
+        mw = MasterWorker(a, Item(lambda x: x, name="b"))
+        assert mw.item("a") is a
+        assert mw.item(0) is a
+        with pytest.raises(KeyError):
+            mw.item("zz")
+
+    def test_empty_task_list(self):
+        assert MasterWorker(workers=2).run([]) == []
+
+
+class TestPipeline:
+    def stages(self):
+        return (
+            Item(lambda x: x + 1, name="A", replicable=True),
+            Item(lambda x: x * 2, name="B", replicable=True),
+        )
+
+    def test_basic_correctness(self):
+        pipe = Pipeline(*self.stages())
+        assert pipe.run(range(10)) == [(x + 1) * 2 for x in range(10)]
+
+    def test_empty_stream(self):
+        pipe = Pipeline(*self.stages())
+        assert pipe.run([]) == []
+
+    def test_single_element(self):
+        pipe = Pipeline(*self.stages())
+        assert pipe.run([5]) == [12]
+
+    def test_requires_elements(self):
+        with pytest.raises(ValueError):
+            Pipeline()
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            Pipeline(*self.stages()).run()
+
+    def test_replication_preserves_order(self):
+        pipe = Pipeline(*self.stages())
+        pipe.configure({"StageReplication@A": 4})
+        assert pipe.run(range(50)) == [(x + 1) * 2 for x in range(50)]
+
+    def test_replication_without_order(self):
+        pipe = Pipeline(*self.stages())
+        pipe.configure(
+            {"StageReplication@A": 4, "OrderPreservation@A": False}
+        )
+        out = pipe.run(range(50))
+        assert sorted(out) == sorted((x + 1) * 2 for x in range(50))
+
+    def test_fusion_config(self):
+        pipe = Pipeline(*self.stages())
+        pipe.configure({"StageFusion@A/B": True})
+        assert len(pipe._effective_elements()) == 1
+        assert pipe.run(range(5)) == [(x + 1) * 2 for x in range(5)]
+
+    def test_fusion_toggle_off(self):
+        pipe = Pipeline(*self.stages())
+        pipe.configure({"StageFusion@A/B": True})
+        pipe.configure({"StageFusion@A/B": False})
+        assert len(pipe._effective_elements()) == 2
+
+    def test_sequential_execution(self):
+        pipe = Pipeline(*self.stages())
+        pipe.configure({"SequentialExecution@pipeline": True})
+        assert pipe.run(range(8)) == [(x + 1) * 2 for x in range(8)]
+
+    def test_sequential_threshold(self):
+        pipe = Pipeline(*self.stages(), sequential_threshold=10)
+        assert pipe.run(range(5)) == [(x + 1) * 2 for x in range(5)]
+
+    def test_buffer_capacity_config(self):
+        pipe = Pipeline(*self.stages())
+        pipe.configure({"BufferCapacity@pipeline": 2})
+        assert pipe.buffer_capacity == 2
+        assert pipe.run(range(30)) == [(x + 1) * 2 for x in range(30)]
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(KeyError):
+            Pipeline(*self.stages()).configure({"Bogus@A": 1})
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            Pipeline(*self.stages()).configure({"StageReplication@Z": 2})
+
+    def test_malformed_key_raises(self):
+        with pytest.raises(KeyError):
+            Pipeline(*self.stages()).configure({"StageReplication": 2})
+
+    def test_sibling_pattern_keys_tolerated(self):
+        pipe = Pipeline(*self.stages())
+        pipe.configure({"NumWorkers@loop": 4})  # DOALL key in a shared file
+
+    def test_error_propagates_with_stage_name(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("3")
+            return x
+
+        pipe = Pipeline(Item(boom, name="A"), Item(lambda x: x, name="B"))
+        with pytest.raises(PipelineError, match="'A'"):
+            pipe.run(range(6))
+
+    def test_error_in_replicated_stage(self):
+        def boom(x):
+            if x == 5:
+                raise RuntimeError("x")
+            return x
+
+        pipe = Pipeline(Item(boom, name="A", replicable=True))
+        pipe.configure({"StageReplication@A": 3})
+        with pytest.raises(PipelineError):
+            pipe.run(range(20))
+
+    def test_masterworker_element(self):
+        mw = MasterWorker(
+            Item(lambda x: x + 1, name="inc"),
+            Item(lambda x: x * 2, name="dbl"),
+            merge=lambda v, rs: rs[0] + rs[1],
+        )
+        pipe = Pipeline(mw, Item(lambda s: s * 10, name="D"))
+        assert pipe.run([1, 2]) == [(2 + 2) * 10, (3 + 4) * 10]
+
+    def test_configure_reaches_grouped_member(self):
+        mw = MasterWorker(
+            Item(lambda x: x + 1, name="inc", replicable=True),
+            Item(lambda x: x * 2, name="dbl", replicable=True),
+        )
+        pipe = Pipeline(mw, Item(lambda s: s, name="D"))
+        pipe.configure({"StageReplication@inc": 2})
+        assert mw.replication == 2
+
+    def test_grouped_member_in_nonreplicable_group_raises(self):
+        mw = MasterWorker(
+            Item(lambda x: x + 1, name="inc", replicable=True),
+            Item(lambda x: x * 2, name="dbl", replicable=False),
+        )
+        pipe = Pipeline(mw, Item(lambda s: s, name="D"))
+        with pytest.raises(ValueError):
+            pipe.configure({"StageReplication@inc": 2})
+
+    def test_stats_collected(self):
+        pipe = Pipeline(*self.stages())
+        pipe.run(range(10))
+        assert pipe.stats["stages"] == ["A", "B"]
+        assert len(pipe.stats["buffer_high_water"]) == 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stream=st.lists(st.integers(-50, 50), max_size=30),
+        repl=st.integers(1, 4),
+        capacity=st.sampled_from([1, 2, 8]),
+    )
+    def test_property_matches_sequential(self, stream, repl, capacity):
+        pipe = Pipeline(
+            Item(lambda x: x * 3, name="A", replicable=True),
+            Item(lambda x: x - 7, name="B", replicable=True),
+            buffer_capacity=capacity,
+        )
+        pipe.configure({"StageReplication@A": repl})
+        assert pipe.run(stream) == [x * 3 - 7 for x in stream]
+
+
+class TestParallelFor:
+    def test_dynamic_schedule(self):
+        out = parallel_for(range(20), lambda x: x * x, workers=4, chunk_size=3)
+        assert out == [x * x for x in range(20)]
+
+    def test_static_schedule(self):
+        out = parallel_for(
+            range(20), lambda x: x + 1, workers=3, schedule="static"
+        )
+        assert out == [x + 1 for x in range(20)]
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            parallel_for([1], lambda x: x, schedule="magic")
+
+    def test_sequential_fallback(self):
+        out = parallel_for([1, 2], lambda x: x, sequential=True)
+        assert out == [1, 2]
+
+    def test_threshold_fallback(self):
+        out = parallel_for([1, 2], lambda x: x, sequential_threshold=5)
+        assert out == [1, 2]
+
+    def test_empty(self):
+        assert parallel_for([], lambda x: x) == []
+
+    def test_error_propagates(self):
+        def body(x):
+            if x == 7:
+                raise KeyError("7")
+            return x
+
+        with pytest.raises(KeyError):
+            parallel_for(range(10), body, workers=3)
+
+    def test_configured(self):
+        out = configured_parallel_for(
+            range(10),
+            lambda x: -x,
+            {"NumWorkers@loop": 3, "ChunkSize@loop": 2, "Schedule@loop": "static"},
+        )
+        assert out == [-x for x in range(10)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.integers(-100, 100), max_size=40),
+        workers=st.integers(1, 6),
+        chunk=st.integers(1, 8),
+        schedule=st.sampled_from(["static", "dynamic"]),
+    )
+    def test_property_order_preserved(self, values, workers, chunk, schedule):
+        out = parallel_for(
+            values, lambda x: x * 2, workers=workers, chunk_size=chunk,
+            schedule=schedule,
+        )
+        assert out == [v * 2 for v in values]
+
+
+class TestParallelReduce:
+    def test_sum(self):
+        assert parallel_reduce(
+            range(100), lambda x: x, lambda a, b: a + b, 0, workers=4
+        ) == sum(range(100))
+
+    def test_sequential(self):
+        assert parallel_reduce(
+            range(10), lambda x: x, lambda a, b: a + b, 0, sequential=True
+        ) == 45
+
+    def test_non_commutative_but_associative(self):
+        # string concatenation: chunk order must be respected
+        values = list("abcdefghijk")
+        out = parallel_reduce(
+            values, lambda c: c, lambda a, b: a + b, "", workers=4,
+            chunk_size=2,
+        )
+        assert out == "abcdefghijk"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(-20, 20), max_size=50),
+        workers=st.integers(1, 5),
+        chunk=st.integers(1, 10),
+    )
+    def test_property_equals_sequential(self, values, workers, chunk):
+        out = parallel_reduce(
+            values, lambda x: x + 1, lambda a, b: a + b, 0,
+            workers=workers, chunk_size=chunk,
+        )
+        assert out == sum(v + 1 for v in values)
+
+    def test_error_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_reduce([1, 0], lambda x: 1 // x, lambda a, b: a + b, 0)
+
+
+class TestAutoFutures:
+    def test_result(self):
+        assert spawn(lambda: 42).result() == 42
+
+    def test_error_reraised(self):
+        f = AutoFuture(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            f.result()
+
+    def test_join_all(self):
+        fs = [spawn(lambda i=i: i * 2) for i in range(5)]
+        assert join_all(*fs) == [0, 2, 4, 6, 8]
+
+    def test_done_flag(self):
+        f = spawn(lambda: 1)
+        f.result()
+        assert f.done
+
+    def test_timeout(self):
+        f = AutoFuture(time.sleep, 0.5)
+        with pytest.raises(TimeoutError):
+            f.result(timeout=0.01)
+        f.result()  # clean join
+
+
+class TestPipelineStreaming:
+    """The lazy stream() API: continuous data flow with backpressure."""
+
+    def _pipe(self, capacity=2):
+        return Pipeline(
+            Item(lambda x: x * 2, name="A", replicable=True),
+            Item(lambda x: x + 1, name="B"),
+            buffer_capacity=capacity,
+        )
+
+    def test_bounded_stream_matches_run(self):
+        assert list(self._pipe().stream(range(20))) == self._pipe().run(
+            range(20)
+        )
+
+    def test_unbounded_stream_is_lazy(self):
+        import itertools
+
+        gen = self._pipe().stream(itertools.count())
+        got = [next(gen) for _ in range(8)]
+        gen.close()
+        assert got == [x * 2 + 1 for x in range(8)]
+
+    def test_abandoned_stream_unblocks_threads(self):
+        import itertools
+        import threading
+
+        before = threading.active_count()
+        pipe = self._pipe(capacity=1)
+        gen = pipe.stream(itertools.count())
+        next(gen)
+        gen.close()
+        # allow the drained threads to exit
+        for _ in range(100):
+            if threading.active_count() <= before:
+                break
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+    def test_stream_error_propagates(self):
+        def boom(x):
+            if x == 5:
+                raise ValueError("5")
+            return x
+
+        pipe = Pipeline(Item(boom, name="A"))
+        with pytest.raises(PipelineError, match="'A'"):
+            list(pipe.stream(range(10)))
+
+    def test_source_error_propagates(self):
+        def bad():
+            yield 1
+            raise RuntimeError("source died")
+
+        pipe = Pipeline(Item(lambda x: x, name="A"))
+        with pytest.raises(PipelineError, match="stream-generator"):
+            list(pipe.stream(bad()))
+
+    def test_sequential_stream(self):
+        pipe = self._pipe()
+        pipe.configure({"SequentialExecution@pipeline": True})
+        assert list(pipe.stream(range(5))) == [x * 2 + 1 for x in range(5)]
+
+    def test_stream_with_replication_preserves_order(self):
+        pipe = self._pipe(capacity=4)
+        pipe.configure({"StageReplication@A": 3})
+        assert list(pipe.stream(range(40))) == [
+            x * 2 + 1 for x in range(40)
+        ]
+
+    def test_stream_requires_input(self):
+        with pytest.raises(ValueError):
+            self._pipe().stream()
+
+
+class TestTuningConfig:
+    def test_load_and_query(self, tmp_path):
+        import json
+
+        from repro.runtime import TuningConfig
+
+        data = {
+            "parameters": [
+                {"name": "StageReplication", "target": "B", "value": 3,
+                 "location": "f:s1"},
+                {"name": "NumWorkers", "target": "loop", "value": 4,
+                 "location": "g:s0"},
+            ]
+        }
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(data))
+        cfg = TuningConfig.load(path)
+        assert cfg.for_location("f:s1") == {"StageReplication@B": 3}
+        assert cfg.for_location("g:s0") == {"NumWorkers@loop": 4}
+        assert cfg.for_location("missing") == {}
+        assert set(cfg.locations()) == {"f:s1", "g:s0"}
+        assert cfg.flat() == {
+            "f:s1::StageReplication@B": 3,
+            "g:s0::NumWorkers@loop": 4,
+        }

@@ -1,0 +1,232 @@
+"""Read/write-set extraction."""
+
+import ast
+
+import pytest
+
+from repro.frontend.rwsets import (
+    AccessSets,
+    Symbol,
+    extract_accesses,
+    symbols_of,
+)
+
+
+def acc(src: str, policy: str = "optimistic") -> AccessSets:
+    return extract_accesses(ast.parse(src).body[0], policy)
+
+
+def names(symbols) -> set[str]:
+    return {s.name for s in symbols}
+
+
+class TestSymbol:
+    def test_base_of_plain(self):
+        assert Symbol("x").base == "x"
+
+    def test_base_of_container(self):
+        assert Symbol("arr[*]").base == "arr"
+
+    def test_base_of_attribute(self):
+        assert Symbol("obj.field").base == "obj"
+
+    def test_base_of_nested(self):
+        assert Symbol("obj.rows[*]").base == "obj"
+
+    def test_container_flag(self):
+        assert Symbol("a[*]").is_container
+        assert not Symbol("a").is_container
+
+    def test_attribute_flag(self):
+        assert Symbol("a.f").is_attribute
+        assert not Symbol("a").is_attribute
+
+    def test_alias_identity(self):
+        assert Symbol("x").may_alias(Symbol("x"))
+
+    def test_alias_distinct_names(self):
+        assert not Symbol("x").may_alias(Symbol("y"))
+
+    def test_alias_container_with_base(self):
+        assert Symbol("a[*]").may_alias(Symbol("a"))
+        assert Symbol("a").may_alias(Symbol("a[*]"))
+
+    def test_alias_attribute_with_base(self):
+        assert Symbol("o.f").may_alias(Symbol("o"))
+
+    def test_no_alias_other_base(self):
+        assert not Symbol("a[*]").may_alias(Symbol("b[*]"))
+
+    def test_ordering_is_stable(self):
+        assert sorted([Symbol("b"), Symbol("a")]) == [Symbol("a"), Symbol("b")]
+
+    def test_symbols_of(self):
+        assert symbols_of(["x", "y"]) == {Symbol("x"), Symbol("y")}
+
+
+class TestAssignments:
+    def test_simple_assign(self):
+        a = acc("x = y + z")
+        assert names(a.writes) == {"x"}
+        assert names(a.reads) == {"y", "z"}
+
+    def test_augassign_reads_and_writes_target(self):
+        a = acc("x += y")
+        assert names(a.writes) == {"x"}
+        assert "x" in names(a.reads) and "y" in names(a.reads)
+
+    def test_tuple_unpack(self):
+        a = acc("a, b = f(c)")
+        assert names(a.writes) == {"a", "b"}
+        assert "c" in names(a.reads)
+
+    def test_starred_unpack(self):
+        a = acc("a, *rest = xs")
+        assert {"a", "rest"} <= names(a.writes)
+
+    def test_subscript_write(self):
+        a = acc("arr[i] = v")
+        assert "arr[*]" in names(a.writes)
+        assert {"arr", "i", "v"} <= names(a.reads)
+
+    def test_subscript_read(self):
+        a = acc("x = arr[i]")
+        assert "arr[*]" in names(a.reads)
+        assert names(a.writes) == {"x"}
+
+    def test_attribute_write(self):
+        a = acc("obj.field = v")
+        assert "obj.field" in names(a.writes)
+        assert "obj" in names(a.reads)
+
+    def test_nested_attribute_write(self):
+        a = acc("self.stats.rays = self.stats.rays + 1")
+        assert "self.stats.rays" in names(a.writes)
+        assert "self.stats.rays" in names(a.reads)
+
+    def test_nested_subscript_write(self):
+        a = acc("t[j][i] = a[i][j]")
+        assert "t[*][*]" in names(a.writes)
+        assert "a[*][*]" in names(a.reads)
+
+    def test_annassign(self):
+        a = acc("x: int = y")
+        assert names(a.writes) == {"x"}
+        assert "y" in names(a.reads)
+
+    def test_augassign_subscript(self):
+        a = acc("bins[b] += 1")
+        assert "bins[*]" in names(a.writes)
+        assert {"bins[*]", "bins", "b"} <= names(a.reads)
+
+
+class TestCalls:
+    def test_plain_call_reads_args(self):
+        a = acc("f(x, y)")
+        assert {"f", "x", "y"} <= names(a.reads)
+        assert a.calls == ["f"]
+
+    def test_mutating_method_writes_receiver(self):
+        a = acc("out.append(r)")
+        assert "out[*]" in names(a.writes)
+        assert {"out", "r"} <= names(a.reads)
+        assert a.calls == ["out.append"]
+
+    def test_pure_method_optimistic(self):
+        a = acc("d.get(k, 0)")
+        assert names(a.writes) == set()
+
+    def test_unknown_method_optimistic_is_pure(self):
+        a = acc("obj.compute(x)")
+        assert names(a.writes) == set()
+
+    def test_unknown_method_pessimistic_writes(self):
+        a = acc("obj.compute(x)", policy="pessimistic")
+        assert "obj[*]" in names(a.writes)
+
+    def test_pessimistic_call_may_write_args(self):
+        a = acc("f(buf)", policy="pessimistic")
+        assert "buf" in names(a.writes)
+
+    def test_method_call_name(self):
+        a = acc("self.camera.ray_for(idx)")
+        assert a.calls == ["self.camera.ray_for"]
+
+    def test_keyword_args_read(self):
+        a = acc("f(x=y)")
+        assert "y" in names(a.reads)
+
+
+class TestCompoundHeaders:
+    def test_for_header(self):
+        a = acc("for i in range(n):\n    pass")
+        assert names(a.writes) == {"i"}
+        assert {"range", "n"} <= names(a.reads)
+
+    def test_for_tuple_target(self):
+        a = acc("for k, v in items:\n    pass")
+        assert names(a.writes) == {"k", "v"}
+
+    def test_while_header(self):
+        a = acc("while x < n:\n    pass")
+        assert {"x", "n"} <= names(a.reads)
+        assert names(a.writes) == set()
+
+    def test_if_header_only(self):
+        a = acc("if cond:\n    x = 1")
+        assert names(a.reads) == {"cond"}
+        assert names(a.writes) == set()
+
+    def test_return_reads(self):
+        a = acc("return x + y")
+        assert names(a.reads) == {"x", "y"}
+
+    def test_with_header(self):
+        a = acc("with open(p) as f:\n    pass")
+        assert "f" in names(a.writes)
+        assert {"open", "p"} <= names(a.reads)
+
+
+class TestScopedExpressions:
+    def test_comprehension_target_is_local(self):
+        a = acc("ys = [x * k for x in xs]")
+        assert "x" not in names(a.reads)
+        assert "x" not in names(a.writes)
+        assert {"xs", "k"} <= names(a.reads)
+
+    def test_dict_comprehension(self):
+        a = acc("d = {k: v * s for k, v in items}")
+        assert names(a.reads) & {"k", "v"} == set()
+        assert {"items", "s"} <= names(a.reads)
+
+    def test_comprehension_subscript_read_survives(self):
+        a = acc("ys = [a[i] for i in idx]")
+        assert "a[*]" in names(a.reads)
+
+    def test_nested_comprehension_condition(self):
+        a = acc("ys = [x for x in xs if x > lo]")
+        assert "lo" in names(a.reads)
+
+    def test_lambda_params_local(self):
+        a = acc("f = lambda u: u + bias")
+        assert "u" not in names(a.reads)
+        assert "bias" in names(a.reads)
+
+    def test_generator_expression(self):
+        a = acc("total = sum(w * x for x in xs)")
+        assert "x" not in names(a.reads)
+        assert {"w", "xs"} <= names(a.reads)
+
+
+class TestAccessSets:
+    def test_union(self):
+        a = AccessSets(reads={Symbol("a")}, writes={Symbol("b")}, calls=["f"])
+        b = AccessSets(reads={Symbol("c")}, writes=set(), calls=["g"])
+        u = a.union(b)
+        assert names(u.reads) == {"a", "c"}
+        assert names(u.writes) == {"b"}
+        assert u.calls == ["f", "g"]
+
+    def test_touched(self):
+        a = AccessSets(reads={Symbol("a")}, writes={Symbol("b")})
+        assert names(a.touched) == {"a", "b"}

@@ -1,0 +1,402 @@
+"""The discrete-event kernel and the pattern simulators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simcore import (
+    Environment,
+    Machine,
+    Resource,
+    StageCosts,
+    Store,
+    WorkloadCosts,
+    simulate_doall,
+    simulate_masterworker,
+    simulate_pipeline,
+    simulate_sequential,
+)
+from repro.simcore.costmodel import (
+    balanced_workload,
+    imbalanced_workload,
+    video_filter_workload,
+)
+from repro.simcore.events import all_of
+
+
+class TestEventKernel:
+    def test_timeout_advances_time(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+            yield env.timeout(2.5)
+
+        env.process(proc())
+        assert env.run() == pytest.approx(7.5)
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_processes_interleave_by_time(self):
+        env = Environment()
+        order: list[str] = []
+
+        def a():
+            yield env.timeout(1.0)
+            order.append("a")
+
+        def b():
+            yield env.timeout(0.5)
+            order.append("b")
+
+        env.process(a())
+        env.process(b())
+        env.run()
+        assert order == ["b", "a"]
+
+    def test_process_completion_event(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3.0)
+            return 99
+
+        def parent():
+            value = yield env.process(child())
+            assert value == 99
+
+        env.process(parent())
+        assert env.run() == pytest.approx(3.0)
+
+    def test_yield_already_processed_event(self):
+        env = Environment()
+        done = []
+
+        def child():
+            yield env.timeout(1.0)
+
+        p = env.process(child())
+        env.run()
+
+        def late():
+            yield p  # already processed: must resume, not hang
+            done.append(True)
+
+        env.process(late())
+        env.run()
+        assert done == [True]
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10.0)
+
+        env.process(proc())
+        assert env.run(until=4.0) == pytest.approx(4.0)
+
+
+class TestResource:
+    def test_serializes_beyond_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release()
+
+        for _ in range(4):
+            env.process(worker())
+        # 4 unit tasks on 2 slots -> 2 time units
+        assert env.run() == pytest.approx(2.0)
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, 0)
+
+    def test_utilization(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release()
+
+        for _ in range(2):
+            env.process(worker())
+        horizon = env.run()
+        assert res.utilization(horizon) == pytest.approx(1.0)
+
+
+class TestStore:
+    def test_capacity_blocks_producer(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times: dict[str, float] = {}
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")  # blocked until the consumer takes "a"
+            times["produced"] = env.now
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times["produced"] == pytest.approx(5.0)
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got: list = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer():
+            yield env.timeout(2.0)
+            yield store.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [("x", 2.0)]
+
+    def test_max_occupancy(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        env.process(producer())
+        env.run()
+        assert store.max_occupancy == 5
+
+    def test_all_of(self):
+        env = Environment()
+        procs = []
+
+        def p(d):
+            yield env.timeout(d)
+
+        procs = [env.process(p(d)) for d in (1.0, 3.0, 2.0)]
+        finished = [0.0]
+
+        def waiter():
+            yield all_of(env, procs)
+            finished[0] = env.now
+
+        env.process(waiter())
+        env.run()
+        assert finished[0] == pytest.approx(3.0)
+
+
+class TestMachine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine(cores=0)
+
+    def test_with_cores(self):
+        assert Machine(cores=2).with_cores(8).cores == 8
+
+
+class TestWorkloads:
+    def test_sequential_time(self):
+        wl = balanced_workload(n=10, stages=2, cost=1.0)
+        assert wl.sequential_time() == pytest.approx(
+            20.0 + 10 * wl.generator_cost
+        )
+
+    def test_bottleneck_and_shares(self):
+        wl = imbalanced_workload(n=10, cheap=1e-6, hot=1e-3, hot_index=2)
+        assert wl.bottleneck() == 2
+        assert max(wl.shares()) > 0.9
+
+    def test_jittered_deterministic(self):
+        a = StageCosts.jittered("s", 1.0, 0.5, seed=3)
+        b = StageCosts.jittered("s", 1.0, 0.5, seed=3)
+        assert [a.cost(k) for k in range(5)] == [b.cost(k) for k in range(5)]
+
+    def test_video_workload_oil_dominates(self):
+        wl = video_filter_workload(n=50)
+        assert wl.stages[wl.bottleneck()].name == "oil"
+
+
+class TestPipelineSimulation:
+    def test_sequential_mode_equals_sequential_time(self):
+        wl = balanced_workload(n=50)
+        r = simulate_pipeline(
+            wl, Machine(cores=4), {"SequentialExecution@pipeline": True}
+        )
+        assert r.makespan == pytest.approx(wl.sequential_time())
+
+    def test_speedup_bounded_by_cores(self):
+        wl = balanced_workload(n=200, stages=4)
+        r = simulate_pipeline(wl, Machine(cores=2), {})
+        assert r.speedup <= 2.0 + 1e-6
+
+    def test_balanced_pipeline_speedup_near_stage_count(self):
+        wl = balanced_workload(n=400, stages=4, cost=100e-6)
+        r = simulate_pipeline(wl, Machine(cores=8), {})
+        assert r.speedup > 3.0
+
+    def test_replication_helps_imbalanced(self):
+        wl = imbalanced_workload(n=200, cheap=10e-6, hot=300e-6, hot_index=1)
+        m = Machine(cores=4)
+        base = simulate_pipeline(wl, m, {})
+        rep = simulate_pipeline(wl, m, {"StageReplication@s1": 3})
+        assert rep.makespan < base.makespan * 0.6
+
+    def test_replication_of_sequential_stage_rejected(self):
+        wl = WorkloadCosts(
+            stages=[StageCosts.constant("s0", 1e-5, replicable=False)], n=5
+        )
+        with pytest.raises(ValueError):
+            simulate_pipeline(wl, Machine(cores=2), {"StageReplication@s0": 2})
+
+    def test_fusion_reduces_overhead_for_cheap_stages(self):
+        # when cores are the bottleneck, every inter-stage handoff is paid
+        # out of total work: fusing cheap stages buys makespan (the paper's
+        # StageFusion motivation)
+        wl = WorkloadCosts(
+            stages=[StageCosts.constant(f"s{i}", 2e-6) for i in range(4)],
+            n=300,
+        )
+        m = Machine(cores=2)
+        split = simulate_pipeline(wl, m, {})
+        fused = simulate_pipeline(
+            wl, m, {"StageFusion@s0/s1": True, "StageFusion@s2/s3": True}
+        )
+        assert fused.makespan < split.makespan
+
+    def test_short_stream_parallel_slower_than_sequential(self):
+        wl = balanced_workload(n=1, stages=2, cost=20e-6)
+        r = simulate_pipeline(wl, Machine(cores=4), {})
+        assert r.speedup < 1.0  # SequentialExecution exists for this case
+
+    def test_order_preservation_costs_a_little(self):
+        wl = imbalanced_workload(n=300, cheap=10e-6, hot=200e-6, hot_index=1)
+        m = Machine(cores=8)
+        ordered = simulate_pipeline(wl, m, {"StageReplication@s1": 4})
+        unordered = simulate_pipeline(
+            wl, m,
+            {"StageReplication@s1": 4, "OrderPreservation@s1": False},
+        )
+        assert unordered.makespan <= ordered.makespan * 1.05
+
+    def test_utilization_reported(self):
+        wl = balanced_workload(n=100, stages=4)
+        r = simulate_pipeline(wl, Machine(cores=4), {})
+        assert 0.0 < r.core_utilization <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        stages=st.integers(1, 4),
+        cores=st.integers(1, 8),
+    )
+    def test_property_makespan_bounds(self, n, stages, cores):
+        wl = balanced_workload(n=n, stages=stages, cost=50e-6)
+        r = simulate_pipeline(wl, Machine(cores=cores), {})
+        # no faster than perfect parallelism over all cores and no faster
+        # than the per-element critical path
+        assert r.makespan * cores >= wl.sequential_time() * 0.5
+        assert r.speedup <= min(cores, stages) + 0.5
+
+
+class TestDoallSimulation:
+    def test_scaling_saturates_at_cores(self):
+        costs = [100e-6] * 200
+        m = Machine(cores=4)
+        s4 = simulate_doall(costs, m, {"NumWorkers@loop": 4})
+        s8 = simulate_doall(costs, m, {"NumWorkers@loop": 8})
+        assert s4.speedup > 3.0
+        assert abs(s8.speedup - s4.speedup) < 0.5
+
+    def test_sequential_config(self):
+        costs = [1e-5] * 10
+        r = simulate_doall(costs, Machine(cores=4), {"SequentialExecution@loop": True})
+        assert r.makespan == pytest.approx(sum(costs))
+
+    def test_static_vs_dynamic_on_imbalanced(self):
+        # alternating heavy/light elements: dynamic balances better with
+        # small chunks
+        costs = [500e-6 if i % 7 == 0 else 5e-6 for i in range(100)]
+        m = Machine(cores=4)
+        dyn = simulate_doall(costs, m, {"NumWorkers@loop": 4, "ChunkSize@loop": 1})
+        stat = simulate_doall(
+            costs, m,
+            {"NumWorkers@loop": 4, "ChunkSize@loop": 16, "Schedule@loop": "static"},
+        )
+        assert dyn.makespan <= stat.makespan * 1.1
+
+    def test_empty(self):
+        r = simulate_doall([], Machine(cores=2), {})
+        assert r.makespan == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(1, 80),
+        workers=st.integers(1, 8),
+        chunk=st.sampled_from([1, 4, 16]),
+        schedule=st.sampled_from(["static", "dynamic"]),
+    )
+    def test_property_speedup_bounds(self, n, workers, chunk, schedule):
+        costs = [50e-6] * n
+        m = Machine(cores=4)
+        r = simulate_doall(
+            costs, m,
+            {"NumWorkers@loop": workers, "ChunkSize@loop": chunk,
+             "Schedule@loop": schedule},
+        )
+        assert r.speedup <= min(workers, m.cores) + 1e-6
+        assert r.makespan >= max(costs) - 1e-12
+
+
+class TestMasterWorkerSimulation:
+    def test_three_tasks(self):
+        r = simulate_masterworker(
+            [200e-6, 210e-6, 190e-6], Machine(cores=4), workers=3, rounds=20
+        )
+        assert 2.0 < r.speedup < 3.0
+
+    def test_single_worker_no_speedup(self):
+        r = simulate_masterworker([1e-4] * 3, Machine(cores=4), workers=1)
+        assert r.speedup == pytest.approx(1.0)
+
+    def test_core_bound(self):
+        r = simulate_masterworker(
+            [100e-6] * 8, Machine(cores=2), workers=8, rounds=10
+        )
+        assert r.speedup <= 2.0 + 1e-6
+
+
+class TestSequentialSimulation:
+    def test_identity(self):
+        wl = balanced_workload(n=10)
+        r = simulate_sequential(wl)
+        assert r.speedup == pytest.approx(1.0)

@@ -1,0 +1,265 @@
+"""The user-study simulator."""
+
+import random
+
+import pytest
+
+from repro.study import (
+    DEFAULT_STUDY_SEED,
+    MANUAL,
+    PARALLEL_STUDIO,
+    PATTY,
+    SkillClass,
+    SkillProfile,
+    ToolKind,
+    compose_groups,
+    fill_questionnaire,
+    recruit,
+    run_study,
+    simulate_session,
+)
+from repro.study.features import coverage_counts, feature_survey
+from repro.study.participants import group_balance
+from repro.study.questionnaire import normalize_score, to_raw
+from repro.study.session import DECOY_LOCATION, TIME_LIMIT, TRUE_LOCATIONS
+
+
+class TestSkills:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkillProfile(software=1.5, multicore=0.0)
+
+    def test_classes(self):
+        assert SkillProfile(0.2, 0.1).skill_class is SkillClass.INEXPERIENCED
+        assert SkillProfile(0.8, 0.2).skill_class is SkillClass.EXPERIENCED_SE
+        assert SkillProfile(0.8, 0.8).skill_class is SkillClass.EXPERIENCED_MC
+
+
+class TestParticipants:
+    def test_recruit_deterministic(self):
+        assert [p.profile for p in recruit(seed=1)] == [
+            p.profile for p in recruit(seed=1)
+        ]
+
+    def test_recruit_has_skill_spread(self):
+        pool = recruit()
+        classes = {p.skill_class for p in pool}
+        assert len(classes) == 3
+
+    def test_groups_cover_everyone(self):
+        pool = recruit()
+        groups = compose_groups(pool)
+        assert sorted(p.pid for g in groups for p in g) == list(range(10))
+        assert [len(g) for g in groups] == [3, 4, 3]
+
+    def test_groups_balanced(self):
+        groups = compose_groups(recruit())
+        assert group_balance(groups) < 0.25
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            compose_groups(recruit(), sizes=(5, 5, 5))
+
+
+class TestSessions:
+    def test_times_within_limit(self):
+        rng = random.Random(0)
+        for p in recruit():
+            for tool in (PATTY, PARALLEL_STUDIO, MANUAL):
+                s = simulate_session(p, tool, rng)
+                assert 0 < s.total_time <= TIME_LIMIT
+                assert s.first_tool_use > 0
+
+    def test_patty_finds_everything(self):
+        rng = random.Random(1)
+        for p in recruit():
+            s = simulate_session(p, PATTY, rng)
+            assert set(s.found) == set(TRUE_LOCATIONS)
+            assert s.false_positives == []
+
+    def test_tool_groups_never_report_decoy(self):
+        rng = random.Random(2)
+        for p in recruit():
+            for tool in (PATTY, PARALLEL_STUDIO):
+                s = simulate_session(p, tool, rng)
+                assert DECOY_LOCATION not in s.false_positives
+
+    def test_manual_group_is_confident(self):
+        rng = random.Random(3)
+        for p in recruit():
+            assert simulate_session(p, MANUAL, rng).confident
+
+    def test_manual_decoy_rate_drops_with_skill(self):
+        rng = random.Random(4)
+        novice = SkillProfile(0.1, 0.0)
+        expert = SkillProfile(0.9, 0.9)
+        from repro.study.participants import Participant
+
+        def rate(profile):
+            hits = 0
+            for _ in range(300):
+                s = simulate_session(Participant(0, profile), MANUAL, rng)
+                hits += bool(s.false_positives)
+            return hits / 300
+
+        assert rate(novice) > rate(expert)
+
+
+class TestQuestionnaire:
+    def test_normalization_roundtrip(self):
+        for value in (-3, -1, 0, 2, 3):
+            for rev in (False, True):
+                raw = to_raw(value, rev)
+                assert normalize_score(raw, rev) == pytest.approx(
+                    value, abs=0.51
+                )
+
+    def test_reversed_item_inverts_raw_scale(self):
+        assert to_raw(3.0, False) > to_raw(-3.0, False)
+        assert to_raw(3.0, True) < to_raw(-3.0, True)
+
+    def test_answers_in_range(self):
+        rng = random.Random(5)
+        for p in recruit():
+            s = simulate_session(p, PATTY, rng)
+            q = fill_questionnaire(s, rng)
+            for v in q.answers.values():
+                assert -3.0 <= v <= 3.0
+
+
+class TestFeatures:
+    def test_coverage_counts_match_paper(self):
+        rng = random.Random(6)
+        rows = feature_survey(recruit()[:3], rng)
+        cov = coverage_counts(rows)
+        assert cov["Patty"][0] == 5
+        assert cov["intel"][0] == 2
+
+    def test_quantiles_ordered(self):
+        rng = random.Random(7)
+        for r in feature_survey(recruit()[:3], rng):
+            assert r.lower_quantile <= r.average + 1e-9
+            assert r.average <= r.upper_quantile + 1e-9
+
+
+class TestRunStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_study()
+
+    def test_default_seed_reproducible(self, results):
+        again = run_study(seed=DEFAULT_STUDY_SEED)
+        assert again.render_effectivity() == results.render_effectivity()
+
+    def test_patty_wins_comprehensibility(self, results):
+        comp = results.comprehensibility()
+        assert (
+            comp[ToolKind.PATTY]["total"]
+            > comp[ToolKind.PARALLEL_STUDIO]["total"]
+        )
+
+    def test_patty_wins_every_indicator(self, results):
+        comp = results.comprehensibility()
+        for ind, (mean, _) in comp[ToolKind.PATTY]["indicators"].items():
+            other = comp[ToolKind.PARALLEL_STUDIO]["indicators"][ind][0]
+            assert mean > other, ind
+
+    def test_satisfaction_ordering_and_spread(self, results):
+        assist = results.assistance()
+        patty = assist[ToolKind.PATTY]["indicators"][
+            "Subjective satisfaction with result"
+        ]
+        intel = assist[ToolKind.PARALLEL_STUDIO]["indicators"][
+            "Subjective satisfaction with result"
+        ]
+        assert patty[0] > intel[0]
+        assert intel[1] > patty[1]  # the paper's high intel spread
+
+    def test_effectivity_shapes(self, results):
+        eff = results.effectivity()
+        assert eff[ToolKind.PATTY]["avg_locations"] == 3.0
+        assert (
+            eff[ToolKind.PATTY]["avg_locations"]
+            > eff[ToolKind.PARALLEL_STUDIO]["avg_locations"]
+            >= eff[ToolKind.MANUAL]["avg_locations"]
+        )
+        assert eff[ToolKind.MANUAL]["false_positives"] > 0
+        assert eff[ToolKind.PATTY]["false_positives"] == 0
+
+    def test_time_shapes(self, results):
+        t = results.times()
+        # manual finishes first; intel takes longest (paper Fig. 5b)
+        assert (
+            t[ToolKind.MANUAL]["total_working_time"]
+            < t[ToolKind.PATTY]["total_working_time"]
+            < t[ToolKind.PARALLEL_STUDIO]["total_working_time"]
+        )
+        # manual finds its first location fastest (the profiler effect);
+        # Patty's first *tool usage* is immediate
+        assert (
+            t[ToolKind.MANUAL]["first_identification"]
+            < t[ToolKind.PATTY]["first_identification"]
+        )
+        assert t[ToolKind.PATTY]["first_tool_usage"] < 1.0
+
+    def test_feature_coverage(self, results):
+        assert results.feature_coverage() == {
+            "Patty": (5, 3),
+            "intel": (2, 1),
+        }
+
+    def test_renderers_produce_text(self, results):
+        for renderer in (
+            results.render_table1,
+            results.render_table2,
+            results.render_fig5a,
+            results.render_fig5b,
+            results.render_effectivity,
+        ):
+            out = renderer()
+            assert isinstance(out, str) and len(out.splitlines()) >= 3
+
+    def test_numbers_near_paper(self, results):
+        comp = results.comprehensibility()
+        assert comp[ToolKind.PATTY]["total"] == pytest.approx(2.17, abs=0.45)
+        assert comp[ToolKind.PARALLEL_STUDIO]["total"] == pytest.approx(
+            1.00, abs=0.45
+        )
+        eff = results.effectivity()
+        assert eff[ToolKind.PARALLEL_STUDIO]["avg_locations"] == pytest.approx(
+            2.25, abs=0.5
+        )
+        t = results.times()
+        assert t[ToolKind.PATTY]["total_working_time"] == pytest.approx(
+            38.67, rel=0.2
+        )
+        assert t[ToolKind.PARALLEL_STUDIO][
+            "total_working_time"
+        ] == pytest.approx(46.5, rel=0.2)
+        assert t[ToolKind.MANUAL]["total_working_time"] == pytest.approx(
+            34.0, rel=0.2
+        )
+
+
+class TestModeUsage:
+    """R3: only the multicore-experienced experiment with TADL."""
+
+    def test_tadl_users_are_multicore_experienced(self):
+        rng = random.Random(9)
+        for p in recruit():
+            s = simulate_session(p, PATTY, rng)
+            if s.mode_used == "tadl":
+                assert p.profile.multicore > 0.5
+
+    def test_most_use_automatic_mode(self):
+        rng = random.Random(10)
+        modes = [
+            simulate_session(p, PATTY, rng).mode_used for p in recruit()
+        ]
+        assert modes.count("automatic") > modes.count("tadl")
+
+    def test_non_patty_groups_have_no_mode(self):
+        rng = random.Random(11)
+        for p in recruit():
+            assert simulate_session(p, MANUAL, rng).mode_used == ""
+            assert simulate_session(p, PARALLEL_STUDIO, rng).mode_used == ""

@@ -1,0 +1,160 @@
+"""Interprocedural access summaries (the call graph in the cross product)."""
+
+import pytest
+
+from repro.frontend import SourceProgram
+from repro.frontend.rwsets import Symbol
+from repro.model import build_semantic_model
+from repro.model.summaries import call_effects, compute_summaries
+from repro.patterns import default_catalog
+
+
+def summaries_of(src: str):
+    prog = SourceProgram.from_source(src)
+    return prog, compute_summaries(prog)
+
+
+class TestDirectSummaries:
+    def test_mutating_method_on_param(self):
+        _, s = summaries_of(
+            "def add_to(sink, v):\n    sink.append(v)\n"
+        )
+        assert s["add_to"].elem_writes == {0}
+        assert 1 in s["add_to"].value_reads
+
+    def test_element_write_on_param(self):
+        _, s = summaries_of(
+            "def set_at(a, i, v):\n    a[i] = v\n"
+        )
+        assert s["set_at"].elem_writes == {0}
+
+    def test_attribute_write_on_param(self):
+        _, s = summaries_of(
+            "def bump(counter):\n    counter.hits = counter.hits + 1\n"
+        )
+        assert s["bump"].elem_writes == {0}
+        assert s["bump"].elem_reads == {0}
+
+    def test_pure_function(self):
+        _, s = summaries_of("def f(x, y):\n    return x + y\n")
+        assert s["f"].elem_writes == set()
+        assert s["f"].value_reads == {0, 1}
+
+    def test_rebinding_param_is_not_an_effect(self):
+        _, s = summaries_of("def f(x):\n    x = x + 1\n    return x\n")
+        assert s["f"].elem_writes == set()
+
+    def test_element_read(self):
+        _, s = summaries_of("def head(xs):\n    return xs[0]\n")
+        assert s["head"].elem_reads == {0}
+
+
+class TestTransitiveSummaries:
+    def test_effect_flows_through_call(self):
+        _, s = summaries_of(
+            "def inner(sink, v):\n"
+            "    sink.append(v)\n"
+            "def outer(out, x):\n"
+            "    inner(out, x * 2)\n"
+        )
+        assert s["outer"].elem_writes == {0}
+
+    def test_two_levels(self):
+        _, s = summaries_of(
+            "def a(t, v):\n    t.append(v)\n"
+            "def b(t, v):\n    a(t, v)\n"
+            "def c(t, v):\n    b(t, v)\n"
+        )
+        assert s["c"].elem_writes == {0}
+
+    def test_recursion_terminates(self):
+        _, s = summaries_of(
+            "def walk(node, out):\n"
+            "    out.append(node.value)\n"
+            "    walk(node.next, out)\n"
+        )
+        assert s["walk"].elem_writes == {1}
+        assert s["walk"].elem_reads == {0}
+
+    def test_method_receiver_is_param_zero(self):
+        _, s = summaries_of(
+            "class Sink:\n"
+            "    def push(self, v):\n"
+            "        self.items.append(v)\n"
+            "def drive(sink, v):\n"
+            "    sink.push(v)\n"
+        )
+        assert s["Sink.push"].elem_writes == {0}
+        assert s["drive"].elem_writes == {0}
+
+
+class TestCallEffects:
+    def test_effect_at_call_site(self):
+        prog, s = summaries_of(
+            "def add_to(sink, v):\n    sink.append(v)\n"
+            "def fill(xs, out):\n"
+            "    for x in xs:\n"
+            "        add_to(out, x)\n"
+            "    return out\n"
+        )
+        by_name = {}
+        for f in prog:
+            by_name.setdefault(f.name, []).append(f.qualname)
+        fill = prog.function("fill")
+        stmt = fill.statement("s0.b0")
+        eff = call_effects(stmt.node, s, by_name)
+        assert Symbol("out[*]") in eff.writes
+
+    def test_unresolved_call_has_no_effect(self):
+        prog, s = summaries_of(
+            "def f(xs, out):\n"
+            "    for x in xs:\n"
+            "        external(out, x)\n"
+        )
+        by_name = {}
+        for fn in prog:
+            by_name.setdefault(fn.name, []).append(fn.qualname)
+        eff = call_effects(
+            prog.function("f").statement("s0.b0").node, s, by_name
+        )
+        assert eff.writes == set()
+
+
+class TestDetectionIntegration:
+    HELPER_MUTATION = (
+        "def add_to(sink, v):\n"
+        "    sink.append(v)\n"
+        "def fill(xs, out):\n"
+        "    for x in xs:\n"
+        "        add_to(out, x * 2)\n"
+        "    return out\n"
+    )
+
+    def test_static_detection_sees_hidden_mutation(self):
+        prog = SourceProgram.from_source(self.HELPER_MUTATION)
+        model = build_semantic_model(prog.function("fill"), program=prog)
+        carried = model.loop("s0").deps.carried()
+        assert any(e.symbol.name == "out[*]" for e in carried)
+        assert default_catalog().detect(model) == []
+
+    def test_without_program_stays_optimistic(self):
+        prog = SourceProgram.from_source(self.HELPER_MUTATION)
+        model = build_semantic_model(prog.function("fill"))
+        # no call graph -> the mutation is invisible (the old behaviour)
+        assert not any(
+            e.symbol.name == "out[*]"
+            for e in model.loop("s0").deps.carried()
+        )
+
+    def test_pure_helpers_do_not_block(self):
+        src = (
+            "def square(v):\n    return v * v\n"
+            "def work(xs, out, n):\n"
+            "    for i in range(n):\n"
+            "        out[i] = square(xs[i])\n"
+            "    return out\n"
+        )
+        prog = SourceProgram.from_source(src)
+        model = build_semantic_model(prog.function("work"), program=prog)
+        carried = {e.symbol.name for e in model.loop("s0").deps.carried()}
+        assert "xs[*]" not in carried

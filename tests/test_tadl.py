@@ -1,0 +1,210 @@
+"""TADL: lexer, parser, printer, annotations — including round-trip
+property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tadl import (
+    DataParallel,
+    Parallel,
+    Pipeline,
+    StageRef,
+    TadlAnnotation,
+    TadlLexError,
+    TadlParseError,
+    annotate_source,
+    extract_annotations,
+    format_tadl,
+    parse_tadl,
+    stages_of,
+    strip_annotations,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [t.kind for t in tokenize("(A || B+) => C*")]
+        assert kinds == [
+            "LPAREN", "NAME", "PIPE2", "NAME", "PLUS", "RPAREN",
+            "ARROW", "NAME", "STAR", "EOF",
+        ]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TadlLexError):
+            tokenize("A & B")
+
+    def test_rejects_single_pipe(self):
+        with pytest.raises(TadlLexError):
+            tokenize("A | B")
+
+    def test_position_reported(self):
+        try:
+            tokenize("A ?")
+        except TadlLexError as e:
+            assert "position 2" in str(e)
+
+
+class TestParser:
+    def test_paper_example(self):
+        node = parse_tadl("(A || B || C+) => D => E")
+        assert isinstance(node, Pipeline)
+        assert len(node.stages) == 3
+        group = node.stages[0]
+        assert isinstance(group, Parallel)
+        assert group.children[2] == StageRef("C", replicable=True)
+
+    def test_single_stage(self):
+        assert parse_tadl("A") == StageRef("A")
+
+    def test_data_parallel(self):
+        node = parse_tadl("BODY*")
+        assert node == DataParallel(StageRef("BODY"))
+
+    def test_pipeline_flattens(self):
+        assert parse_tadl("A => (B => C)") == parse_tadl("A => B => C")
+
+    def test_parallel_flattens(self):
+        assert parse_tadl("A || (B || C)") == parse_tadl("A || B || C")
+
+    def test_precedence_parallel_binds_tighter(self):
+        node = parse_tadl("A || B => C")
+        assert isinstance(node, Pipeline)
+        assert isinstance(node.stages[0], Parallel)
+
+    def test_group_star(self):
+        node = parse_tadl("(A => B)*")
+        assert isinstance(node, DataParallel)
+        assert isinstance(node.child, Pipeline)
+
+    def test_plus_only_on_names(self):
+        with pytest.raises(TadlParseError):
+            parse_tadl("(A || B)+")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TadlParseError):
+            parse_tadl("A => B C")
+
+    def test_empty_input(self):
+        with pytest.raises(TadlParseError):
+            parse_tadl("")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(TadlParseError):
+            parse_tadl("(A => B")
+
+    def test_stage_names_in_order(self):
+        node = parse_tadl("(A || B) => C")
+        assert [s.name for s in stages_of(node)] == ["A", "B", "C"]
+
+
+# -- property: format/parse round-trip ------------------------------------
+
+_names = st.sampled_from(["A", "B", "C", "D", "E", "Stage1", "x_y"])
+
+
+def _stage(draw_replicable):
+    return st.builds(StageRef, name=_names, replicable=draw_replicable)
+
+
+_leaf = _stage(st.booleans())
+
+
+def _parallel(children):
+    return st.builds(
+        lambda cs: Parallel(tuple(cs)),
+        st.lists(children, min_size=2, max_size=4),
+    )
+
+
+def _pipeline(children):
+    # Pipeline stages cannot directly contain Pipeline (parser flattens)
+    return st.builds(
+        lambda cs: Pipeline(tuple(cs)),
+        st.lists(children, min_size=2, max_size=4),
+    )
+
+
+_non_pipe = st.one_of(_leaf, _parallel(_leaf))
+_tadl_ast = st.one_of(
+    _leaf,
+    _parallel(_leaf),
+    _pipeline(_non_pipe),
+    st.builds(DataParallel, _leaf),
+)
+
+
+class TestRoundTrip:
+    @given(_tadl_ast)
+    def test_parse_format_identity(self, node):
+        assert parse_tadl(format_tadl(node)) == node
+
+    @given(_tadl_ast)
+    def test_str_matches_parse(self, node):
+        # __str__ is also parseable (possibly with extra parens)
+        assert stages_of(parse_tadl(str(node))) == stages_of(node)
+
+
+class TestAnnotations:
+    EXPR = "(A || B || C+) => D => E"
+
+    def _ann(self):
+        return TadlAnnotation(
+            expression=parse_tadl(self.EXPR),
+            stages={"A": ["s1.b0"], "B": ["s1.b1"]},
+            pattern="pipeline",
+        )
+
+    def test_annotate_inserts_before_line(self):
+        src = "x = 1\nfor i in xs:\n    pass\n"
+        out = annotate_source(src, 2, self._ann())
+        lines = out.splitlines()
+        assert lines[1].startswith("# TADL:")
+        assert lines[4] == "for i in xs:"
+
+    def test_annotate_preserves_indentation(self):
+        src = "def f():\n    for i in xs:\n        pass\n"
+        out = annotate_source(src, 2, self._ann())
+        assert "    # TADL:" in out
+
+    def test_annotate_bad_line(self):
+        with pytest.raises(ValueError):
+            annotate_source("x = 1\n", 99, self._ann())
+
+    def test_extract_round_trip(self):
+        src = "x = 1\nfor i in xs:\n    pass\n"
+        out = annotate_source(src, 2, self._ann())
+        anns = extract_annotations(out)
+        assert len(anns) == 1
+        assert anns[0].expression == parse_tadl(self.EXPR)
+        assert anns[0].stages == {"A": ["s1.b0"], "B": ["s1.b1"]}
+        assert anns[0].pattern == "pipeline"
+
+    def test_extracted_line_points_at_statement(self):
+        src = "x = 1\nfor i in xs:\n    pass\n"
+        out = annotate_source(src, 2, self._ann())
+        ann = extract_annotations(out)[0]
+        assert out.splitlines()[ann.line - 1] == "for i in xs:"
+
+    def test_strip_restores_source(self):
+        src = "x = 1\nfor i in xs:\n    pass\n"
+        out = annotate_source(src, 2, self._ann())
+        assert strip_annotations(out) == src
+
+    def test_multiple_annotations(self):
+        src = "for i in a:\n    pass\nfor j in b:\n    pass\n"
+        ann = TadlAnnotation(expression=parse_tadl("X*"), pattern="doall")
+        out = annotate_source(src, 3, ann)
+        out = annotate_source(out, 1, ann)
+        assert len(extract_annotations(out)) == 2
+
+    def test_malformed_stage_map(self):
+        bad = "# TADL: A => B\n# TADL-stages: nonsense\nfor i in a:\n    pass\n"
+        with pytest.raises(ValueError):
+            extract_annotations(bad)
+
+    def test_render_without_stage_map(self):
+        ann = TadlAnnotation(expression=parse_tadl("A => B"))
+        lines = ann.render()
+        assert lines[0] == "# TADL: A => B"
+        assert lines[-1] == "# TADL-pattern: pipeline"

@@ -1,0 +1,266 @@
+"""Auto-tuning: parameter spaces and the four search algorithms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns.tuning import (
+    BoolParameter,
+    ChoiceParameter,
+    IntParameter,
+    TuningParameter,
+    apply_config,
+    as_config,
+    from_dict,
+)
+from repro.tuning import (
+    AutoTuner,
+    HillClimb,
+    LinearSearch,
+    NelderMead,
+    ParameterSpace,
+    TabuSearch,
+)
+
+
+def small_space() -> ParameterSpace:
+    return ParameterSpace(
+        [
+            IntParameter(name="R", target="s", default=1, lo=1, hi=6),
+            BoolParameter(name="F", target="p", default=False),
+            ChoiceParameter(
+                name="C", target="p", default=8, choices=(2, 4, 8, 16)
+            ),
+        ]
+    )
+
+
+def separable_measure(config):
+    """Optimum at R=4, F=True, C=4."""
+    r = config["R@s"]
+    f = config["F@p"]
+    c = config["C@p"]
+    return abs(r - 4) + (0.0 if f else 2.0) + abs(c - 4) / 4.0
+
+
+class TestParameterDomains:
+    def test_int_domain(self):
+        p = IntParameter(name="R", target="s", lo=1, hi=4)
+        assert p.domain() == [1, 2, 3, 4]
+
+    def test_bool_domain(self):
+        assert BoolParameter(name="F", target="p").domain() == [False, True]
+
+    def test_choice_domain(self):
+        p = ChoiceParameter(name="C", target="p", choices=(1, 2))
+        assert p.domain() == [1, 2]
+
+    def test_key(self):
+        assert IntParameter(name="R", target="s").key == "R@s"
+
+    def test_default_becomes_value(self):
+        p = IntParameter(name="R", target="s", default=3, lo=1, hi=8)
+        assert p.value == 3
+
+    def test_validate(self):
+        p = IntParameter(name="R", target="s", lo=1, hi=4)
+        assert p.validate(2) and not p.validate(9)
+
+    def test_roundtrip_dict(self):
+        for p in small_space().parameters:
+            q = from_dict(p.to_dict())
+            assert type(q) is type(p)
+            assert q.key == p.key and q.domain() == p.domain()
+
+    def test_as_config_apply_config(self):
+        params = small_space().parameters
+        cfg = as_config(params)
+        cfg["R@s"] = 5
+        apply_config(params, cfg)
+        assert params[0].value == 5
+
+    def test_apply_config_validates(self):
+        params = small_space().parameters
+        with pytest.raises(ValueError):
+            apply_config(params, {"R@s": 99})
+        with pytest.raises(KeyError):
+            apply_config(params, {"Zzz@q": 1})
+
+
+class TestParameterSpace:
+    def test_duplicate_keys_rejected(self):
+        p = IntParameter(name="R", target="s")
+        with pytest.raises(ValueError):
+            ParameterSpace([p, IntParameter(name="R", target="s")])
+
+    def test_size(self):
+        assert small_space().size() == 6 * 2 * 4
+
+    def test_default_config(self):
+        cfg = small_space().default_config()
+        assert cfg == {"R@s": 1, "F@p": False, "C@p": 8}
+
+    def test_neighbors_one_step(self):
+        space = small_space()
+        cfg = space.default_config()
+        nbs = list(space.neighbors(cfg))
+        # R can only go up from 1; F flips; C moves either way
+        assert {n["R@s"] for n in nbs} <= {1, 2}
+        for n in nbs:
+            diffs = [k for k in cfg if n[k] != cfg[k]]
+            assert len(diffs) == 1
+
+    def test_encode_decode_roundtrip(self):
+        space = small_space()
+        cfg = {"R@s": 3, "F@p": True, "C@p": 16}
+        assert space.decode(space.encode(cfg)) == cfg
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_random_config_valid(self, rng):
+        space = small_space()
+        cfg = space.random_config(rng)
+        for p in space.parameters:
+            assert cfg[p.key] in p.domain()
+
+    def test_decode_clips(self):
+        space = small_space()
+        cfg = space.decode([99.0, -5.0, 2.8])
+        assert cfg["R@s"] == 6 and cfg["F@p"] is False and cfg["C@p"] == 16
+
+    def test_freeze_hashable(self):
+        space = small_space()
+        assert hash(space.freeze(space.default_config())) is not None
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize(
+        "alg",
+        [LinearSearch(), HillClimb(), NelderMead(), TabuSearch()],
+        ids=["linear", "hillclimb", "neldermead", "tabu"],
+    )
+    def test_improves_over_default(self, alg):
+        tuner = AutoTuner(small_space(), separable_measure, alg, budget=200)
+        result = tuner.tune()
+        default_time = separable_measure(small_space().default_config())
+        assert result.best_runtime <= default_time
+
+    @pytest.mark.parametrize(
+        "alg", [LinearSearch(), HillClimb(), TabuSearch()],
+        ids=["linear", "hillclimb", "tabu"],
+    )
+    def test_finds_global_optimum_on_separable(self, alg):
+        tuner = AutoTuner(small_space(), separable_measure, alg, budget=500)
+        result = tuner.tune()
+        assert result.best_runtime == pytest.approx(0.0)
+        assert result.best_config == {"R@s": 4, "F@p": True, "C@p": 4}
+
+    def test_budget_respected(self):
+        calls = [0]
+
+        def measure(config):
+            calls[0] += 1
+            return separable_measure(config)
+
+        tuner = AutoTuner(small_space(), measure, TabuSearch(max_iter=999),
+                          budget=10)
+        result = tuner.tune()
+        assert result.evaluations <= 10
+        assert calls[0] <= 10
+
+    def test_caching_avoids_remeasuring(self):
+        calls = [0]
+
+        def measure(config):
+            calls[0] += 1
+            return separable_measure(config)
+
+        tuner = AutoTuner(small_space(), measure, HillClimb(restarts=2),
+                          budget=500)
+        result = tuner.tune()
+        assert calls[0] == len(tuner._cache)
+        assert calls[0] <= result.evaluations + 1
+
+    def test_trace_is_monotone(self):
+        tuner = AutoTuner(small_space(), separable_measure, LinearSearch(),
+                          budget=100)
+        result = tuner.tune()
+        trace = result.trace()
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+    def test_improvement_ratio(self):
+        tuner = AutoTuner(small_space(), separable_measure, LinearSearch(),
+                          budget=100)
+        result = tuner.tune()
+        assert result.improvement >= 1.0
+
+    def test_linear_converges_in_few_passes(self):
+        tuner = AutoTuner(small_space(), separable_measure,
+                          LinearSearch(passes=5), budget=500)
+        result = tuner.tune()
+        # coordinate descent over 3 separable dims: well under exhaustive
+        assert result.evaluations < small_space().size()
+
+    def test_nelder_mead_on_single_dim(self):
+        space = ParameterSpace(
+            [IntParameter(name="R", target="s", default=1, lo=1, hi=8)]
+        )
+        tuner = AutoTuner(
+            space, lambda c: abs(c["R@s"] - 5), NelderMead(), budget=100
+        )
+        result = tuner.tune()
+        assert result.best_runtime <= 1.0
+
+
+class TestSimulatorBackend:
+    def test_pipeline_measure(self):
+        from repro.simcore import Machine
+        from repro.simcore.costmodel import video_filter_workload
+        from repro.tuning.autotuner import make_pipeline_measure
+
+        wl = video_filter_workload(n=100)
+        measure = make_pipeline_measure(wl, Machine(cores=4))
+        space = ParameterSpace(
+            [
+                IntParameter(name="StageReplication", target="oil",
+                             default=1, lo=1, hi=6),
+                BoolParameter(name="SequentialExecution", target="pipeline",
+                              default=False),
+            ]
+        )
+        tuner = AutoTuner(space, measure, LinearSearch(), budget=50)
+        result = tuner.tune()
+        assert result.best_config["StageReplication@oil"] >= 2
+        assert result.improvement > 1.5
+
+    def test_doall_measure(self):
+        from repro.simcore import Machine
+        from repro.tuning.autotuner import make_doall_measure
+
+        measure = make_doall_measure([100e-6] * 100, Machine(cores=4))
+        space = ParameterSpace(
+            [IntParameter(name="NumWorkers", target="loop", default=1,
+                          lo=1, hi=8)]
+        )
+        result = AutoTuner(space, measure, LinearSearch(), budget=20).tune()
+        assert result.best_config["NumWorkers@loop"] >= 4
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self):
+        from repro.tuning import ExhaustiveSearch
+
+        tuner = AutoTuner(
+            small_space(), separable_measure, ExhaustiveSearch(), budget=10**6
+        )
+        result = tuner.tune()
+        assert result.best_runtime == pytest.approx(0.0)
+        assert result.evaluations == small_space().size()
+
+    def test_cap_respected(self):
+        from repro.tuning import ExhaustiveSearch
+
+        tuner = AutoTuner(
+            small_space(), separable_measure, ExhaustiveSearch(cap=5),
+            budget=10**6,
+        )
+        assert tuner.tune().evaluations == 5

@@ -1,0 +1,278 @@
+"""CHESS-style exploration and race detection."""
+
+import pytest
+
+from repro.verify import (
+    Access,
+    Explorer,
+    ParallelUnitTest,
+    lockset_races,
+    run_parallel_test,
+    vector_clock_races,
+)
+
+
+def racy_tasks():
+    def t(h):
+        v = h.read("x")
+        h.write("x", v + 1)
+
+    return [t, t]
+
+
+def locked_tasks():
+    def t(h):
+        with h.locked("m"):
+            v = h.read("x")
+            h.write("x", v + 1)
+
+    return [t, t]
+
+
+class TestExplorer:
+    def test_exhaustive_two_tasks(self):
+        res = Explorer().explore(racy_tasks, {"x": 0})
+        assert res.runs == 6  # C(4, 2) interleavings
+        assert res.exhausted
+
+    def test_exhaustive_three_tasks(self):
+        def make():
+            def t(h):
+                v = h.read("x")
+                h.write("x", v + 1)
+
+            return [t, t, t]
+
+        res = Explorer().explore(make, {"x": 0})
+        assert res.runs == 90  # 6!/(2!2!2!)
+
+    def test_detects_lost_update(self):
+        res = Explorer().explore(racy_tasks, {"x": 0})
+        finals = {
+            dict(s)["x"] for s in [dict((k, eval(v)) for k, v in fs)
+                                   for fs in res.final_states]
+        }
+        assert finals == {"1", "2"} or finals == {1, 2}
+
+    def test_locked_is_deterministic(self):
+        res = Explorer().explore(locked_tasks, {"x": 0})
+        assert res.deterministic
+        assert res.runs >= 2
+
+    def test_preemption_bound_zero_serial_only(self):
+        res = Explorer(preemption_bound=0).explore(racy_tasks, {"x": 0})
+        assert res.runs == 2  # the two serial orders
+        assert res.deterministic  # serial schedules never lose the update
+
+    def test_preemption_bound_one_finds_bug(self):
+        res = Explorer(preemption_bound=1).explore(racy_tasks, {"x": 0})
+        assert not res.deterministic
+        assert res.runs < 6
+
+    def test_budget_limits_runs(self):
+        res = Explorer(max_schedules=3).explore(racy_tasks, {"x": 0})
+        assert res.runs == 3
+        assert not res.exhausted
+
+    def test_deadlock_detected(self):
+        def make():
+            def t1(h):
+                h.acquire("a")
+                h.yield_point()
+                h.acquire("b")
+                h.release("b")
+                h.release("a")
+
+            def t2(h):
+                h.acquire("b")
+                h.yield_point()
+                h.acquire("a")
+                h.release("a")
+                h.release("b")
+
+            return [t1, t2]
+
+        res = Explorer().explore(make, {})
+        assert res.deadlocks > 0
+
+    def test_task_error_reported(self):
+        def make():
+            def t(h):
+                h.read("x")
+                raise RuntimeError("boom")
+
+            return [t]
+
+        res = Explorer().explore(make, {"x": 0})
+        assert res.errors
+        assert isinstance(res.errors[0][1], RuntimeError)
+
+    def test_release_unheld_lock_is_an_error(self):
+        def make():
+            def t(h):
+                h.release("m")
+
+            return [t]
+
+        res = Explorer().explore(make, {})
+        assert res.errors
+
+    def test_single_task_single_schedule(self):
+        def make():
+            def t(h):
+                h.write("x", 1)
+
+            return [t]
+
+        res = Explorer().explore(make, {})
+        assert res.runs == 1
+
+
+class TestVectorClockRaces:
+    def A(self, tid, var, w, step, locks=(), kind="mem"):
+        return Access(
+            tid=tid, var=var, is_write=w, locks=frozenset(locks),
+            step=step, kind=kind,
+        )
+
+    def test_write_write_race(self):
+        log = [self.A(0, "x", True, 0), self.A(1, "x", True, 1)]
+        races = vector_clock_races(log)
+        assert any(r.kind == "write-write" for r in races)
+
+    def test_write_read_race(self):
+        log = [self.A(0, "x", True, 0), self.A(1, "x", False, 1)]
+        races = vector_clock_races(log)
+        assert any(r.kind == "write-read" for r in races)
+
+    def test_read_read_no_race(self):
+        log = [self.A(0, "x", False, 0), self.A(1, "x", False, 1)]
+        assert vector_clock_races(log) == []
+
+    def test_same_thread_no_race(self):
+        log = [self.A(0, "x", True, 0), self.A(0, "x", True, 1)]
+        assert vector_clock_races(log) == []
+
+    def test_lock_induced_ordering_suppresses(self):
+        log = [
+            self.A(0, "m", False, 0, kind="acquire"),
+            self.A(0, "x", True, 1, locks={"m"}),
+            self.A(0, "m", False, 2, kind="release"),
+            self.A(1, "m", False, 3, kind="acquire"),
+            self.A(1, "x", True, 4, locks={"m"}),
+            self.A(1, "m", False, 5, kind="release"),
+        ]
+        assert vector_clock_races(log) == []
+
+    def test_different_locks_do_not_order(self):
+        log = [
+            self.A(0, "a", False, 0, kind="acquire"),
+            self.A(0, "x", True, 1, locks={"a"}),
+            self.A(0, "a", False, 2, kind="release"),
+            self.A(1, "b", False, 3, kind="acquire"),
+            self.A(1, "x", True, 4, locks={"b"}),
+            self.A(1, "b", False, 5, kind="release"),
+        ]
+        assert vector_clock_races(log)
+
+    def test_distinct_vars_no_race(self):
+        log = [self.A(0, "x", True, 0), self.A(1, "y", True, 1)]
+        assert vector_clock_races(log) == []
+
+
+class TestLocksetRaces:
+    def A(self, tid, var, w, step, locks=()):
+        return Access(
+            tid=tid, var=var, is_write=w, locks=frozenset(locks), step=step
+        )
+
+    def test_empty_common_lockset_flagged(self):
+        log = [
+            self.A(0, "x", True, 0, locks={"a"}),
+            self.A(1, "x", True, 1, locks={"b"}),
+        ]
+        assert lockset_races(log)
+
+    def test_common_lock_ok(self):
+        log = [
+            self.A(0, "x", True, 0, locks={"m"}),
+            self.A(1, "x", True, 1, locks={"m"}),
+        ]
+        assert lockset_races(log) == []
+
+    def test_single_thread_ok(self):
+        log = [
+            self.A(0, "x", True, 0),
+            self.A(0, "x", True, 1),
+        ]
+        assert lockset_races(log) == []
+
+    def test_read_only_sharing_ok(self):
+        log = [
+            self.A(0, "x", False, 0),
+            self.A(1, "x", False, 1),
+        ]
+        assert lockset_races(log) == []
+
+    def test_reported_once_per_var(self):
+        log = [
+            self.A(0, "x", True, 0),
+            self.A(1, "x", True, 1),
+            self.A(0, "x", True, 2),
+            self.A(1, "x", True, 3),
+        ]
+        assert len(lockset_races(log)) == 1
+
+
+class TestParallelUnitTestHarness:
+    def test_racy_fails_with_races(self):
+        res = run_parallel_test(
+            ParallelUnitTest(
+                "racy", racy_tasks, {"x": 0}, check=lambda s: s["x"] == 2
+            )
+        )
+        assert not res.passed
+        assert res.races
+        assert res.check_failures > 0
+        assert not res.deterministic
+
+    def test_locked_passes(self):
+        res = run_parallel_test(
+            ParallelUnitTest(
+                "locked", locked_tasks, {"x": 0}, check=lambda s: s["x"] == 2
+            )
+        )
+        assert res.passed
+        assert res.deterministic
+
+    def test_summary_mentions_name(self):
+        res = run_parallel_test(
+            ParallelUnitTest("my-test", locked_tasks, {"x": 0})
+        )
+        assert "my-test" in res.summary()
+        assert "PASS" in res.summary()
+
+    def test_check_exception_counts_as_failure(self):
+        res = run_parallel_test(
+            ParallelUnitTest(
+                "bad-check",
+                locked_tasks,
+                {"x": 0},
+                check=lambda s: s["missing"] == 1,
+            )
+        )
+        assert res.check_failures > 0
+
+
+class TestExplorerDeterminism:
+    def test_exploration_is_reproducible(self):
+        r1 = Explorer().explore(racy_tasks, {"x": 0})
+        r2 = Explorer().explore(racy_tasks, {"x": 0})
+        assert r1.runs == r2.runs
+        assert r1.final_states == r2.final_states
+        assert r1.schedules == r2.schedules
+
+    def test_bounded_exploration_is_reproducible(self):
+        r1 = Explorer(preemption_bound=1).explore(racy_tasks, {"x": 0})
+        r2 = Explorer(preemption_bound=1).explore(racy_tasks, {"x": 0})
+        assert r1.schedules == r2.schedules
