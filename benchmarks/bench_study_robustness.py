@@ -1,14 +1,20 @@
-"""Across-seed robustness of the simulated user study.
+"""Across-seed robustness of the simulated user study and the runtime.
 
 A 10-participant study is a single noisy draw; the default seed is a
 representative one (see repro.study.evaluate.DEFAULT_STUDY_SEED).  This
 bench quantifies how robust each qualitative finding is across many
 replications — the honest statistical footing a simulation can add that
 the original one-shot study could not.
+
+The second half applies the same across-seeds discipline to the
+supervised runtime: a chaos-injected pipeline must conserve every
+element (delivered + skipped == generated) under every seed, not just a
+lucky one.
 """
 
 from conftest import once
 
+from repro.runtime import ChaosInjector, Item, Pipeline
 from repro.study import ToolKind, run_study
 
 
@@ -73,3 +79,53 @@ def test_findings_hold_across_seeds(benchmark, record):
     assert rates["intel slowest overall"] >= 0.8 * N_SEEDS
     # the noisy subjective scores still favour Patty in the large majority
     assert rates["patty > intel comprehensibility"] >= 0.7 * N_SEEDS
+
+
+CHAOS_SEEDS = 15
+CHAOS_ELEMENTS = 200
+
+
+def test_chaos_conservation_across_seeds(benchmark, record):
+    """Element conservation holds under fault injection for every seed."""
+
+    def run_one(seed):
+        pipe = Pipeline(
+            Item(lambda x: x + 1, name="parse", replicable=True),
+            Item(lambda x: x * 2, name="score", replicable=True),
+            name="chaos-robustness",
+        )
+        pipe.configure({
+            "Retries@parse": 2,
+            "OnError@parse": "skip",
+            "Retries@score": 2,
+            "OnError@score": "skip",
+        })
+        injector = ChaosInjector(seed=seed, fail_rate=0.05)
+        pipe.inject(injector)
+        out = pipe.run(range(CHAOS_ELEMENTS))
+        s = pipe.stats
+        return {
+            "delivered": len(out),
+            "skipped": s["skipped"],
+            "retried": s["retried"],
+            "injected": injector.stats()["injected_failures"],
+        }
+
+    def run_all():
+        return {seed: run_one(seed) for seed in range(1, CHAOS_SEEDS + 1)}
+
+    results = once(benchmark, run_all)
+    lines = [f"{'seed':>4} {'delivered':>9} {'skipped':>7} "
+             f"{'retried':>7} {'injected':>8}"]
+    for seed, r in results.items():
+        lines.append(
+            f"{seed:>4} {r['delivered']:>9} {r['skipped']:>7} "
+            f"{r['retried']:>7} {r['injected']:>8}"
+        )
+    record("\n".join(lines))
+
+    for seed, r in results.items():
+        # conservation: every element is delivered or accounted as skipped
+        assert r["delivered"] + r["skipped"] == CHAOS_ELEMENTS, seed
+    # the injector actually fired somewhere across the sweep
+    assert sum(r["injected"] for r in results.values()) > 0

@@ -10,7 +10,10 @@ its workflows are not; each subcommand is one of them:
 * ``tune``      — the performance-validation cycle on the simulated
   machine (Fig. 4c).
 * ``validate``  — generate and run the parallel unit tests of a bundled
-  benchmark's detected patterns (correctness validation).
+  benchmark's detected patterns (correctness validation).  With
+  ``--chaos SEED`` each test is additionally re-run under seeded fault
+  injection, checking that every injected fault surfaces as a reported
+  task error.  ``verify`` is an alias.
 * ``study``     — run the simulated user study and print the paper's
   tables and figures.
 * ``quality``   — the detection-quality evaluation (precision/recall/F)
@@ -37,6 +40,15 @@ from repro.report import detection_report, overlay_listing
 
 def _load_source(path: str) -> str:
     return pathlib.Path(path).read_text()
+
+
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a probability in [0, 1], got {value}"
+        )
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -165,7 +177,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         generate_unit_tests,
         render_pytest_source,
     )
-    from repro.verify import run_parallel_test
+    from repro.verify import run_parallel_test, with_chaos
 
     bp = get_program(args.benchmark)
     program = bp.parse()
@@ -174,6 +186,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     failures = 0
     ran = 0
     all_tests = []
+    chaos_seed = getattr(args, "chaos", None)
     for func in program:
         supplied = runner(func.qualname)
         if supplied is None:
@@ -191,6 +204,14 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 print(res.summary())
                 ran += 1
                 failures += not res.passed
+                if chaos_seed is not None:
+                    failures += not _chaos_check(
+                        test,
+                        with_chaos,
+                        run_parallel_test,
+                        seed=chaos_seed,
+                        fail_rate=args.chaos_fail_rate,
+                    )
     if args.emit:
         path = pathlib.Path(args.emit)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -203,6 +224,37 @@ def cmd_validate(args: argparse.Namespace) -> int:
         + ("PARALLEL ERRORS FOUND" if failures else "VALIDATED")
     )
     return 1 if failures else 0
+
+
+def _chaos_check(test, with_chaos, run_parallel_test, seed, fail_rate) -> bool:
+    """Re-run one generated test under injected faults.
+
+    The supervision contract: every injected fault must surface as a
+    reported task error — none may vanish.  A chaos run passes iff no
+    faults fired (probabilistic injection can miss) or at least as many
+    task errors were reported as schedules hit a fault.
+    """
+    from repro.core.errors import ChaosValidationError
+    from repro.runtime import ChaosInjector
+
+    injector = ChaosInjector(seed=seed, fail_rate=fail_rate)
+    chaos_test = with_chaos(test, injector)
+    res = run_parallel_test(chaos_test)
+    injected = injector.stats()["injected_failures"]
+    ok = injected == 0 or res.task_errors > 0
+    print(
+        f"{'PASS' if ok else 'FAIL'} {chaos_test.name}: "
+        f"{injected} fault(s) injected, {res.task_errors} task error(s) "
+        f"reported over {res.schedules} schedules"
+    )
+    if not ok:
+        # keep going (report all tests) but make the contract violation
+        # loud — the caller counts this as a failure
+        err = ChaosValidationError(
+            f"{chaos_test.name}: {injected} injected fault(s) vanished"
+        )
+        print(f"  {err}", file=sys.stderr)
+    return ok
 
 
 # ---------------------------------------------------------------------------
@@ -286,13 +338,21 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(_ALGORITHMS))
     p.set_defaults(func=cmd_tune)
 
-    p = sub.add_parser("validate",
-                       help="run generated parallel unit tests")
-    p.add_argument("--benchmark", required=True)
-    p.add_argument("--prefer", default="doall",
-                   choices=["doall", "pipeline"])
-    p.add_argument("--emit", help="also write the tests as a pytest file")
-    p.set_defaults(func=cmd_validate)
+    for name, help_ in (
+        ("validate", "run generated parallel unit tests"),
+        ("verify", "alias for validate"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("--benchmark", required=True)
+        p.add_argument("--prefer", default="doall",
+                       choices=["doall", "pipeline"])
+        p.add_argument("--emit",
+                       help="also write the tests as a pytest file")
+        p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="re-run each test under seeded fault injection")
+        p.add_argument("--chaos-fail-rate", type=_rate, default=0.05,
+                       help="per-call injected failure probability in [0, 1]")
+        p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("study", help="run the simulated user study")
     p.add_argument("--seed", type=int, default=None)

@@ -4,6 +4,7 @@ from repro.core.errors import (
     PattyError,
     AnalysisError,
     AnnotationError,
+    ChaosValidationError,
     TransformationError,
     ValidationError,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "AnnotationError",
     "TransformationError",
     "ValidationError",
+    "ChaosValidationError",
     "OperationMode",
     "Phase",
     "PhaseState",

@@ -21,3 +21,12 @@ class TransformationError(PattyError):
 
 class ValidationError(PattyError):
     """Correctness validation found parallel errors."""
+
+
+class ChaosValidationError(ValidationError):
+    """A chaos run violated the supervision contract.
+
+    Raised when injected faults vanished instead of surfacing as reported
+    task errors — the runtime swallowed an exception it should have
+    propagated or accounted for.
+    """

@@ -27,7 +27,13 @@ from repro.model.semantic import LoopModel, SemanticModel
 from repro.patterns.base import PatternMatch, SourcePattern
 from repro.patterns.tuning import (
     CHUNK_SIZE,
+    ITEM_TIMEOUT,
+    ITEM_TIMEOUT_DOMAIN,
     NUM_WORKERS,
+    ON_ERROR,
+    ON_ERROR_DOMAIN,
+    RETRIES,
+    RETRIES_DOMAIN,
     SCHEDULE,
     SEQUENTIAL_EXECUTION,
     BoolParameter,
@@ -132,6 +138,29 @@ class DoallPattern(SourcePattern):
                 name=SEQUENTIAL_EXECUTION,
                 target="loop",
                 default=False,
+                location=loc,
+            ),
+            # supervision knobs for the loop body (FaultPolicy); honoured
+            # by configured_parallel_for in the generated code
+            ChoiceParameter(
+                name=RETRIES,
+                target="loop",
+                default=0,
+                choices=RETRIES_DOMAIN,
+                location=loc,
+            ),
+            ChoiceParameter(
+                name=ITEM_TIMEOUT,
+                target="loop",
+                default=0.0,
+                choices=ITEM_TIMEOUT_DOMAIN,
+                location=loc,
+            ),
+            ChoiceParameter(
+                name=ON_ERROR,
+                target="loop",
+                default="fail_fast",
+                choices=ON_ERROR_DOMAIN,
                 location=loc,
             ),
         ]

@@ -36,10 +36,18 @@ from repro.patterns.base import (
 )
 from repro.patterns.tuning import (
     BUFFER_CAPACITY,
+    ITEM_TIMEOUT,
+    ITEM_TIMEOUT_DOMAIN,
+    ON_ERROR,
+    ON_ERROR_DOMAIN,
     ORDER_PRESERVATION,
+    RETRIES,
+    RETRIES_DOMAIN,
     SEQUENTIAL_EXECUTION,
     STAGE_FUSION,
     STAGE_REPLICATION,
+    STALL_TIMEOUT,
+    STALL_TIMEOUT_DOMAIN,
     BoolParameter,
     ChoiceParameter,
     IntParameter,
@@ -420,6 +428,45 @@ class PipelinePattern(SourcePattern):
                 target="pipeline",
                 default=8,
                 choices=(1, 2, 4, 8, 16, 32, 64),
+                location=loc,
+            )
+        )
+        # supervision knobs: per-stage fault policy + the pipeline-wide
+        # stall watchdog, addressable like any performance parameter
+        for name in partition.names:
+            params.append(
+                ChoiceParameter(
+                    name=RETRIES,
+                    target=name,
+                    default=0,
+                    choices=RETRIES_DOMAIN,
+                    location=loc,
+                )
+            )
+            params.append(
+                ChoiceParameter(
+                    name=ITEM_TIMEOUT,
+                    target=name,
+                    default=0.0,
+                    choices=ITEM_TIMEOUT_DOMAIN,
+                    location=loc,
+                )
+            )
+            params.append(
+                ChoiceParameter(
+                    name=ON_ERROR,
+                    target=name,
+                    default="fail_fast",
+                    choices=ON_ERROR_DOMAIN,
+                    location=loc,
+                )
+            )
+        params.append(
+            ChoiceParameter(
+                name=STALL_TIMEOUT,
+                target="pipeline",
+                default=30.0,
+                choices=STALL_TIMEOUT_DOMAIN,
                 location=loc,
             )
         )

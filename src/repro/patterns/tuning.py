@@ -144,3 +144,19 @@ NUM_WORKERS = "NumWorkers"
 CHUNK_SIZE = "ChunkSize"
 SCHEDULE = "Schedule"
 BUFFER_CAPACITY = "BufferCapacity"
+
+# Supervision knobs (fault policies + stall watchdog).  Like the
+# performance knobs, "changing their values has implications on the
+# runtime behavior of a parallel application, but not on its correct
+# semantics" — they are serialized into the same tuning file and applied
+# by the same ``configure`` path, re-tunable without recompilation.
+RETRIES = "Retries"
+ITEM_TIMEOUT = "ItemTimeout"
+ON_ERROR = "OnError"
+STALL_TIMEOUT = "StallTimeout"
+
+#: shared domains for the supervision knobs (0 disables a timeout)
+RETRIES_DOMAIN = (0, 1, 2, 3)
+ITEM_TIMEOUT_DOMAIN = (0.0, 0.1, 0.5, 1.0, 5.0, 30.0)
+ON_ERROR_DOMAIN = ("fail_fast", "skip", "fallback")
+STALL_TIMEOUT_DOMAIN = (0.0, 1.0, 5.0, 30.0, 120.0)

@@ -164,6 +164,54 @@ def match_report(match: PatternMatch) -> str:
     return "\n".join(lines)
 
 
+def fault_report(stats: dict) -> str:
+    """The supervised runtime's error report, rendered.
+
+    Takes ``Pipeline.stats`` (or ``PipelineError.stats``) and shows the
+    conservation ledger — every element accounted for as delivered,
+    skipped, or failed — plus each recorded ``(stage, element, error)``
+    triple.  The runtime analogue of the dependence report: evidence, not
+    just a verdict.
+    """
+    lines = ["runtime fault report"]
+    generated = stats.get("generated", 0)
+    lines.append(
+        f"  elements   : {generated} in, "
+        f"{stats.get('delivered', 0)} delivered, "
+        f"{stats.get('skipped', 0)} skipped, "
+        f"{stats.get('retried', 0)} retries, "
+        f"{stats.get('fallbacks', 0)} fallbacks"
+    )
+    counters = stats.get("counters", {})
+    for stage, c in counters.items():
+        if any(c.get(k, 0) for k in ("retried", "skipped", "fallbacks", "failed")):
+            lines.append(
+                f"    {stage}: delivered {c.get('delivered', 0)}, "
+                f"retried {c.get('retried', 0)}, "
+                f"skipped {c.get('skipped', 0)}, "
+                f"failed {c.get('failed', 0)}"
+            )
+    errors = stats.get("errors", [])
+    lines.append(f"  errors     : {len(errors)}")
+    for stage, seq, err in errors[:20]:
+        lines.append(f"    {stage}[{seq}]: {err}")
+    if len(errors) > 20:
+        lines.append(f"    ... and {len(errors) - 20} more")
+    if stats.get("cancelled"):
+        lines.append(f"  cancelled  : {stats['cancelled']}")
+    stall = stats.get("stall")
+    if stall:
+        lines.append(
+            f"  stall      : stage {stall['stage']!r}, "
+            f"buffer occupancies {stall['occupancy']}"
+        )
+    if stats.get("leaked_threads"):
+        lines.append(
+            "  leaked     : " + ", ".join(stats["leaked_threads"])
+        )
+    return "\n".join(lines)
+
+
 def detection_report(
     model: SemanticModel, matches: list[PatternMatch]
 ) -> str:

@@ -15,9 +15,20 @@ these types directly:
 """
 
 from repro.runtime.buffer import BoundedBuffer, EndOfStream
+from repro.runtime.faults import (
+    BufferTimeout,
+    CancellationToken,
+    CancelledError,
+    ErrorRecord,
+    FaultPolicy,
+    ItemTimeoutError,
+    Outcome,
+    StageCounters,
+)
+from repro.runtime.chaos import ChaosError, ChaosInjector
 from repro.runtime.item import Item
 from repro.runtime.masterworker import MasterWorker
-from repro.runtime.pipeline import Pipeline, PipelineError
+from repro.runtime.pipeline import Pipeline, PipelineError, PipelineStallError
 from repro.runtime.parallel_for import (
     parallel_for,
     parallel_reduce,
@@ -33,6 +44,17 @@ __all__ = [
     "MasterWorker",
     "Pipeline",
     "PipelineError",
+    "PipelineStallError",
+    "BufferTimeout",
+    "CancellationToken",
+    "CancelledError",
+    "ErrorRecord",
+    "FaultPolicy",
+    "ItemTimeoutError",
+    "Outcome",
+    "StageCounters",
+    "ChaosError",
+    "ChaosInjector",
     "parallel_for",
     "parallel_reduce",
     "configured_parallel_for",

@@ -4,13 +4,21 @@ Stage-binding pipelines "use buffers to connect predecessor and successor
 stages" (paper, section 2.2).  The buffer is a small bounded blocking queue
 with explicit end-of-stream handling; its capacity is the
 ``BufferCapacity`` tuning parameter.
+
+Waits are supervisable: ``put``/``get`` accept an optional deadline and a
+:class:`~repro.runtime.faults.CancellationToken`, so a blocked stage can
+always be unwound — a precondition for the pipeline stall watchdog, which
+must turn a hung pipeline into a diagnosable exception, never a hang.
 """
 
 from __future__ import annotations
 
 import collections
 import threading
+import time
 from typing import Any
+
+from repro.runtime.faults import BufferTimeout, CancellationToken
 
 
 class EndOfStream:
@@ -39,13 +47,57 @@ class BoundedBuffer:
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
         self.max_occupancy = 0  # high-water mark, for diagnostics
+        self.transfers = 0  # puts + gets; the watchdog's progress signal
 
-    def put(self, item: Any) -> None:
+    def _await(
+        self,
+        cond: threading.Condition,
+        ready,
+        timeout: float | None,
+        cancel: CancellationToken | None,
+        what: str,
+    ) -> None:
+        """Wait on ``cond`` (lock held) until ``ready()``; honour deadline
+        and cancellation.  The token's notify wakes registered waiters, so
+        no polling is needed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if cancel is not None:
+            cancel.register(cond)
+        try:
+            while not ready():
+                if cancel is not None and cancel.cancelled:
+                    cancel.raise_if_cancelled()
+                if deadline is None:
+                    cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise BufferTimeout(
+                            f"buffer {what} timed out after {timeout:.3f}s "
+                            f"(occupancy {len(self._items)}/{self.capacity})"
+                        )
+                    cond.wait(remaining)
+        finally:
+            if cancel is not None:
+                cancel.unregister(cond)
+
+    def put(
+        self,
+        item: Any,
+        timeout: float | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> None:
         with self._not_full:
-            while len(self._items) >= self.capacity:
-                self._not_full.wait()
+            self._await(
+                self._not_full,
+                lambda: len(self._items) < self.capacity,
+                timeout,
+                cancel,
+                "put",
+            )
             self._items.append(item)
             self.max_occupancy = max(self.max_occupancy, len(self._items))
+            self.transfers += 1
             self._not_empty.notify()
 
     def put_front(self, item: Any) -> None:
@@ -53,13 +105,20 @@ class BoundedBuffer:
         deliberately ignores the capacity bound to avoid shutdown deadlock."""
         with self._not_empty:
             self._items.appendleft(item)
+            self.transfers += 1
             self._not_empty.notify()
 
-    def get(self) -> Any:
+    def get(
+        self,
+        timeout: float | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> Any:
         with self._not_empty:
-            while not self._items:
-                self._not_empty.wait()
+            self._await(
+                self._not_empty, lambda: bool(self._items), timeout, cancel, "get"
+            )
             item = self._items.popleft()
+            self.transfers += 1
             self._not_full.notify()
             return item
 

@@ -1,0 +1,133 @@
+"""Deterministic fault injection for the supervised runtime.
+
+Fault policies are only trustworthy if they are testable, and thread
+scheduling makes naturally-occurring faults irreproducible.  A
+:class:`ChaosInjector` wraps any stage function / loop body with a
+*seeded* injector — raise-with-probability, delay-with-probability, and
+fail-first-K — so a fault scenario replays exactly from its seed.  Each
+wrapped callable draws from its own stream (derived from the injector
+seed and the wrap name), which keeps the injected-fault *count* per
+callable deterministic even when replicated stages race on call order.
+
+Used by the robustness tests, ``benchmarks/bench_study_robustness.py``
+and the ``verify --chaos SEED`` CLI path, which runs the generated
+parallel unit tests under injected faults as well as under interleaving
+exploration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from typing import Any, Callable
+
+
+class ChaosError(RuntimeError):
+    """A deterministically injected fault (never a real stage error)."""
+
+
+class _NamedStream:
+    """Per-wrapped-callable rng + fail-first counter, lock-guarded."""
+
+    __slots__ = ("rng", "calls", "lock")
+
+    def __init__(self, seed: int, name: str) -> None:
+        import random
+
+        derived = zlib.crc32(name.encode("utf-8")) ^ (seed & 0xFFFFFFFF)
+        self.rng = random.Random(derived)
+        self.calls = 0
+        self.lock = threading.Lock()
+
+
+class ChaosInjector:
+    """Wrap callables with seeded, reproducible fault injection.
+
+    ``fail_rate`` / ``delay_rate`` are per-call probabilities;
+    ``fail_first`` fails the first K calls of each wrapped callable
+    unconditionally (the deterministic worst case for retry policies).
+    Counters (`injected_failures`, `injected_delays`, `calls`) make
+    conservation checks possible in tests.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fail_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay: float = 0.001,
+        fail_first: int = 0,
+        exception: Callable[[str], BaseException] = ChaosError,
+    ) -> None:
+        if not 0.0 <= fail_rate <= 1.0 or not 0.0 <= delay_rate <= 1.0:
+            raise ValueError("fail_rate/delay_rate must be in [0, 1]")
+        self.seed = seed
+        self.fail_rate = fail_rate
+        self.delay_rate = delay_rate
+        self.delay = delay
+        self.fail_first = fail_first
+        self.exception = exception
+        self._streams: dict[str, _NamedStream] = {}
+        self._lock = threading.Lock()
+        self.injected_failures = 0
+        self.injected_delays = 0
+        self.calls = 0
+
+    def _stream(self, name: str) -> _NamedStream:
+        with self._lock:
+            stream = self._streams.get(name)
+            if stream is None:
+                stream = self._streams[name] = _NamedStream(self.seed, name)
+            return stream
+
+    def _decide(self, name: str) -> tuple[bool, bool]:
+        """(inject_failure, inject_delay) for the next call of ``name``."""
+        stream = self._stream(name)
+        with stream.lock:
+            stream.calls += 1
+            nth = stream.calls
+            fail = nth <= self.fail_first or (
+                self.fail_rate > 0.0 and stream.rng.random() < self.fail_rate
+            )
+            delay = self.delay_rate > 0.0 and stream.rng.random() < self.delay_rate
+        with self._lock:
+            self.calls += 1
+            if fail:
+                self.injected_failures += 1
+            if delay:
+                self.injected_delays += 1
+        return fail, delay
+
+    def wrap(self, fn: Callable[..., Any], name: str | None = None) -> Callable[..., Any]:
+        """Return ``fn`` with fault injection at every call."""
+        label = name or getattr(fn, "__name__", "callable")
+
+        def chaotic(*args: Any, **kwargs: Any) -> Any:
+            fail, delay = self._decide(label)
+            if delay and self.delay > 0:
+                time.sleep(self.delay)
+            if fail:
+                raise self.exception(f"chaos[{self.seed}] fault in {label!r}")
+            return fn(*args, **kwargs)
+
+        chaotic.__name__ = f"chaos_{label}"
+        return chaotic
+
+    def wrap_item(self, item: Any) -> None:
+        """Inject into a runtime :class:`~repro.runtime.item.Item` (or a
+        MasterWorker group's members) in place, preserving tuning state."""
+        members = getattr(item, "items", None)
+        if members is not None:  # a MasterWorker group
+            for member in members:
+                self.wrap_item(member)
+            return
+        item.fn = self.wrap(item.fn, name=item.name)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "calls": self.calls,
+                "injected_failures": self.injected_failures,
+                "injected_delays": self.injected_delays,
+            }

@@ -11,25 +11,40 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from repro.runtime.faults import CancellationToken, CancelledError
+
 
 class AutoFuture:
     """Start ``fn(*args, **kwargs)`` immediately on a helper thread; the
-    value is joined on first access."""
+    value is joined on first access.
 
-    def __init__(self, fn: Callable, *args: Any, **kwargs: Any) -> None:
+    An optional ``cancel`` token (keyword-only) makes the future
+    supervisable: a token that fires before the body starts turns the
+    result into a :class:`~repro.runtime.faults.CancelledError`.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *args: Any,
+        cancel: CancellationToken | None = None,
+        **kwargs: Any,
+    ) -> None:
         self._value: Any = None
         self._error: BaseException | None = None
         self._done = threading.Event()
 
         def run() -> None:
             try:
+                if cancel is not None and cancel.cancelled:
+                    raise CancelledError(cancel.reason or "cancelled")
                 self._value = fn(*args, **kwargs)
             except BaseException as exc:
                 self._error = exc
             finally:
                 self._done.set()
 
-        self._thread = threading.Thread(target=run, name="autofuture")
+        self._thread = threading.Thread(target=run, name="autofuture", daemon=True)
         self._thread.start()
 
     def result(self, timeout: float | None = None) -> Any:

@@ -32,6 +32,9 @@ class Item:
         self.replicable = replicable
         self._replication = replication
         self.order_preservation = order_preservation
+        #: per-stage fault handling (None = fail-fast, no retries); set by
+        #: ``Pipeline.configure`` from Retries/ItemTimeout/OnError keys
+        self.fault_policy = None
 
     @property
     def replication(self) -> int:

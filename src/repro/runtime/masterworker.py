@@ -6,6 +6,10 @@ Two usages, matching the paper:
   joins the results (:meth:`MasterWorker.run`, :meth:`map`);
 * as a pipeline element (Fig. 3d: ``Pipeline(mw, p4, p5)``) — for each
   stream element every member item is applied and the results merged.
+
+Workers are supervised: once any sibling records an error — or a shared
+:class:`~repro.runtime.faults.CancellationToken` fires — the pool stops
+claiming new tasks instead of running the full remaining input.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.runtime.faults import CancellationToken, CancelledError
 from repro.runtime.item import Item
 
 
@@ -34,6 +39,10 @@ class MasterWorker:
         self.replicable = all(i.replicable for i in self.items) if items else False
         self.replication = 1
         self.order_preservation = True
+        #: group-level fault policy (the enclosing pipeline applies it)
+        self.fault_policy = None
+        #: cancellation shared with an enclosing pipeline run, if any
+        self.cancel: CancellationToken | None = None
 
     def item(self, index_or_name: int | str) -> Item:
         """Address a member item (the paper's ``mw.Item(p3)``)."""
@@ -47,8 +56,17 @@ class MasterWorker:
     # ------------------------------------------------------------------
     # standalone usage
     # ------------------------------------------------------------------
-    def run(self, tasks: Iterable[Callable[[], Any]]) -> list[Any]:
-        """Execute independent thunks; results in task order."""
+    def run(
+        self,
+        tasks: Iterable[Callable[[], Any]],
+        cancel: CancellationToken | None = None,
+    ) -> list[Any]:
+        """Execute independent thunks; results in task order.
+
+        A sibling failure (or a fired token) stops the pool from claiming
+        further tasks; the first error is re-raised after the join.
+        """
+        cancel = cancel or self.cancel
         tasks = list(tasks)
         results: list[Any] = [None] * len(tasks)
         errors: list[BaseException] = []
@@ -57,6 +75,8 @@ class MasterWorker:
 
         def worker() -> None:
             while True:
+                if errors or (cancel is not None and cancel.cancelled):
+                    return
                 with lock:
                     i = next_task[0]
                     if i >= len(tasks):
@@ -70,7 +90,9 @@ class MasterWorker:
                     return
 
         threads = [
-            threading.Thread(target=worker, name=f"{self.name}-w{k}")
+            threading.Thread(
+                target=worker, name=f"{self.name}-w{k}", daemon=True
+            )
             for k in range(min(self.workers, len(tasks)) or 1)
         ]
         for t in threads:
@@ -79,6 +101,8 @@ class MasterWorker:
             t.join()
         if errors:
             raise errors[0]
+        if cancel is not None and cancel.cancelled:
+            raise CancelledError(cancel.reason or "cancelled")
         return results
 
     def map(self, fn: Callable[[Any], Any], values: Iterable[Any]) -> list[Any]:

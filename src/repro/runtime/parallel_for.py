@@ -6,6 +6,14 @@ honouring the DOALL tuning parameters (``NumWorkers``, ``ChunkSize``,
 order — the "ordered collector" transformation for ``out.append(...)``
 loops — and ``parallel_reduce`` implements the reduction idiom with an
 associative combiner.
+
+Workers are supervised: once any worker records an error — or a shared
+:class:`~repro.runtime.faults.CancellationToken` fires — the pool stops
+claiming new chunks instead of running the full remaining input.  A
+:class:`~repro.runtime.faults.FaultPolicy` can wrap the loop body
+(``Retries@loop`` / ``ItemTimeout@loop`` / ``OnError@loop`` in a tuning
+file); ``skip`` and ``fallback`` substitute the policy's fallback value
+for poison elements so the result list keeps its length and order.
 """
 
 from __future__ import annotations
@@ -13,9 +21,26 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterable
 
+from repro.runtime.faults import CancellationToken, CancelledError, FaultPolicy
+
 
 def _chunks(n: int, chunk_size: int) -> list[tuple[int, int]]:
     return [(i, min(i + chunk_size, n)) for i in range(0, n, chunk_size)]
+
+
+def _stopped(
+    errors: list[BaseException], cancel: CancellationToken | None
+) -> bool:
+    return bool(errors) or (cancel is not None and cancel.cancelled)
+
+
+def _finish(
+    errors: list[BaseException], cancel: CancellationToken | None
+) -> None:
+    if errors:
+        raise errors[0]
+    if cancel is not None and cancel.cancelled:
+        raise CancelledError(cancel.reason or "cancelled")
 
 
 def parallel_for(
@@ -26,6 +51,8 @@ def parallel_for(
     schedule: str = "dynamic",
     sequential: bool = False,
     sequential_threshold: int = 0,
+    cancel: CancellationToken | None = None,
+    policy: FaultPolicy | None = None,
 ) -> list[Any]:
     """Apply ``body`` to every value; return results in input order.
 
@@ -35,6 +62,17 @@ def parallel_for(
     shorter than ``sequential_threshold`` falls back to a plain loop so the
     transformed program is never slower than the original.
     """
+    if policy is not None:
+        raw = body
+
+        def body(v: Any, _raw: Callable[[Any], Any] = raw) -> Any:
+            outcome = policy.execute(_raw, v, cancel=cancel)
+            if outcome.action == "failed":
+                raise outcome.error
+            # skip in a map context degrades to fallback: the result list
+            # keeps its length and order
+            return outcome.value
+
     vals = list(values)
     n = len(vals)
     if sequential or n <= sequential_threshold or workers <= 1 or n == 0:
@@ -53,13 +91,17 @@ def parallel_for(
         def static_worker(mine: list[tuple[int, int]]) -> None:
             try:
                 for lo, hi in mine:
+                    if _stopped(errors, cancel):
+                        return
                     for i in range(lo, hi):
                         results[i] = body(vals[i])
             except BaseException as exc:
                 errors.append(exc)
 
         threads = [
-            threading.Thread(target=static_worker, args=(assignments[k],))
+            threading.Thread(
+                target=static_worker, args=(assignments[k],), daemon=True
+            )
             for k in range(nworkers)
         ]
     elif schedule == "dynamic":
@@ -69,6 +111,8 @@ def parallel_for(
         def dynamic_worker() -> None:
             try:
                 while True:
+                    if _stopped(errors, cancel):
+                        return
                     with lock:
                         k = next_chunk[0]
                         if k >= len(chunks):
@@ -81,7 +125,8 @@ def parallel_for(
                 errors.append(exc)
 
         threads = [
-            threading.Thread(target=dynamic_worker) for _ in range(nworkers)
+            threading.Thread(target=dynamic_worker, daemon=True)
+            for _ in range(nworkers)
         ]
     else:
         raise ValueError(f"unknown schedule {schedule!r}")
@@ -90,8 +135,7 @@ def parallel_for(
         t.start()
     for t in threads:
         t.join()
-    if errors:
-        raise errors[0]
+    _finish(errors, cancel)
     return results
 
 
@@ -103,12 +147,15 @@ def parallel_reduce(
     workers: int = 4,
     chunk_size: int = 16,
     sequential: bool = False,
+    cancel: CancellationToken | None = None,
 ) -> Any:
     """Map ``body`` over values and fold with the associative ``op``.
 
-    Each worker folds its chunks locally; partial results are combined in
-    chunk order, so even a merely-associative (non-commutative) ``op`` is
-    safe.
+    Each worker folds its chunk from the chunk's first element — ``init``
+    enters the fold exactly once, when the partials are combined — so a
+    non-neutral ``init`` (e.g. ``10`` for a sum) is counted once, as in
+    the sequential loop.  Partials are combined in chunk order, so even a
+    merely-associative (non-commutative) ``op`` is safe.
     """
     vals = list(values)
     n = len(vals)
@@ -119,7 +166,7 @@ def parallel_reduce(
         return acc
 
     chunks = _chunks(n, max(1, chunk_size))
-    partials: list[Any] = [init] * len(chunks)
+    partials: list[Any] = [None] * len(chunks)
     errors: list[BaseException] = []
     lock = threading.Lock()
     next_chunk = [0]
@@ -127,29 +174,30 @@ def parallel_reduce(
     def worker() -> None:
         try:
             while True:
+                if _stopped(errors, cancel):
+                    return
                 with lock:
                     k = next_chunk[0]
                     if k >= len(chunks):
                         return
                     next_chunk[0] += 1
                 lo, hi = chunks[k]
-                acc = init
-                for i in range(lo, hi):
+                acc = body(vals[lo])
+                for i in range(lo + 1, hi):
                     acc = op(acc, body(vals[i]))
                 partials[k] = acc
         except BaseException as exc:
             errors.append(exc)
 
     threads = [
-        threading.Thread(target=worker)
+        threading.Thread(target=worker, daemon=True)
         for _ in range(min(workers, len(chunks)))
     ]
     for t in threads:
         t.start()
     for t in threads:
         t.join()
-    if errors:
-        raise errors[0]
+    _finish(errors, cancel)
 
     acc = init
     for p in partials:
@@ -161,8 +209,24 @@ def configured_parallel_for(
     values: Iterable[Any],
     body: Callable[[Any], Any],
     config: dict[str, Any],
+    cancel: CancellationToken | None = None,
 ) -> list[Any]:
-    """``parallel_for`` driven by a tuning configuration mapping."""
+    """``parallel_for`` driven by a tuning configuration mapping.
+
+    Fault-policy keys (``Retries@loop``, ``ItemTimeout@loop``,
+    ``OnError@loop``) are honoured alongside the performance knobs, so
+    generated DOALL code is supervisable without recompilation.
+    """
+    policy = None
+    retries = int(config.get("Retries@loop", 0))
+    item_timeout = float(config.get("ItemTimeout@loop", 0.0) or 0.0)
+    on_error = str(config.get("OnError@loop", "fail_fast"))
+    if retries or item_timeout or on_error != "fail_fast":
+        policy = FaultPolicy(
+            retries=retries,
+            item_timeout=item_timeout or None,
+            on_error="fallback" if on_error == "skip" else on_error,
+        )
     return parallel_for(
         values,
         body,
@@ -170,4 +234,6 @@ def configured_parallel_for(
         chunk_size=int(config.get("ChunkSize@loop", 1)),
         schedule=str(config.get("Schedule@loop", "dynamic")),
         sequential=bool(config.get("SequentialExecution@loop", False)),
+        cancel=cancel,
+        policy=policy,
     )

@@ -13,31 +13,112 @@ parameter honoured at run time:
   thread ("never leads to a slowdown" on short streams);
 * ``BufferCapacity@pipeline`` — inter-stage buffer bound.
 
+Supervision knobs ride along as tuning parameters, re-tunable without
+recompilation exactly like the performance knobs:
+
+* ``Retries@<stage>`` / ``ItemTimeout@<stage>`` / ``OnError@<stage>`` —
+  the stage's :class:`~repro.runtime.faults.FaultPolicy`;
+* ``StallTimeout@pipeline`` — the no-progress watchdog deadline: if no
+  element crosses any buffer for this long, the run is cancelled and a
+  :class:`PipelineStallError` names the stuck stage and the buffer
+  occupancies.  A hung pipeline becomes a diagnosable exception, never a
+  hang.
+
 Threads are bound to stages (the paper's design choice), elements flow
-through bounded buffers carrying ``(sequence, value)`` pairs.
+through bounded buffers carrying ``(sequence, value)`` pairs.  Every
+stage failure is recorded as an :class:`~repro.runtime.faults.ErrorRecord`
+and aggregated into :class:`PipelineError` / ``Pipeline.stats`` — the
+first error no longer erases the rest.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Iterable
 
 from repro.runtime.buffer import BoundedBuffer, EndOfStream
+from repro.runtime.faults import (
+    CancellationToken,
+    CancelledError,
+    ErrorRecord,
+    FaultPolicy,
+    StageCounters,
+)
 from repro.runtime.item import Item
 from repro.runtime.masterworker import MasterWorker
 
 Element = Item | MasterWorker
 
+#: the implicit producer stage's name in diagnostics
+STREAM_GENERATOR = "<stream-generator>"
+
+_DEFAULT_POLICY = FaultPolicy()
+
+#: fault-policy keys tolerated for sibling-pattern targets in shared files
+_LOOP_TARGETS = ("loop", "workers")
+
 
 class PipelineError(RuntimeError):
-    """A stage raised; re-raised in the caller with the stage name."""
+    """One or more stages failed; carries the full error report.
+
+    ``records`` holds every ``(stage, element_seq, exception)`` triple the
+    run accumulated (not just the first), ``stats`` the run's delivery and
+    retry/skip accounting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        records: list[ErrorRecord] | None = None,
+        stats: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.records: list[ErrorRecord] = list(records or [])
+        self.stats: dict[str, Any] = dict(stats or {})
+
+
+class PipelineStallError(PipelineError):
+    """The watchdog saw no progress for ``stall_timeout`` seconds.
+
+    Names the stuck stage and the buffer occupancies at detection time,
+    the two facts needed to diagnose a wedged run.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        occupancy: list[int],
+        stall_timeout: float,
+        records: list[ErrorRecord] | None = None,
+        stats: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(
+            f"pipeline stalled at stage {stage!r}: no element crossed any "
+            f"buffer for {stall_timeout:.3f}s (buffer occupancies "
+            f"{occupancy})",
+            records=records,
+            stats=stats,
+        )
+        self.stage = stage
+        self.occupancy = occupancy
 
 
 class _Reorderer:
-    """Releases (seq, value) pairs to the output buffer in sequence order."""
+    """Releases (seq, value) pairs to the output buffer in sequence order.
 
-    def __init__(self, out: BoundedBuffer) -> None:
+    Skipped sequence numbers (poison elements under ``OnError=skip``) must
+    be announced via :meth:`skip`, or the reorderer would wait for them
+    forever.
+    """
+
+    _SKIPPED = object()
+
+    def __init__(
+        self, out: BoundedBuffer, cancel: CancellationToken | None = None
+    ) -> None:
         self.out = out
+        self.cancel = cancel
         self.expected = 0
         self.pending: dict[int, Any] = {}
         self.lock = threading.Lock()
@@ -46,13 +127,20 @@ class _Reorderer:
         with self.lock:
             self.pending[seq] = value
             while self.expected in self.pending:
-                self.out.put((self.expected, self.pending.pop(self.expected)))
+                value = self.pending.pop(self.expected)
+                if value is not self._SKIPPED:
+                    self.out.put((self.expected, value), cancel=self.cancel)
                 self.expected += 1
+
+    def skip(self, seq: int) -> None:
+        self.put(seq, self._SKIPPED)
 
     def flush(self) -> None:
         with self.lock:
             for seq in sorted(self.pending):
-                self.out.put((seq, self.pending.pop(seq)))
+                value = self.pending.pop(seq)
+                if value is not self._SKIPPED:
+                    self.out.put((seq, value), cancel=self.cancel)
 
 
 class Pipeline:
@@ -72,6 +160,7 @@ class Pipeline:
         buffer_capacity: int = 8,
         sequential: bool = False,
         sequential_threshold: int = 0,
+        stall_timeout: float | None = 30.0,
         name: str = "pipeline",
     ) -> None:
         if not elements:
@@ -80,6 +169,7 @@ class Pipeline:
         self.buffer_capacity = buffer_capacity
         self.sequential = sequential
         self.sequential_threshold = sequential_threshold
+        self.stall_timeout = stall_timeout
         self.name = name
         self.input: Iterable[Any] | None = None
         self.output: list[Any] = []
@@ -109,6 +199,19 @@ class Pipeline:
                     if member.name == name:
                         return member, el
         raise KeyError(name)
+
+    def _policy_for(self, target: str) -> FaultPolicy | None:
+        """The (created-on-demand) fault policy of a stage, or None when
+        the target belongs to a sibling pattern in a shared tuning file."""
+        try:
+            el, _ = self._resolve(target)
+        except KeyError:
+            if target in _LOOP_TARGETS:
+                return None
+            raise
+        if el.fault_policy is None:
+            el.fault_policy = FaultPolicy()
+        return el.fault_policy
 
     def configure(self, config: dict[str, Any]) -> None:
         """Apply a tuning configuration ({'StageReplication@B': 2, ...}).
@@ -150,10 +253,31 @@ class Pipeline:
                 self.sequential = bool(value)
             elif pname == "BufferCapacity":
                 self.buffer_capacity = int(value)
+            elif pname == "StallTimeout":
+                self.stall_timeout = float(value) or None
+            elif pname == "Retries":
+                policy = self._policy_for(target)
+                if policy is not None:
+                    policy.retries = int(value)
+            elif pname == "ItemTimeout":
+                policy = self._policy_for(target)
+                if policy is not None:
+                    policy.item_timeout = float(value) or None
+            elif pname == "OnError":
+                policy = self._policy_for(target)
+                if policy is not None:
+                    if value not in ("fail_fast", "skip", "fallback"):
+                        raise ValueError(f"invalid OnError value {value!r}")
+                    policy.on_error = str(value)
             elif pname in ("NumWorkers", "ChunkSize", "Schedule"):
                 continue  # parameters of sibling patterns; tolerated in shared files
             else:
                 raise KeyError(f"unknown tuning parameter {pname!r}")
+
+    def inject(self, injector: Any) -> None:
+        """Wrap every stage with a chaos injector (fault-injection runs)."""
+        for el in self.elements:
+            injector.wrap_item(el)
 
     def _effective_elements(self) -> list[Element]:
         """Apply StageFusion pairs to the element list."""
@@ -183,7 +307,7 @@ class Pipeline:
 
         elements = self._effective_elements()
         if self.sequential or len(values) <= self.sequential_threshold:
-            self.output = self._run_sequential(values, elements)
+            self.output = list(self._run_sequential(iter(values), elements))
             return self.output
         self.output = list(self._stream_threaded(iter(values), elements))
         return self.output
@@ -203,24 +327,89 @@ class Pipeline:
             raise ValueError("pipeline has no input stream")
         elements = self._effective_elements()
         if self.sequential:
-            def seq_gen():
-                for v in self.input:  # type: ignore[union-attr]
-                    for el in elements:
-                        v = el.apply(v)
-                    yield v
-
-            return seq_gen()
+            return self._run_sequential(iter(self.input), elements)
         return self._stream_threaded(iter(self.input), elements)
 
-    def _run_sequential(
-        self, values: list[Any], elements: list[Element]
-    ) -> list[Any]:
-        out = []
-        for v in values:
+    def _run_sequential(self, values, elements: list[Element]):
+        """One-thread execution with the same fault-policy contract as the
+        threaded path (a policy must not change meaning under
+        ``SequentialExecution``)."""
+        counters = {el.name: StageCounters() for el in elements}
+        records: list[ErrorRecord] = []
+        generated = 0
+        delivered = 0
+        for seq, v in enumerate(values):
+            generated += 1
+            dropped = False
             for el in elements:
-                v = el.apply(v)
-            out.append(v)
-        return out
+                policy = el.fault_policy or _DEFAULT_POLICY
+                outcome = policy.execute(el.apply, v)
+                counters[el.name].account(outcome)
+                if outcome.error is not None:
+                    records.append(
+                        ErrorRecord(el.name, seq, outcome.error, outcome.attempts)
+                    )
+                if outcome.action == "failed":
+                    self._set_stats(
+                        elements, None, counters, records, generated,
+                        delivered, None, None, [],
+                    )
+                    raise PipelineError(
+                        self._error_message(records),
+                        records=records,
+                        stats=self.stats,
+                    )
+                if outcome.action == "skipped":
+                    dropped = True
+                    break
+                v = outcome.value
+            if not dropped:
+                delivered += 1
+                yield v
+        self._set_stats(
+            elements, None, counters, records, generated, delivered,
+            None, None, [],
+        )
+
+    # ------------------------------------------------------------------
+    # threaded execution
+    # ------------------------------------------------------------------
+    def _set_stats(
+        self,
+        elements: list[Element],
+        buffers: list[BoundedBuffer] | None,
+        counters: dict[str, StageCounters],
+        records: list[ErrorRecord],
+        generated: int,
+        delivered: int,
+        cancelled: str | None,
+        stall: tuple[str, list[int]] | None,
+        leaked: list[str],
+    ) -> None:
+        self.stats = {
+            "stages": [el.name for el in elements],
+            "buffer_high_water": (
+                [b.max_occupancy for b in buffers] if buffers else []
+            ),
+            "counters": {name: c.as_dict() for name, c in counters.items()},
+            "errors": [(r.stage, r.seq, repr(r.error)) for r in records],
+            "generated": generated,
+            "delivered": delivered,
+            "skipped": sum(c.skipped for c in counters.values()),
+            "retried": sum(c.retried for c in counters.values()),
+            "fallbacks": sum(c.fallbacks for c in counters.values()),
+            "cancelled": cancelled,
+            "stall": (
+                {"stage": stall[0], "occupancy": stall[1]} if stall else None
+            ),
+            "leaked_threads": leaked,
+        }
+
+    @staticmethod
+    def _error_message(records: list[ErrorRecord]) -> str:
+        first = records[0]
+        more = f" (+{len(records) - 1} more error(s))" if len(records) > 1 else ""
+        return f"stage {first.stage!r} failed: {first.error!r}{more}"
 
     def _stream_threaded(self, values, elements: list[Element]):
         eos = EndOfStream()
@@ -228,12 +417,25 @@ class Pipeline:
         buffers = [
             BoundedBuffer(self.buffer_capacity) for _ in range(n + 1)
         ]
-        errors: list[tuple[str, BaseException]] = []
-        err_lock = threading.Lock()
+        token = CancellationToken()
+        records: list[ErrorRecord] = []
+        rec_lock = threading.Lock()
+        counters = {el.name: StageCounters() for el in elements}
+        in_flight: dict[str, set[int]] = {el.name: set() for el in elements}
+        fl_lock = threading.Lock()
+        generated = [0]
+        failed = [False]  # a fail_fast failure triggered the cancellation
+        stall: list[tuple[str, list[int]] | None] = [None]
+        done = threading.Event()
 
-        def fail(stage: str, exc: BaseException) -> None:
-            with err_lock:
-                errors.append((stage, exc))
+        # nested master/worker groups must stop claiming tasks on cancel
+        for el in elements:
+            if isinstance(el, MasterWorker):
+                el.cancel = token
+
+        def record(stage: str, seq: int, exc: BaseException, attempts: int = 1) -> None:
+            with rec_lock:
+                records.append(ErrorRecord(stage, seq, exc, attempts))
 
         threads: list[threading.Thread] = []
 
@@ -242,22 +444,31 @@ class Pipeline:
         def generator() -> None:
             try:
                 for seq, v in enumerate(values):
-                    if errors:
-                        break
-                    buffers[0].put((seq, v))
+                    buffers[0].put((seq, v), cancel=token)
+                    generated[0] += 1
+            except CancelledError:
+                return
             except BaseException as exc:
-                fail("<stream-generator>", exc)
-            buffers[0].put(eos)
+                record(STREAM_GENERATOR, generated[0], exc)
+                failed[0] = True
+                token.cancel(f"stage {STREAM_GENERATOR} failed: {exc!r}")
+                return
+            try:
+                buffers[0].put(eos, cancel=token)
+            except CancelledError:
+                pass
 
         threads.append(
-            threading.Thread(target=generator, name=f"{self.name}-gen")
+            threading.Thread(
+                target=generator, name=f"{self.name}-gen", daemon=True
+            )
         )
 
         for i, el in enumerate(elements):
             replication = getattr(el, "replication", 1)
             inbuf, outbuf = buffers[i], buffers[i + 1]
             ordered = replication > 1 and getattr(el, "order_preservation", True)
-            reorder = _Reorderer(outbuf) if ordered else None
+            reorder = _Reorderer(outbuf, cancel=token) if ordered else None
             remaining = [replication]
             stage_lock = threading.Lock()
 
@@ -269,71 +480,158 @@ class Pipeline:
                 remaining: list[int] = remaining,
                 stage_lock: threading.Lock = stage_lock,
             ) -> None:
-                while True:
-                    item = inbuf.get()
-                    if isinstance(item, EndOfStream):
-                        with stage_lock:
-                            remaining[0] -= 1
-                            last = remaining[0] == 0
-                        if not last:
-                            inbuf.put(item)  # hand the sentinel to a sibling
-                        else:
+                policy = el.fault_policy or _DEFAULT_POLICY
+                stage_counters = counters[el.name]
+                flights = in_flight[el.name]
+                try:
+                    while True:
+                        item = inbuf.get(cancel=token)
+                        if isinstance(item, EndOfStream):
+                            with stage_lock:
+                                remaining[0] -= 1
+                                last = remaining[0] == 0
+                            if not last:
+                                inbuf.put(item, cancel=token)  # hand to sibling
+                            else:
+                                if reorder is not None:
+                                    reorder.flush()
+                                outbuf.put(item, cancel=token)
+                            return
+                        seq, value = item
+                        with fl_lock:
+                            flights.add(seq)
+                        try:
+                            outcome = policy.execute(el.apply, value, cancel=token)
+                        finally:
+                            with fl_lock:
+                                flights.discard(seq)
+                        stage_counters.account(outcome)
+                        if outcome.error is not None:
+                            record(el.name, seq, outcome.error, outcome.attempts)
+                        if outcome.action == "failed":
+                            failed[0] = True
+                            token.cancel(
+                                f"stage {el.name!r} failed: {outcome.error!r}"
+                            )
+                            return
+                        if outcome.action == "skipped":
                             if reorder is not None:
-                                reorder.flush()
-                            outbuf.put(item)
-                        return
-                    seq, value = item
-                    if errors:
-                        continue  # drain mode: keep buffers moving upstream
-                    try:
-                        result = el.apply(value)
-                    except BaseException as exc:
-                        fail(el.name, exc)
-                        continue  # switch to drain mode until the sentinel
-                    if reorder is not None:
-                        reorder.put(seq, result)
-                    else:
-                        outbuf.put((seq, result))
+                                reorder.skip(seq)
+                            continue
+                        if reorder is not None:
+                            reorder.put(seq, outcome.value)
+                        else:
+                            outbuf.put((seq, outcome.value), cancel=token)
+                except CancelledError:
+                    return
 
             for r in range(replication):
                 threads.append(
                     threading.Thread(
-                        target=stage_worker, name=f"{self.name}-{el.name}-{r}"
+                        target=stage_worker,
+                        name=f"{self.name}-{el.name}-{r}",
+                        daemon=True,
                     )
                 )
 
+        # the no-progress watchdog: if no element crosses any buffer for
+        # stall_timeout seconds while work remains, cancel the run and
+        # diagnose the stuck stage
+        watchdog_thread: threading.Thread | None = None
+        if self.stall_timeout:
+            stall_timeout = float(self.stall_timeout)
+            poll = max(0.01, stall_timeout / 4.0)
+
+            def diagnose() -> tuple[str, list[int]]:
+                occupancy = [len(b) for b in buffers]
+                with fl_lock:
+                    busy = sorted(
+                        name for name, seqs in in_flight.items() if seqs
+                    )
+                if busy:
+                    return busy[0], occupancy
+                # no element mid-apply: the fullest input buffer feeds the
+                # stage that is not draining it
+                if any(occupancy):
+                    i = max(range(len(elements)), key=lambda k: occupancy[k])
+                    return elements[i].name, occupancy
+                return STREAM_GENERATOR, occupancy
+
+            def watchdog() -> None:
+                last = -1
+                last_change = time.monotonic()
+                while not done.wait(poll):
+                    current = sum(b.transfers for b in buffers)
+                    now = time.monotonic()
+                    if current != last:
+                        last, last_change = current, now
+                        continue
+                    if now - last_change >= stall_timeout:
+                        stage, occupancy = diagnose()
+                        stall[0] = (stage, occupancy)
+                        token.cancel(
+                            f"pipeline stalled at stage {stage!r}"
+                        )
+                        return
+
+            watchdog_thread = threading.Thread(
+                target=watchdog, name=f"{self.name}-watchdog", daemon=True
+            )
+
         for t in threads:
             t.start()
+        if watchdog_thread is not None:
+            watchdog_thread.start()
 
         # the caller consumes the final buffer; values are yielded as they
         # arrive (seq order when every replicated stage preserves order,
         # arrival order otherwise — the OrderPreservation=False contract)
         final = buffers[-1]
-        finished = False
+        delivered = 0
+        loop_ended = False
         try:
             while True:
-                item = final.get()
-                if isinstance(item, EndOfStream):
-                    finished = True
+                try:
+                    item = final.get(cancel=token)
+                except CancelledError:
                     break
-                if not errors:
-                    yield item[1]
+                if isinstance(item, EndOfStream):
+                    break
+                delivered += 1
+                yield item[1]
+            loop_ended = True
         finally:
-            if not finished:
-                # the consumer abandoned the stream: switch the pipeline
-                # into drain mode and swallow the remainder so every
-                # blocked stage can unwind before we join
-                fail("<consumer>", GeneratorExit("stream abandoned"))
-                while not isinstance(final.get(), EndOfStream):
-                    pass
+            done.set()
+            if not loop_ended and not token.cancelled:
+                # the consumer abandoned the stream: cancel so every
+                # blocked stage unwinds before we join
+                token.cancel("stream abandoned")
+            # a cancelled run may hold a thread wedged inside user code —
+            # join with a bound and report the leak instead of hanging
+            join_timeout = 0.25 if token.cancelled else None
             for t in threads:
-                t.join()
-            self.stats = {
-                "buffer_high_water": [b.max_occupancy for b in buffers],
-                "stages": [el.name for el in elements],
-            }
-            if finished and errors:
-                stage, exc = errors[0]
-                raise PipelineError(
-                    f"stage {stage!r} failed: {exc!r}"
-                ) from exc
+                t.join(join_timeout)
+            if watchdog_thread is not None:
+                watchdog_thread.join(1.0)
+            leaked = [t.name for t in threads if t.is_alive()]
+            self._set_stats(
+                elements, buffers, counters, records, generated[0],
+                delivered, token.reason if token.cancelled else None,
+                stall[0], leaked,
+            )
+            if loop_ended:
+                if stall[0] is not None:
+                    stage, occupancy = stall[0]
+                    raise PipelineStallError(
+                        stage,
+                        occupancy,
+                        float(self.stall_timeout or 0.0),
+                        records=records,
+                        stats=self.stats,
+                    )
+                if failed[0]:
+                    raise PipelineError(
+                        self._error_message(records),
+                        records=records,
+                        stats=self.stats,
+                    )

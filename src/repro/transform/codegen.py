@@ -5,7 +5,14 @@ that instantiates the runtime library — the Python analogue of the paper's
 Fig. 3d.  The generated function keeps the original signature plus a
 trailing ``__tuning__=None`` parameter taking a tuning-configuration
 mapping, so "whenever the parallel application is executed, it initializes
-the parallel patterns with the specified values".
+the parallel patterns with the specified values".  The fault-policy keys
+(``Retries@…``, ``ItemTimeout@…``, ``OnError@…``, ``StallTimeout@…``)
+travel the same path, so generated code is supervisable without
+recompilation.  A second trailing parameter, ``__chaos__=None``, accepts a
+:class:`~repro.runtime.chaos.ChaosInjector`: passing one wraps the
+generated stages / loop body with seeded fault injection, which is how the
+correctness-validation phase exercises the fault policies
+deterministically.
 
 Pipelines: each stage becomes a closure over the caller's scope operating
 on a per-element environment dict (the PLDS data stream); parallel levels
@@ -73,7 +80,7 @@ def _loop_header(loop_stmt: IRStatement) -> tuple[str, list[str], str]:
 
 
 def _signature(func: IRFunction) -> str:
-    return ", ".join(func.params + ["__tuning__=None"])
+    return ", ".join(func.params + ["__tuning__=None", "__chaos__=None"])
 
 
 def _final_value_names(
@@ -267,6 +274,8 @@ def generate_pipeline_source(func: IRFunction, match: PatternMatch) -> str:
     )
     lines.append(f"{ind}if __tuning__:")
     lines.append(f"{ind}    __pipe.configure(__tuning__)")
+    lines.append(f"{ind}if __chaos__:")
+    lines.append(f"{ind}    __pipe.inject(__chaos__)")
     env_literal = "{" + ", ".join(f"{n!r}: {n}" for n in target_names) + "}"
     lines.append(
         f"{ind}__out = __pipe.run("
@@ -377,6 +386,8 @@ def generate_doall_source(func: IRFunction, match: PatternMatch) -> str:
     else:
         lines.append(f"{inner}return ({', '.join(ret_items)})")
 
+    lines.append(f"{ind}if __chaos__:")
+    lines.append(f"{ind}    __body = __chaos__.wrap(__body, name='loop')")
     lines.append(
         f"{ind}__results = configured_parallel_for("
         f"{iter_text}, __body, dict(__tuning__ or {{}}))"
@@ -450,6 +461,10 @@ def generate_masterworker_source(func: IRFunction, match: PatternMatch) -> str:
         f"{ind}__seq = bool((__tuning__ or {{}}).get("
         f"'SequentialExecution@workers', False))"
     )
+    lines.append(
+        f"{ind}__wrap = __chaos__.wrap if __chaos__ else "
+        f"(lambda __f, name=None: __f)"
+    )
     for st in before:
         lines.extend(_unparse(st, ind))
     lines.append(f"{ind}for {target_text} in {iter_text}:")
@@ -472,7 +487,9 @@ def generate_masterworker_source(func: IRFunction, match: PatternMatch) -> str:
             else:
                 expr = ast.unparse(node.value)  # bare call
                 var = None
-            lines.append(f"{inner}    {fid} = spawn(lambda: {expr})")
+            lines.append(
+                f"{inner}    {fid} = spawn(__wrap(lambda: {expr}, {fid!r}))"
+            )
             spawned.append((fid, var))
             # joins happen after the last group member
             if st.sid == group[-1]:

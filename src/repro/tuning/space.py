@@ -11,6 +11,73 @@ from repro.patterns.tuning import TuningParameter
 Config = dict[str, Any]
 
 
+def fault_dimensions(
+    stage_names: list[str], stall_timeout: bool = True
+) -> list[TuningParameter]:
+    """The supervision knobs as search-space dimensions.
+
+    One ``Retries`` / ``ItemTimeout`` / ``OnError`` triple per stage plus
+    the pipeline-wide ``StallTimeout`` — the same keys
+    ``Pipeline.configure`` honours, so a tuner can trade robustness
+    against throughput (retries cost time; skip costs elements).
+    """
+    from repro.patterns.tuning import (
+        ITEM_TIMEOUT,
+        ITEM_TIMEOUT_DOMAIN,
+        ON_ERROR,
+        ON_ERROR_DOMAIN,
+        RETRIES,
+        RETRIES_DOMAIN,
+        STALL_TIMEOUT,
+        STALL_TIMEOUT_DOMAIN,
+        ChoiceParameter,
+    )
+
+    params: list[TuningParameter] = []
+    for name in stage_names:
+        params.append(
+            ChoiceParameter(
+                name=RETRIES, target=name, default=0, choices=RETRIES_DOMAIN
+            )
+        )
+        params.append(
+            ChoiceParameter(
+                name=ITEM_TIMEOUT,
+                target=name,
+                default=0.0,
+                choices=ITEM_TIMEOUT_DOMAIN,
+            )
+        )
+        params.append(
+            ChoiceParameter(
+                name=ON_ERROR,
+                target=name,
+                default="fail_fast",
+                choices=ON_ERROR_DOMAIN,
+            )
+        )
+    if stall_timeout:
+        params.append(
+            ChoiceParameter(
+                name=STALL_TIMEOUT,
+                target="pipeline",
+                default=30.0,
+                choices=STALL_TIMEOUT_DOMAIN,
+            )
+        )
+    return params
+
+
+def with_fault_dimensions(
+    space: "ParameterSpace", stage_names: list[str], stall_timeout: bool = True
+) -> "ParameterSpace":
+    """A copy of ``space`` widened by the supervision dimensions."""
+    return ParameterSpace(
+        parameters=list(space.parameters)
+        + fault_dimensions(stage_names, stall_timeout=stall_timeout)
+    )
+
+
 @dataclass
 class ParameterSpace:
     """An ordered space of tuning parameters with finite domains."""

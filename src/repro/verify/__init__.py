@@ -28,7 +28,12 @@ from repro.verify.races import (
     vector_clock_races,
     lockset_races,
 )
-from repro.verify.parunit import ParallelUnitTest, UnitTestResult, run_parallel_test
+from repro.verify.parunit import (
+    ParallelUnitTest,
+    UnitTestResult,
+    run_parallel_test,
+    with_chaos,
+)
 
 __all__ = [
     "Explorer",
@@ -42,4 +47,5 @@ __all__ = [
     "ParallelUnitTest",
     "UnitTestResult",
     "run_parallel_test",
+    "with_chaos",
 ]

@@ -12,7 +12,7 @@ section 2.1) — which is why exhaustive exploration is feasible here.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from repro.verify.races import RaceReport, lockset_races, vector_clock_races
@@ -70,6 +70,26 @@ class UnitTestResult:
             f"{self.check_failures} postcondition failure(s) "
             f"in {self.elapsed:.2f}s"
         )
+
+
+def with_chaos(test: ParallelUnitTest, injector: Any) -> ParallelUnitTest:
+    """The same test with every task wrapped by a seeded chaos injector.
+
+    Running the generated parallel unit tests under injected faults — on
+    top of interleaving exploration — checks the *supervision* half of the
+    runtime contract: an injected fault must surface as a reported task
+    error, never vanish.  The injector's counters let the caller verify
+    that (``injector.injected_failures > 0`` implies ``task_errors > 0``).
+    """
+    original = test.make_tasks
+
+    def make_tasks() -> Sequence[Callable[[TaskHandle], None]]:
+        return [
+            injector.wrap(task, name=f"{test.name}:task{i}")
+            for i, task in enumerate(original())
+        ]
+
+    return replace(test, name=f"{test.name}[chaos]", make_tasks=make_tasks)
 
 
 def run_parallel_test(test: ParallelUnitTest) -> UnitTestResult:

@@ -1,0 +1,811 @@
+"""Supervised runtime: fault policies, cancellation, stall watchdog,
+chaos injection, and the end-to-end tuning-file wiring of the fault
+knobs."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    BoundedBuffer,
+    BufferTimeout,
+    CancellationToken,
+    CancelledError,
+    ChaosError,
+    ChaosInjector,
+    FaultPolicy,
+    Item,
+    ItemTimeoutError,
+    MasterWorker,
+    Pipeline,
+    PipelineError,
+    PipelineStallError,
+    parallel_for,
+    parallel_reduce,
+)
+from repro.runtime.parallel_for import configured_parallel_for
+
+
+def flaky(fail_times):
+    """A callable failing its first ``fail_times`` invocations."""
+    calls = [0]
+
+    def fn(v):
+        calls[0] += 1
+        if calls[0] <= fail_times:
+            raise ValueError(f"boom {calls[0]}")
+        return v * 10
+
+    fn.calls = calls
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# FaultPolicy
+# ---------------------------------------------------------------------------
+
+class TestFaultPolicy:
+    def test_success_first_attempt(self):
+        out = FaultPolicy().execute(lambda v: v + 1, 41)
+        assert (out.action, out.value, out.attempts) == ("delivered", 42, 1)
+        assert out.retried == 0 and out.error is None
+
+    def test_retry_until_success(self):
+        fn = flaky(2)
+        out = FaultPolicy(retries=3, backoff=0.0).execute(fn, 7)
+        assert (out.action, out.value, out.attempts) == ("delivered", 70, 3)
+        assert out.retried == 2
+
+    def test_fail_fast_is_default_and_never_raises(self):
+        out = FaultPolicy(retries=1, backoff=0.0).execute(flaky(5), 1)
+        assert out.action == "failed"
+        assert isinstance(out.error, ValueError)
+        assert out.attempts == 2  # 1 + retries
+
+    def test_skip_and_fallback_dispositions(self):
+        skip = FaultPolicy(on_error="skip", backoff=0.0)
+        assert skip.execute(flaky(9), 1).action == "skipped"
+        fb = FaultPolicy(on_error="fallback", fallback=-1, backoff=0.0)
+        out = fb.execute(flaky(9), 1)
+        assert (out.action, out.value) == ("fallback", -1)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            FaultPolicy(on_error="explode")
+        with pytest.raises(ValueError, match="retries"):
+            FaultPolicy(retries=-1)
+
+    def test_backoff_schedule_is_deterministic_and_exponential(self):
+        a = FaultPolicy(retries=4, backoff=0.01, seed=7).delays()
+        b = FaultPolicy(retries=4, backoff=0.01, seed=7).delays()
+        c = FaultPolicy(retries=4, backoff=0.01, seed=8).delays()
+        assert a == b  # same seed -> identical schedule
+        assert a != c  # jitter actually depends on the seed
+        # exponential growth dominates the bounded jitter (factor 2 vs 1.5)
+        assert all(later > earlier for earlier, later in zip(a, a[1:]))
+
+    def test_item_timeout_counts_as_fault(self):
+        policy = FaultPolicy(item_timeout=0.01, on_error="skip", backoff=0.0)
+        out = policy.execute(lambda v: time.sleep(0.05) or v, 1)
+        assert out.action == "skipped"
+        assert isinstance(out.error, ItemTimeoutError)
+
+    def test_cancellation_aborts_retries(self):
+        token = CancellationToken()
+        calls = [0]
+
+        def fn(v):
+            calls[0] += 1
+            token.cancel("stop now")
+            raise ValueError("boom")
+
+        with pytest.raises(CancelledError, match="stop now"):
+            FaultPolicy(retries=10, backoff=5.0).execute(fn, 1, cancel=token)
+        assert calls[0] == 1  # the 5s backoff sleep was interrupted
+
+
+# ---------------------------------------------------------------------------
+# CancellationToken
+# ---------------------------------------------------------------------------
+
+class TestCancellationToken:
+    def test_first_cancel_wins(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        assert token.cancel("first") is True
+        assert token.cancel("second") is False
+        assert token.reason == "first"
+        with pytest.raises(CancelledError, match="first"):
+            token.raise_if_cancelled()
+
+    def test_wait_returns_early_when_cancelled(self):
+        token = CancellationToken()
+        threading.Timer(0.02, token.cancel).start()
+        started = time.monotonic()
+        assert token.wait(5.0) is True
+        assert time.monotonic() - started < 1.0
+
+    def test_wakes_blocked_buffer_get(self):
+        buf = BoundedBuffer(capacity=2)
+        token = CancellationToken()
+        caught = []
+
+        def consumer():
+            try:
+                buf.get(cancel=token)
+            except CancelledError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        time.sleep(0.05)  # let it block on the empty buffer
+        token.cancel("shutdown")
+        t.join(timeout=2.0)
+        assert not t.is_alive(), "cancel did not wake the blocked get"
+        assert caught and "shutdown" in str(caught[0])
+
+    def test_wakes_blocked_buffer_put(self):
+        buf = BoundedBuffer(capacity=1)
+        buf.put("full")
+        token = CancellationToken()
+        caught = []
+
+        def producer():
+            try:
+                buf.put("blocked", cancel=token)
+            except CancelledError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        token.cancel()
+        t.join(timeout=2.0)
+        assert not t.is_alive() and caught
+
+
+# ---------------------------------------------------------------------------
+# BoundedBuffer
+# ---------------------------------------------------------------------------
+
+class TestBoundedBuffer:
+    def test_get_timeout(self):
+        buf = BoundedBuffer(capacity=2)
+        started = time.monotonic()
+        with pytest.raises(BufferTimeout, match="get"):
+            buf.get(timeout=0.05)
+        assert time.monotonic() - started < 2.0
+
+    def test_put_timeout_reports_occupancy(self):
+        buf = BoundedBuffer(capacity=1)
+        buf.put("x")
+        with pytest.raises(BufferTimeout, match="1/1"):
+            buf.put("y", timeout=0.05)
+
+    def test_timeout_not_triggered_when_ready(self):
+        buf = BoundedBuffer(capacity=1)
+        buf.put(1)
+        assert buf.get(timeout=0.01) == 1
+
+    def test_max_occupancy_high_water_mark(self):
+        buf = BoundedBuffer(capacity=4)
+        for i in range(3):
+            buf.put(i)
+        buf.get()
+        buf.put(99)
+        assert buf.max_occupancy == 3
+        assert len(buf) == 3
+
+    def test_transfers_counts_puts_and_gets(self):
+        buf = BoundedBuffer(capacity=4)
+        buf.put(1)
+        buf.put(2)
+        buf.get()
+        assert buf.transfers == 3
+        buf.put_front(0)
+        assert buf.transfers == 4
+
+    def test_contention_conserves_items(self):
+        buf = BoundedBuffer(capacity=3)
+        n_producers, per_producer = 4, 50
+        received = []
+        recv_lock = threading.Lock()
+
+        def producer(base):
+            for i in range(per_producer):
+                buf.put(base + i)
+
+        def consumer():
+            while True:
+                item = buf.get()
+                if item is None:
+                    return
+                with recv_lock:
+                    received.append(item)
+
+        consumers = [
+            threading.Thread(target=consumer, daemon=True) for _ in range(3)
+        ]
+        producers = [
+            threading.Thread(
+                target=producer, args=(k * per_producer,), daemon=True
+            )
+            for k in range(n_producers)
+        ]
+        for t in consumers + producers:
+            t.start()
+        for t in producers:
+            t.join(timeout=10.0)
+        for _ in consumers:
+            buf.put(None)
+        for t in consumers:
+            t.join(timeout=10.0)
+        assert sorted(received) == list(range(n_producers * per_producer))
+        assert buf.max_occupancy <= 3  # the bound held under contention
+
+
+# ---------------------------------------------------------------------------
+# stall watchdog
+# ---------------------------------------------------------------------------
+
+class TestStallWatchdog:
+    def test_wedged_stage_raises_stall_error_naming_stage(self):
+        wedge = threading.Event()  # never set: stage W blocks forever
+        stall_timeout = 1.0
+        pipe = Pipeline(
+            Item(lambda x: x + 1, name="A", replicable=True),
+            Item(lambda x: wedge.wait(60) or x, name="W"),
+            Item(lambda x: x * 2, name="C", replicable=True),
+            stall_timeout=stall_timeout,
+        )
+        started = time.monotonic()
+        with pytest.raises(PipelineStallError, match="'W'") as ei:
+            pipe.run(range(50))
+        elapsed = time.monotonic() - started
+        assert elapsed < 2 * stall_timeout, (
+            f"stall detection took {elapsed:.2f}s, "
+            f"budget {2 * stall_timeout:.2f}s"
+        )
+        assert ei.value.stage == "W"
+        assert len(ei.value.occupancy) == len(pipe.elements) + 1
+        assert any(ei.value.occupancy), "a buffer upstream of W should be full"
+        assert pipe.stats["stall"]["stage"] == "W"
+        wedge.set()  # release the leaked worker
+
+    def test_no_stall_error_on_healthy_run(self):
+        pipe = Pipeline(
+            Item(lambda x: x + 1, name="A", replicable=True),
+            Item(lambda x: x * 2, name="B", replicable=True),
+            stall_timeout=0.5,
+        )
+        # slower than the poll interval but always progressing
+        assert pipe.run(range(5)) == [(x + 1) * 2 for x in range(5)]
+        assert pipe.stats["stall"] is None
+
+    def test_stall_timeout_zero_disables_watchdog(self):
+        pipe = Pipeline(
+            Item(lambda x: x, name="A"),
+            stall_timeout=1.0,
+        )
+        pipe.configure({"StallTimeout@pipeline": 0.0})
+        assert pipe.stall_timeout is None
+        assert pipe.run(range(3)) == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# error aggregation
+# ---------------------------------------------------------------------------
+
+class TestErrorAggregation:
+    def test_skip_records_every_poison_element(self):
+        def fussy(x):
+            if x % 3 == 0:
+                raise ValueError(f"bad {x}")
+            return x
+
+        pipe = Pipeline(
+            Item(fussy, name="A", replicable=True),
+            Item(lambda x: x * 10, name="B", replicable=True),
+        )
+        pipe.configure({"OnError@A": "skip"})
+        out = pipe.run(range(12))
+        assert sorted(out) == [x * 10 for x in range(12) if x % 3]
+        s = pipe.stats
+        assert s["skipped"] == 4 and s["delivered"] == 8
+        assert s["generated"] == 12
+        # every poison element left a record, not just the first
+        assert len(s["errors"]) == 4
+        assert {seq for _, seq, _ in s["errors"]} == {0, 3, 6, 9}
+        assert all(stage == "A" for stage, _, _ in s["errors"])
+
+    def test_fail_fast_error_carries_report(self):
+        pipe = Pipeline(
+            Item(lambda x: 1 // (x - 2), name="A", replicable=True),
+            Item(lambda x: x, name="B", replicable=True),
+        )
+        with pytest.raises(PipelineError, match="'A'") as ei:
+            pipe.run(range(10))
+        assert ei.value.records
+        rec = ei.value.records[0]
+        assert rec.stage == "A" and isinstance(rec.error, ZeroDivisionError)
+        assert ei.value.stats["counters"]["A"]["failed"] >= 1
+
+    def test_retries_surface_in_stats(self):
+        fn = flaky(2)
+        pipe = Pipeline(Item(fn, name="A"))
+        pipe.configure({"Retries@A": 3})
+        pipe.element("A").fault_policy.backoff = 0.0
+        assert pipe.run([5]) == [50]
+        assert pipe.stats["retried"] == 2
+        assert pipe.stats["counters"]["A"]["retried"] == 2
+
+    def test_fault_report_rendering(self):
+        from repro.report import fault_report
+
+        def fussy(x):
+            if x == 1:
+                raise ValueError("bad one")
+            return x
+
+        pipe = Pipeline(Item(fussy, name="A", replicable=True))
+        pipe.configure({"OnError@A": "skip"})
+        pipe.run(range(4))
+        text = fault_report(pipe.stats)
+        assert "4 in" in text and "3 delivered" in text
+        assert "1 skipped" in text
+        assert "A[1]" in text and "bad one" in text
+
+    def test_sequential_path_same_contract(self):
+        def fussy(x):
+            if x % 2:
+                raise ValueError(f"bad {x}")
+            return x
+
+        pipe = Pipeline(Item(fussy, name="A"), sequential=True)
+        pipe.configure({"OnError@A": "skip"})
+        assert pipe.run(range(6)) == [0, 2, 4]
+        assert pipe.stats["skipped"] == 3
+        assert len(pipe.stats["errors"]) == 3
+
+
+# ---------------------------------------------------------------------------
+# chaos injection
+# ---------------------------------------------------------------------------
+
+class TestChaos:
+    def test_injection_is_deterministic_per_seed(self):
+        def counts(seed):
+            inj = ChaosInjector(seed=seed, fail_rate=0.3)
+            fn = inj.wrap(lambda x: x, name="stage")
+            outcomes = []
+            for i in range(200):
+                try:
+                    fn(i)
+                    outcomes.append(True)
+                except ChaosError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert counts(11) == counts(11)
+        assert counts(11) != counts(12)
+
+    def test_fail_first_k(self):
+        inj = ChaosInjector(seed=0, fail_first=3)
+        fn = inj.wrap(lambda x: x, name="s")
+        for _ in range(3):
+            with pytest.raises(ChaosError):
+                fn(1)
+        assert fn(1) == 1
+        assert inj.stats()["injected_failures"] == 3
+
+    def test_delay_injection_counts(self):
+        inj = ChaosInjector(seed=1, delay_rate=1.0, delay=0.0)
+        fn = inj.wrap(lambda x: x, name="s")
+        for i in range(5):
+            assert fn(i) == i
+        stats = inj.stats()
+        assert stats["injected_delays"] == 5
+        assert stats["injected_failures"] == 0
+
+    def test_conservation_under_chaos(self):
+        """The acceptance scenario: 1000 elements, ~5% injected failures,
+        retries + skip — every element is delivered, retried into
+        delivery, or accounted as skipped.  Nothing vanishes."""
+        pipe = Pipeline(
+            Item(lambda x: x + 1, name="A", replicable=True),
+            Item(lambda x: x * 2, name="B", replicable=True),
+        )
+        pipe.configure({
+            "Retries@A": 2, "OnError@A": "skip",
+            "Retries@B": 2, "OnError@B": "skip",
+        })
+        for name in ("A", "B"):
+            pipe.element(name).fault_policy.backoff = 0.0
+        inj = ChaosInjector(seed=42, fail_rate=0.05)
+        pipe.inject(inj)
+        out = pipe.run(range(1000))
+        s = pipe.stats
+        assert s["generated"] == 1000
+        assert len(out) + s["skipped"] == 1000, "conservation violated"
+        assert s["delivered"] == len(out)
+        assert inj.stats()["injected_failures"] > 0, "chaos never fired"
+        # every injected failure is explained by a retry or a skipped
+        # element (each skip absorbs up to 1 + retries failures)
+        assert s["retried"] + s["skipped"] * 3 >= inj.stats()["injected_failures"]
+        assert inj.stats()["calls"] >= 2000  # both stages saw every element
+
+    def test_chaos_with_fail_fast_surfaces_as_pipeline_error(self):
+        pipe = Pipeline(Item(lambda x: x, name="A", replicable=True))
+        pipe.inject(ChaosInjector(seed=0, fail_first=1))
+        with pytest.raises(PipelineError) as ei:
+            pipe.run(range(10))
+        assert any(
+            isinstance(r.error, ChaosError) for r in ei.value.records
+        )
+
+    def test_wrap_item_descends_masterworker(self):
+        mw = MasterWorker(
+            Item(lambda x: x + 1, name="a"),
+            Item(lambda x: x * 2, name="b"),
+        )
+        inj = ChaosInjector(seed=0, fail_first=0)
+        inj.wrap_item(mw)
+        assert mw.apply(3) == (4, 6)
+        assert inj.stats()["calls"] == 2
+
+
+# ---------------------------------------------------------------------------
+# parallel_for / parallel_reduce supervision (satellites)
+# ---------------------------------------------------------------------------
+
+class TestParallelForSupervision:
+    @pytest.mark.parametrize("schedule", ["dynamic", "static"])
+    def test_workers_stop_claiming_after_error(self, schedule):
+        n = 400
+        calls = [0]
+        lock = threading.Lock()
+
+        def body(v):
+            with lock:
+                calls[0] += 1
+            if v == 0:
+                raise ValueError("poison")
+            time.sleep(0.002)
+            return v
+
+        with pytest.raises(ValueError, match="poison"):
+            parallel_for(
+                range(n), body, workers=4, chunk_size=1, schedule=schedule
+            )
+        assert calls[0] < n, (
+            f"{schedule}: pool ran all {n} iterations after the error"
+        )
+
+    def test_external_cancellation(self):
+        token = CancellationToken()
+        token.cancel("caller gave up")
+        with pytest.raises(CancelledError, match="caller gave up"):
+            parallel_for(range(100), lambda v: v, workers=2, cancel=token)
+
+    def test_policy_fallback_keeps_length_and_order(self):
+        def body(v):
+            if v % 10 == 0:
+                raise ValueError("bad")
+            return v * 2
+
+        policy = FaultPolicy(on_error="fallback", fallback=-1, backoff=0.0)
+        out = parallel_for(
+            range(40), body, workers=4, chunk_size=3, policy=policy
+        )
+        assert len(out) == 40
+        assert all(
+            out[i] == (-1 if i % 10 == 0 else i * 2) for i in range(40)
+        )
+
+    def test_configured_parallel_for_honours_fault_keys(self):
+        def body(v):
+            if v == 7:
+                raise ValueError("bad")
+            return v
+
+        out = configured_parallel_for(
+            range(10),
+            body,
+            {"OnError@loop": "skip", "NumWorkers@loop": 3},
+        )
+        # skip degrades to fallback in a map context: slot kept, value None
+        assert len(out) == 10 and out[7] is None
+        assert [v for v in out if v is not None] == [
+            v for v in range(10) if v != 7
+        ]
+
+
+class TestParallelReduceInit:
+    def test_non_neutral_init_counted_once(self):
+        """Regression: init used to seed every chunk's fold, so a non-
+        neutral init was counted once per chunk."""
+        got = parallel_reduce(
+            range(10),
+            body=lambda v: v,
+            op=lambda a, b: a + b,
+            init=10,
+            workers=3,
+            chunk_size=2,  # 5 chunks: the old bug would yield 95
+        )
+        assert got == 10 + sum(range(10)) == 55
+
+    def test_matches_sequential_for_any_chunking(self):
+        vals = list(range(23))
+        expected = 100 + sum(v * v for v in vals)
+        for chunk_size in (1, 2, 5, 7, 100):
+            got = parallel_reduce(
+                vals,
+                body=lambda v: v * v,
+                op=lambda a, b: a + b,
+                init=100,
+                workers=4,
+                chunk_size=chunk_size,
+            )
+            assert got == expected, f"chunk_size={chunk_size}"
+
+    def test_associative_non_commutative_op(self):
+        vals = list("abcdefghij")
+        got = parallel_reduce(
+            vals,
+            body=lambda v: v,
+            op=lambda a, b: a + b,
+            init="",
+            workers=4,
+            chunk_size=3,
+        )
+        assert got == "abcdefghij"
+
+    def test_error_stops_pool(self):
+        calls = [0]
+        lock = threading.Lock()
+
+        def body(v):
+            with lock:
+                calls[0] += 1
+            if v == 0:
+                raise ValueError("poison")
+            time.sleep(0.002)
+            return v
+
+        with pytest.raises(ValueError):
+            parallel_reduce(
+                range(200),
+                body,
+                op=lambda a, b: a + b,
+                init=0,
+                workers=4,
+                chunk_size=1,
+            )
+        assert calls[0] < 200
+
+
+# ---------------------------------------------------------------------------
+# MasterWorker supervision
+# ---------------------------------------------------------------------------
+
+class TestMasterWorkerSupervision:
+    def test_prefired_token_cancels_run(self):
+        token = CancellationToken()
+        token.cancel("abort")
+        mw = MasterWorker(workers=2)
+        with pytest.raises(CancelledError, match="abort"):
+            mw.run([lambda: 1, lambda: 2], cancel=token)
+
+    def test_sibling_error_stops_claiming(self):
+        calls = [0]
+        lock = threading.Lock()
+
+        def make(k):
+            def task():
+                with lock:
+                    calls[0] += 1
+                if k == 0:
+                    raise ValueError("first task fails")
+                time.sleep(0.002)
+                return k
+
+            return task
+
+        mw = MasterWorker(workers=4)
+        with pytest.raises(ValueError):
+            mw.run([make(k) for k in range(200)])
+        assert calls[0] < 200
+
+
+# ---------------------------------------------------------------------------
+# stream abandon / drain
+# ---------------------------------------------------------------------------
+
+class TestStreamAbandon:
+    def test_consumer_break_unwinds_workers(self):
+        produced = [0]
+
+        def gen():
+            for i in range(10_000):
+                produced[0] += 1
+                yield i
+
+        pipe = Pipeline(
+            Item(lambda x: x + 1, name="A", replicable=True),
+            Item(lambda x: x * 2, name="B", replicable=True),
+            buffer_capacity=4,
+        )
+        got = []
+        for v in pipe.stream(gen()):
+            got.append(v)
+            if len(got) == 5:
+                break
+        assert got == [(x + 1) * 2 for x in range(5)]
+        # backpressure: abandoning after 5 must not have drained the
+        # 10k-element source
+        assert produced[0] < 1000
+        assert pipe.stats.get("cancelled"), "abandon should cancel the run"
+
+    def test_abandon_leaves_no_stuck_threads(self):
+        pipe = Pipeline(
+            Item(lambda x: x, name="A", replicable=True),
+            buffer_capacity=2,
+        )
+        it = pipe.stream(iter(range(10_000)))
+        next(it)
+        it.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            alive = [
+                t
+                for t in threading.enumerate()
+                if t.name.startswith("pipeline")
+            ]
+            if not alive:
+                break
+            time.sleep(0.02)
+        assert not alive, f"pipeline threads leaked: {alive}"
+
+
+# ---------------------------------------------------------------------------
+# tuning-file round trip of the fault knobs
+# ---------------------------------------------------------------------------
+
+class TestFaultTuningRoundTrip:
+    def _video_match(self):
+        from repro.frontend import parse_function
+        from repro.model import build_semantic_model
+        from repro.patterns import default_catalog
+
+        from tests.conftest import VIDEO_SRC
+
+        ir = parse_function(VIDEO_SRC)
+        model = build_semantic_model(ir)
+        matches = default_catalog(prefer="pipeline").detect(model)
+        assert matches
+        return ir, matches[0]
+
+    def test_match_exposes_fault_parameters(self):
+        _, match = self._video_match()
+        keys = {p.key for p in match.tuning}
+        stage_names = {
+            p.target for p in match.tuning if p.name == "StageReplication"
+        }
+        assert stage_names  # sanity: the pipeline has named stages
+        for stage in stage_names:
+            assert f"Retries@{stage}" in keys
+            assert f"ItemTimeout@{stage}" in keys
+            assert f"OnError@{stage}" in keys
+        assert "StallTimeout@pipeline" in keys
+
+    def test_fault_keys_roundtrip_and_configure(self, tmp_path):
+        from repro.transform import read_tuning_file, write_tuning_file
+        from repro.transform.tuningfile import config_for_location
+
+        _, match = self._video_match()
+        path = write_tuning_file([match], tmp_path / "t.json")
+
+        # the file round-trips the fault knobs with domains intact
+        _, _, params = read_tuning_file(path)[0]
+        by_key = {p.key: p for p in params}
+        retries_keys = [k for k in by_key if k.startswith("Retries@")]
+        assert retries_keys
+        assert by_key[retries_keys[0]].domain() == [0, 1, 2, 3]
+        onerror_keys = [k for k in by_key if k.startswith("OnError@")]
+        assert set(by_key[onerror_keys[0]].domain()) == {
+            "fail_fast", "skip", "fallback",
+        }
+
+        # an engineer edits the file (no recompilation)...
+        cfg = config_for_location(path, str(match.location))
+        stage = retries_keys[0].split("@", 1)[1]
+        cfg[f"Retries@{stage}"] = 2
+        cfg[f"OnError@{stage}"] = "skip"
+        cfg["StallTimeout@pipeline"] = 5.0
+
+        # ...and a hand-built pipeline with the same stage names honours it
+        stage_names = [
+            p.target for p in match.tuning if p.name == "Retries"
+        ]
+        pipe = Pipeline(
+            *[
+                Item(lambda x: x, name=n, replicable=True)
+                for n in stage_names
+            ]
+        )
+        pipe.configure(cfg)
+        policy = pipe.element(stage).fault_policy
+        assert policy.retries == 2 and policy.on_error == "skip"
+        assert pipe.stall_timeout == 5.0
+
+    def test_generated_code_accepts_tuning_and_chaos(self, video_env):
+        from repro.transform import compile_parallel, generate_parallel_source
+
+        from tests.conftest import VIDEO_SRC, video_expected
+
+        ir, match = self._video_match()
+        src = generate_parallel_source(ir, match)
+        assert "__chaos__" in src and "inject" in src
+
+        fn = compile_parallel(ir, match, video_env)
+        stream = list(range(8))
+        args = (stream,) + tuple(video_env.values())
+        tuning = {"Retries@A": 1, "OnError@A": "fail_fast"}
+        assert fn(*args, __tuning__=tuning) == video_expected(
+            stream, video_env
+        )
+        # a zero-rate injector changes nothing but proves the plumbing
+        inj = ChaosInjector(seed=3)
+        assert fn(*args, __chaos__=inj) == video_expected(stream, video_env)
+        assert inj.stats()["calls"] > 0
+
+    def test_space_gains_fault_dimensions(self):
+        from repro.tuning.space import ParameterSpace, with_fault_dimensions
+
+        space = with_fault_dimensions(ParameterSpace([]), ["A", "B"])
+        keys = set(space.keys)
+        assert keys == {
+            "Retries@A", "ItemTimeout@A", "OnError@A",
+            "Retries@B", "ItemTimeout@B", "OnError@B",
+            "StallTimeout@pipeline",
+        }
+        cfg = space.default_config()
+        assert cfg["OnError@A"] == "fail_fast"
+        assert cfg["Retries@B"] == 0
+
+
+# ---------------------------------------------------------------------------
+# verify-layer chaos
+# ---------------------------------------------------------------------------
+
+class TestChaosVerify:
+    def test_with_chaos_wraps_generated_tasks(self):
+        from repro.verify import (
+            ParallelUnitTest,
+            run_parallel_test,
+            with_chaos,
+        )
+
+        def make_tasks():
+            def t1(h):
+                h.write("x", h.read("x") + 1)
+
+            def t2(h):
+                h.write("x", h.read("x") + 2)
+
+            return [t1, t2]
+
+        base = ParallelUnitTest(
+            name="inc",
+            make_tasks=make_tasks,
+            initial_state={"x": 0},
+            max_schedules=50,
+        )
+        inj = ChaosInjector(seed=5, fail_first=1)
+        chaos_test = with_chaos(base, inj)
+        assert chaos_test.name == "inc[chaos]"
+        res = run_parallel_test(chaos_test)
+        assert inj.stats()["injected_failures"] > 0
+        # the supervision contract: injected faults surface as task errors
+        assert res.task_errors > 0

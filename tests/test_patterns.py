@@ -336,6 +336,9 @@ class TestDoallPattern:
             "ChunkSize@loop",
             "Schedule@loop",
             "SequentialExecution@loop",
+            "Retries@loop",
+            "ItemTimeout@loop",
+            "OnError@loop",
         }
         assert match.parameter("NumWorkers@loop").domain() == [1, 2, 3, 4]
 
