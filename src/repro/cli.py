@@ -18,6 +18,8 @@ its workflows are not; each subcommand is one of them:
   tables and figures.
 * ``quality``   — the detection-quality evaluation (precision/recall/F)
   over the benchmark suite.
+* ``backends``  — real-execution sweep of the serial/thread/process
+  backends over CPU-bound kernels (measured wall-clock, not simulated).
 * ``programs``  — list the bundled benchmark programs.
 
 Run ``python -m repro <command> --help`` for options.
@@ -258,6 +260,34 @@ def _chaos_check(test, with_chaos, run_parallel_test, seed, fail_rate) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    from repro.evalq.realexec import (
+        available_cores,
+        render_table,
+        sweep_backends,
+        write_results,
+    )
+
+    scale = 0.15 if args.smoke else args.scale
+    rows = sweep_backends(workers=args.workers, scale=scale)
+    print(render_table(rows))
+    cores = available_cores()
+    print(
+        f"\n{cores} core(s) available; thread vs process contrast is the "
+        "GIL made visible"
+        + (" (single core: process speedup not expected here)"
+           if cores < 2 else "")
+    )
+    if args.json:
+        write_results(rows, args.json, workers=args.workers, scale=scale)
+        print(f"results written to {args.json}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # study / quality / programs
 # ---------------------------------------------------------------------------
 
@@ -353,6 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chaos-fail-rate", type=_rate, default=0.05,
                        help="per-call injected failure probability in [0, 1]")
         p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "backends",
+        help="measure serial/thread/process wall-clock on CPU-bound kernels",
+    )
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="work multiplier per kernel element")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fixed scale for CI (a few seconds total)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the sweep as a results JSON")
+    p.set_defaults(func=cmd_backends)
 
     p = sub.add_parser("study", help="run the simulated user study")
     p.add_argument("--seed", type=int, default=None)

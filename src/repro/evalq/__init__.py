@@ -20,6 +20,14 @@ from repro.evalq.detection import (
     suppress_nested,
 )
 from repro.evalq.overhead import OverheadRow, measure_overhead
+from repro.evalq.realexec import (
+    Kernel,
+    SweepRow,
+    default_kernels,
+    render_table,
+    sweep_backends,
+    write_results,
+)
 from repro.evalq.speedup import SpeedupRow, transformation_quality
 
 __all__ = [
@@ -32,4 +40,10 @@ __all__ = [
     "measure_overhead",
     "SpeedupRow",
     "transformation_quality",
+    "Kernel",
+    "SweepRow",
+    "default_kernels",
+    "render_table",
+    "sweep_backends",
+    "write_results",
 ]

@@ -26,6 +26,8 @@ from repro.frontend.source import SourceLocation
 from repro.model.semantic import LoopModel, SemanticModel
 from repro.patterns.base import PatternMatch, SourcePattern
 from repro.patterns.tuning import (
+    BACKEND,
+    BACKEND_DOMAIN,
     CHUNK_SIZE,
     ITEM_TIMEOUT,
     ITEM_TIMEOUT_DOMAIN,
@@ -138,6 +140,16 @@ class DoallPattern(SourcePattern):
                 name=SEQUENTIAL_EXECUTION,
                 target="loop",
                 default=False,
+                location=loc,
+            ),
+            # the execution substrate: thread by default (safe anywhere);
+            # the tuner flips to process for CPU-bound bodies, where it is
+            # the only value that beats the GIL
+            ChoiceParameter(
+                name=BACKEND,
+                target="loop",
+                default="thread",
+                choices=BACKEND_DOMAIN,
                 location=loc,
             ),
             # supervision knobs for the loop body (FaultPolicy); honoured

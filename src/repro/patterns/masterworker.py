@@ -20,9 +20,12 @@ from repro.model.dependence import DependenceGraph
 from repro.model.semantic import LoopModel, SemanticModel
 from repro.patterns.base import PatternMatch, SourcePattern, stage_names
 from repro.patterns.tuning import (
+    BACKEND,
+    BACKEND_DOMAIN,
     NUM_WORKERS,
     SEQUENTIAL_EXECUTION,
     BoolParameter,
+    ChoiceParameter,
     IntParameter,
 )
 from repro.tadl.ast import Parallel, Pipeline, StageRef
@@ -134,6 +137,13 @@ class MasterWorkerPattern(SourcePattern):
                 default=False,
                 location=loc,
             ),
+            ChoiceParameter(
+                name=BACKEND,
+                target="workers",
+                default="thread",
+                choices=BACKEND_DOMAIN,
+                location=loc,
+            ),
         ]
         return PatternMatch(
             pattern=self.name,
@@ -195,6 +205,13 @@ def match_region(
                 name=SEQUENTIAL_EXECUTION,
                 target="workers",
                 default=False,
+                location=loc,
+            ),
+            ChoiceParameter(
+                name=BACKEND,
+                target="workers",
+                default="thread",
+                choices=BACKEND_DOMAIN,
                 location=loc,
             ),
         ],

@@ -145,6 +145,16 @@ CHUNK_SIZE = "ChunkSize"
 SCHEDULE = "Schedule"
 BUFFER_CAPACITY = "BufferCapacity"
 
+# The execution substrate.  Like every other knob it changes runtime
+# behaviour, never semantics: ``serial`` runs in the calling thread,
+# ``thread`` on the supervised thread pool (I/O-bound work), ``process``
+# on a multiprocessing pool (CPU-bound work — the only substrate that
+# beats the GIL).  See repro.runtime.backend.
+BACKEND = "Backend"
+
+#: legal Backend values, in increasing setup-cost order
+BACKEND_DOMAIN = ("serial", "thread", "process")
+
 # Supervision knobs (fault policies + stall watchdog).  Like the
 # performance knobs, "changing their values has implications on the
 # runtime behavior of a parallel application, but not on its correct

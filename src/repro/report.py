@@ -174,6 +174,14 @@ def fault_report(stats: dict) -> str:
     just a verdict.
     """
     lines = ["runtime fault report"]
+    backend = stats.get("backend")
+    if backend:
+        lines.append(f"  backend    : {backend}")
+    for event in stats.get("backend_events") or []:
+        lines.append(
+            f"  downgrade  : {event.get('requested')} -> "
+            f"{event.get('actual')} ({event.get('reason')})"
+        )
     generated = stats.get("generated", 0)
     lines.append(
         f"  elements   : {generated} in, "

@@ -14,6 +14,15 @@ these types directly:
 [4, 6, 8]
 """
 
+from repro.runtime.backend import (
+    BACKENDS,
+    BackendEvent,
+    BackendFallbackWarning,
+    ProcessCancellationToken,
+    ShipError,
+    TuningError,
+    ship_callable,
+)
 from repro.runtime.buffer import BoundedBuffer, EndOfStream
 from repro.runtime.faults import (
     BufferTimeout,
@@ -38,6 +47,13 @@ from repro.runtime.futures import AutoFuture, spawn, join_all
 from repro.runtime.tunable import TuningConfig
 
 __all__ = [
+    "BACKENDS",
+    "BackendEvent",
+    "BackendFallbackWarning",
+    "ProcessCancellationToken",
+    "ShipError",
+    "TuningError",
+    "ship_callable",
     "BoundedBuffer",
     "EndOfStream",
     "Item",

@@ -1,0 +1,694 @@
+"""Pluggable execution backends: ``serial``, ``thread``, ``process``.
+
+The runtime's worker pools were thread-only, so CPU-bound DOALL loops and
+master/worker groups saw no wall-clock speedup under the CPython GIL —
+the paper's Fig. 6 speedup study assumes real cores.  This module makes
+the execution substrate a first-class *tuning dimension* (``Backend``,
+alongside ``NumWorkers``/``ChunkSize``/``Schedule``): the same pattern
+instance can run in the calling thread (``serial``), on a thread pool
+(``thread`` — I/O-bound bodies, zero setup cost), or on a
+``multiprocessing`` worker pool (``process`` — real multicore parallelism
+for CPU-bound bodies).
+
+Design contract, mirroring the supervised thread pools:
+
+* **spawn-safe** — everything that crosses the process boundary is data:
+  the worker entry point is a module-level function and the work payload
+  is pickled up front, so the backend works under any multiprocessing
+  start method.  Closures and exec-defined functions (generated code!)
+  are shipped by value via :class:`ShippedFunction` — code object through
+  ``marshal``, referenced globals and closure cells recursively.
+* **graceful degradation** — a body that cannot cross the boundary is
+  detected *up front* (:func:`build_process_payload` returns the reason)
+  and the caller falls back to the thread backend, recording a
+  :class:`BackendEvent` and raising a :class:`BackendFallbackWarning` —
+  never a mid-run crash.
+* **supervision parity** — the :class:`~repro.runtime.faults.FaultPolicy`
+  (retries / item timeout / on-error disposition) is applied worker-side;
+  every element failure ships back in the chunk ledger as
+  ``(seq, error, attempts, action)`` so the caller reconstructs the same
+  :class:`~repro.runtime.faults.ErrorRecord` stream a thread run yields.
+* **chunk batching** — work travels per chunk, not per element, which
+  amortizes IPC; results come back per chunk and the caller's ordered
+  collector reassembles them by index.
+* **cancellation** — a :class:`ProcessCancellationToken` carries a shared
+  ``multiprocessing.Event`` bridged to the condition-variable API of
+  :class:`~repro.runtime.faults.CancellationToken`; plain tokens are
+  bridged parent-side (the collector sets the pool's stop event the
+  moment the token fires).
+
+A wedged pool cannot hang the caller: the result collector polls worker
+liveness and a worker that dies without its done-marker is detected,
+reported, and the stragglers terminated.
+"""
+
+from __future__ import annotations
+
+import builtins
+import importlib
+import marshal
+import multiprocessing
+import os
+import pickle
+import queue as _queue
+import threading
+import types
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.runtime.chaos import ChaosInjector
+from repro.runtime.faults import CancellationToken, FaultPolicy
+
+#: the three execution substrates, in increasing setup-cost order
+BACKENDS = ("serial", "thread", "process")
+
+#: canonical tuning-parameter name (the performance knobs' sibling)
+BACKEND = "Backend"
+
+
+class TuningError(ValueError):
+    """A tuning parameter value is outside its legal domain.
+
+    Raised eagerly (``ChunkSize <= 0``, ``NumWorkers <= 0``, an unknown
+    ``Backend``) so a bad tuning file fails loudly instead of silently
+    hanging a pool or emitting zero chunks.
+    """
+
+
+class BackendFallbackWarning(RuntimeWarning):
+    """A requested backend was downgraded (e.g. ``process`` -> ``thread``)."""
+
+
+class ShipError(RuntimeError):
+    """A callable cannot be shipped across a process boundary."""
+
+
+@dataclass
+class BackendEvent:
+    """One recorded backend decision — typically a downgrade."""
+
+    requested: str
+    actual: str
+    reason: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "requested": self.requested,
+            "actual": self.actual,
+            "reason": self.reason,
+        }
+
+    def describe(self) -> str:
+        return f"{self.requested} -> {self.actual}: {self.reason}"
+
+
+def normalize_backend(name: Any) -> str:
+    """Validate a ``Backend`` value; raises :class:`TuningError` on junk."""
+    if isinstance(name, str) and name in BACKENDS:
+        return name
+    raise TuningError(
+        f"Backend must be one of {BACKENDS}, got {name!r}"
+    )
+
+
+def downgrade(
+    requested: str,
+    actual: str,
+    reason: str,
+    events: list[BackendEvent] | None = None,
+) -> str:
+    """Record a backend downgrade (event list + warning) and return it."""
+    event = BackendEvent(requested, actual, reason)
+    if events is not None:
+        events.append(event)
+    warnings.warn(
+        f"backend downgrade: {event.describe()}",
+        BackendFallbackWarning,
+        stacklevel=3,
+    )
+    return actual
+
+
+def start_method() -> str:
+    """The multiprocessing start method the process backend uses.
+
+    ``fork`` when the platform offers it (worker start is milliseconds,
+    which matters when every ``parallel_for`` call builds a fresh pool);
+    ``spawn`` otherwise.  The payload protocol is pickle-only either way,
+    so overriding via ``REPRO_MP_START=spawn`` is always safe.
+    """
+    override = os.environ.get("REPRO_MP_START")
+    methods = multiprocessing.get_all_start_methods()
+    if override:
+        if override not in methods:
+            raise TuningError(
+                f"REPRO_MP_START={override!r} not in {methods}"
+            )
+        return override
+    return "fork" if "fork" in methods else "spawn"
+
+
+def mp_context():
+    return multiprocessing.get_context(start_method())
+
+
+class ProcessCancellationToken(CancellationToken):
+    """A :class:`CancellationToken` whose fired state crosses processes.
+
+    The shared ``multiprocessing.Event`` is handed to pool workers, so a
+    mid-run :meth:`cancel` stops them between elements without parent-side
+    polling; the inherited condition-variable machinery still wakes any
+    thread blocked in a bounded-buffer wait.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.shared_event = mp_context().Event()
+
+    @property
+    def cancelled(self) -> bool:  # either side may have fired first
+        return self.shared_event.is_set() or self._event.is_set()
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        self.shared_event.set()
+        return super().cancel(reason)
+
+
+# ---------------------------------------------------------------------------
+# function shipping (closures / exec-defined functions by value)
+# ---------------------------------------------------------------------------
+
+class _EmptyCell:
+    """Marker for an unfilled closure cell (recursive inner functions)."""
+
+
+class _ModuleRef:
+    """Pickle surrogate for a module global: re-imported worker-side."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def _code_global_names(code: types.CodeType) -> set[str]:
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _code_global_names(const)
+    return names
+
+
+def _plain_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _ship_value(value: Any, memo: dict[int, Any]) -> Any:
+    if isinstance(value, types.FunctionType):
+        prev = memo.get(id(value))
+        if prev is not None:
+            return prev
+        if _plain_picklable(value):
+            return value
+        return ShippedFunction(value, memo)
+    if isinstance(value, types.ModuleType):
+        return _ModuleRef(value.__name__)
+    return value
+
+
+def _resolve_value(value: Any) -> Any:
+    if isinstance(value, ShippedFunction):
+        return value.rebuild()
+    if isinstance(value, _ModuleRef):
+        return importlib.import_module(value.name)
+    return value
+
+
+class ShippedFunction:
+    """A picklable surrogate for a function pickle rejects by reference.
+
+    Pickle serializes plain functions as ``module.qualname`` lookups,
+    which fails for closures, lambdas, and exec-defined functions — i.e.
+    for exactly the loop bodies our code generator emits.  This surrogate
+    carries the function *by value*: the code object through ``marshal``,
+    the referenced globals and closure cells shipped recursively (helper
+    functions defined in the same generated namespace travel along).
+    Only the names the code object actually references are captured, so
+    an unpicklable bystander in the defining namespace does not poison
+    the ship.
+
+    Cycles (a function whose globals reference itself) are handled with a
+    memo on both ends.  Rebuilding is lazy and cached; the surrogate is
+    itself callable so worker code need not special-case it.
+    """
+
+    def __init__(
+        self, fn: types.FunctionType, memo: dict[int, Any] | None = None
+    ) -> None:
+        memo = {} if memo is None else memo
+        memo[id(fn)] = self
+        code = fn.__code__
+        globs: dict[str, Any] = {}
+        fn_globals = fn.__globals__
+        for name in sorted(_code_global_names(code)):
+            if name in fn_globals:
+                globs[name] = _ship_value(fn_globals[name], memo)
+        cells: list[Any] = []
+        for cell in fn.__closure__ or ():
+            try:
+                cells.append(_ship_value(cell.cell_contents, memo))
+            except ValueError:  # empty cell: not yet bound
+                cells.append(_EmptyCell())
+        self.spec: dict[str, Any] = {
+            "code": marshal.dumps(code),
+            "name": fn.__name__,
+            "qualname": fn.__qualname__,
+            "defaults": tuple(
+                _ship_value(d, memo) for d in fn.__defaults__ or ()
+            ),
+            "kwdefaults": {
+                k: _ship_value(d, memo)
+                for k, d in (fn.__kwdefaults__ or {}).items()
+            },
+            "globals": globs,
+            "closure": tuple(cells),
+        }
+        self._fn: Callable | None = None
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"spec": self.spec}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.spec = state["spec"]
+        self._fn = None
+
+    def rebuild(self) -> Callable:
+        if self._fn is not None:
+            return self._fn
+        spec = self.spec
+        code = marshal.loads(spec["code"])
+        glob: dict[str, Any] = {"__builtins__": builtins}
+        closure = (
+            tuple(types.CellType() for _ in spec["closure"]) or None
+        )
+        fn = types.FunctionType(code, glob, spec["name"], None, closure)
+        # register before resolving children so self-references terminate
+        self._fn = fn
+        for name, value in spec["globals"].items():
+            glob[name] = _resolve_value(value)
+        for cell, value in zip(closure or (), spec["closure"]):
+            if not isinstance(value, _EmptyCell):
+                cell.cell_contents = _resolve_value(value)
+        if spec["defaults"]:
+            fn.__defaults__ = tuple(
+                _resolve_value(v) for v in spec["defaults"]
+            )
+        if spec["kwdefaults"]:
+            fn.__kwdefaults__ = {
+                k: _resolve_value(v) for k, v in spec["kwdefaults"].items()
+            }
+        fn.__qualname__ = spec["qualname"]
+        return fn
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.rebuild()(*args, **kwargs)
+
+
+def ship_callable(fn: Callable) -> Callable:
+    """``fn`` if pickle accepts it, else a :class:`ShippedFunction`.
+
+    Raises :class:`ShipError` for callables that are neither (builtin
+    methods bound to unpicklable objects, callable instances of
+    exec-defined classes, ...) — the caller's cue to fall back to
+    threads.
+    """
+    if _plain_picklable(fn):
+        return fn
+    if isinstance(fn, types.FunctionType):
+        return ShippedFunction(fn)
+    raise ShipError(f"cannot ship {fn!r} to a worker process")
+
+
+# ---------------------------------------------------------------------------
+# the process pool
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChunkResult:
+    """One chunk's outcome, shipped back from a worker process."""
+
+    index: int
+    #: per-element results (map mode) or a single folded partial (reduce)
+    values: list[Any]
+    #: (seq, error, attempts, action) — the ErrorRecord ingredients
+    records: list[tuple[int, BaseException, int, str]]
+    counters: dict[str, int]
+    #: worker-side chaos-injection counter deltas for this chunk
+    chaos: dict[str, int] | None
+    failed: bool
+
+
+@dataclass
+class ProcessRun:
+    """What the collector saw: delivered chunks plus failure evidence."""
+
+    chunks: dict[int, ChunkResult]
+    fatal: list[str]
+    leaked: list[str]
+
+    def missing(self, n_chunks: int) -> list[int]:
+        return [k for k in range(n_chunks) if k not in self.chunks]
+
+
+def build_process_payload(
+    body: Callable,
+    vals: Sequence[Any],
+    chunks: Sequence[tuple[int, int]],
+    *,
+    policy: FaultPolicy | None = None,
+    chaos: ChaosInjector | None = None,
+    reduce_op: Callable | None = None,
+    label: str = "loop",
+) -> tuple[bytes | None, str | None]:
+    """Pickle the whole work payload up front.
+
+    Returns ``(blob, None)`` when the work can cross a process boundary,
+    ``(None, reason)`` when it cannot — the up-front detection that turns
+    an unpicklable loop body into a recorded thread fallback instead of a
+    mid-run crash.
+    """
+    try:
+        payload = (
+            ship_callable(body),
+            list(vals),
+            list(chunks),
+            policy,
+            chaos.spec() if chaos is not None else None,
+            ship_callable(reduce_op) if reduce_op is not None else None,
+            label,
+        )
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), None
+    except Exception as exc:
+        return None, f"not process-safe ({type(exc).__name__}: {exc})"
+
+
+def _shippable_error(exc: BaseException) -> BaseException:
+    """The exception itself when picklable, else a faithful stand-in."""
+    if _plain_picklable(exc):
+        return exc
+    return RuntimeError(f"unpicklable worker error: {exc!r}")
+
+
+def _run_map_chunk(
+    k: int,
+    bounds: tuple[int, int],
+    fn: Callable,
+    vals: Sequence[Any],
+    policy: FaultPolicy | None,
+    should_stop: Callable[[], bool],
+) -> tuple[list[Any], list, dict[str, int], bool, bool]:
+    """(values, records, counters, failed, aborted) for one map chunk."""
+    lo, hi = bounds
+    values: list[Any] = []
+    records: list = []
+    counters = {
+        "delivered": 0, "retried": 0, "skipped": 0,
+        "fallbacks": 0, "failed": 0,
+    }
+    for i in range(lo, hi):
+        if should_stop():
+            return values, records, counters, False, True
+        if policy is None:
+            try:
+                values.append(fn(vals[i]))
+                counters["delivered"] += 1
+            except BaseException as exc:
+                records.append((i, _shippable_error(exc), 1, "failed"))
+                counters["failed"] += 1
+                return values, records, counters, True, False
+        else:
+            outcome = policy.execute(fn, vals[i])
+            counters["retried"] += outcome.retried
+            if outcome.error is not None:
+                records.append((
+                    i,
+                    _shippable_error(outcome.error),
+                    outcome.attempts,
+                    outcome.action,
+                ))
+            if outcome.action == "failed":
+                counters["failed"] += 1
+                return values, records, counters, True, False
+            if outcome.action == "skipped":
+                counters["skipped"] += 1
+            elif outcome.action == "fallback":
+                counters["fallbacks"] += 1
+                counters["delivered"] += 1
+            else:
+                counters["delivered"] += 1
+            # skip degrades to fallback in a map context: slot kept
+            values.append(outcome.value)
+    return values, records, counters, False, False
+
+
+def _run_reduce_chunk(
+    k: int,
+    bounds: tuple[int, int],
+    fn: Callable,
+    vals: Sequence[Any],
+    reduce_op: Callable,
+) -> tuple[list[Any], list, dict[str, int], bool]:
+    """Fold one chunk from its first element (init enters parent-side)."""
+    lo, hi = bounds
+    counters = {
+        "delivered": 0, "retried": 0, "skipped": 0,
+        "fallbacks": 0, "failed": 0,
+    }
+    try:
+        acc = fn(vals[lo])
+        for i in range(lo + 1, hi):
+            acc = reduce_op(acc, fn(vals[i]))
+        counters["delivered"] = hi - lo
+        return [acc], [], counters, False
+    except BaseException as exc:
+        counters["failed"] = 1
+        return [], [(lo, _shippable_error(exc), 1, "failed")], counters, True
+
+
+def _worker_main(
+    wid: int,
+    nworkers: int,
+    blob: bytes,
+    schedule: str,
+    counter,
+    result_q,
+    stop_event,
+    cancel_event,
+) -> None:
+    """Pool worker entry point (module-level: spawn-safe by construction)."""
+    try:
+        body, vals, chunks, policy, chaos_spec, reduce_op, label = (
+            pickle.loads(blob)
+        )
+    except BaseException as exc:  # pragma: no cover - probed parent-side
+        result_q.put(pickle.dumps(("fatal", wid, repr(exc))))
+        result_q.put(pickle.dumps(("done", wid)))
+        return
+    injector = (
+        ChaosInjector.from_spec(chaos_spec) if chaos_spec is not None else None
+    )
+
+    def should_stop() -> bool:
+        return stop_event.is_set() or (
+            cancel_event is not None and cancel_event.is_set()
+        )
+
+    if schedule == "static":
+        assigned = iter(range(wid, len(chunks), nworkers))
+
+        def claim() -> int | None:
+            return next(assigned, None)
+    else:
+
+        def claim() -> int | None:
+            with counter.get_lock():
+                k = counter.value
+                if k >= len(chunks):
+                    return None
+                counter.value += 1
+                return k
+
+    try:
+        while not should_stop():
+            k = claim()
+            if k is None:
+                break
+            # one chaos stream per chunk: deterministic for a given chunk
+            # assignment regardless of which worker claims it
+            fn = (
+                injector.wrap(body, name=f"{label}#c{k}")
+                if injector is not None
+                else body
+            )
+            before = injector.stats() if injector is not None else None
+            if reduce_op is not None:
+                values, records, counters, failed = _run_reduce_chunk(
+                    k, chunks[k], fn, vals, reduce_op
+                )
+                aborted = False
+            else:
+                values, records, counters, failed, aborted = _run_map_chunk(
+                    k, chunks[k], fn, vals, policy, should_stop
+                )
+            if aborted:
+                break
+            delta = None
+            if injector is not None:
+                after = injector.stats()
+                delta = {key: after[key] - before[key] for key in after}
+            chunk = ChunkResult(k, values, records, counters, delta, failed)
+            try:
+                out = pickle.dumps(("chunk", chunk))
+            except Exception as exc:
+                chunk = ChunkResult(
+                    k,
+                    [],
+                    [(
+                        chunks[k][0],
+                        RuntimeError(f"chunk result not picklable: {exc!r}"),
+                        1,
+                        "failed",
+                    )],
+                    counters,
+                    delta,
+                    True,
+                )
+                out = pickle.dumps(("chunk", chunk))
+            result_q.put(out)
+            if chunk.failed:
+                stop_event.set()  # siblings stop claiming, like threads
+                break
+    finally:
+        result_q.put(pickle.dumps(("done", wid)))
+
+
+def run_process_chunks(
+    blob: bytes,
+    n_chunks: int,
+    *,
+    workers: int,
+    schedule: str = "dynamic",
+    cancel: CancellationToken | None = None,
+) -> ProcessRun:
+    """Execute a prepared payload on a process pool and collect chunks.
+
+    The collector never blocks indefinitely: it polls worker liveness, so
+    a worker that dies without delivering its done-marker surfaces as
+    lost chunks instead of a hang.  Stragglers are terminated on exit.
+    """
+    ctx = mp_context()
+    nworkers = max(1, min(workers, n_chunks))
+    counter = ctx.Value("i", 0)
+    result_q = ctx.Queue()
+    stop_event = ctx.Event()
+    cancel_event = (
+        cancel.shared_event
+        if isinstance(cancel, ProcessCancellationToken)
+        else None
+    )
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(
+                wid, nworkers, blob, schedule, counter, result_q,
+                stop_event, cancel_event,
+            ),
+            daemon=True,
+            name=f"repro-pool-{wid}",
+        )
+        for wid in range(nworkers)
+    ]
+    for p in procs:
+        p.start()
+
+    chunks: dict[int, ChunkResult] = {}
+    fatal: list[str] = []
+    done = 0
+
+    def absorb(message: tuple) -> None:
+        nonlocal done
+        tag = message[0]
+        if tag == "chunk":
+            chunks[message[1].index] = message[1]
+        elif tag == "done":
+            done += 1
+        else:
+            fatal.append(message[2])
+
+    try:
+        while done < len(procs):
+            # bridge a plain (thread-level) token into the pool
+            if (
+                cancel is not None
+                and cancel_event is None
+                and cancel.cancelled
+            ):
+                stop_event.set()
+            try:
+                absorb(pickle.loads(result_q.get(timeout=0.1)))
+            except _queue.Empty:
+                if all(not p.is_alive() for p in procs):
+                    while True:  # final drain: queue may still hold items
+                        try:
+                            absorb(pickle.loads(result_q.get_nowait()))
+                        except _queue.Empty:
+                            break
+                    break
+    finally:
+        for p in procs:
+            p.join(timeout=1.0)
+        leaked = [p.name for p in procs if p.is_alive()]
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=0.5)
+        result_q.close()
+    return ProcessRun(chunks=chunks, fatal=fatal, leaked=leaked)
+
+
+def invoke_task(task: Callable[[], Any]) -> Any:
+    """Module-level thunk runner: the master/worker process-map body."""
+    return task()
+
+
+# ---------------------------------------------------------------------------
+# the stage-worker seam (pipelines)
+# ---------------------------------------------------------------------------
+
+def stage_worker_factory(
+    backend: str, events: list[BackendEvent] | None = None
+) -> Callable[..., threading.Thread]:
+    """The spawner pipelines use for their stage workers.
+
+    Thread-backed for every backend today: stage workers of a ``process``
+    pipeline still run on threads (recorded as a :class:`BackendEvent`)
+    until a later release lifts whole stages onto processes — the factory
+    exists so that change lands behind one interface.
+    """
+    name = normalize_backend(backend)
+    if name == "process" and events is not None:
+        events.append(
+            BackendEvent(
+                "process",
+                "thread",
+                "pipeline stage workers are thread-bound in this release",
+            )
+        )
+
+    def spawn(target: Callable[[], None], name: str) -> threading.Thread:
+        return threading.Thread(target=target, name=name, daemon=True)
+
+    return spawn

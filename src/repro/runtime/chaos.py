@@ -131,3 +131,33 @@ class ChaosInjector:
                 "injected_failures": self.injected_failures,
                 "injected_delays": self.injected_delays,
             }
+
+    # ------------------------------------------------------------------
+    # process-backend support: an injector holds locks and rng streams,
+    # so it crosses a process boundary as its constructor arguments and
+    # is rebuilt per worker; count deltas ship back and are folded in
+    # parent-side, keeping conservation checks valid across backends.
+    # ------------------------------------------------------------------
+    def spec(self) -> dict[str, Any]:
+        """Picklable constructor arguments for a worker-side rebuild."""
+        out: dict[str, Any] = {
+            "seed": self.seed,
+            "fail_rate": self.fail_rate,
+            "delay_rate": self.delay_rate,
+            "delay": self.delay,
+            "fail_first": self.fail_first,
+        }
+        if self.exception is not ChaosError:
+            out["exception"] = self.exception
+        return out
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, Any]) -> "ChaosInjector":
+        return cls(**spec)
+
+    def absorb(self, delta: dict[str, int]) -> None:
+        """Fold a worker's counter deltas into this (parent) injector."""
+        with self._lock:
+            self.calls += delta.get("calls", 0)
+            self.injected_failures += delta.get("injected_failures", 0)
+            self.injected_delays += delta.get("injected_delays", 0)

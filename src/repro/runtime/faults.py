@@ -97,7 +97,9 @@ class CancellationToken:
                 pass
 
     def raise_if_cancelled(self) -> None:
-        if self._event.is_set():
+        # goes through the property so subclasses that widen the fired
+        # check (e.g. the process-shared token) are honoured everywhere
+        if self.cancelled:
             raise CancelledError(self._reason or "cancelled")
 
     def wait(self, timeout: float) -> bool:

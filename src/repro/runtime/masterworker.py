@@ -10,6 +10,14 @@ Two usages, matching the paper:
 Workers are supervised: once any sibling records an error — or a shared
 :class:`~repro.runtime.faults.CancellationToken` fires — the pool stops
 claiming new tasks instead of running the full remaining input.
+
+The pool substrate is selectable (``Backend@workers`` in a tuning file):
+``serial`` runs tasks in the master thread, ``thread`` uses the
+supervised thread pool, and ``process`` ships each task thunk to a
+``multiprocessing`` pool — closures are shipped by value (see
+:mod:`repro.runtime.backend`), and a thunk that cannot cross the process
+boundary downgrades the whole run to threads with a recorded
+:class:`~repro.runtime.backend.BackendEvent` in :attr:`last_events`.
 """
 
 from __future__ import annotations
@@ -17,12 +25,22 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.runtime.backend import (
+    BackendEvent,
+    ShipError,
+    build_process_payload,
+    downgrade,
+    invoke_task,
+    normalize_backend,
+    run_process_chunks,
+    ship_callable,
+)
 from repro.runtime.faults import CancellationToken, CancelledError
 from repro.runtime.item import Item
 
 
 class MasterWorker:
-    """Execute independent work items with a pool of worker threads."""
+    """Execute independent work items with a pool of workers."""
 
     def __init__(
         self,
@@ -30,11 +48,15 @@ class MasterWorker:
         workers: int | None = None,
         merge: Callable[[Any, Sequence[Any]], Any] | None = None,
         name: str = "masterworker",
+        backend: str = "thread",
     ) -> None:
         self.items: list[Item] = list(items)
         self.workers = workers or max(len(self.items), 1)
         self.merge = merge or (lambda value, results: tuple(results))
         self.name = name
+        self.backend = normalize_backend(backend)
+        #: backend decisions (downgrades) from the most recent run
+        self.last_events: list[BackendEvent] = []
         # pipeline-element tuning state (an MW group is one pipeline stage)
         self.replicable = all(i.replicable for i in self.items) if items else False
         self.replication = 1
@@ -68,7 +90,26 @@ class MasterWorker:
         """
         cancel = cancel or self.cancel
         tasks = list(tasks)
-        results: list[Any] = [None] * len(tasks)
+        self.last_events = []
+        backend = self.backend
+        if not tasks:
+            return []
+
+        if backend == "serial" or self.workers <= 1:
+            results: list[Any] = []
+            for task in tasks:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                results.append(task())
+            return results
+
+        if backend == "process":
+            done = self._run_process(tasks, cancel)
+            if done is not None:
+                return done
+            # _run_process recorded the downgrade; fall through to threads
+
+        results = [None] * len(tasks)
         errors: list[BaseException] = []
         lock = threading.Lock()
         next_task = [0]
@@ -103,6 +144,56 @@ class MasterWorker:
             raise errors[0]
         if cancel is not None and cancel.cancelled:
             raise CancelledError(cancel.reason or "cancelled")
+        return results
+
+    def _run_process(
+        self,
+        tasks: list[Callable[[], Any]],
+        cancel: CancellationToken | None,
+    ) -> list[Any] | None:
+        """Run the thunks on a process pool; None means "use threads".
+
+        Each task is one chunk — master/worker tasks are coarse-grained
+        by construction, so per-task IPC is the right granularity.
+        """
+        chunks = [(i, i + 1) for i in range(len(tasks))]
+        try:
+            shipped = [ship_callable(t) for t in tasks]
+        except ShipError as exc:
+            downgrade("process", "thread", str(exc), self.last_events)
+            return None
+        blob, reason = build_process_payload(
+            invoke_task, shipped, chunks, label=self.name
+        )
+        if blob is None:
+            downgrade("process", "thread", reason, self.last_events)
+            return None
+        run = run_process_chunks(
+            blob,
+            len(chunks),
+            workers=self.workers,
+            schedule="dynamic",
+            cancel=cancel,
+        )
+        results: list[Any] = [None] * len(tasks)
+        first_error: BaseException | None = None
+        for k in sorted(run.chunks):
+            chunk = run.chunks[k]
+            if chunk.failed:
+                if first_error is None:
+                    first_error = chunk.records[0][1]
+                continue
+            results[k] = chunk.values[0]
+        if first_error is not None:
+            raise first_error
+        if cancel is not None and cancel.cancelled:
+            raise CancelledError(cancel.reason or "cancelled")
+        missing = run.missing(len(chunks))
+        if run.fatal or missing:
+            raise RuntimeError(
+                f"{self.name}: worker pool lost task(s): "
+                f"fatal={run.fatal} missing={missing} leaked={run.leaked}"
+            )
         return results
 
     def map(self, fn: Callable[[Any], Any], values: Iterable[Any]) -> list[Any]:

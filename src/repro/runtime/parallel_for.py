@@ -2,10 +2,19 @@
 
 ``parallel_for`` executes independent loop iterations on a worker pool,
 honouring the DOALL tuning parameters (``NumWorkers``, ``ChunkSize``,
-``Schedule``, ``SequentialExecution``).  Results are collected in index
-order — the "ordered collector" transformation for ``out.append(...)``
-loops — and ``parallel_reduce`` implements the reduction idiom with an
-associative combiner.
+``Schedule``, ``SequentialExecution`` — and, since the backend layer,
+``Backend``).  Results are collected in index order — the "ordered
+collector" transformation for ``out.append(...)`` loops — and
+``parallel_reduce`` implements the reduction idiom with an associative
+combiner.
+
+Three execution substrates (see :mod:`repro.runtime.backend`):
+``serial`` runs in the calling thread, ``thread`` on a supervised thread
+pool (no GIL relief, but zero setup cost), ``process`` on a
+``multiprocessing`` pool — real multicore speedup for CPU-bound bodies.
+A body that cannot cross the process boundary is detected up front and
+downgraded to the thread backend with a recorded
+:class:`~repro.runtime.backend.BackendEvent` — never a crash.
 
 Workers are supervised: once any worker records an error — or a shared
 :class:`~repro.runtime.faults.CancellationToken` fires — the pool stops
@@ -13,7 +22,10 @@ claiming new chunks instead of running the full remaining input.  A
 :class:`~repro.runtime.faults.FaultPolicy` can wrap the loop body
 (``Retries@loop`` / ``ItemTimeout@loop`` / ``OnError@loop`` in a tuning
 file); ``skip`` and ``fallback`` substitute the policy's fallback value
-for poison elements so the result list keeps its length and order.
+for poison elements so the result list keeps its length and order.  All
+backends feed the same optional ``ledger`` of
+:class:`~repro.runtime.faults.ErrorRecord` entries, so fault accounting
+is backend-independent.
 """
 
 from __future__ import annotations
@@ -21,11 +33,44 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterable
 
-from repro.runtime.faults import CancellationToken, CancelledError, FaultPolicy
+from repro.runtime.backend import (
+    BackendEvent,
+    TuningError,
+    build_process_payload,
+    downgrade,
+    normalize_backend,
+    run_process_chunks,
+)
+from repro.runtime.chaos import ChaosInjector
+from repro.runtime.faults import (
+    CancellationToken,
+    CancelledError,
+    ErrorRecord,
+    FaultPolicy,
+)
+
+SCHEDULES = ("static", "dynamic")
 
 
 def _chunks(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    if chunk_size <= 0:
+        raise TuningError(
+            f"ChunkSize must be >= 1, got {chunk_size} "
+            "(zero or negative chunking emits no work)"
+        )
     return [(i, min(i + chunk_size, n)) for i in range(0, n, chunk_size)]
+
+
+def _validate(workers: int, chunk_size: int, schedule: str) -> None:
+    if workers <= 0:
+        raise TuningError(
+            f"NumWorkers must be >= 1, got {workers} "
+            "(an empty pool would hang the collector)"
+        )
+    if chunk_size <= 0:
+        raise TuningError(f"ChunkSize must be >= 1, got {chunk_size}")
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}")
 
 
 def _stopped(
@@ -43,6 +88,105 @@ def _finish(
         raise CancelledError(cancel.reason or "cancelled")
 
 
+def _record(
+    ledger: list[ErrorRecord] | None,
+    lock: threading.Lock | None,
+    seq: int,
+    error: BaseException,
+    attempts: int,
+) -> None:
+    if ledger is None:
+        return
+    record = ErrorRecord("loop", seq, error, attempts)
+    if lock is not None:
+        with lock:
+            ledger.append(record)
+    else:
+        ledger.append(record)
+
+
+def _make_element(
+    body: Callable[[Any], Any],
+    policy: FaultPolicy | None,
+    cancel: CancellationToken | None,
+    ledger: list[ErrorRecord] | None,
+    lock: threading.Lock | None,
+) -> Callable[[int, Any], Any]:
+    """The per-element runner shared by the serial and thread paths.
+
+    Applies the fault policy and feeds the ledger, so serial, thread and
+    process runs of the same workload produce the same error records.
+    """
+
+    def element(seq: int, value: Any) -> Any:
+        if policy is None:
+            try:
+                return body(value)
+            except CancelledError:
+                raise
+            except BaseException as exc:
+                _record(ledger, lock, seq, exc, 1)
+                raise
+        outcome = policy.execute(body, value, cancel=cancel)
+        if outcome.error is not None:
+            _record(ledger, lock, seq, outcome.error, outcome.attempts)
+        if outcome.action == "failed":
+            raise outcome.error
+        # skip in a map context degrades to fallback: the result list
+        # keeps its length and order
+        return outcome.value
+
+    return element
+
+
+def _assemble_process_run(
+    run,
+    chunks: list[tuple[int, int]],
+    results: list[Any] | None,
+    ledger: list[ErrorRecord] | None,
+    chaos: ChaosInjector | None,
+    cancel: CancellationToken | None,
+) -> None:
+    """Fold a :class:`~repro.runtime.backend.ProcessRun` into caller state.
+
+    Fills ``results`` slots per chunk, reconstructs ledger records, and
+    re-raises in the same priority order the thread pool uses: first
+    element error, then cancellation, then pool-infrastructure failure.
+    """
+    first_error: BaseException | None = None
+    first_error_chunk: int | None = None
+    for k in sorted(run.chunks):
+        chunk = run.chunks[k]
+        lo, _hi = chunks[k]
+        if results is not None:
+            for offset, value in enumerate(chunk.values):
+                results[lo + offset] = value
+        for seq, error, attempts, _action in chunk.records:
+            if ledger is not None:
+                ledger.append(ErrorRecord("loop", seq, error, attempts))
+        if chunk.failed and first_error is None:
+            for _seq, error, _attempts, action in chunk.records:
+                if action == "failed":
+                    first_error = error
+                    first_error_chunk = k
+                    break
+        if chaos is not None and chunk.chaos:
+            chaos.absorb(chunk.chaos)
+    if first_error is not None:
+        raise first_error
+    if cancel is not None and cancel.cancelled:
+        raise CancelledError(cancel.reason or "cancelled")
+    if run.fatal:
+        raise RuntimeError(f"worker process failed to start: {run.fatal[0]}")
+    missing = run.missing(len(chunks))
+    if missing:
+        raise RuntimeError(
+            f"worker pool lost {len(missing)} chunk(s) "
+            f"(first: {missing[0]}, chunk {first_error_chunk}); "
+            f"leaked={run.leaked}"
+        )
+
+
 def parallel_for(
     values: Iterable[Any],
     body: Callable[[Any], Any],
@@ -53,34 +197,75 @@ def parallel_for(
     sequential_threshold: int = 0,
     cancel: CancellationToken | None = None,
     policy: FaultPolicy | None = None,
+    backend: str = "thread",
+    chaos: ChaosInjector | None = None,
+    ledger: list[ErrorRecord] | None = None,
+    events: list[BackendEvent] | None = None,
 ) -> list[Any]:
     """Apply ``body`` to every value; return results in input order.
 
     ``schedule="static"`` pre-assigns chunks round-robin to workers;
     ``"dynamic"`` lets workers pull the next chunk from a shared counter.
-    ``sequential=True`` (the SequentialExecution parameter) or a stream
-    shorter than ``sequential_threshold`` falls back to a plain loop so the
+    ``sequential=True`` (the SequentialExecution parameter), a
+    ``backend="serial"``, or a stream shorter than
+    ``sequential_threshold`` falls back to a plain loop so the
     transformed program is never slower than the original.
-    """
-    if policy is not None:
-        raw = body
 
-        def body(v: Any, _raw: Callable[[Any], Any] = raw) -> Any:
-            outcome = policy.execute(_raw, v, cancel=cancel)
-            if outcome.action == "failed":
-                raise outcome.error
-            # skip in a map context degrades to fallback: the result list
-            # keeps its length and order
-            return outcome.value
+    ``chaos`` injects seeded faults (worker-side under the process
+    backend); ``ledger`` collects every element-level
+    :class:`~repro.runtime.faults.ErrorRecord`; ``events`` collects
+    backend downgrade decisions.
+    """
+    _validate(workers, chunk_size, schedule)
+    effective = normalize_backend(backend)
+    raw_body = body
 
     vals = list(values)
     n = len(vals)
-    if sequential or n <= sequential_threshold or workers <= 1 or n == 0:
-        return [body(v) for v in vals]
+    go_serial = (
+        effective == "serial"
+        or sequential
+        or n <= sequential_threshold
+        or workers <= 1
+        or n == 0
+    )
 
-    results: list[Any] = [None] * n
+    if not go_serial and effective == "process":
+        chunks = _chunks(n, chunk_size)
+        blob, reason = build_process_payload(
+            raw_body, vals, chunks, policy=policy, chaos=chaos, label="loop"
+        )
+        if blob is None:
+            effective = downgrade("process", "thread", reason, events)
+        else:
+            results: list[Any] = [None] * n
+            run = run_process_chunks(
+                blob,
+                len(chunks),
+                workers=workers,
+                schedule=schedule,
+                cancel=cancel,
+            )
+            _assemble_process_run(run, chunks, results, ledger, chaos, cancel)
+            return results
+
+    if chaos is not None:
+        body = chaos.wrap(raw_body, name="loop")
+
+    if go_serial:
+        element = _make_element(body, policy, cancel, ledger, None)
+        out = []
+        for i, v in enumerate(vals):
+            if cancel is not None:
+                cancel.raise_if_cancelled()
+            out.append(element(i, v))
+        return out
+
+    results = [None] * n
     errors: list[BaseException] = []
-    chunks = _chunks(n, max(1, chunk_size))
+    ledger_lock = threading.Lock() if ledger is not None else None
+    element = _make_element(body, policy, cancel, ledger, ledger_lock)
+    chunks = _chunks(n, chunk_size)
     nworkers = min(workers, len(chunks))
 
     if schedule == "static":
@@ -94,7 +279,7 @@ def parallel_for(
                     if _stopped(errors, cancel):
                         return
                     for i in range(lo, hi):
-                        results[i] = body(vals[i])
+                        results[i] = element(i, vals[i])
             except BaseException as exc:
                 errors.append(exc)
 
@@ -104,7 +289,7 @@ def parallel_for(
             )
             for k in range(nworkers)
         ]
-    elif schedule == "dynamic":
+    else:
         lock = threading.Lock()
         next_chunk = [0]
 
@@ -120,7 +305,7 @@ def parallel_for(
                         next_chunk[0] += 1
                     lo, hi = chunks[k]
                     for i in range(lo, hi):
-                        results[i] = body(vals[i])
+                        results[i] = element(i, vals[i])
             except BaseException as exc:
                 errors.append(exc)
 
@@ -128,8 +313,6 @@ def parallel_for(
             threading.Thread(target=dynamic_worker, daemon=True)
             for _ in range(nworkers)
         ]
-    else:
-        raise ValueError(f"unknown schedule {schedule!r}")
 
     for t in threads:
         t.start()
@@ -148,6 +331,8 @@ def parallel_reduce(
     chunk_size: int = 16,
     sequential: bool = False,
     cancel: CancellationToken | None = None,
+    backend: str = "thread",
+    events: list[BackendEvent] | None = None,
 ) -> Any:
     """Map ``body`` over values and fold with the associative ``op``.
 
@@ -155,18 +340,56 @@ def parallel_reduce(
     enters the fold exactly once, when the partials are combined — so a
     non-neutral ``init`` (e.g. ``10`` for a sum) is counted once, as in
     the sequential loop.  Partials are combined in chunk order, so even a
-    merely-associative (non-commutative) ``op`` is safe.
+    merely-associative (non-commutative) ``op`` is safe — on every
+    backend: the process pool ships partials back tagged by chunk index.
     """
+    _validate(workers, chunk_size, "dynamic")
+    effective = normalize_backend(backend)
     vals = list(values)
     n = len(vals)
-    if sequential or workers <= 1 or n == 0:
+    if effective == "serial" or sequential or workers <= 1 or n == 0:
         acc = init
         for v in vals:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             acc = op(acc, body(v))
         return acc
 
-    chunks = _chunks(n, max(1, chunk_size))
-    partials: list[Any] = [None] * len(chunks)
+    chunks = _chunks(n, chunk_size)
+
+    if effective == "process":
+        blob, reason = build_process_payload(
+            body, vals, chunks, reduce_op=op, label="reduce"
+        )
+        if blob is None:
+            effective = downgrade("process", "thread", reason, events)
+        else:
+            run = run_process_chunks(
+                blob,
+                len(chunks),
+                workers=workers,
+                schedule="dynamic",
+                cancel=cancel,
+            )
+            partials: list[Any] = [None] * len(chunks)
+            for k in sorted(run.chunks):
+                chunk = run.chunks[k]
+                if chunk.failed:
+                    raise chunk.records[0][1]
+                partials[k] = chunk.values[0]
+            if cancel is not None and cancel.cancelled:
+                raise CancelledError(cancel.reason or "cancelled")
+            if run.fatal or run.missing(len(chunks)):
+                raise RuntimeError(
+                    "worker pool lost reduce partials: "
+                    f"fatal={run.fatal} missing={run.missing(len(chunks))}"
+                )
+            acc = init
+            for p in partials:
+                acc = op(acc, p)
+            return acc
+
+    partials = [None] * len(chunks)
     errors: list[BaseException] = []
     lock = threading.Lock()
     next_chunk = [0]
@@ -210,12 +433,17 @@ def configured_parallel_for(
     body: Callable[[Any], Any],
     config: dict[str, Any],
     cancel: CancellationToken | None = None,
+    chaos: ChaosInjector | None = None,
+    ledger: list[ErrorRecord] | None = None,
+    events: list[BackendEvent] | None = None,
 ) -> list[Any]:
     """``parallel_for`` driven by a tuning configuration mapping.
 
     Fault-policy keys (``Retries@loop``, ``ItemTimeout@loop``,
-    ``OnError@loop``) are honoured alongside the performance knobs, so
-    generated DOALL code is supervisable without recompilation.
+    ``OnError@loop``) and the execution substrate (``Backend@loop``) are
+    honoured alongside the performance knobs, so generated DOALL code is
+    supervisable — and movable between threads and processes — without
+    recompilation.
     """
     policy = None
     retries = int(config.get("Retries@loop", 0))
@@ -236,4 +464,8 @@ def configured_parallel_for(
         sequential=bool(config.get("SequentialExecution@loop", False)),
         cancel=cancel,
         policy=policy,
+        backend=str(config.get("Backend@loop", "thread")),
+        chaos=chaos,
+        ledger=ledger,
+        events=events,
     )

@@ -37,6 +37,11 @@ import threading
 import time
 from typing import Any, Iterable
 
+from repro.runtime.backend import (
+    BackendEvent,
+    normalize_backend,
+    stage_worker_factory,
+)
 from repro.runtime.buffer import BoundedBuffer, EndOfStream
 from repro.runtime.faults import (
     CancellationToken,
@@ -162,6 +167,7 @@ class Pipeline:
         sequential_threshold: int = 0,
         stall_timeout: float | None = 30.0,
         name: str = "pipeline",
+        backend: str = "thread",
     ) -> None:
         if not elements:
             raise ValueError("a pipeline needs at least one element")
@@ -171,6 +177,9 @@ class Pipeline:
         self.sequential_threshold = sequential_threshold
         self.stall_timeout = stall_timeout
         self.name = name
+        self.backend = normalize_backend(backend)
+        #: backend decisions (downgrades) from the most recent run
+        self.backend_events: list[BackendEvent] = []
         self.input: Iterable[Any] | None = None
         self.output: list[Any] = []
         self._fusions: set[str] = set()
@@ -269,6 +278,16 @@ class Pipeline:
                     if value not in ("fail_fast", "skip", "fallback"):
                         raise ValueError(f"invalid OnError value {value!r}")
                     policy.on_error = str(value)
+            elif pname == "Backend":
+                if target == "pipeline":
+                    self.backend = normalize_backend(value)
+                elif target in _LOOP_TARGETS:
+                    continue  # a sibling pattern's backend; tolerated
+                else:
+                    raise KeyError(
+                        f"Backend targets the whole pipeline "
+                        f"('Backend@pipeline'), got {key!r}"
+                    )
             elif pname in ("NumWorkers", "ChunkSize", "Schedule"):
                 continue  # parameters of sibling patterns; tolerated in shared files
             else:
@@ -306,7 +325,11 @@ class Pipeline:
         values = list(self.input)
 
         elements = self._effective_elements()
-        if self.sequential or len(values) <= self.sequential_threshold:
+        if (
+            self.backend == "serial"
+            or self.sequential
+            or len(values) <= self.sequential_threshold
+        ):
             self.output = list(self._run_sequential(iter(values), elements))
             return self.output
         self.output = list(self._stream_threaded(iter(values), elements))
@@ -326,7 +349,7 @@ class Pipeline:
         if self.input is None:
             raise ValueError("pipeline has no input stream")
         elements = self._effective_elements()
-        if self.sequential:
+        if self.backend == "serial" or self.sequential:
             return self._run_sequential(iter(self.input), elements)
         return self._stream_threaded(iter(self.input), elements)
 
@@ -334,6 +357,7 @@ class Pipeline:
         """One-thread execution with the same fault-policy contract as the
         threaded path (a policy must not change meaning under
         ``SequentialExecution``)."""
+        self.backend_events = []
         counters = {el.name: StageCounters() for el in elements}
         records: list[ErrorRecord] = []
         generated = 0
@@ -352,7 +376,7 @@ class Pipeline:
                 if outcome.action == "failed":
                     self._set_stats(
                         elements, None, counters, records, generated,
-                        delivered, None, None, [],
+                        delivered, None, None, [], executed="serial",
                     )
                     raise PipelineError(
                         self._error_message(records),
@@ -368,7 +392,7 @@ class Pipeline:
                 yield v
         self._set_stats(
             elements, None, counters, records, generated, delivered,
-            None, None, [],
+            None, None, [], executed="serial",
         )
 
     # ------------------------------------------------------------------
@@ -385,8 +409,11 @@ class Pipeline:
         cancelled: str | None,
         stall: tuple[str, list[int]] | None,
         leaked: list[str],
+        executed: str = "thread",
     ) -> None:
         self.stats = {
+            "backend": executed,
+            "backend_events": [e.as_dict() for e in self.backend_events],
             "stages": [el.name for el in elements],
             "buffer_high_water": (
                 [b.max_occupancy for b in buffers] if buffers else []
@@ -412,6 +439,12 @@ class Pipeline:
         return f"stage {first.stage!r} failed: {first.error!r}{more}"
 
     def _stream_threaded(self, values, elements: list[Element]):
+        self.backend_events = []
+        # every stage worker comes from the backend seam, so lifting
+        # whole stages onto processes later is a factory change, not a
+        # pipeline rewrite; a requested process backend records its
+        # thread-bound downgrade here
+        spawn = stage_worker_factory(self.backend, self.backend_events)
         eos = EndOfStream()
         n = len(elements)
         buffers = [
@@ -458,11 +491,7 @@ class Pipeline:
             except CancelledError:
                 pass
 
-        threads.append(
-            threading.Thread(
-                target=generator, name=f"{self.name}-gen", daemon=True
-            )
-        )
+        threads.append(spawn(generator, f"{self.name}-gen"))
 
         for i, el in enumerate(elements):
             replication = getattr(el, "replication", 1)
@@ -527,11 +556,7 @@ class Pipeline:
 
             for r in range(replication):
                 threads.append(
-                    threading.Thread(
-                        target=stage_worker,
-                        name=f"{self.name}-{el.name}-{r}",
-                        daemon=True,
-                    )
+                    spawn(stage_worker, f"{self.name}-{el.name}-{r}")
                 )
 
         # the no-progress watchdog: if no element crosses any buffer for

@@ -386,11 +386,14 @@ def generate_doall_source(func: IRFunction, match: PatternMatch) -> str:
     else:
         lines.append(f"{inner}return ({', '.join(ret_items)})")
 
-    lines.append(f"{ind}if __chaos__:")
-    lines.append(f"{ind}    __body = __chaos__.wrap(__body, name='loop')")
+    # chaos is handed to the runtime unwrapped: configured_parallel_for
+    # wraps thread/serial runs itself and ships the injector's spec to
+    # worker processes under Backend=process, where a parent-side closure
+    # could not travel
     lines.append(
         f"{ind}__results = configured_parallel_for("
-        f"{iter_text}, __body, dict(__tuning__ or {{}}))"
+        f"{iter_text}, __body, dict(__tuning__ or {{}}), "
+        f"chaos=__chaos__)"
     )
 
     # sequential replay of collector/reduction over ordered results
@@ -460,6 +463,13 @@ def generate_masterworker_source(func: IRFunction, match: PatternMatch) -> str:
     lines.append(
         f"{ind}__seq = bool((__tuning__ or {{}}).get("
         f"'SequentialExecution@workers', False))"
+    )
+    # Backend@workers='serial' means run in the master thread; thread and
+    # process both use the futures pool here (the statement group closes
+    # over loop-local state, which cannot cross a process boundary)
+    lines.append(
+        f"{ind}__seq = __seq or (__tuning__ or {{}}).get("
+        f"'Backend@workers', 'thread') == 'serial'"
     )
     lines.append(
         f"{ind}__wrap = __chaos__.wrap if __chaos__ else "

@@ -78,6 +78,31 @@ def with_fault_dimensions(
     )
 
 
+def backend_dimension(target: str = "loop") -> TuningParameter:
+    """The execution substrate as a search-space dimension.
+
+    The same ``Backend@<target>`` key ``configured_parallel_for`` and
+    ``Pipeline.configure`` honour; a tuner explores it like any other
+    knob, so the thread/process decision is measured per workload instead
+    of guessed (I/O-bound loops keep threads, CPU-bound ones discover the
+    process pool's multicore speedup).
+    """
+    from repro.patterns.tuning import BACKEND, BACKEND_DOMAIN, ChoiceParameter
+
+    return ChoiceParameter(
+        name=BACKEND, target=target, default="thread", choices=BACKEND_DOMAIN
+    )
+
+
+def with_backend_dimension(
+    space: "ParameterSpace", target: str = "loop"
+) -> "ParameterSpace":
+    """A copy of ``space`` widened by the ``Backend`` dimension."""
+    return ParameterSpace(
+        parameters=list(space.parameters) + [backend_dimension(target)]
+    )
+
+
 @dataclass
 class ParameterSpace:
     """An ordered space of tuning parameters with finite domains."""

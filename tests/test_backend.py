@@ -1,0 +1,681 @@
+"""The execution-backend layer: serial/thread/process parity, validation,
+fallback, shipping, cancellation, chaos conservation, and the tuning-file
+round trip onto real processes."""
+
+import os
+import pickle
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.patterns.tuning import BACKEND_DOMAIN, apply_config
+from repro.report import fault_report
+from repro.runtime import Item, MasterWorker, Pipeline
+from repro.runtime.backend import (
+    BACKENDS,
+    BackendEvent,
+    BackendFallbackWarning,
+    ProcessCancellationToken,
+    ShipError,
+    TuningError,
+    ship_callable,
+)
+from repro.runtime.chaos import ChaosError, ChaosInjector
+from repro.runtime.faults import (
+    CancellationToken,
+    CancelledError,
+    FaultPolicy,
+)
+from repro.runtime.parallel_for import (
+    configured_parallel_for,
+    parallel_for,
+    parallel_reduce,
+)
+
+backends = pytest.mark.parametrize("backend", BACKENDS)
+
+
+def square(x):
+    return x * x
+
+
+def poison_five(x):
+    if x == 5:
+        raise ValueError("poison element")
+    return x
+
+
+def boom_two(x):
+    if x == 2:
+        raise RuntimeError("boom")
+    return x
+
+
+# ---------------------------------------------------------------------------
+# input validation (TuningError)
+# ---------------------------------------------------------------------------
+
+class TestValidation:
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_rejects_nonpositive_workers(self, workers):
+        with pytest.raises(TuningError, match="NumWorkers"):
+            parallel_for([1, 2, 3], square, workers=workers)
+
+    @pytest.mark.parametrize("chunk_size", [0, -1, -64])
+    def test_rejects_nonpositive_chunk_size(self, chunk_size):
+        with pytest.raises(TuningError, match="ChunkSize"):
+            parallel_for([1, 2, 3], square, chunk_size=chunk_size)
+
+    def test_reduce_validates_too(self):
+        with pytest.raises(TuningError):
+            parallel_reduce([1, 2], square, lambda a, b: a + b, 0, workers=0)
+        with pytest.raises(TuningError):
+            parallel_reduce(
+                [1, 2], square, lambda a, b: a + b, 0, chunk_size=0
+            )
+
+    def test_validates_even_on_sequential_path(self):
+        # a bad knob must fail loudly even when the sequential shortcut
+        # would never have built the pool
+        with pytest.raises(TuningError):
+            parallel_for([1], square, workers=-2, sequential=True)
+
+    def test_configured_path_raises(self):
+        with pytest.raises(TuningError):
+            configured_parallel_for(
+                [1, 2, 3], square, {"ChunkSize@loop": 0}
+            )
+
+    def test_unknown_backend_is_tuning_error(self):
+        with pytest.raises(TuningError, match="Backend"):
+            parallel_for([1, 2], square, backend="gpu")
+
+    def test_tuning_error_is_value_error(self):
+        # callers catching the historical ValueError keep working
+        assert issubclass(TuningError, ValueError)
+
+    def test_unknown_schedule_still_value_error(self):
+        with pytest.raises(ValueError, match="schedule"):
+            parallel_for([1], square, schedule="magic")
+
+
+# ---------------------------------------------------------------------------
+# backend parity: same workload, identical results and ledgers
+# ---------------------------------------------------------------------------
+
+class TestBackendParity:
+    @backends
+    def test_map(self, backend):
+        out = parallel_for(
+            range(25), square, workers=4, chunk_size=3, backend=backend
+        )
+        assert out == [x * x for x in range(25)]
+
+    @backends
+    def test_map_static_schedule(self, backend):
+        out = parallel_for(
+            range(17),
+            square,
+            workers=3,
+            chunk_size=2,
+            schedule="static",
+            backend=backend,
+        )
+        assert out == [x * x for x in range(17)]
+
+    @backends
+    def test_reduce_non_commutative(self, backend):
+        # string concatenation is associative but not commutative: any
+        # out-of-chunk-order combine would scramble it
+        out = parallel_reduce(
+            range(12),
+            str,
+            lambda a, b: a + b,
+            "",
+            workers=4,
+            chunk_size=3,
+            backend=backend,
+        )
+        assert out == "".join(str(x) for x in range(12))
+
+    @backends
+    def test_fail_fast_raises_original_error(self, backend):
+        with pytest.raises(ValueError, match="poison"):
+            parallel_for(
+                range(10),
+                poison_five,
+                workers=3,
+                chunk_size=2,
+                backend=backend,
+            )
+
+    @backends
+    def test_masterworker_map(self, backend):
+        mw = MasterWorker(workers=3, backend=backend)
+        assert mw.map(square, range(10)) == [x * x for x in range(10)]
+
+    @backends
+    def test_masterworker_error(self, backend):
+        mw = MasterWorker(workers=2, backend=backend)
+        with pytest.raises(RuntimeError, match="boom"):
+            mw.map(boom_two, range(5))
+
+    def test_identical_ledgers_across_backends(self):
+        policy = FaultPolicy(on_error="fallback", fallback=-1)
+        ledgers = {}
+        results = {}
+        for backend in BACKENDS:
+            ledger = []
+            results[backend] = parallel_for(
+                range(10),
+                poison_five,
+                workers=3,
+                chunk_size=2,
+                backend=backend,
+                policy=policy,
+                ledger=ledger,
+            )
+            ledgers[backend] = [
+                (r.stage, r.seq, type(r.error).__name__, r.attempts)
+                for r in ledger
+            ]
+        assert results["serial"] == results["thread"] == results["process"]
+        assert results["serial"] == [0, 1, 2, 3, 4, -1, 6, 7, 8, 9]
+        assert (
+            ledgers["serial"]
+            == ledgers["thread"]
+            == ledgers["process"]
+            == [("loop", 5, "ValueError", 1)]
+        )
+
+    @backends
+    def test_retries_accounted_in_ledger(self, backend):
+        policy = FaultPolicy(
+            retries=2, backoff=0.0, on_error="fallback", fallback=None
+        )
+        ledger = []
+        out = parallel_for(
+            range(8),
+            poison_five,
+            workers=2,
+            chunk_size=2,
+            backend=backend,
+            policy=policy,
+            ledger=ledger,
+        )
+        assert out == [0, 1, 2, 3, 4, None, 6, 7]
+        assert [(r.seq, r.attempts) for r in ledger] == [(5, 3)]
+
+    @backends
+    def test_skip_keeps_length_and_order(self, backend):
+        policy = FaultPolicy(on_error="skip")
+        out = parallel_for(
+            range(10),
+            poison_five,
+            workers=3,
+            chunk_size=3,
+            backend=backend,
+            policy=policy,
+        )
+        assert out == [0, 1, 2, 3, 4, None, 6, 7, 8, 9]
+
+
+# ---------------------------------------------------------------------------
+# cancellation
+# ---------------------------------------------------------------------------
+
+def _slow_identity(x):
+    time.sleep(0.03)
+    return x
+
+
+class TestCancellation:
+    @backends
+    def test_pre_fired_token(self, backend):
+        token = CancellationToken()
+        token.cancel("stop before start")
+        with pytest.raises(CancelledError):
+            parallel_for(
+                range(10), square, workers=2, backend=backend, cancel=token
+            )
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_mid_run_cancellation(self, backend):
+        token = (
+            ProcessCancellationToken()
+            if backend == "process"
+            else CancellationToken()
+        )
+        timer = threading.Timer(0.1, token.cancel)
+        timer.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(CancelledError):
+                parallel_for(
+                    range(400),
+                    _slow_identity,
+                    workers=2,
+                    chunk_size=1,
+                    backend=backend,
+                    cancel=token,
+                )
+        finally:
+            timer.cancel()
+        # 400 elements * 30ms / 2 workers = 6s uncancelled; the pool must
+        # stop long before that
+        assert time.monotonic() - started < 3.0
+
+    def test_plain_token_bridged_into_process_pool(self):
+        # even a thread-level token stops a process pool: the collector
+        # bridges it to the pool's stop event
+        token = CancellationToken()
+        timer = threading.Timer(0.1, token.cancel)
+        timer.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(CancelledError):
+                parallel_for(
+                    range(400),
+                    _slow_identity,
+                    workers=2,
+                    chunk_size=1,
+                    backend="process",
+                    cancel=token,
+                )
+        finally:
+            timer.cancel()
+        assert time.monotonic() - started < 3.0
+
+    def test_process_token_api(self):
+        token = ProcessCancellationToken()
+        assert not token.cancelled
+        assert token.cancel("why") is True
+        assert token.cancelled
+        assert token.shared_event.is_set()
+        assert token.reason == "why"
+        with pytest.raises(CancelledError):
+            token.raise_if_cancelled()
+
+    @backends
+    def test_masterworker_cancellation(self, backend):
+        token = (
+            ProcessCancellationToken()
+            if backend == "process"
+            else CancellationToken()
+        )
+        token.cancel("stop")
+        mw = MasterWorker(workers=2, backend=backend)
+        with pytest.raises(CancelledError):
+            mw.run([lambda: 1, lambda: 2], cancel=token)
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation: unpicklable work falls back to threads
+# ---------------------------------------------------------------------------
+
+class TestProcessFallback:
+    def test_unpicklable_body_falls_back(self):
+        lock = threading.Lock()  # locks cannot cross a process boundary
+
+        def body(x):
+            with lock:
+                return x * 2
+
+        events = []
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = parallel_for(
+                range(12),
+                body,
+                workers=3,
+                chunk_size=2,
+                backend="process",
+                events=events,
+            )
+        assert out == [x * 2 for x in range(12)]  # identical results
+        assert [
+            (e.requested, e.actual) for e in events
+        ] == [("process", "thread")]
+        assert any(
+            issubclass(w.category, BackendFallbackWarning) for w in caught
+        )
+
+    def test_unpicklable_values_fall_back(self):
+        items = [threading.Lock() for _ in range(4)]
+        events = []
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            out = parallel_for(
+                [(i, item) for i, item in enumerate(items)],
+                lambda pair: pair[0],
+                workers=2,
+                backend="process",
+                events=events,
+            )
+        assert out == [0, 1, 2, 3]
+        assert events and events[0].actual == "thread"
+
+    def test_masterworker_fallback_records_event(self):
+        lock = threading.Lock()
+        mw = MasterWorker(workers=2, backend="process")
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            out = mw.map(lambda x: (lock, x * 10)[1], range(5))
+        assert out == [0, 10, 20, 30, 40]
+        assert mw.last_events
+        assert mw.last_events[0].requested == "process"
+        assert mw.last_events[0].actual == "thread"
+
+    def test_no_event_when_picklable(self):
+        events = []
+        parallel_for(
+            range(6), square, workers=2, backend="process", events=events
+        )
+        assert events == []
+
+
+# ---------------------------------------------------------------------------
+# function shipping
+# ---------------------------------------------------------------------------
+
+def _module_helper(x):
+    return x + 100
+
+
+class TestShipping:
+    def test_plain_function_passes_through(self):
+        assert ship_callable(square) is square
+
+    def test_ships_closure(self):
+        k = 7
+        shipped = ship_callable(lambda x: x + k)
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert clone(5) == 12
+
+    def test_ships_function_referencing_module_global(self):
+        def uses_helper(x):
+            return _module_helper(x) * 2
+
+        # force by-value shipping (a nested def never pickles by name)
+        shipped = ship_callable(uses_helper)
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert clone(1) == 202
+
+    def test_ships_exec_defined_function(self):
+        ns = {}
+        exec(
+            "def gen_body(x):\n"
+            "    return helper(x) - 1\n"
+            "def helper(x):\n"
+            "    return x * 3\n",
+            ns,
+        )
+        shipped = ship_callable(ns["gen_body"])
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert clone(4) == 11
+
+    def test_ships_recursive_function(self):
+        ns = {}
+        exec(
+            "def fact(n):\n"
+            "    return 1 if n <= 1 else n * fact(n - 1)\n",
+            ns,
+        )
+        shipped = ship_callable(ns["fact"])
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert clone(6) == 720
+
+    def test_ships_defaults_and_modules(self):
+        def with_default(x, base=10):
+            return os.path.basename("a/b") and x + base
+
+        shipped = ship_callable(with_default)
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert clone(1) == 11
+
+    def test_rejects_unshippable_callable(self):
+        class Callable:
+            def __call__(self, x):
+                return x
+
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        with pytest.raises(ShipError):
+            ship_callable(Callable())
+
+
+# ---------------------------------------------------------------------------
+# chaos under the process backend
+# ---------------------------------------------------------------------------
+
+class TestChaosProcess:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_injected_failure_surfaces(self, backend):
+        chaos = ChaosInjector(seed=3, fail_first=1)
+        with pytest.raises(ChaosError):
+            parallel_for(
+                range(8),
+                square,
+                workers=2,
+                chunk_size=8,
+                backend=backend,
+                chaos=chaos,
+            )
+        assert chaos.stats()["injected_failures"] >= 1
+
+    def test_conservation_under_process(self):
+        # every call is counted parent-side (worker deltas absorbed), and
+        # every injected failure lands in the ledger — nothing vanishes
+        # across the process boundary
+        chaos = ChaosInjector(seed=11, fail_rate=0.3)
+        policy = FaultPolicy(on_error="fallback", fallback=None)
+        ledger = []
+        out = parallel_for(
+            range(40),
+            square,
+            workers=3,
+            chunk_size=5,
+            backend="process",
+            chaos=chaos,
+            policy=policy,
+            ledger=ledger,
+        )
+        stats = chaos.stats()
+        assert len(out) == 40
+        assert stats["calls"] == 40
+        assert stats["injected_failures"] > 0
+        assert len(ledger) == stats["injected_failures"]
+        assert all(isinstance(r.error, ChaosError) for r in ledger)
+
+    def test_deterministic_given_chunk_assignment(self):
+        # streams are derived from (seed, chunk index), so two identical
+        # runs inject identically no matter which worker claimed what
+        def run():
+            chaos = ChaosInjector(seed=11, fail_rate=0.3)
+            ledger = []
+            parallel_for(
+                range(40),
+                square,
+                workers=3,
+                chunk_size=5,
+                backend="process",
+                chaos=chaos,
+                policy=FaultPolicy(on_error="fallback", fallback=None),
+                ledger=ledger,
+            )
+            return chaos.stats(), sorted(r.seq for r in ledger)
+
+        assert run() == run()
+
+    def test_spec_round_trip(self):
+        chaos = ChaosInjector(
+            seed=5, fail_rate=0.25, delay_rate=0.1, delay=0.002, fail_first=2
+        )
+        clone = ChaosInjector.from_spec(
+            pickle.loads(pickle.dumps(chaos.spec()))
+        )
+        assert clone.seed == 5
+        assert clone.fail_rate == 0.25
+        assert clone.fail_first == 2
+        chaos.absorb({"calls": 3, "injected_failures": 2})
+        assert chaos.stats()["calls"] == 3
+        assert chaos.stats()["injected_failures"] == 2
+
+
+# ---------------------------------------------------------------------------
+# the process pool really uses processes
+# ---------------------------------------------------------------------------
+
+class TestRealProcesses:
+    def test_map_runs_in_other_processes(self):
+        pids = parallel_for(
+            range(8),
+            lambda _x: os.getpid(),
+            workers=4,
+            chunk_size=1,
+            backend="process",
+        )
+        assert any(pid != os.getpid() for pid in pids)
+
+    def test_masterworker_runs_in_other_processes(self):
+        mw = MasterWorker(workers=3, backend="process")
+        pids = mw.map(lambda _x: os.getpid(), range(6))
+        assert any(pid != os.getpid() for pid in pids)
+
+    def test_spawn_start_method(self, monkeypatch):
+        # the payload protocol is pickle-only, so the backend must work
+        # under spawn (macOS/Windows default) exactly as under fork
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        out = parallel_for(
+            range(6), square, workers=2, chunk_size=2, backend="process"
+        )
+        assert out == [x * x for x in range(6)]
+
+
+# ---------------------------------------------------------------------------
+# tuning file -> generated code -> processes (the round trip)
+# ---------------------------------------------------------------------------
+
+GENERATED_SRC = (
+    "def f(xs):\n"
+    "    out = []\n"
+    "    for x in xs:\n"
+    "        out.append((x * x, os.getpid()))\n"
+    "    return out\n"
+)
+
+
+class TestGeneratedCodeRoundTrip:
+    def _match(self):
+        from repro.frontend import parse_function
+        from repro.model import build_semantic_model
+        from repro.patterns import default_catalog
+
+        ir = parse_function(GENERATED_SRC)
+        model = build_semantic_model(ir)
+        matches = default_catalog(prefer="doall").detect(model)
+        assert matches and matches[0].pattern == "doall"
+        return ir, matches[0]
+
+    def test_backend_round_trips_through_tuning_file(self, tmp_path):
+        from repro.transform import (
+            compile_parallel,
+            read_tuning_file,
+            write_tuning_file,
+        )
+        from repro.transform.tuningfile import config_for_location
+
+        ir, match = self._match()
+        path = tmp_path / "tuning.json"
+        write_tuning_file([match], path)
+
+        # the tuning file carries the Backend parameter with its domain
+        _, location, params = read_tuning_file(path)[0]
+        by_key = {p.key: p for p in params}
+        assert by_key["Backend@loop"].value == "thread"
+        assert tuple(by_key["Backend@loop"].domain()) == BACKEND_DOMAIN
+
+        # re-tune without recompilation: flip the backend, validated
+        apply_config(params, {"Backend@loop": "process"})
+        write_tuning_file([match], path)  # file unchanged; config below
+        config = config_for_location(path, location)
+        config["Backend@loop"] = "process"
+        config["NumWorkers@loop"] = 3
+        config["ChunkSize@loop"] = 2
+
+        fn = compile_parallel(ir, match, {"os": os})
+        with warnings.catch_warnings():
+            # a downgrade would invalidate the assertion below — fail loud
+            warnings.simplefilter("error", BackendFallbackWarning)
+            out = fn(list(range(10)), __tuning__=config)
+        assert [v for v, _pid in out] == [x * x for x in range(10)]
+        # the generated loop body (an exec-defined closure) was shipped
+        # by value and executed on real worker processes
+        assert any(pid != os.getpid() for _v, pid in out)
+
+    def test_generated_code_thread_default_unchanged(self):
+        from repro.transform import compile_parallel
+
+        ir, match = self._match()
+        fn = compile_parallel(ir, match, {"os": os})
+        out = fn(list(range(6)))
+        assert [v for v, _pid in out] == [x * x for x in range(6)]
+
+    def test_apply_config_rejects_bad_backend(self):
+        _, match = self._match()
+        with pytest.raises(ValueError):
+            apply_config(match.tuning, {"Backend@loop": "quantum"})
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+class TestReporting:
+    def test_fault_report_names_backend(self):
+        text = fault_report({"backend": "process", "generated": 4})
+        assert "backend    : process" in text
+
+    def test_fault_report_shows_downgrades(self):
+        event = BackendEvent("process", "thread", "not process-safe (x)")
+        text = fault_report(
+            {"backend": "thread", "backend_events": [event.as_dict()]}
+        )
+        assert "downgrade" in text
+        assert "process -> thread" in text
+        assert "not process-safe" in text
+
+    def test_pipeline_stats_carry_backend(self):
+        pipe = Pipeline(Item(lambda x: x + 1, name="inc"))
+        pipe.run([1, 2, 3])
+        assert pipe.stats["backend"] == "thread"
+        assert pipe.stats["backend_events"] == []
+
+    def test_pipeline_serial_backend(self):
+        pipe = Pipeline(Item(lambda x: x + 1, name="inc"), backend="serial")
+        assert pipe.run([1, 2, 3]) == [2, 3, 4]
+        assert pipe.stats["backend"] == "serial"
+
+    def test_pipeline_process_request_recorded_as_event(self):
+        # stage workers are thread-bound this release; asking for the
+        # process backend must be visible in stats and the report
+        pipe = Pipeline(Item(lambda x: x * 2, name="dbl"), backend="process")
+        assert pipe.run([1, 2, 3]) == [2, 4, 6]
+        events = pipe.stats["backend_events"]
+        assert events and events[0]["requested"] == "process"
+        assert events[0]["actual"] == "thread"
+        assert "downgrade" in fault_report(pipe.stats)
+
+    def test_pipeline_configure_backend_key(self):
+        pipe = Pipeline(Item(lambda x: x, name="id"))
+        pipe.configure({"Backend@pipeline": "serial"})
+        assert pipe.backend == "serial"
+        # sibling-pattern targets in a shared tuning file are tolerated
+        pipe.configure({"Backend@loop": "process", "Backend@workers": "serial"})
+        with pytest.raises(KeyError):
+            pipe.configure({"Backend@id": "serial"})
+        with pytest.raises(TuningError):
+            pipe.configure({"Backend@pipeline": "gpu"})

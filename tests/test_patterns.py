@@ -336,6 +336,7 @@ class TestDoallPattern:
             "ChunkSize@loop",
             "Schedule@loop",
             "SequentialExecution@loop",
+            "Backend@loop",
             "Retries@loop",
             "ItemTimeout@loop",
             "OnError@loop",
