@@ -14,6 +14,9 @@ its workflows are not; each subcommand is one of them:
   ``--chaos SEED`` each test is additionally re-run under seeded fault
   injection, checking that every injected fault surfaces as a reported
   task error.  ``verify`` is an alias.
+* ``trace``     — run a benchmark's transformed functions with span
+  tracing on: per-stage latency/utilization report, optional Chrome
+  trace-event export (Perfetto), optional seeded chaos.
 * ``study``     — run the simulated user study and print the paper's
   tables and figures.
 * ``quality``   — the detection-quality evaluation (precision/recall/F)
@@ -152,7 +155,16 @@ def cmd_tune(args: argparse.Namespace) -> int:
     wl = workloads[args.workload]
     machine = Machine(cores=args.cores)
     space = pipeline_space(wl, max_replication=args.cores * 2)
-    measure = make_pipeline_measure(wl, machine)
+    source = None
+    if args.trace:
+        # the measure phase runs for real, with span tracing on — every
+        # evaluation carries a per-stage summary the tuner can explain
+        source = tuning.TracedPipelineSource(
+            wl, elements=24, time_budget=0.05
+        )
+        measure = source.measure
+    else:
+        measure = make_pipeline_measure(wl, machine)
     algorithm = getattr(tuning, _ALGORITHMS[args.algorithm])()
     tuner = tuning.AutoTuner(space, measure, algorithm, budget=args.budget)
     result = tuner.tune()
@@ -166,6 +178,13 @@ def cmd_tune(args: argparse.Namespace) -> int:
     print("best configuration:")
     for key, value in sorted(result.best_config.items()):
         print(f"  {key} = {value!r}")
+    if source is not None:
+        from repro.report import trace_report
+
+        print()
+        print(source.explain())
+        print()
+        print(trace_report(source.best_summary() or {}))
     return 0
 
 
@@ -257,6 +276,105 @@ def _chaos_check(test, with_chaos, run_parallel_test, seed, fail_rate) -> bool:
         )
         print(f"  {err}", file=sys.stderr)
     return ok
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a benchmark's transformed functions with span tracing on.
+
+    The observability workflow: generate the parallel variants of every
+    detected (top-level, input-backed) pattern, execute them inside one
+    trace session, and render the per-stage breakdown.  ``--export-json``
+    additionally writes the run as a Chrome trace-event file, loadable in
+    Perfetto / ``chrome://tracing``.
+    """
+    import copy
+
+    from repro.benchsuite import get_program
+    from repro.evalq import suppress_nested
+    from repro.report import trace_report
+    from repro.runtime import ChaosInjector
+    from repro.runtime.trace import (
+        TraceCollector,
+        trace_session,
+        write_chrome_trace,
+    )
+    from repro.transform import CodegenError, compile_parallel
+
+    bp = get_program(args.benchmark)
+    prog = bp.parse()
+    ns = bp.namespace()
+    catalog = default_catalog(prefer=args.prefer)
+    matches = suppress_nested(
+        catalog.detect_in_program(prog, runner=bp.make_runner())
+    )
+
+    backend = args.backend
+    config = {
+        "Backend@loop": backend,
+        "Backend@workers": backend,
+        "Backend@pipeline": backend,
+    }
+    injector = None
+    if args.chaos is not None:
+        injector = ChaosInjector(seed=args.chaos, fail_rate=args.chaos_fail_rate)
+        # keep the run alive under injected faults: retry once, then skip
+        config.update({"Retries@loop": 1, "OnError@loop": "skip"})
+
+    collector = TraceCollector(capacity=args.capacity)
+    ran = 0
+    with trace_session(collector=collector):
+        for m in matches:
+            if "." in m.function or m.function not in bp.inputs:
+                continue
+            func_ir = prog.function(m.function)
+            try:
+                par = compile_parallel(func_ir, m, dict(ns))
+            except CodegenError as exc:
+                print(f"  skipped {m.function}: {exc}", file=sys.stderr)
+                continue
+            fargs, fkwargs = bp.inputs[m.function]
+            try:
+                par(
+                    *copy.deepcopy(fargs),
+                    **dict(fkwargs),
+                    __tuning__=dict(config),
+                    __chaos__=injector,
+                )
+            except Exception as exc:  # noqa: BLE001 - report and continue
+                print(
+                    f"  {m.function} raised {type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+            ran += 1
+
+    if ran == 0:
+        print("no runnable transformed functions found", file=sys.stderr)
+        return 1
+
+    print(
+        f"traced {ran} transformed function(s) of {args.benchmark!r} "
+        f"on the {backend!r} backend"
+    )
+    if injector is not None:
+        stats = injector.stats()
+        print(
+            f"chaos: seed {args.chaos}, "
+            f"{stats['injected_failures']} failure(s), "
+            f"{stats['injected_delays']} delay(s) injected"
+        )
+    print()
+    print(trace_report(collector.summary()))
+    if args.export_json:
+        path = pathlib.Path(args.export_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_chrome_trace(path, collector.spans(), label=args.benchmark)
+        print(f"\nChrome trace written to {path} "
+              f"(load in Perfetto or chrome://tracing)")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -366,7 +484,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=100)
     p.add_argument("--algorithm", default="linear",
                    choices=sorted(_ALGORITHMS))
+    p.add_argument("--trace", action="store_true",
+                   help="measure by real traced execution and explain the "
+                        "best configuration from its spans")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a benchmark's transformed functions with span tracing",
+    )
+    p.add_argument("--benchmark", required=True)
+    p.add_argument("--prefer", default="doall",
+                   choices=["doall", "pipeline"])
+    p.add_argument("--backend", default="thread",
+                   choices=["serial", "thread", "process"])
+    p.add_argument("--export-json", metavar="PATH",
+                   help="write a Chrome trace-event file (Perfetto)")
+    p.add_argument("--capacity", type=int, default=16384,
+                   help="span ring-buffer capacity")
+    p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="run under seeded fault injection")
+    p.add_argument("--chaos-fail-rate", type=_rate, default=0.05,
+                   help="per-call injected failure probability in [0, 1]")
+    p.set_defaults(func=cmd_trace)
 
     for name, help_ in (
         ("validate", "run generated parallel unit tests"),

@@ -38,6 +38,7 @@ from repro.patterns.tuning import (
     RETRIES_DOMAIN,
     SCHEDULE,
     SEQUENTIAL_EXECUTION,
+    TRACE,
     BoolParameter,
     ChoiceParameter,
     IntParameter,
@@ -173,6 +174,14 @@ class DoallPattern(SourcePattern):
                 target="loop",
                 default="fail_fast",
                 choices=ON_ERROR_DOMAIN,
+                location=loc,
+            ),
+            # observability: per-element span collection (off by default;
+            # the tuner's measure phase and `repro trace` turn it on)
+            BoolParameter(
+                name=TRACE,
+                target="loop",
+                default=False,
                 location=loc,
             ),
         ]

@@ -24,6 +24,7 @@ from repro.patterns.tuning import (
     BACKEND_DOMAIN,
     NUM_WORKERS,
     SEQUENTIAL_EXECUTION,
+    TRACE,
     BoolParameter,
     ChoiceParameter,
     IntParameter,
@@ -144,6 +145,12 @@ class MasterWorkerPattern(SourcePattern):
                 choices=BACKEND_DOMAIN,
                 location=loc,
             ),
+            BoolParameter(
+                name=TRACE,
+                target="workers",
+                default=False,
+                location=loc,
+            ),
         ]
         return PatternMatch(
             pattern=self.name,
@@ -212,6 +219,12 @@ def match_region(
                 target="workers",
                 default="thread",
                 choices=BACKEND_DOMAIN,
+                location=loc,
+            ),
+            BoolParameter(
+                name=TRACE,
+                target="workers",
+                default=False,
                 location=loc,
             ),
         ],

@@ -48,6 +48,7 @@ from repro.patterns.tuning import (
     STAGE_REPLICATION,
     STALL_TIMEOUT,
     STALL_TIMEOUT_DOMAIN,
+    TRACE,
     BoolParameter,
     ChoiceParameter,
     IntParameter,
@@ -467,6 +468,16 @@ class PipelinePattern(SourcePattern):
                 target="pipeline",
                 default=30.0,
                 choices=STALL_TIMEOUT_DOMAIN,
+                location=loc,
+            )
+        )
+        # observability: per-element span collection (off by default; the
+        # tuner's measure phase and `repro trace` turn it on)
+        params.append(
+            BoolParameter(
+                name=TRACE,
+                target="pipeline",
+                default=False,
                 location=loc,
             )
         )

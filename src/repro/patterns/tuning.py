@@ -170,3 +170,8 @@ RETRIES_DOMAIN = (0, 1, 2, 3)
 ITEM_TIMEOUT_DOMAIN = (0.0, 0.1, 0.5, 1.0, 5.0, 30.0)
 ON_ERROR_DOMAIN = ("fail_fast", "skip", "fallback")
 STALL_TIMEOUT_DOMAIN = (0.0, 1.0, 5.0, 30.0, 120.0)
+
+# Observability: span tracing (repro.runtime.trace).  Off by default —
+# the tuning cycle's measure phase turns it on to get per-stage timings
+# instead of tuning blind between whole-run wall clocks.
+TRACE = "Trace"

@@ -213,9 +213,87 @@ def fault_report(stats: dict) -> str:
             f"  stall      : stage {stall['stage']!r}, "
             f"buffer occupancies {stall['occupancy']}"
         )
+        # a traced run upgrades the snapshot to history: what each stage
+        # was doing, and how long ago it last made progress
+        history = stall.get("history") or {}
+        progress = stall.get("last_progress") or {}
+        for stage in sorted(set(history) | set(progress)):
+            spans = history.get(stage) or []
+            tail = ", ".join(
+                f"{s['kind']}[{s['seq']}]" for s in spans[-3:]
+            ) or "no spans"
+            since = progress.get(stage)
+            ago = f", last progress {since:.3f}s ago" if since is not None else ""
+            lines.append(f"    {stage}: {tail}{ago}")
     if stats.get("leaked_threads"):
         lines.append(
             "  leaked     : " + ", ".join(stats["leaked_threads"])
+        )
+    return "\n".join(lines)
+
+
+def trace_report(stats_or_summary: dict) -> str:
+    """A traced run's per-stage breakdown, rendered.
+
+    Accepts either ``Pipeline.stats`` (reads its ``"trace"`` key) or a
+    bare :meth:`~repro.runtime.trace.TraceCollector.summary` dict.  Shows
+    span/drop accounting, per-stage execute latency (mean/p50/p95/max),
+    queue-wait and backoff totals, utilization bars, latency histograms,
+    and names the bottleneck stage — the measure-phase artifact the
+    tuning cycle reads.
+    """
+    from repro.runtime.trace import bottleneck
+
+    summary = stats_or_summary.get("trace", stats_or_summary)
+    if not summary or "stages" not in summary:
+        return "trace report\n  (tracing was not enabled for this run)"
+    lines = ["trace report"]
+    dropped = summary.get("dropped", 0)
+    drop_note = (
+        f" ({dropped} dropped by the ring buffer)" if dropped else ""
+    )
+    lines.append(
+        f"  spans      : {summary.get('spans', 0)}{drop_note}, "
+        f"wall {summary.get('wall', 0.0) * 1000:.1f}ms"
+    )
+    stages = summary.get("stages", {})
+    for name in sorted(stages):
+        st = stages[name]
+        lines.append(
+            f"  {name}:"
+        )
+        lines.append(
+            f"    elements {st['count']}, retries {st['retries']}, "
+            f"timeouts {st['timeouts']}, errors {st['errors']}, "
+            f"chaos {st['chaos']}, cancelled {st['cancelled']}"
+        )
+        lines.append(
+            f"    execute  mean {st['execute_mean'] * 1000:.3f}ms  "
+            f"p50 {st['execute_p50'] * 1000:.3f}ms  "
+            f"p95 {st['execute_p95'] * 1000:.3f}ms  "
+            f"max {st['execute_max'] * 1000:.3f}ms"
+        )
+        bar = "#" * max(0, round(st["utilization"] * 20))
+        lines.append(
+            f"    busy     {st['execute_total'] * 1000:.1f}ms "
+            f"({st['utilization'] * 100:.0f}% of wall) |{bar:<20}|"
+        )
+        if st.get("queue_wait") or st.get("backoff"):
+            lines.append(
+                f"    waiting  queue {st['queue_wait'] * 1000:.1f}ms, "
+                f"backoff {st['backoff'] * 1000:.1f}ms"
+            )
+        hist = st.get("histogram") or []
+        if hist:
+            peak = max(c for _, c in hist)
+            for label, count in hist:
+                bar = "#" * max(1, round(count / peak * 24))
+                lines.append(f"    {label:>8} {bar} {count}")
+    hot = bottleneck(summary)
+    if hot is not None:
+        stage, share = hot
+        lines.append(
+            f"  bottleneck : {stage!r} ({share * 100:.0f}% of execute time)"
         )
     return "\n".join(lines)
 

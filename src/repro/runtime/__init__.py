@@ -44,6 +44,16 @@ from repro.runtime.parallel_for import (
     configured_parallel_for,
 )
 from repro.runtime.futures import AutoFuture, spawn, join_all
+from repro.runtime.trace import (
+    Span,
+    TraceCollector,
+    active_collector,
+    bottleneck,
+    chrome_trace,
+    last_trace,
+    trace_session,
+    write_chrome_trace,
+)
 from repro.runtime.tunable import TuningConfig
 
 __all__ = [
@@ -77,5 +87,13 @@ __all__ = [
     "AutoFuture",
     "spawn",
     "join_all",
+    "Span",
+    "TraceCollector",
+    "active_collector",
+    "bottleneck",
+    "chrome_trace",
+    "last_trace",
+    "trace_session",
+    "write_chrome_trace",
     "TuningConfig",
 ]

@@ -52,6 +52,7 @@ import os
 import pickle
 import queue as _queue
 import threading
+import time
 import types
 import warnings
 from dataclasses import dataclass
@@ -59,6 +60,7 @@ from typing import Any, Callable, Sequence
 
 from repro.runtime.chaos import ChaosInjector
 from repro.runtime.faults import CancellationToken, FaultPolicy
+from repro.runtime.trace import TraceCollector
 
 #: the three execution substrates, in increasing setup-cost order
 BACKENDS = ("serial", "thread", "process")
@@ -117,11 +119,18 @@ def downgrade(
     actual: str,
     reason: str,
     events: list[BackendEvent] | None = None,
+    trace: TraceCollector | None = None,
+    stage: str = "loop",
 ) -> str:
     """Record a backend downgrade (event list + warning) and return it."""
     event = BackendEvent(requested, actual, reason)
     if events is not None:
         events.append(event)
+    if trace is not None:
+        trace.instant(
+            "fallback", stage, -1,
+            requested=requested, actual=actual, reason=reason,
+        )
     warnings.warn(
         f"backend downgrade: {event.describe()}",
         BackendFallbackWarning,
@@ -349,6 +358,10 @@ class ChunkResult:
     #: worker-side chaos-injection counter deltas for this chunk
     chaos: dict[str, int] | None
     failed: bool
+    #: worker-side span dicts drained after the chunk (trace parity) —
+    #: defaulted so pre-trace positional construction stays valid
+    spans: list | None = None
+    spans_dropped: int = 0
 
 
 @dataclass
@@ -372,6 +385,7 @@ def build_process_payload(
     chaos: ChaosInjector | None = None,
     reduce_op: Callable | None = None,
     label: str = "loop",
+    trace: TraceCollector | None = None,
 ) -> tuple[bytes | None, str | None]:
     """Pickle the whole work payload up front.
 
@@ -389,6 +403,7 @@ def build_process_payload(
             chaos.spec() if chaos is not None else None,
             ship_callable(reduce_op) if reduce_op is not None else None,
             label,
+            trace.spec() if trace is not None else None,
         )
         return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), None
     except Exception as exc:
@@ -409,6 +424,8 @@ def _run_map_chunk(
     vals: Sequence[Any],
     policy: FaultPolicy | None,
     should_stop: Callable[[], bool],
+    trace: TraceCollector | None = None,
+    stage: str = "loop",
 ) -> tuple[list[Any], list, dict[str, int], bool, bool]:
     """(values, records, counters, failed, aborted) for one map chunk."""
     lo, hi = bounds
@@ -422,15 +439,25 @@ def _run_map_chunk(
         if should_stop():
             return values, records, counters, False, True
         if policy is None:
+            started = time.monotonic() if trace is not None else 0.0
             try:
                 values.append(fn(vals[i]))
                 counters["delivered"] += 1
+                if trace is not None:
+                    trace.add("execute", stage, i, started, attempt=1)
             except BaseException as exc:
+                if trace is not None:
+                    trace.add(
+                        "execute", stage, i, started,
+                        attempt=1, error=repr(exc),
+                    )
                 records.append((i, _shippable_error(exc), 1, "failed"))
                 counters["failed"] += 1
                 return values, records, counters, True, False
         else:
-            outcome = policy.execute(fn, vals[i])
+            outcome = policy.execute(
+                fn, vals[i], trace=trace, stage=stage, seq=i
+            )
             counters["retried"] += outcome.retried
             if outcome.error is not None:
                 records.append((
@@ -460,21 +487,37 @@ def _run_reduce_chunk(
     fn: Callable,
     vals: Sequence[Any],
     reduce_op: Callable,
+    trace: TraceCollector | None = None,
+    stage: str = "loop",
 ) -> tuple[list[Any], list, dict[str, int], bool]:
-    """Fold one chunk from its first element (init enters parent-side)."""
+    """Fold one chunk from its first element (init enters parent-side).
+
+    Traced at chunk granularity (one ``execute`` span per fold): the
+    per-element map hooks would distort a reduction's tight loop.
+    """
     lo, hi = bounds
     counters = {
         "delivered": 0, "retried": 0, "skipped": 0,
         "fallbacks": 0, "failed": 0,
     }
+    started = time.monotonic()
     try:
         acc = fn(vals[lo])
         for i in range(lo + 1, hi):
             acc = reduce_op(acc, fn(vals[i]))
         counters["delivered"] = hi - lo
+        if trace is not None:
+            trace.add(
+                "execute", stage, lo, started, chunk=k, elements=hi - lo
+            )
         return [acc], [], counters, False
     except BaseException as exc:
         counters["failed"] = 1
+        if trace is not None:
+            trace.add(
+                "execute", stage, lo, started,
+                chunk=k, elements=hi - lo, error=repr(exc),
+            )
         return [], [(lo, _shippable_error(exc), 1, "failed")], counters, True
 
 
@@ -490,7 +533,7 @@ def _worker_main(
 ) -> None:
     """Pool worker entry point (module-level: spawn-safe by construction)."""
     try:
-        body, vals, chunks, policy, chaos_spec, reduce_op, label = (
+        body, vals, chunks, policy, chaos_spec, reduce_op, label, trace_spec = (
             pickle.loads(blob)
         )
     except BaseException as exc:  # pragma: no cover - probed parent-side
@@ -500,6 +543,14 @@ def _worker_main(
     injector = (
         ChaosInjector.from_spec(chaos_spec) if chaos_spec is not None else None
     )
+    trace = None
+    if trace_spec is not None:
+        # worker-side collection, drained per chunk: span parity with the
+        # thread backend travels the same road as the error ledger
+        trace = TraceCollector.from_spec(trace_spec)
+        trace.worker_label = f"{label}-w{wid}@pid{os.getpid()}"
+        if injector is not None:
+            injector.trace = trace
 
     def should_stop() -> bool:
         return stop_event.is_set() or (
@@ -536,12 +587,14 @@ def _worker_main(
             before = injector.stats() if injector is not None else None
             if reduce_op is not None:
                 values, records, counters, failed = _run_reduce_chunk(
-                    k, chunks[k], fn, vals, reduce_op
+                    k, chunks[k], fn, vals, reduce_op,
+                    trace=trace, stage=label,
                 )
                 aborted = False
             else:
                 values, records, counters, failed, aborted = _run_map_chunk(
-                    k, chunks[k], fn, vals, policy, should_stop
+                    k, chunks[k], fn, vals, policy, should_stop,
+                    trace=trace, stage=label,
                 )
             if aborted:
                 break
@@ -549,7 +602,13 @@ def _worker_main(
             if injector is not None:
                 after = injector.stats()
                 delta = {key: after[key] - before[key] for key in after}
-            chunk = ChunkResult(k, values, records, counters, delta, failed)
+            spans, spans_dropped = (
+                trace.drain() if trace is not None else (None, 0)
+            )
+            chunk = ChunkResult(
+                k, values, records, counters, delta, failed,
+                spans, spans_dropped,
+            )
             try:
                 out = pickle.dumps(("chunk", chunk))
             except Exception as exc:
@@ -565,6 +624,8 @@ def _worker_main(
                     counters,
                     delta,
                     True,
+                    spans,
+                    spans_dropped,
                 )
                 out = pickle.dumps(("chunk", chunk))
             result_q.put(out)

@@ -73,6 +73,10 @@ class ChaosInjector:
         self.injected_failures = 0
         self.injected_delays = 0
         self.calls = 0
+        #: optional duck-typed span collector (see repro.runtime.trace);
+        #: when set, every injection that fires is recorded as a "chaos"
+        #: span so a seeded fault scenario can be read back span-by-span
+        self.trace: Any = None
 
     def _stream(self, name: str) -> _NamedStream:
         with self._lock:
@@ -105,6 +109,13 @@ class ChaosInjector:
 
         def chaotic(*args: Any, **kwargs: Any) -> Any:
             fail, delay = self._decide(label)
+            if (fail or delay) and self.trace is not None:
+                injected = "+".join(
+                    k for k, hit in (("fail", fail), ("delay", delay)) if hit
+                )
+                self.trace.instant(
+                    "chaos", label, -1, injected=injected, seed=self.seed
+                )
             if delay and self.delay > 0:
                 time.sleep(self.delay)
             if fail:

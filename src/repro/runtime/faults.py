@@ -169,11 +169,23 @@ class FaultPolicy:
         fn: Callable[[Any], Any],
         value: Any,
         cancel: CancellationToken | None = None,
+        trace: Any = None,
+        stage: str = "",
+        seq: int = -1,
     ) -> Outcome:
         """Run ``fn(value)`` under this policy; never raises user errors.
 
         Cancellation is the one exception that propagates: a fired token
         aborts retries (and their backoff sleeps) immediately.
+
+        ``trace`` is duck-typed (anything with a
+        ``TraceCollector``-shaped ``add``) so this module stays
+        dependency-free: each attempt becomes an ``execute`` (first) or
+        ``retry`` (later) span — carrying ``error=repr(exc)`` on failure,
+        the cross-reference to its :class:`ErrorRecord` — a missed
+        deadline a ``timeout`` span, and each inter-attempt sleep a
+        ``backoff`` span.  ``None`` (the default) costs one ``is None``
+        check per attempt.
         """
         schedule = self.delays()
         attempts = 0
@@ -191,18 +203,49 @@ class FaultPolicy:
                         f"element took {elapsed:.3f}s, deadline "
                         f"{self.item_timeout:.3f}s"
                     )
+                if trace is not None:
+                    trace.add(
+                        "execute" if attempts == 1 else "retry",
+                        stage,
+                        seq,
+                        started,
+                        attempt=attempts,
+                    )
                 return Outcome("delivered", result, attempts, None)
             except CancelledError:
                 raise
             except BaseException as exc:
                 last = exc
+                if trace is not None:
+                    if isinstance(exc, ItemTimeoutError):
+                        kind = "timeout"
+                    else:
+                        kind = "execute" if attempts == 1 else "retry"
+                    trace.add(
+                        kind,
+                        stage,
+                        seq,
+                        started,
+                        attempt=attempts,
+                        error=repr(exc),
+                    )
             if attempts <= self.retries:
                 delay = schedule[attempts - 1]
+                slept = time.monotonic()
                 if cancel is not None:
                     if cancel.wait(delay):
                         cancel.raise_if_cancelled()
                 elif delay > 0:
                     time.sleep(delay)
+                if trace is not None:
+                    trace.add(
+                        "backoff",
+                        stage,
+                        seq,
+                        slept,
+                        attempt=attempts,
+                        delay=delay,
+                    )
                 continue
             if self.on_error == "skip":
                 return Outcome("skipped", None, attempts, last)

@@ -9,9 +9,11 @@ generator uses it for fire-and-join statement groups.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable
 
 from repro.runtime.faults import CancellationToken, CancelledError
+from repro.runtime.trace import active_collector
 
 
 class AutoFuture:
@@ -21,6 +23,10 @@ class AutoFuture:
     An optional ``cancel`` token (keyword-only) makes the future
     supervisable: a token that fires before the body starts turns the
     result into a :class:`~repro.runtime.faults.CancelledError`.
+
+    Inside an active :func:`~repro.runtime.trace.trace_session`, each
+    future's body becomes one ``execute`` span (stage ``futures``), so
+    generated master/worker regions are visible in traced runs.
     """
 
     def __init__(
@@ -33,14 +39,27 @@ class AutoFuture:
         self._value: Any = None
         self._error: BaseException | None = None
         self._done = threading.Event()
+        trace = active_collector()
 
         def run() -> None:
+            started = time.monotonic()
             try:
                 if cancel is not None and cancel.cancelled:
                     raise CancelledError(cancel.reason or "cancelled")
                 self._value = fn(*args, **kwargs)
+                if trace is not None:
+                    trace.add(
+                        "execute", "futures", -1, started,
+                        name=getattr(fn, "__name__", "task"),
+                    )
             except BaseException as exc:
                 self._error = exc
+                if trace is not None:
+                    trace.add(
+                        "execute", "futures", -1, started,
+                        name=getattr(fn, "__name__", "task"),
+                        error=repr(exc),
+                    )
             finally:
                 self._done.set()
 

@@ -23,6 +23,7 @@ boundary downgrades the whole run to threads with a recorded
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.runtime.backend import (
@@ -37,6 +38,7 @@ from repro.runtime.backend import (
 )
 from repro.runtime.faults import CancellationToken, CancelledError
 from repro.runtime.item import Item
+from repro.runtime.trace import TraceCollector, resolve_collector
 
 
 class MasterWorker:
@@ -82,13 +84,17 @@ class MasterWorker:
         self,
         tasks: Iterable[Callable[[], Any]],
         cancel: CancellationToken | None = None,
+        trace: TraceCollector | None = None,
     ) -> list[Any]:
         """Execute independent thunks; results in task order.
 
         A sibling failure (or a fired token) stops the pool from claiming
         further tasks; the first error is re-raised after the join.
+        Each task becomes one ``execute`` span when tracing is on
+        (``trace``, or the active session).
         """
         cancel = cancel or self.cancel
+        trace = resolve_collector(trace)
         tasks = list(tasks)
         self.last_events = []
         backend = self.backend
@@ -97,14 +103,25 @@ class MasterWorker:
 
         if backend == "serial" or self.workers <= 1:
             results: list[Any] = []
-            for task in tasks:
+            for i, task in enumerate(tasks):
                 if cancel is not None:
                     cancel.raise_if_cancelled()
-                results.append(task())
+                started = time.monotonic()
+                try:
+                    results.append(task())
+                except BaseException as exc:
+                    if trace is not None:
+                        trace.add(
+                            "execute", self.name, i, started,
+                            attempt=1, error=repr(exc),
+                        )
+                    raise
+                if trace is not None:
+                    trace.add("execute", self.name, i, started, attempt=1)
             return results
 
         if backend == "process":
-            done = self._run_process(tasks, cancel)
+            done = self._run_process(tasks, cancel, trace)
             if done is not None:
                 return done
             # _run_process recorded the downgrade; fall through to threads
@@ -123,9 +140,19 @@ class MasterWorker:
                     if i >= len(tasks):
                         return
                     next_task[0] += 1
+                started = time.monotonic()
                 try:
                     results[i] = tasks[i]()
+                    if trace is not None:
+                        trace.add(
+                            "execute", self.name, i, started, attempt=1
+                        )
                 except BaseException as exc:  # propagate to the master
+                    if trace is not None:
+                        trace.add(
+                            "execute", self.name, i, started,
+                            attempt=1, error=repr(exc),
+                        )
                     with lock:
                         errors.append(exc)
                     return
@@ -143,6 +170,11 @@ class MasterWorker:
         if errors:
             raise errors[0]
         if cancel is not None and cancel.cancelled:
+            if trace is not None:
+                trace.instant(
+                    "cancel", self.name, -1,
+                    reason=cancel.reason or "cancelled",
+                )
             raise CancelledError(cancel.reason or "cancelled")
         return results
 
@@ -150,6 +182,7 @@ class MasterWorker:
         self,
         tasks: list[Callable[[], Any]],
         cancel: CancellationToken | None,
+        trace: TraceCollector | None = None,
     ) -> list[Any] | None:
         """Run the thunks on a process pool; None means "use threads".
 
@@ -160,13 +193,19 @@ class MasterWorker:
         try:
             shipped = [ship_callable(t) for t in tasks]
         except ShipError as exc:
-            downgrade("process", "thread", str(exc), self.last_events)
+            downgrade(
+                "process", "thread", str(exc), self.last_events,
+                trace=trace, stage=self.name,
+            )
             return None
         blob, reason = build_process_payload(
-            invoke_task, shipped, chunks, label=self.name
+            invoke_task, shipped, chunks, label=self.name, trace=trace
         )
         if blob is None:
-            downgrade("process", "thread", reason, self.last_events)
+            downgrade(
+                "process", "thread", reason, self.last_events,
+                trace=trace, stage=self.name,
+            )
             return None
         run = run_process_chunks(
             blob,
@@ -179,6 +218,8 @@ class MasterWorker:
         first_error: BaseException | None = None
         for k in sorted(run.chunks):
             chunk = run.chunks[k]
+            if trace is not None and chunk.spans is not None:
+                trace.absorb(chunk.spans, chunk.spans_dropped)
             if chunk.failed:
                 if first_error is None:
                     first_error = chunk.records[0][1]
@@ -187,6 +228,11 @@ class MasterWorker:
         if first_error is not None:
             raise first_error
         if cancel is not None and cancel.cancelled:
+            if trace is not None:
+                trace.instant(
+                    "cancel", self.name, -1,
+                    reason=cancel.reason or "cancelled",
+                )
             raise CancelledError(cancel.reason or "cancelled")
         missing = run.missing(len(chunks))
         if run.fatal or missing:

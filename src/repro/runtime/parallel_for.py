@@ -31,7 +31,8 @@ is backend-independent.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Iterable
+import time
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.runtime.backend import (
     BackendEvent,
@@ -48,6 +49,7 @@ from repro.runtime.faults import (
     ErrorRecord,
     FaultPolicy,
 )
+from repro.runtime.trace import TraceCollector, resolve_collector
 
 SCHEDULES = ("static", "dynamic")
 
@@ -80,11 +82,18 @@ def _stopped(
 
 
 def _finish(
-    errors: list[BaseException], cancel: CancellationToken | None
+    errors: list[BaseException],
+    cancel: CancellationToken | None,
+    trace: TraceCollector | None = None,
+    stage: str = "loop",
 ) -> None:
     if errors:
         raise errors[0]
     if cancel is not None and cancel.cancelled:
+        if trace is not None:
+            trace.instant(
+                "cancel", stage, -1, reason=cancel.reason or "cancelled"
+            )
         raise CancelledError(cancel.reason or "cancelled")
 
 
@@ -111,23 +120,45 @@ def _make_element(
     cancel: CancellationToken | None,
     ledger: list[ErrorRecord] | None,
     lock: threading.Lock | None,
+    trace: TraceCollector | None = None,
+    stage: str = "loop",
 ) -> Callable[[int, Any], Any]:
     """The per-element runner shared by the serial and thread paths.
 
     Applies the fault policy and feeds the ledger, so serial, thread and
-    process runs of the same workload produce the same error records.
+    process runs of the same workload produce the same error records —
+    and, when ``trace`` is set, the same span shapes the process workers
+    emit in :func:`~repro.runtime.backend._run_map_chunk`.
     """
 
     def element(seq: int, value: Any) -> Any:
         if policy is None:
+            if trace is None:
+                # the disabled path must not even pay a clock read
+                try:
+                    return body(value)
+                except CancelledError:
+                    raise
+                except BaseException as exc:
+                    _record(ledger, lock, seq, exc, 1)
+                    raise
+            started = time.monotonic()
             try:
-                return body(value)
+                result = body(value)
+                trace.add("execute", stage, seq, started, attempt=1)
+                return result
             except CancelledError:
                 raise
             except BaseException as exc:
+                trace.add(
+                    "execute", stage, seq, started,
+                    attempt=1, error=repr(exc),
+                )
                 _record(ledger, lock, seq, exc, 1)
                 raise
-        outcome = policy.execute(body, value, cancel=cancel)
+        outcome = policy.execute(
+            body, value, cancel=cancel, trace=trace, stage=stage, seq=seq
+        )
         if outcome.error is not None:
             _record(ledger, lock, seq, outcome.error, outcome.attempts)
         if outcome.action == "failed":
@@ -146,12 +177,15 @@ def _assemble_process_run(
     ledger: list[ErrorRecord] | None,
     chaos: ChaosInjector | None,
     cancel: CancellationToken | None,
+    trace: TraceCollector | None = None,
+    stage: str = "loop",
 ) -> None:
     """Fold a :class:`~repro.runtime.backend.ProcessRun` into caller state.
 
-    Fills ``results`` slots per chunk, reconstructs ledger records, and
-    re-raises in the same priority order the thread pool uses: first
-    element error, then cancellation, then pool-infrastructure failure.
+    Fills ``results`` slots per chunk, reconstructs ledger records,
+    absorbs worker-side span ledgers, and re-raises in the same priority
+    order the thread pool uses: first element error, then cancellation,
+    then pool-infrastructure failure.
     """
     first_error: BaseException | None = None
     first_error_chunk: int | None = None
@@ -172,9 +206,15 @@ def _assemble_process_run(
                     break
         if chaos is not None and chunk.chaos:
             chaos.absorb(chunk.chaos)
+        if trace is not None and chunk.spans is not None:
+            trace.absorb(chunk.spans, chunk.spans_dropped)
     if first_error is not None:
         raise first_error
     if cancel is not None and cancel.cancelled:
+        if trace is not None:
+            trace.instant(
+                "cancel", stage, -1, reason=cancel.reason or "cancelled"
+            )
         raise CancelledError(cancel.reason or "cancelled")
     if run.fatal:
         raise RuntimeError(f"worker process failed to start: {run.fatal[0]}")
@@ -201,6 +241,8 @@ def parallel_for(
     chaos: ChaosInjector | None = None,
     ledger: list[ErrorRecord] | None = None,
     events: list[BackendEvent] | None = None,
+    trace: TraceCollector | None = None,
+    shared_writes: Sequence[str] = (),
 ) -> list[Any]:
     """Apply ``body`` to every value; return results in input order.
 
@@ -214,10 +256,16 @@ def parallel_for(
     ``chaos`` injects seeded faults (worker-side under the process
     backend); ``ledger`` collects every element-level
     :class:`~repro.runtime.faults.ErrorRecord`; ``events`` collects
-    backend downgrade decisions.
+    backend downgrade decisions.  ``trace`` records per-element spans
+    (defaults to the active :func:`~repro.runtime.trace.trace_session`,
+    if any).  ``shared_writes`` names containers the body mutates in
+    place; a non-empty value pins execution off the process backend —
+    worker-side mutations of a pickled copy would be silently lost — via
+    a recorded downgrade.
     """
     _validate(workers, chunk_size, schedule)
     effective = normalize_backend(backend)
+    trace = resolve_collector(trace)
     raw_body = body
 
     vals = list(values)
@@ -230,13 +278,26 @@ def parallel_for(
         or n == 0
     )
 
+    if effective == "process" and shared_writes:
+        effective = downgrade(
+            "process",
+            "thread",
+            "body mutates shared container(s) in place: "
+            + ", ".join(sorted(set(shared_writes))),
+            events,
+            trace=trace,
+        )
+
     if not go_serial and effective == "process":
         chunks = _chunks(n, chunk_size)
         blob, reason = build_process_payload(
-            raw_body, vals, chunks, policy=policy, chaos=chaos, label="loop"
+            raw_body, vals, chunks, policy=policy, chaos=chaos,
+            label="loop", trace=trace,
         )
         if blob is None:
-            effective = downgrade("process", "thread", reason, events)
+            effective = downgrade(
+                "process", "thread", reason, events, trace=trace
+            )
         else:
             results: list[Any] = [None] * n
             run = run_process_chunks(
@@ -246,17 +307,26 @@ def parallel_for(
                 schedule=schedule,
                 cancel=cancel,
             )
-            _assemble_process_run(run, chunks, results, ledger, chaos, cancel)
+            _assemble_process_run(
+                run, chunks, results, ledger, chaos, cancel, trace=trace
+            )
             return results
 
     if chaos is not None:
+        if trace is not None:
+            chaos.trace = trace
         body = chaos.wrap(raw_body, name="loop")
 
     if go_serial:
-        element = _make_element(body, policy, cancel, ledger, None)
+        element = _make_element(body, policy, cancel, ledger, None, trace)
         out = []
         for i, v in enumerate(vals):
             if cancel is not None:
+                if trace is not None and cancel.cancelled:
+                    trace.instant(
+                        "cancel", "loop", -1,
+                        reason=cancel.reason or "cancelled",
+                    )
                 cancel.raise_if_cancelled()
             out.append(element(i, v))
         return out
@@ -264,7 +334,7 @@ def parallel_for(
     results = [None] * n
     errors: list[BaseException] = []
     ledger_lock = threading.Lock() if ledger is not None else None
-    element = _make_element(body, policy, cancel, ledger, ledger_lock)
+    element = _make_element(body, policy, cancel, ledger, ledger_lock, trace)
     chunks = _chunks(n, chunk_size)
     nworkers = min(workers, len(chunks))
 
@@ -318,7 +388,7 @@ def parallel_for(
         t.start()
     for t in threads:
         t.join()
-    _finish(errors, cancel)
+    _finish(errors, cancel, trace=trace)
     return results
 
 
@@ -333,6 +403,7 @@ def parallel_reduce(
     cancel: CancellationToken | None = None,
     backend: str = "thread",
     events: list[BackendEvent] | None = None,
+    trace: TraceCollector | None = None,
 ) -> Any:
     """Map ``body`` over values and fold with the associative ``op``.
 
@@ -342,27 +413,37 @@ def parallel_reduce(
     the sequential loop.  Partials are combined in chunk order, so even a
     merely-associative (non-commutative) ``op`` is safe — on every
     backend: the process pool ships partials back tagged by chunk index.
+
+    Traced at chunk granularity (one ``execute`` span per folded chunk):
+    per-element hooks would distort the tight fold loop.
     """
     _validate(workers, chunk_size, "dynamic")
     effective = normalize_backend(backend)
+    trace = resolve_collector(trace)
     vals = list(values)
     n = len(vals)
     if effective == "serial" or sequential or workers <= 1 or n == 0:
+        started = time.monotonic()
         acc = init
         for v in vals:
             if cancel is not None:
                 cancel.raise_if_cancelled()
             acc = op(acc, body(v))
+        if trace is not None and n:
+            trace.add("execute", "reduce", 0, started, chunk=0, elements=n)
         return acc
 
     chunks = _chunks(n, chunk_size)
 
     if effective == "process":
         blob, reason = build_process_payload(
-            body, vals, chunks, reduce_op=op, label="reduce"
+            body, vals, chunks, reduce_op=op, label="reduce", trace=trace
         )
         if blob is None:
-            effective = downgrade("process", "thread", reason, events)
+            effective = downgrade(
+                "process", "thread", reason, events,
+                trace=trace, stage="reduce",
+            )
         else:
             run = run_process_chunks(
                 blob,
@@ -374,10 +455,17 @@ def parallel_reduce(
             partials: list[Any] = [None] * len(chunks)
             for k in sorted(run.chunks):
                 chunk = run.chunks[k]
+                if trace is not None and chunk.spans is not None:
+                    trace.absorb(chunk.spans, chunk.spans_dropped)
                 if chunk.failed:
                     raise chunk.records[0][1]
                 partials[k] = chunk.values[0]
             if cancel is not None and cancel.cancelled:
+                if trace is not None:
+                    trace.instant(
+                        "cancel", "reduce", -1,
+                        reason=cancel.reason or "cancelled",
+                    )
                 raise CancelledError(cancel.reason or "cancelled")
             if run.fatal or run.missing(len(chunks)):
                 raise RuntimeError(
@@ -405,10 +493,16 @@ def parallel_reduce(
                         return
                     next_chunk[0] += 1
                 lo, hi = chunks[k]
+                started = time.monotonic()
                 acc = body(vals[lo])
                 for i in range(lo + 1, hi):
                     acc = op(acc, body(vals[i]))
                 partials[k] = acc
+                if trace is not None:
+                    trace.add(
+                        "execute", "reduce", lo, started,
+                        chunk=k, elements=hi - lo,
+                    )
         except BaseException as exc:
             errors.append(exc)
 
@@ -420,7 +514,7 @@ def parallel_reduce(
         t.start()
     for t in threads:
         t.join()
-    _finish(errors, cancel)
+    _finish(errors, cancel, trace=trace, stage="reduce")
 
     acc = init
     for p in partials:
@@ -436,14 +530,18 @@ def configured_parallel_for(
     chaos: ChaosInjector | None = None,
     ledger: list[ErrorRecord] | None = None,
     events: list[BackendEvent] | None = None,
+    trace: TraceCollector | None = None,
+    shared_writes: Sequence[str] = (),
 ) -> list[Any]:
     """``parallel_for`` driven by a tuning configuration mapping.
 
     Fault-policy keys (``Retries@loop``, ``ItemTimeout@loop``,
-    ``OnError@loop``) and the execution substrate (``Backend@loop``) are
-    honoured alongside the performance knobs, so generated DOALL code is
-    supervisable — and movable between threads and processes — without
-    recompilation.
+    ``OnError@loop``), the execution substrate (``Backend@loop``) and
+    observability (``Trace@loop``) are honoured alongside the performance
+    knobs, so generated DOALL code is supervisable — and movable between
+    threads and processes, and traceable — without recompilation.  A
+    ``Trace@loop``-created collector is retrievable afterwards via
+    :func:`repro.runtime.trace.last_trace`.
     """
     policy = None
     retries = int(config.get("Retries@loop", 0))
@@ -468,4 +566,8 @@ def configured_parallel_for(
         chaos=chaos,
         ledger=ledger,
         events=events,
+        trace=resolve_collector(
+            trace, enabled=bool(config.get("Trace@loop", False))
+        ),
+        shared_writes=shared_writes,
     )

@@ -52,6 +52,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.item import Item
 from repro.runtime.masterworker import MasterWorker
+from repro.runtime.trace import TraceCollector, resolve_collector
 
 Element = Item | MasterWorker
 
@@ -86,8 +87,10 @@ class PipelineError(RuntimeError):
 class PipelineStallError(PipelineError):
     """The watchdog saw no progress for ``stall_timeout`` seconds.
 
-    Names the stuck stage and the buffer occupancies at detection time,
-    the two facts needed to diagnose a wedged run.
+    Names the stuck stage and — when the run was traced — each stage's
+    recent span history and time since last progress, so the diagnosis
+    shows what every stage was *doing* before the wedge, not just the
+    final buffer occupancies.
     """
 
     def __init__(
@@ -97,16 +100,37 @@ class PipelineStallError(PipelineError):
         stall_timeout: float,
         records: list[ErrorRecord] | None = None,
         stats: dict[str, Any] | None = None,
+        history: dict[str, list[dict[str, Any]]] | None = None,
+        last_progress: dict[str, float] | None = None,
     ) -> None:
+        detail = f"buffer occupancies {occupancy}"
+        if history:
+            parts = []
+            stuck = history.get(stage) or []
+            if stuck:
+                span = stuck[-1]
+                parts.append(
+                    f"last span of {stage!r}: {span['kind']} "
+                    f"element {span['seq']}"
+                )
+            if last_progress:
+                idle = ", ".join(
+                    f"{name} {dt:.3f}s ago"
+                    for name, dt in sorted(last_progress.items())
+                )
+                parts.append(f"last progress per stage: {idle}")
+            if parts:
+                detail = "; ".join(parts)
         super().__init__(
             f"pipeline stalled at stage {stage!r}: no element crossed any "
-            f"buffer for {stall_timeout:.3f}s (buffer occupancies "
-            f"{occupancy})",
+            f"buffer for {stall_timeout:.3f}s ({detail})",
             records=records,
             stats=stats,
         )
         self.stage = stage
         self.occupancy = occupancy
+        self.history = dict(history or {})
+        self.last_progress = dict(last_progress or {})
 
 
 class _Reorderer:
@@ -168,6 +192,7 @@ class Pipeline:
         stall_timeout: float | None = 30.0,
         name: str = "pipeline",
         backend: str = "thread",
+        trace: TraceCollector | bool | None = None,
     ) -> None:
         if not elements:
             raise ValueError("a pipeline needs at least one element")
@@ -184,6 +209,12 @@ class Pipeline:
         self.output: list[Any] = []
         self._fusions: set[str] = set()
         self.stats: dict[str, Any] = {}
+        #: a collector, True (build one per run), or None (session/off);
+        #: also settable through the ``Trace@pipeline`` tuning parameter
+        self._trace_request: TraceCollector | bool | None = trace
+        #: the collector of the most recent run (None when tracing off)
+        self.trace: TraceCollector | None = None
+        self._injector: Any = None
 
     # ------------------------------------------------------------------
     # tuning
@@ -288,6 +319,16 @@ class Pipeline:
                         f"Backend targets the whole pipeline "
                         f"('Backend@pipeline'), got {key!r}"
                     )
+            elif pname == "Trace":
+                if target == "pipeline":
+                    self._trace_request = bool(value)
+                elif target in _LOOP_TARGETS:
+                    continue  # a sibling pattern's trace knob; tolerated
+                else:
+                    raise KeyError(
+                        f"Trace targets the whole pipeline "
+                        f"('Trace@pipeline'), got {key!r}"
+                    )
             elif pname in ("NumWorkers", "ChunkSize", "Schedule"):
                 continue  # parameters of sibling patterns; tolerated in shared files
             else:
@@ -295,8 +336,22 @@ class Pipeline:
 
     def inject(self, injector: Any) -> None:
         """Wrap every stage with a chaos injector (fault-injection runs)."""
+        self._injector = injector
         for el in self.elements:
             injector.wrap_item(el)
+
+    def _resolve_trace(self) -> TraceCollector | None:
+        """The collector this run records into (None = tracing off)."""
+        explicit = (
+            self._trace_request
+            if isinstance(self._trace_request, TraceCollector)
+            else None
+        )
+        trace = resolve_collector(explicit, enabled=self._trace_request is True)
+        self.trace = trace
+        if trace is not None and self._injector is not None:
+            self._injector.trace = trace
+        return trace
 
     def _effective_elements(self) -> list[Element]:
         """Apply StageFusion pairs to the element list."""
@@ -358,6 +413,7 @@ class Pipeline:
         threaded path (a policy must not change meaning under
         ``SequentialExecution``)."""
         self.backend_events = []
+        trace = self._resolve_trace()
         counters = {el.name: StageCounters() for el in elements}
         records: list[ErrorRecord] = []
         generated = 0
@@ -367,7 +423,9 @@ class Pipeline:
             dropped = False
             for el in elements:
                 policy = el.fault_policy or _DEFAULT_POLICY
-                outcome = policy.execute(el.apply, v)
+                outcome = policy.execute(
+                    el.apply, v, trace=trace, stage=el.name, seq=seq
+                )
                 counters[el.name].account(outcome)
                 if outcome.error is not None:
                     records.append(
@@ -431,6 +489,16 @@ class Pipeline:
             ),
             "leaked_threads": leaked,
         }
+        if self.trace is not None:
+            self.stats["trace"] = self.trace.summary()
+            if stall:
+                # the span history replaces the bare occupancy snapshot as
+                # the stall diagnosis (what was each stage doing, and when
+                # did it last make progress?)
+                self.stats["stall"]["history"] = self.trace.last(5)
+                self.stats["stall"]["last_progress"] = (
+                    self.trace.last_progress()
+                )
 
     @staticmethod
     def _error_message(records: list[ErrorRecord]) -> str:
@@ -440,11 +508,20 @@ class Pipeline:
 
     def _stream_threaded(self, values, elements: list[Element]):
         self.backend_events = []
+        trace = self._resolve_trace()
         # every stage worker comes from the backend seam, so lifting
         # whole stages onto processes later is a factory change, not a
         # pipeline rewrite; a requested process backend records its
         # thread-bound downgrade here
         spawn = stage_worker_factory(self.backend, self.backend_events)
+        if trace is not None:
+            for event in self.backend_events:
+                trace.instant(
+                    "fallback", self.name, -1,
+                    requested=event.requested,
+                    actual=event.actual,
+                    reason=event.reason,
+                )
         eos = EndOfStream()
         n = len(elements)
         buffers = [
@@ -480,6 +557,11 @@ class Pipeline:
                     buffers[0].put((seq, v), cancel=token)
                     generated[0] += 1
             except CancelledError:
+                if trace is not None:
+                    trace.instant(
+                        "cancel", STREAM_GENERATOR, -1,
+                        reason=token.reason or "cancelled",
+                    )
                 return
             except BaseException as exc:
                 record(STREAM_GENERATOR, generated[0], exc)
@@ -514,6 +596,9 @@ class Pipeline:
                 flights = in_flight[el.name]
                 try:
                     while True:
+                        wait_start = (
+                            time.monotonic() if trace is not None else 0.0
+                        )
                         item = inbuf.get(cancel=token)
                         if isinstance(item, EndOfStream):
                             with stage_lock:
@@ -527,10 +612,15 @@ class Pipeline:
                                 outbuf.put(item, cancel=token)
                             return
                         seq, value = item
+                        if trace is not None:
+                            trace.add("queue_wait", el.name, seq, wait_start)
                         with fl_lock:
                             flights.add(seq)
                         try:
-                            outcome = policy.execute(el.apply, value, cancel=token)
+                            outcome = policy.execute(
+                                el.apply, value, cancel=token,
+                                trace=trace, stage=el.name, seq=seq,
+                            )
                         finally:
                             with fl_lock:
                                 flights.discard(seq)
@@ -552,6 +642,11 @@ class Pipeline:
                         else:
                             outbuf.put((seq, outcome.value), cancel=token)
                 except CancelledError:
+                    if trace is not None:
+                        trace.instant(
+                            "cancel", el.name, -1,
+                            reason=token.reason or "cancelled",
+                        )
                     return
 
             for r in range(replication):
@@ -653,6 +748,12 @@ class Pipeline:
                         float(self.stall_timeout or 0.0),
                         records=records,
                         stats=self.stats,
+                        history=trace.last(5) if trace is not None else None,
+                        last_progress=(
+                            trace.last_progress()
+                            if trace is not None
+                            else None
+                        ),
                     )
                 if failed[0]:
                     raise PipelineError(

@@ -350,6 +350,24 @@ def generate_doall_source(func: IRFunction, match: PatternMatch) -> str:
     }
     finals = _final_value_names(func, loop_stmt, target_names, excluded)
 
+    # in-place mutations of containers/objects that outlive one iteration
+    # (``arr[i] = v`` on a parameter, ``obj.attr = v``, mutation through
+    # the loop target): correct under threads (shared memory) but
+    # silently lost under the process backend, where workers mutate a
+    # pickled copy.  Name the bases so the runtime pins execution off
+    # processes with a recorded downgrade; containers created inside the
+    # body are iteration-private and excused.
+    body_locals = {w.name for w in writes}
+    shared_mutations = sorted({
+        w.base
+        for st in loop_stmt.body
+        if st.sid not in special
+        for w in st.deep_accesses().writes
+        if not _plain(w.name)
+        and w.base not in excluded
+        and w.base not in body_locals
+    })
+
     ind = "    "
     lines: list[str] = [f"def {parallel_name(func)}({_signature(func)}):"]
     lines.append(f"{ind}from repro.runtime import configured_parallel_for")
@@ -390,10 +408,15 @@ def generate_doall_source(func: IRFunction, match: PatternMatch) -> str:
     # wraps thread/serial runs itself and ships the injector's spec to
     # worker processes under Backend=process, where a parent-side closure
     # could not travel
+    shared_kw = (
+        f", shared_writes={tuple(shared_mutations)!r}"
+        if shared_mutations
+        else ""
+    )
     lines.append(
         f"{ind}__results = configured_parallel_for("
         f"{iter_text}, __body, dict(__tuning__ or {{}}), "
-        f"chaos=__chaos__)"
+        f"chaos=__chaos__{shared_kw})"
     )
 
     # sequential replay of collector/reduction over ordered results

@@ -20,6 +20,7 @@ from repro.tuning.hillclimb import HillClimb
 from repro.tuning.nelder_mead import NelderMead
 from repro.tuning.tabu import TabuSearch
 from repro.tuning.autotuner import AutoTuner, Tuner
+from repro.tuning.tracesource import TracedPipelineSource
 
 __all__ = [
     "ParameterSpace",
@@ -32,4 +33,5 @@ __all__ = [
     "TabuSearch",
     "AutoTuner",
     "Tuner",
+    "TracedPipelineSource",
 ]

@@ -1,0 +1,143 @@
+"""A real-execution measurement backend with span-level visibility.
+
+The simulator backends (:func:`repro.tuning.autotuner.make_pipeline_measure`)
+return only the makespan: the tuner converges but cannot say *why* a
+configuration wins.  :class:`TracedPipelineSource` instead executes a real
+:class:`~repro.runtime.pipeline.Pipeline` whose stages sleep their
+cost-model times (scaled so one sequential pass fits ``time_budget``),
+with span tracing on.  Every measurement then carries a per-stage
+:meth:`~repro.runtime.trace.TraceCollector.summary`, and :meth:`explain`
+turns the best run's spans into the tuning cycle's missing sentence —
+which stage was the bottleneck, how busy it was, and which knob answered.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.runtime.item import Item
+from repro.runtime.pipeline import Pipeline
+from repro.runtime.trace import bottleneck
+from repro.tuning.space import Config
+
+
+class _SleepStage:
+    """A pipeline stage that costs exactly what the model says it costs."""
+
+    def __init__(self, costs: Any, scale: float) -> None:
+        self.costs = costs
+        self.scale = scale
+        self.__name__ = costs.name
+
+    def __call__(self, k: Any) -> Any:
+        time.sleep(self.costs.cost(int(k)) * self.scale)
+        return k
+
+
+class TracedPipelineSource:
+    """Measure tuning configurations by running the workload for real.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.simcore.costmodel.WorkloadCosts` (the same object
+        the simulator backends take).
+    elements:
+        Stream length per evaluation (capped at ``workload.n``); short
+        streams keep an evaluation cheap, the cost model keeps it faithful.
+    time_budget:
+        Target wall time of one *sequential* evaluation, in seconds; the
+        per-element sleeps are scaled to hit it.  Parallel configurations
+        finish faster — that difference is the measurement.
+    """
+
+    def __init__(
+        self,
+        workload: Any,
+        elements: int = 32,
+        time_budget: float = 0.4,
+    ) -> None:
+        self.workload = workload
+        self.elements = max(1, min(elements, workload.n))
+        per_element = workload.sequential_time() / max(workload.n, 1)
+        sequential = per_element * self.elements
+        self.scale = time_budget / sequential if sequential > 0 else 1.0
+        #: every evaluation: (config, wall seconds, trace summary)
+        self.evaluations: list[tuple[Config, float, dict]] = []
+
+    # ------------------------------------------------------------------
+    # the MeasureFn contract
+    # ------------------------------------------------------------------
+    def _make_pipeline(self) -> Pipeline:
+        items = [
+            Item(
+                _SleepStage(s, self.scale),
+                name=s.name,
+                replicable=s.replicable,
+            )
+            for s in self.workload.stages
+        ]
+        return Pipeline(*items, stall_timeout=None, trace=True)
+
+    def measure(self, config: Config) -> float:
+        pipe = self._make_pipeline()
+        pipe.configure(dict(config))
+        start = time.perf_counter()
+        pipe.run(range(self.elements))
+        wall = time.perf_counter() - start
+        summary = pipe.stats.get("trace") or {}
+        self.evaluations.append((dict(config), wall, summary))
+        return wall
+
+    __call__ = measure
+
+    # ------------------------------------------------------------------
+    # the measure-phase artifacts
+    # ------------------------------------------------------------------
+    def best(self) -> tuple[Config, float, dict] | None:
+        """The fastest evaluation so far (config, wall, trace summary)."""
+        if not self.evaluations:
+            return None
+        return min(self.evaluations, key=lambda e: e[1])
+
+    def best_summary(self) -> dict | None:
+        best = self.best()
+        return best[2] if best is not None else None
+
+    def explain(self) -> str:
+        """Why the best configuration wins, read off its spans."""
+        best = self.best()
+        if best is None:
+            return "traced source: no evaluations yet"
+        config, wall, summary = best
+        lines = [
+            f"traced source: {len(self.evaluations)} real evaluation(s), "
+            f"best {wall * 1e3:.2f} ms over {self.elements} elements"
+        ]
+        stages = summary.get("stages", {})
+        hot = bottleneck(summary)
+        if hot is not None:
+            stage, share = hot
+            st = stages.get(stage, {})
+            lines.append(
+                f"  bottleneck : {stage!r} holds {share * 100:.0f}% of "
+                f"execute time, {st.get('utilization', 0.0) * 100:.0f}% busy"
+            )
+            replication = config.get(f"StageReplication@{stage}")
+            if replication is not None:
+                lines.append(
+                    f"  the tuner's answer: StageReplication@{stage} = "
+                    f"{replication}"
+                )
+        waits = {
+            name: st.get("queue_wait", 0.0) for name, st in stages.items()
+        }
+        if waits:
+            starved, wait = max(waits.items(), key=lambda kv: kv[1])
+            if wait > 0:
+                lines.append(
+                    f"  most starved: {starved!r} spent "
+                    f"{wait * 1e3:.1f} ms waiting on its input buffer"
+                )
+        return "\n".join(lines)

@@ -340,6 +340,7 @@ class TestDoallPattern:
             "Retries@loop",
             "ItemTimeout@loop",
             "OnError@loop",
+            "Trace@loop",
         }
         assert match.parameter("NumWorkers@loop").domain() == [1, 2, 3, 4]
 
