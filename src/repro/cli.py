@@ -17,6 +17,10 @@ its workflows are not; each subcommand is one of them:
 * ``trace``     — run a benchmark's transformed functions with span
   tracing on: per-stage latency/utilization report, optional Chrome
   trace-event export (Perfetto), optional seeded chaos.
+* ``calibrate`` — run a cost-model workload for real under tracing, fit
+  an empirical (quantile-sampled) cost model from the measured per-stage
+  latency distributions, write it as a reusable calibration JSON, and
+  report the simulated-vs-measured makespan error.
 * ``study``     — run the simulated user study and print the paper's
   tables and figures.
 * ``quality``   — the detection-quality evaluation (precision/recall/F)
@@ -136,26 +140,36 @@ _ALGORITHMS = {
 }
 
 
-def cmd_tune(args: argparse.Namespace) -> int:
-    import repro.tuning as tuning
-    from repro.simcore import Machine
+def _build_workload(name: str, elements: int):
     from repro.simcore.costmodel import (
         balanced_workload,
         imbalanced_workload,
+        jittered_workload,
         video_filter_workload,
     )
+
+    return {
+        "video": video_filter_workload,
+        "balanced": balanced_workload,
+        "imbalanced": imbalanced_workload,
+        "jittered": jittered_workload,
+    }[name](n=elements)
+
+
+_WORKLOADS = ["video", "balanced", "imbalanced", "jittered"]
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    import repro.tuning as tuning
+    from repro.simcore import Machine
     from repro.evalq.speedup import pipeline_space
     from repro.tuning.autotuner import make_pipeline_measure
 
-    workloads = {
-        "video": video_filter_workload(n=args.elements),
-        "balanced": balanced_workload(n=args.elements),
-        "imbalanced": imbalanced_workload(n=args.elements),
-    }
-    wl = workloads[args.workload]
+    wl = _build_workload(args.workload, args.elements)
     machine = Machine(cores=args.cores)
     space = pipeline_space(wl, max_replication=args.cores * 2)
     source = None
+    calibrated = None
     if args.trace:
         # the measure phase runs for real, with span tracing on — every
         # evaluation carries a per-stage summary the tuner can explain
@@ -163,6 +177,14 @@ def cmd_tune(args: argparse.Namespace) -> int:
             wl, elements=24, time_budget=0.05
         )
         measure = source.measure
+    elif args.calibrate:
+        # one real traced run seeds the simulator with measured shapes;
+        # tuning is then simulator-cheap and the winners re-run for real
+        calibrated = tuning.CalibratedSource(
+            wl, machine, elements=24, time_budget=0.05, top_k=args.top_k
+        )
+        calibrated.calibrate()
+        measure = calibrated.measure
     else:
         measure = make_pipeline_measure(wl, machine)
     algorithm = getattr(tuning, _ALGORITHMS[args.algorithm])()
@@ -185,6 +207,68 @@ def cmd_tune(args: argparse.Namespace) -> int:
         print(source.explain())
         print()
         print(trace_report(source.best_summary() or {}))
+    if calibrated is not None:
+        from repro.report import calibration_report
+
+        calibrated.validate()
+        print()
+        print(calibration_report(calibrated.calibration.as_dict()))
+        print()
+        print(calibrated.explain())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# calibrate
+# ---------------------------------------------------------------------------
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit an empirical cost model from one real traced run.
+
+    Runs the chosen cost-model workload for real (sleep stages scaled to
+    the time budget) under the chosen backend with tracing on, fits an
+    :class:`~repro.simcore.calibrate.EmpiricalStageCosts` per stage from
+    the measured execute-latency distributions, writes the calibration
+    JSON, and reports the simulated-vs-measured makespan error.
+    """
+    from repro.report import calibration_report
+    from repro.simcore.calibrate import (
+        CalibrationResult,
+        fit_workload,
+        replay_makespan,
+        save_calibration,
+    )
+    from repro.simcore.machine import Machine
+    from repro.tuning.calibrated import run_traced
+
+    wl = _build_workload(args.workload, args.elements)
+    per_element = wl.sequential_time() / max(wl.n, 1)
+    scale = (
+        args.time_budget / (per_element * args.elements)
+        if per_element > 0
+        else 1.0
+    )
+    wall, summary = run_traced(
+        wl, args.elements, scale, backend=args.backend
+    )
+    fitted = fit_workload(summary, n=args.elements, like=wl)
+    cal = CalibrationResult(
+        fitted=fitted,
+        summary=summary,
+        measured_makespan=wall,
+        simulated_makespan=replay_makespan(
+            fitted, args.backend, Machine(cores=args.cores)
+        ),
+        backend=args.backend,
+        elements=args.elements,
+        meta={"workload": args.workload, "scale": scale},
+    )
+    print(calibration_report(cal.as_dict()))
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_calibration(path, fitted, meta=cal.as_dict()["meta"])
+        print(f"\ncalibration written to {path}")
     return 0
 
 
@@ -477,17 +561,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_transform)
 
     p = sub.add_parser("tune", help="auto-tune on the simulated machine")
-    p.add_argument("--workload", default="video",
-                   choices=["video", "balanced", "imbalanced"])
+    p.add_argument("--workload", default="video", choices=_WORKLOADS)
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--elements", type=int, default=200)
     p.add_argument("--budget", type=int, default=100)
     p.add_argument("--algorithm", default="linear",
                    choices=sorted(_ALGORITHMS))
-    p.add_argument("--trace", action="store_true",
-                   help="measure by real traced execution and explain the "
-                        "best configuration from its spans")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--trace", action="store_true",
+                      help="measure by real traced execution and explain "
+                           "the best configuration from its spans")
+    mode.add_argument("--calibrate", action="store_true",
+                      help="fit the simulator from one real traced run, "
+                           "tune on it cheaply, then validate the top-k "
+                           "configurations with real traced runs")
+    p.add_argument("--top-k", type=int, default=3,
+                   help="configurations to validate for real "
+                        "(--calibrate only)")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit an empirical cost model from a real traced run",
+    )
+    p.add_argument("--workload", default="jittered", choices=_WORKLOADS)
+    p.add_argument("--elements", type=int, default=48,
+                   help="stream length of the traced run")
+    p.add_argument("--backend", default="thread",
+                   choices=["serial", "thread", "process"])
+    p.add_argument("--cores", type=int, default=4,
+                   help="simulated cores for the fitted-model replay")
+    p.add_argument("--time-budget", type=float, default=0.25,
+                   help="target wall seconds of one sequential pass")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the fitted cost model as calibration JSON")
+    p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser(
         "trace",

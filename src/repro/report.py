@@ -298,6 +298,55 @@ def trace_report(stats_or_summary: dict) -> str:
     return "\n".join(lines)
 
 
+def calibration_report(cal: dict) -> str:
+    """A calibration's fitted-vs-measured verdict, rendered.
+
+    Takes :meth:`~repro.simcore.calibrate.CalibrationResult.as_dict`:
+    the traced run's measured makespan against the fitted model's
+    simulated replay, then each stage's measured distribution
+    (mean/p50/p95) next to the fitted one with the mean residual — the
+    evidence that simulated tuning answers now start from measured
+    shapes.
+    """
+    if not cal or "stages" not in cal:
+        return "calibration report\n  (no calibration data)"
+    lines = ["calibration report"]
+    lines.append(
+        f"  traced     : {cal.get('elements', 0)} elements on the "
+        f"{cal.get('backend', '?')!r} backend"
+    )
+    measured = cal.get("measured_makespan", 0.0)
+    simulated = cal.get("simulated_makespan", 0.0)
+    error = cal.get("makespan_error", 0.0)
+    lines.append(
+        f"  makespan   : measured {measured * 1e3:.2f} ms, "
+        f"fitted-model replay {simulated * 1e3:.2f} ms "
+        f"(error {error * 100:.1f}%)"
+    )
+    gen = cal.get("generator_cost", 0.0)
+    if gen:
+        lines.append(
+            f"  residual   : {gen * 1e6:.1f} us/element outside execute "
+            "spans (fitted as the generator cost)"
+        )
+    for row in cal.get("stages", []):
+        m, f = row.get("measured", {}), row.get("fitted", {})
+        lines.append(f"  {row.get('stage', '?')}:")
+        lines.append(
+            f"    measured mean {m.get('mean', 0.0) * 1e3:.3f}ms  "
+            f"p50 {m.get('p50', 0.0) * 1e3:.3f}ms  "
+            f"p95 {m.get('p95', 0.0) * 1e3:.3f}ms  "
+            f"({m.get('count', 0)} samples)"
+        )
+        lines.append(
+            f"    fitted   mean {f.get('mean', 0.0) * 1e3:.3f}ms  "
+            f"p50 {f.get('p50', 0.0) * 1e3:.3f}ms  "
+            f"p95 {f.get('p95', 0.0) * 1e3:.3f}ms  "
+            f"(mean residual {row.get('residual', 0.0) * 100:+.1f}%)"
+        )
+    return "\n".join(lines)
+
+
 def detection_report(
     model: SemanticModel, matches: list[PatternMatch]
 ) -> str:

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import collections
 import json
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -323,6 +324,7 @@ class TraceCollector:
                 "execute_p50": _percentile(durs, 0.50),
                 "execute_p95": _percentile(durs, 0.95),
                 "execute_max": durs[-1] if durs else 0.0,
+                "execute_quantiles": _quantile_points(durs),
                 "utilization": min(1.0, total / wall),
                 "histogram": _histogram(durs),
                 **st,
@@ -331,9 +333,56 @@ class TraceCollector:
 
 
 def _percentile(sorted_durs: list[float], p: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    Nearest rank is ``ceil(p * n)`` (1-based), so the p50 of two samples
+    is the first (the lower median) — naive ``int(p * n)`` indexing
+    returned the *max* there.  The input must already be sorted; callers
+    sort once and take many percentiles, so the contract is enforced
+    rather than re-sorting per call.
+    """
     if not sorted_durs:
         return 0.0
-    return sorted_durs[min(len(sorted_durs) - 1, int(p * len(sorted_durs)))]
+    if any(a > b for a, b in zip(sorted_durs, sorted_durs[1:])):
+        raise ValueError("_percentile requires an ascending-sorted sample")
+    n = len(sorted_durs)
+    return sorted_durs[min(n - 1, max(0, math.ceil(p * n) - 1))]
+
+
+#: cap on inverse-CDF points exported per stage by ``summary()``
+MAX_QUANTILE_POINTS = 41
+
+
+def _quantile_points(
+    sorted_durs: list[float], max_points: int = MAX_QUANTILE_POINTS
+) -> list[list[float]]:
+    """The empirical inverse CDF as ``[[q, value], ...]`` (what a
+    calibration fits).
+
+    Order statistics at midpoint plotting positions ``(i + 0.5) / n``
+    plus the min/max endpoints: unlike a fixed coarse percentile grid,
+    this keeps tail outliers (a stalled sleep, a GC pause) at their true
+    probability mass, so a fitted model reproduces the measured *total*,
+    not just the median.  Samples beyond ``max_points`` are thinned to
+    evenly spaced ranks.
+    """
+    n = len(sorted_durs)
+    if n == 0:
+        return []
+    if n <= max_points:
+        idxs: list[int] = list(range(n))
+    else:
+        idxs = sorted(
+            {
+                min(n - 1, int((j + 0.5) * n / max_points))
+                for j in range(max_points)
+            }
+        )
+    return (
+        [[0.0, sorted_durs[0]]]
+        + [[(i + 0.5) / n, sorted_durs[i]] for i in idxs]
+        + [[1.0, sorted_durs[-1]]]
+    )
 
 
 #: fixed log-spaced latency buckets (seconds); the report's histogram rows

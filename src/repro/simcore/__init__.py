@@ -20,6 +20,14 @@ from repro.simcore.simulate import (
     simulate_masterworker,
     simulate_sequential,
 )
+from repro.simcore.calibrate import (
+    CalibrationError,
+    CalibrationResult,
+    EmpiricalStageCosts,
+    fit_workload,
+    load_calibration,
+    save_calibration,
+)
 
 __all__ = [
     "Environment",
@@ -35,4 +43,10 @@ __all__ = [
     "simulate_doall",
     "simulate_masterworker",
     "simulate_sequential",
+    "CalibrationError",
+    "CalibrationResult",
+    "EmpiricalStageCosts",
+    "fit_workload",
+    "load_calibration",
+    "save_calibration",
 ]

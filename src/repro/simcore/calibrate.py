@@ -1,0 +1,453 @@
+"""Trace-calibrated cost models: fit :class:`StageCosts` from measured runs.
+
+The paper's performance-validation phase is a measure-driven cycle
+(initialize → execute → measure → next values), but a simulator tuned
+against *hand-written* stage costs answers a different question than the
+one ``repro trace`` measures.  This module closes the loop:
+
+* :class:`EmpiricalStageCosts` — a per-element cost function sampled from
+  a measured execute-latency distribution.  The fit stores the
+  distribution as its inverse CDF on a fixed quantile grid (the
+  ``execute_quantiles`` a :meth:`~repro.runtime.trace.TraceCollector.summary`
+  exports); element ``k``'s cost is a stable-hash draw through that CDF,
+  so costs are deterministic, order-independent and process-stable while
+  still *shaped* like the real run.
+* :func:`fit_workload` — turn a traced run's summary into a
+  :class:`WorkloadCosts` the existing simulators accept unchanged.
+* :func:`save_calibration` / :func:`load_calibration` — JSON persistence
+  so one calibration survives reuse across tuning sessions.
+* :class:`CalibrationResult` — the fitted workload next to what was
+  measured, with the simulated-vs-measured makespan error that tells you
+  whether to trust simulated tuning answers.
+
+Fitting is pure (summary dict in, cost model out): running the traced
+workload lives in :mod:`repro.tuning.calibrated` and the ``repro
+calibrate`` CLI, keeping :mod:`repro.simcore` free of runtime imports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.simcore.costmodel import (
+    StageCosts,
+    WorkloadCosts,
+    stable_uniform,
+)
+from repro.simcore.machine import DEFAULT_MACHINE, Machine
+from repro.simcore.simulate import simulate_pipeline, simulate_sequential
+
+#: the on-disk calibration format
+SCHEMA = "empirical_costs/v1"
+
+
+class CalibrationError(ValueError):
+    """A summary or calibration file that cannot produce a cost model."""
+
+
+class EmpiricalStageCosts(StageCosts):
+    """A stage cost function fitted from measured execute durations.
+
+    ``quantiles`` is the stage's inverse CDF sampled at ascending points
+    ``[(q, value), ...]`` with ``q`` spanning 0..1.  ``cost(k)`` draws a
+    deterministic uniform from :func:`stable_uniform` over ``(seed, name,
+    k)`` and linearly interpolates the CDF — a fresh, reproducible sample
+    from the *measured* distribution for every element.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        quantiles: Sequence[Sequence[float]],
+        seed: int = 0,
+        replicable: bool = True,
+        samples: int = 0,
+    ) -> None:
+        pts = [(float(q), float(v)) for q, v in quantiles]
+        if not pts:
+            raise CalibrationError(f"stage {name!r}: empty quantile list")
+        if any(q1 < q0 for (q0, _), (q1, _) in zip(pts, pts[1:])):
+            raise CalibrationError(
+                f"stage {name!r}: quantile points must ascend in q"
+            )
+        if any(not 0.0 <= q <= 1.0 for q, _ in pts):
+            raise CalibrationError(
+                f"stage {name!r}: quantile q outside [0, 1]"
+            )
+        if any(v < 0.0 for _, v in pts):
+            raise CalibrationError(f"stage {name!r}: negative duration")
+        self.quantiles = pts
+        self.seed = int(seed)
+        #: how many measured durations backed the fit (provenance)
+        self.samples = int(samples)
+        super().__init__(name=name, fn=self._sample, replicable=replicable)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def quantile(self, u: float) -> float:
+        """The fitted inverse CDF at ``u`` (linear interpolation)."""
+        pts = self.quantiles
+        if u <= pts[0][0]:
+            return pts[0][1]
+        for (q0, v0), (q1, v1) in zip(pts, pts[1:]):
+            if u <= q1:
+                if q1 == q0:
+                    return v1
+                t = (u - q0) / (q1 - q0)
+                return v0 + t * (v1 - v0)
+        return pts[-1][1]
+
+    def _sample(self, k: int) -> float:
+        return self.quantile(stable_uniform(self.seed, self.name, k))
+
+    @property
+    def mean(self) -> float:
+        """The fitted distribution's mean: ``∫ Q(u) du`` (trapezoid)."""
+        pts = self.quantiles
+        if len(pts) == 1:
+            return pts[0][1]
+        return sum(
+            (q1 - q0) * (v0 + v1) / 2.0
+            for (q0, v0), (q1, v1) in zip(pts, pts[1:])
+        ) / max(pts[-1][0] - pts[0][0], 1e-12)
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "EmpiricalStageCosts":
+        """A copy with every fitted duration multiplied by ``factor``.
+
+        Calibration normalization: the shape stays measured, the integral
+        is pinned to an observed aggregate (see :func:`fit_workload`).
+        """
+        if factor <= 0:
+            raise CalibrationError(
+                f"stage {self.name!r}: scale factor must be positive"
+            )
+        return EmpiricalStageCosts(
+            self.name,
+            [(q, v * factor) for q, v in self.quantiles],
+            seed=self.seed,
+            replicable=self.replicable,
+            samples=self.samples,
+        )
+
+    @classmethod
+    def from_durations(
+        cls,
+        name: str,
+        durations: Iterable[float],
+        seed: int = 0,
+        replicable: bool = True,
+        max_points: int = 41,
+    ) -> "EmpiricalStageCosts":
+        """Fit from raw measured durations.
+
+        The inverse CDF is the order statistics at midpoint plotting
+        positions ``(i + 0.5) / n`` plus min/max endpoints (thinned to
+        ``max_points`` evenly spaced ranks for large samples) — the same
+        form ``TraceCollector.summary()`` exports, faithful to tail
+        outliers rather than a coarse fixed percentile grid.
+        """
+        durs = sorted(float(d) for d in durations)
+        if not durs:
+            raise CalibrationError(f"stage {name!r}: no measured durations")
+        n = len(durs)
+        if n <= max_points:
+            idxs: list[int] = list(range(n))
+        else:
+            idxs = sorted(
+                {
+                    min(n - 1, int((j + 0.5) * n / max_points))
+                    for j in range(max_points)
+                }
+            )
+        pts = (
+            [(0.0, durs[0])]
+            + [((i + 0.5) / n, durs[i]) for i in idxs]
+            + [(1.0, durs[-1])]
+        )
+        return cls(name, pts, seed=seed, replicable=replicable, samples=n)
+
+    @classmethod
+    def from_stage_summary(
+        cls,
+        name: str,
+        stage_summary: dict[str, Any],
+        seed: int = 0,
+        replicable: bool = True,
+    ) -> "EmpiricalStageCosts":
+        """Fit from one stage's ``summary()["stages"][name]`` dict."""
+        pts = stage_summary.get("execute_quantiles") or []
+        if not pts:
+            raise CalibrationError(
+                f"stage {name!r}: summary carries no 'execute_quantiles' "
+                "(re-trace with a current TraceCollector)"
+            )
+        return cls(
+            name,
+            pts,
+            seed=seed,
+            replicable=replicable,
+            samples=int(stage_summary.get("count", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "replicable": self.replicable,
+            "seed": self.seed,
+            "samples": self.samples,
+            "quantiles": [[q, v] for q, v in self.quantiles],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "EmpiricalStageCosts":
+        try:
+            return cls(
+                name=str(d["name"]),
+                quantiles=d["quantiles"],
+                seed=int(d.get("seed", 0)),
+                replicable=bool(d.get("replicable", True)),
+                samples=int(d.get("samples", 0)),
+            )
+        except KeyError as exc:
+            raise CalibrationError(f"stage dict missing key: {exc}") from exc
+
+
+def fit_workload(
+    summary: dict[str, Any],
+    n: int | None = None,
+    seed: int = 0,
+    like: WorkloadCosts | None = None,
+) -> WorkloadCosts:
+    """Turn a traced run's ``summary()`` into a simulator workload.
+
+    Every stage in the summary becomes an :class:`EmpiricalStageCosts`.
+    ``like`` (the hand-written workload the traced run executed, if any)
+    contributes the stage *order* and ``replicable`` flags, which a trace
+    cannot know; without it, summary insertion order is used and every
+    stage is assumed replicable.  ``n`` defaults to the largest per-stage
+    element count observed.  The implicit generator cost is fitted from
+    the residual: wall time not accounted for by execute spans, per
+    element, clamped at zero (a parallel run's wall is *less* than the
+    execute total).
+    """
+    stages_summary = (summary or {}).get("stages") or {}
+    if not stages_summary:
+        raise CalibrationError("summary has no stages — was tracing on?")
+
+    if like is not None:
+        order = [s.name for s in like.stages if s.name in stages_summary]
+        missing = [
+            s.name for s in like.stages if s.name not in stages_summary
+        ]
+        if missing:
+            raise CalibrationError(
+                f"traced summary is missing stages {missing!r}"
+            )
+        replicable = {s.name: s.replicable for s in like.stages}
+    else:
+        order = list(stages_summary)
+        replicable = {name: True for name in order}
+
+    if n is None:
+        n = max(int(stages_summary[name].get("count", 0)) for name in order)
+    if n < 1:
+        raise CalibrationError("fitted workload needs n >= 1 elements")
+    stages = []
+    for i, name in enumerate(order):
+        stage = EmpiricalStageCosts.from_stage_summary(
+            name,
+            stages_summary[name],
+            seed=seed + i,
+            replicable=replicable[name],
+        )
+        # total-preserving normalization: the stable-hash draws resample
+        # the measured *shape*; pin the integral so that the stage's
+        # total over n elements equals the measured execute total (the
+        # quantity every simulated makespan integrates), scaled to n
+        # from the observed element count
+        count = int(stages_summary[name].get("count", 0)) or n
+        measured_total = float(
+            stages_summary[name].get("execute_total", 0.0)
+        ) * (n / count)
+        resampled_total = stage.total(n)
+        if measured_total > 0 and resampled_total > 0:
+            stage = stage.scaled(measured_total / resampled_total)
+        stages.append(stage)
+    wall = float(summary.get("wall", 0.0))
+    busy = sum(
+        float(stages_summary[name].get("execute_total", 0.0))
+        for name in order
+    )
+    generator_cost = max(0.0, (wall - busy) / n)
+    return WorkloadCosts(stages=stages, n=n, generator_cost=generator_cost)
+
+
+# ---------------------------------------------------------------------------
+# persistence: one calibration, one JSON file
+# ---------------------------------------------------------------------------
+
+def save_calibration(
+    path: str | Path,
+    workload: WorkloadCosts,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write a fitted workload as a calibration file (see :data:`SCHEMA`).
+
+    Only workloads whose every stage is an :class:`EmpiricalStageCosts`
+    can be saved — arbitrary cost *functions* have no faithful JSON form.
+    """
+    for s in workload.stages:
+        if not isinstance(s, EmpiricalStageCosts):
+            raise CalibrationError(
+                f"stage {s.name!r} is not empirical; only fitted "
+                "workloads are saveable"
+            )
+    payload = {
+        "schema": SCHEMA,
+        "n": workload.n,
+        "generator_cost": workload.generator_cost,
+        "stages": [s.as_dict() for s in workload.stages],
+        "meta": dict(meta or {}),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_calibration(path: str | Path) -> WorkloadCosts:
+    """Load (and validate) a calibration file back into a workload.
+
+    Raises :class:`CalibrationError` on a wrong schema or a payload that
+    cannot rebuild a usable cost model — the CI smoke step's assertion.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CalibrationError(f"unreadable calibration file: {exc}") from exc
+    if payload.get("schema") != SCHEMA:
+        raise CalibrationError(
+            f"schema mismatch: expected {SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    stage_dicts = payload.get("stages") or []
+    if not stage_dicts:
+        raise CalibrationError("calibration file has no stages")
+    workload = WorkloadCosts(
+        stages=[EmpiricalStageCosts.from_dict(d) for d in stage_dicts],
+        n=int(payload.get("n", 0)),
+        generator_cost=float(payload.get("generator_cost", 0.0)),
+    )
+    if workload.n < 1:
+        raise CalibrationError("calibration file has n < 1")
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# the fitted-vs-measured verdict
+# ---------------------------------------------------------------------------
+
+def replay_makespan(
+    fitted: WorkloadCosts,
+    backend: str = "serial",
+    machine: Machine | None = None,
+) -> float:
+    """Simulate the fitted workload the way the traced run executed.
+
+    A serial trace replays as the sequential simulator; a thread/process
+    trace replays as the default-configured pipeline simulator (one
+    replica per stage, overlapped) — the shape the real run had.
+    """
+    if backend == "serial":
+        return simulate_sequential(fitted).makespan
+    return simulate_pipeline(
+        fitted, machine or DEFAULT_MACHINE, {}
+    ).makespan
+
+
+@dataclass
+class CalibrationResult:
+    """A fitted workload next to the measurements that produced it."""
+
+    fitted: WorkloadCosts
+    summary: dict[str, Any]
+    measured_makespan: float
+    simulated_makespan: float
+    backend: str = "serial"
+    elements: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan_error(self) -> float:
+        """Relative |simulated − measured| / measured (0.0 is perfect)."""
+        if self.measured_makespan <= 0:
+            return 0.0
+        return (
+            abs(self.simulated_makespan - self.measured_makespan)
+            / self.measured_makespan
+        )
+
+    def stage_rows(self) -> list[dict[str, Any]]:
+        """Per-stage fitted-vs-measured comparison (report fodder)."""
+        stages_summary = self.summary.get("stages") or {}
+        rows: list[dict[str, Any]] = []
+        for s in self.fitted.stages:
+            st = stages_summary.get(s.name) or {}
+            measured_mean = float(st.get("execute_mean", 0.0))
+            # the mean the simulator integrates: per-element resampled
+            # costs over the fitted stream (normalization pins it to the
+            # measured total, so the residual exposes fit bugs, not
+            # Monte-Carlo noise)
+            fitted_mean = s.total(self.fitted.n) / self.fitted.n
+            residual = (
+                (fitted_mean - measured_mean) / measured_mean
+                if measured_mean > 0
+                else 0.0
+            )
+            row = {
+                "stage": s.name,
+                "measured": {
+                    "mean": measured_mean,
+                    "p50": float(st.get("execute_p50", 0.0)),
+                    "p95": float(st.get("execute_p95", 0.0)),
+                    "count": int(st.get("count", 0)),
+                },
+                "fitted": {
+                    "mean": fitted_mean,
+                    "p50": (
+                        s.quantile(0.50)
+                        if isinstance(s, EmpiricalStageCosts)
+                        else fitted_mean
+                    ),
+                    "p95": (
+                        s.quantile(0.95)
+                        if isinstance(s, EmpiricalStageCosts)
+                        else fitted_mean
+                    ),
+                },
+                "residual": residual,
+            }
+            rows.append(row)
+        return rows
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON-ready report payload (`report.calibration_report`)."""
+        return {
+            "backend": self.backend,
+            "elements": self.elements,
+            "measured_makespan": self.measured_makespan,
+            "simulated_makespan": self.simulated_makespan,
+            "makespan_error": self.makespan_error,
+            "generator_cost": self.fitted.generator_cost,
+            "stages": self.stage_rows(),
+            "meta": dict(self.meta),
+        }

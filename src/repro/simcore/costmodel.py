@@ -9,11 +9,25 @@ chains, ray tracing rows, ...).
 
 from __future__ import annotations
 
-import random
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
 CostFn = Callable[[int], float]
+
+
+def stable_uniform(seed: int, name: str, k: int) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` for element ``k``.
+
+    Derived statelessly from ``zlib.crc32`` over ``(seed, name, k)``:
+    stable across evaluation orders, interpreter restarts and spawned
+    worker processes.  (``hash(str)`` is salted per interpreter via
+    PYTHONHASHSEED, and a shared ``random.Random`` stream makes a cost
+    depend on which elements were asked about first — both made
+    "deterministic" jitter disagree run-to-run.)
+    """
+    key = f"{seed}:{name}:{k}".encode()
+    return (zlib.crc32(key) & 0xFFFFFFFF) / 2**32
 
 
 @dataclass
@@ -39,14 +53,16 @@ class StageCosts:
         seed: int = 0,
         replicable: bool = True,
     ) -> "StageCosts":
-        """Uniform jitter around a mean, deterministic per element."""
-        rng = random.Random(seed ^ hash(name) & 0xFFFFFFFF)
-        n_cache: dict[int, float] = {}
+        """Uniform jitter around a mean, a pure function of the element.
+
+        Element ``k``'s cost is derived from :func:`stable_uniform` over
+        ``(seed, name, k)`` — identical regardless of evaluation order,
+        PYTHONHASHSEED, or which process evaluates it.
+        """
 
         def fn(k: int) -> float:
-            if k not in n_cache:
-                n_cache[k] = mean * (1.0 + jitter * (2 * rng.random() - 1.0))
-            return n_cache[k]
+            u = stable_uniform(seed, name, k)
+            return mean * (1.0 + jitter * (2.0 * u - 1.0))
 
         return cls(name=name, fn=fn, replicable=replicable)
 
@@ -102,6 +118,25 @@ def video_filter_workload(
             StageCosts.jittered("oil", oil, 0.25, seed + 2),
             StageCosts.jittered("convert", convert, 0.10, seed + 3),
             StageCosts.constant("collect", collect, replicable=False),
+        ],
+        n=n,
+    )
+
+
+def jittered_workload(
+    n: int = 200,
+    first: float = 60e-6,
+    second: float = 90e-6,
+    jitter: float = 0.25,
+    seed: int = 11,
+) -> WorkloadCosts:
+    """Two jittered stages — the calibration showcase: per-element costs
+    vary, so any constant guess is wrong and only a measured distribution
+    reproduces the run."""
+    return WorkloadCosts(
+        stages=[
+            StageCosts.jittered("first", first, jitter, seed),
+            StageCosts.jittered("second", second, jitter, seed + 1),
         ],
         n=n,
     )

@@ -29,7 +29,10 @@ class SimResult:
     @property
     def speedup(self) -> float:
         if self.makespan <= 0:
-            return float("inf")
+            # a degenerate (empty) workload ran nothing — report a neutral
+            # 1.0, not an infinity that poisons downstream comparisons
+            # and is unrepresentable in strict JSON
+            return 1.0
         return self.sequential_time / self.makespan
 
 

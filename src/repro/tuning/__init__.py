@@ -21,6 +21,7 @@ from repro.tuning.nelder_mead import NelderMead
 from repro.tuning.tabu import TabuSearch
 from repro.tuning.autotuner import AutoTuner, Tuner
 from repro.tuning.tracesource import TracedPipelineSource
+from repro.tuning.calibrated import CalibratedSource
 
 __all__ = [
     "ParameterSpace",
@@ -34,4 +35,5 @@ __all__ = [
     "AutoTuner",
     "Tuner",
     "TracedPipelineSource",
+    "CalibratedSource",
 ]

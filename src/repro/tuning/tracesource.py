@@ -22,8 +22,14 @@ from repro.runtime.trace import bottleneck
 from repro.tuning.space import Config
 
 
-class _SleepStage:
-    """A pipeline stage that costs exactly what the model says it costs."""
+class SleepStage:
+    """A pipeline stage that costs exactly what the model says it costs.
+
+    Shared by the traced measure source and the calibration runner
+    (:mod:`repro.tuning.calibrated`): ``scale`` shrinks a model-time
+    workload to a wall-clock budget; ``scale=1.0`` replays already-real
+    (fitted) costs verbatim.
+    """
 
     def __init__(self, costs: Any, scale: float) -> None:
         self.costs = costs
@@ -72,7 +78,7 @@ class TracedPipelineSource:
     def _make_pipeline(self) -> Pipeline:
         items = [
             Item(
-                _SleepStage(s, self.scale),
+                SleepStage(s, self.scale),
                 name=s.name,
                 replicable=s.replicable,
             )

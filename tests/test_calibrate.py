@@ -1,0 +1,471 @@
+"""Trace-calibrated cost models: the stateless-jitter determinism fixes,
+nearest-rank percentiles, the speedup degenerate case, empirical cost
+fitting, JSON persistence, the calibration round trip, the calibrated
+tuning source and the ``repro calibrate`` / ``repro tune --calibrate``
+CLI paths."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.report import calibration_report
+from repro.runtime.trace import TraceCollector, _percentile
+from repro.simcore import Machine, simulate_doall, simulate_pipeline
+from repro.simcore.calibrate import (
+    CalibrationError,
+    CalibrationResult,
+    EmpiricalStageCosts,
+    fit_workload,
+    load_calibration,
+    replay_makespan,
+    save_calibration,
+)
+from repro.simcore.costmodel import (
+    StageCosts,
+    WorkloadCosts,
+    jittered_workload,
+    stable_uniform,
+)
+from repro.tuning import AutoTuner, CalibratedSource, LinearSearch
+from repro.tuning.calibrated import run_traced
+
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+
+def jitter_profile(args):
+    """Module-level (spawn-picklable): costs of the first n elements."""
+    seed, name, n = args
+    sc = StageCosts.jittered(name, 1.0, 0.5, seed=seed)
+    return [sc.cost(k) for k in range(n)]
+
+
+# -------------------------------------------------------------------------
+# StageCosts.jittered determinism
+# -------------------------------------------------------------------------
+
+class TestJitterDeterminism:
+    def test_stable_uniform_range_and_stability(self):
+        us = [stable_uniform(3, "s", k) for k in range(100)]
+        assert all(0.0 <= u < 1.0 for u in us)
+        assert us == [stable_uniform(3, "s", k) for k in range(100)]
+        # distinct inputs should not collapse to one value
+        assert len(set(us)) > 90
+
+    def test_cost_independent_of_evaluation_order(self):
+        a = StageCosts.jittered("s", 1.0, 0.5, seed=3)
+        b = StageCosts.jittered("s", 1.0, 0.5, seed=3)
+        forward = [a.cost(k) for k in range(16)]
+        scrambled = {k: b.cost(k) for k in (9, 3, 15, 0, 7, 1, 14, 2)}
+        assert all(scrambled[k] == forward[k] for k in scrambled)
+        # and a fresh instance evaluated backwards agrees everywhere
+        c = StageCosts.jittered("s", 1.0, 0.5, seed=3)
+        backward = [c.cost(k) for k in reversed(range(16))][::-1]
+        assert backward == forward
+
+    def test_concurrent_threads_agree(self):
+        sc = StageCosts.jittered("s", 2.0, 0.3, seed=7)
+        expected = [sc.cost(k) for k in range(64)]
+        with ThreadPoolExecutor(4) as ex:
+            results = list(ex.map(sc.cost, range(64)))
+        assert results == expected
+
+    def test_thread_vs_spawn_process_parity(self):
+        """The acceptance check: thread- and process-side costs agree."""
+        args = (3, "s", 12)
+        with ThreadPoolExecutor(1) as ex:
+            thread_side = ex.submit(jitter_profile, args).result()
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            process_side = pool.apply(jitter_profile, (args,))
+        assert thread_side == process_side == jitter_profile(args)
+
+    def test_interpreter_restart_and_hashseed_independent(self):
+        """A fresh interpreter with a different hash salt agrees."""
+        code = (
+            "import json\n"
+            "from repro.simcore.costmodel import StageCosts\n"
+            "sc = StageCosts.jittered('s', 1.0, 0.5, seed=3)\n"
+            "print(json.dumps([sc.cost(k) for k in range(8)]))\n"
+        )
+        outs = []
+        for hashseed in ("0", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get(
+                "PYTHONPATH", ""
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outs.append(json.loads(proc.stdout))
+        assert outs[0] == outs[1] == jitter_profile((3, "s", 8))
+
+    def test_jitter_bounds_and_mean(self):
+        sc = StageCosts.jittered("s", 1.0, 0.2, seed=1)
+        costs = [sc.cost(k) for k in range(500)]
+        assert all(0.8 <= c <= 1.2 for c in costs)
+        assert sum(costs) / len(costs) == pytest.approx(1.0, rel=0.05)
+
+
+# -------------------------------------------------------------------------
+# _percentile: nearest rank
+# -------------------------------------------------------------------------
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert _percentile([5.0], 0.50) == 5.0
+        assert _percentile([5.0], 0.95) == 5.0
+
+    def test_two_samples_median_is_lower(self):
+        # the old int(p * n) indexing returned the max here
+        assert _percentile([1.0, 2.0], 0.50) == 1.0
+        assert _percentile([1.0, 2.0], 0.95) == 2.0
+
+    def test_three_samples_median_is_middle(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.50) == 2.0
+        assert _percentile([1.0, 2.0, 3.0], 0.95) == 3.0
+
+    def test_twenty_samples_nearest_rank(self):
+        durs = [float(i) for i in range(1, 21)]
+        assert _percentile(durs, 0.50) == 10.0   # rank ceil(10) = 10th
+        assert _percentile(durs, 0.95) == 19.0   # rank ceil(19) = 19th
+        assert _percentile(durs, 0.05) == 1.0
+        assert _percentile(durs, 1.00) == 20.0
+
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            _percentile([3.0, 1.0, 2.0], 0.5)
+
+    def test_summary_exports_quantile_points(self):
+        c = TraceCollector()
+        for k, d in enumerate([0.01, 0.02, 0.03, 0.04]):
+            c.add("execute", "A", k, 0.0, d)
+        st = c.summary()["stages"]["A"]
+        pts = st["execute_quantiles"]
+        # min/max endpoints + one midpoint-rank point per sample
+        assert pts[0] == [0.0, 0.01] and pts[-1] == [1.0, 0.04]
+        assert [0.375, 0.02] in pts and len(pts) == 6
+        qs = [q for q, _ in pts]
+        assert qs == sorted(qs)
+        assert st["execute_p50"] == 0.02  # lower median, nearest rank
+
+    def test_summary_quantile_points_thinned_for_large_samples(self):
+        c = TraceCollector()
+        for k in range(500):
+            c.add("execute", "A", k, 0.0, 1e-3 * (k + 1))
+        pts = c.summary()["stages"]["A"]["execute_quantiles"]
+        assert len(pts) <= 43  # 41 ranks + endpoints
+        assert pts[0][1] == pytest.approx(1e-3)
+        assert pts[-1][1] == pytest.approx(0.5)
+
+
+# -------------------------------------------------------------------------
+# SimResult.speedup degenerate case
+# -------------------------------------------------------------------------
+
+class TestSpeedupDegenerate:
+    def test_empty_doall_speedup_is_one(self):
+        r = simulate_doall([], Machine(cores=4), {"NumWorkers@loop": 4})
+        assert r.makespan == 0.0
+        assert r.speedup == 1.0
+
+    def test_speedup_json_exportable(self):
+        r = simulate_doall([], Machine(cores=4), {"NumWorkers@loop": 4})
+        payload = json.dumps({"speedup": r.speedup})
+        assert json.loads(payload)["speedup"] == 1.0
+
+    def test_normal_speedup_unchanged(self):
+        r = simulate_doall([1.0] * 8, Machine(cores=4), {
+            "NumWorkers@loop": 4, "ChunkSize@loop": 1,
+        })
+        assert r.speedup > 1.5
+
+
+# -------------------------------------------------------------------------
+# EmpiricalStageCosts
+# -------------------------------------------------------------------------
+
+class TestEmpiricalStageCosts:
+    def test_fit_endpoints_and_monotonicity(self):
+        durs = [0.5, 0.1, 0.3, 0.2, 0.4]
+        s = EmpiricalStageCosts.from_durations("a", durs)
+        assert s.quantile(0.0) == 0.1
+        assert s.quantile(1.0) == 0.5
+        samples = [s.quantile(u / 50) for u in range(51)]
+        assert samples == sorted(samples)
+        assert s.samples == 5
+
+    def test_cost_deterministic_and_within_range(self):
+        durs = [0.1 + 0.01 * i for i in range(30)]
+        s = EmpiricalStageCosts.from_durations("a", durs, seed=5)
+        costs = [s.cost(k) for k in range(100)]
+        assert costs == [s.cost(k) for k in reversed(range(100))][::-1]
+        assert all(min(durs) <= c <= max(durs) for c in costs)
+
+    def test_fitted_mean_tracks_sample_mean(self):
+        durs = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2] * 5
+        s = EmpiricalStageCosts.from_durations("a", durs)
+        assert s.mean == pytest.approx(sum(durs) / len(durs), rel=0.1)
+        resampled = s.total(400) / 400
+        assert resampled == pytest.approx(sum(durs) / len(durs), rel=0.1)
+
+    def test_simulators_accept_empirical_stages(self):
+        stages = [
+            EmpiricalStageCosts.from_durations(
+                "a", [1e-4, 2e-4, 3e-4], seed=0
+            ),
+            EmpiricalStageCosts.from_durations(
+                "b", [2e-4, 4e-4, 6e-4], seed=1
+            ),
+        ]
+        wl = WorkloadCosts(stages=stages, n=40)
+        r = simulate_pipeline(wl, Machine(cores=4), {})
+        assert 0 < r.makespan <= wl.sequential_time()
+        r2 = simulate_pipeline(
+            wl, Machine(cores=4), {"StageReplication@b": 2}
+        )
+        assert r2.makespan <= r.makespan * 1.01
+
+    def test_invalid_fits_rejected(self):
+        with pytest.raises(CalibrationError):
+            EmpiricalStageCosts("a", [])
+        with pytest.raises(CalibrationError):
+            EmpiricalStageCosts("a", [(0.5, 1.0), (0.2, 2.0)])
+        with pytest.raises(CalibrationError):
+            EmpiricalStageCosts("a", [(0.0, -1.0)])
+        with pytest.raises(CalibrationError):
+            EmpiricalStageCosts.from_durations("a", [])
+
+    def test_dict_round_trip(self):
+        s = EmpiricalStageCosts.from_durations(
+            "a", [0.1, 0.2, 0.3], seed=9, replicable=False
+        )
+        s2 = EmpiricalStageCosts.from_dict(s.as_dict())
+        assert s2.name == "a" and not s2.replicable and s2.seed == 9
+        assert [s2.cost(k) for k in range(20)] == [
+            s.cost(k) for k in range(20)
+        ]
+
+
+# -------------------------------------------------------------------------
+# fit_workload
+# -------------------------------------------------------------------------
+
+def _traced_summary(per_stage: dict[str, list[float]], gap: float = 0.0):
+    """A real summary built by recording spans into a collector."""
+    c = TraceCollector()
+    t = 0.0
+    for name, durs in per_stage.items():
+        for k, d in enumerate(durs):
+            c.add("execute", name, k, t, t + d)
+            t += d + gap
+    return c.summary()
+
+
+class TestFitWorkload:
+    def test_fit_from_summary(self):
+        summary = _traced_summary(
+            {"a": [0.01, 0.02, 0.03], "b": [0.04, 0.05, 0.06]}
+        )
+        wl = fit_workload(summary)
+        assert [s.name for s in wl.stages] == ["a", "b"]
+        assert wl.n == 3
+        assert all(isinstance(s, EmpiricalStageCosts) for s in wl.stages)
+
+    def test_like_supplies_order_and_replicability(self):
+        summary = _traced_summary({"b": [0.01] * 4, "a": [0.02] * 4})
+        like = WorkloadCosts(
+            stages=[
+                StageCosts.constant("a", 1.0),
+                StageCosts.constant("b", 1.0, replicable=False),
+            ],
+            n=4,
+        )
+        wl = fit_workload(summary, like=like)
+        assert [s.name for s in wl.stages] == ["a", "b"]
+        assert wl.stages[0].replicable and not wl.stages[1].replicable
+
+    def test_like_with_missing_stage_rejected(self):
+        summary = _traced_summary({"a": [0.01] * 3})
+        like = WorkloadCosts(
+            stages=[
+                StageCosts.constant("a", 1.0),
+                StageCosts.constant("ghost", 1.0),
+            ],
+            n=3,
+        )
+        with pytest.raises(CalibrationError, match="ghost"):
+            fit_workload(summary, like=like)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_workload({})
+
+    def test_generator_cost_is_clamped_residual(self):
+        # serial-shaped: wall exceeds busy by the inter-span gaps
+        summary = _traced_summary({"a": [0.01] * 10}, gap=0.001)
+        wl = fit_workload(summary)
+        assert wl.generator_cost > 0
+        # parallel-shaped: wall < busy must not go negative
+        c = TraceCollector()
+        c.add("execute", "a", 0, 0.0, 1.0, worker="w1")
+        c.add("execute", "a", 1, 0.0, 1.0, worker="w2")
+        wl2 = fit_workload(c.summary())
+        assert wl2.generator_cost == 0.0
+
+
+# -------------------------------------------------------------------------
+# the calibration round trip (acceptance criterion)
+# -------------------------------------------------------------------------
+
+class TestCalibrationRoundTrip:
+    def test_trace_fit_save_load_simulate_within_tolerance(self, tmp_path):
+        wl = jittered_workload(n=24)
+        scale = 0.08 / (wl.sequential_time() / wl.n * 24)
+        wall, summary = run_traced(wl, 24, scale, backend="serial")
+        fitted = fit_workload(summary, n=24, like=wl)
+
+        path = save_calibration(
+            tmp_path / "cal.json", fitted, meta={"workload": "jittered"}
+        )
+        loaded = load_calibration(path)
+        assert [s.name for s in loaded.stages] == ["first", "second"]
+        assert loaded.n == 24
+
+        simulated = replay_makespan(loaded, "serial")
+        assert simulated == pytest.approx(wall, rel=0.10)
+
+    def test_save_rejects_non_empirical_stages(self, tmp_path):
+        wl = jittered_workload(n=4)
+        with pytest.raises(CalibrationError):
+            save_calibration(tmp_path / "x.json", wl)
+
+    def test_load_rejects_wrong_schema_and_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v9", "stages": []}))
+        with pytest.raises(CalibrationError, match="schema"):
+            load_calibration(bad)
+        bad.write_text("not json {")
+        with pytest.raises(CalibrationError):
+            load_calibration(bad)
+        with pytest.raises(CalibrationError):
+            load_calibration(tmp_path / "missing.json")
+
+    def test_calibration_report_renders(self):
+        summary = _traced_summary({"a": [0.01, 0.02], "b": [0.03, 0.04]})
+        fitted = fit_workload(summary)
+        cal = CalibrationResult(
+            fitted=fitted,
+            summary=summary,
+            measured_makespan=0.1,
+            simulated_makespan=0.098,
+            backend="serial",
+            elements=2,
+        )
+        text = calibration_report(cal.as_dict())
+        assert "calibration report" in text
+        assert "measured" in text and "fitted" in text
+        assert "a:" in text and "b:" in text
+        assert cal.makespan_error == pytest.approx(0.02)
+
+    def test_calibration_result_dict_is_json_ready(self):
+        summary = _traced_summary({"a": [0.01, 0.02]})
+        cal = CalibrationResult(
+            fitted=fit_workload(summary),
+            summary=summary,
+            measured_makespan=0.03,
+            simulated_makespan=0.03,
+        )
+        json.dumps(cal.as_dict())  # must not raise
+
+
+# -------------------------------------------------------------------------
+# the calibrated tuning source
+# -------------------------------------------------------------------------
+
+class TestCalibratedSource:
+    def test_tune_then_validate_for_real(self):
+        wl = jittered_workload(n=64)
+        source = CalibratedSource(
+            wl, Machine(cores=4), elements=12, time_budget=0.03, top_k=2
+        )
+        cal = source.calibrate()
+        assert cal.makespan_error < 0.25  # serial replay tracks the run
+
+        from repro.evalq.speedup import pipeline_space
+
+        space = pipeline_space(wl, max_replication=4)
+        tuner = AutoTuner(space, source.measure, LinearSearch(), budget=16)
+        result = tuner.tune()
+        assert result.evaluations > 0
+        assert source.evaluations  # simulator evaluations were recorded
+
+        validations = source.validate()
+        assert 1 <= len(validations) <= 2
+        for v in validations:
+            assert v["measured"] > 0 and v["simulated"] > 0
+        best = source.best_validated()
+        assert best is not None and isinstance(best["config"], dict)
+        text = source.explain()
+        assert "validated for real" in text
+        assert "winner (by measurement)" in text
+
+
+# -------------------------------------------------------------------------
+# CLI
+# -------------------------------------------------------------------------
+
+class TestCalibrateCLI:
+    def test_calibrate_writes_valid_model(self, tmp_path, capsys):
+        out = tmp_path / "cal.json"
+        rc = main([
+            "calibrate", "--workload", "jittered", "--elements", "16",
+            "--time-budget", "0.04", "--backend", "serial",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "calibration report" in text
+        assert "calibration written" in text
+        loaded = load_calibration(out)  # the CI smoke assertion
+        assert loaded.n == 16 and len(loaded.stages) == 2
+
+    def test_calibrate_thread_backend(self, capsys):
+        rc = main([
+            "calibrate", "--workload", "jittered", "--elements", "12",
+            "--time-budget", "0.04", "--backend", "thread",
+        ])
+        assert rc == 0
+        assert "'thread' backend" in capsys.readouterr().out
+
+    def test_tune_calibrate_validates_winner(self, capsys):
+        rc = main([
+            "tune", "--workload", "jittered", "--calibrate",
+            "--budget", "12", "--elements", "48", "--top-k", "2",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "calibration report" in text
+        assert "validated for real" in text
+        assert "winner (by measurement)" in text
+
+    def test_tune_trace_and_calibrate_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--trace", "--calibrate"])
