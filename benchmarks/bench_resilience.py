@@ -1,0 +1,105 @@
+"""Resilience overhead and recovery cost on the process backend.
+
+The crash-recovery layer (ownership ledger, claim messages, respawn
+budget, hedging plumbing) rides on every process-pool run, so its
+zero-failure cost must be noise: this bench holds it under 5% against
+the same run with every resilience knob at its historical default.  The
+second measurement prices an actual worker loss — a seeded SIGKILL —
+and asserts the recovered run still produces the undisturbed answer.
+"""
+
+import time
+
+from conftest import once
+
+from repro.evalq.realexec import default_kernels
+from repro.runtime import ChaosInjector
+from repro.runtime.parallel_for import parallel_for
+
+WORKERS = 4
+REPEATS = 5
+
+
+def _kernel():
+    # montecarlo: CPU-bound, picklable body, 32 elements / 16 chunks
+    k = [k for k in default_kernels(0.4) if k.name == "montecarlo"][0]
+    return k
+
+
+def _timed_run(kernel, **kwargs):
+    best = float("inf")
+    out = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        out = parallel_for(
+            list(kernel.values),
+            kernel.body,
+            workers=WORKERS,
+            chunk_size=kernel.chunk_size,
+            backend="process",
+            **kwargs,
+        )
+        best = min(best, time.perf_counter() - started)
+    return best, out
+
+
+def test_zero_failure_overhead(benchmark, record):
+    kernel = _kernel()
+
+    def measure():
+        base, out_base = _timed_run(kernel)  # restarts=0, hedge off
+        armed, out_armed = _timed_run(kernel, restarts=3, hedge=0.99)
+        assert kernel.combine(out_base) == kernel.combine(out_armed)
+        return base, armed
+
+    base, armed = once(benchmark, measure)
+    factor = armed / base
+    record(
+        f"zero-failure resilience overhead ({kernel.name}, "
+        f"{WORKERS} workers, best of {REPEATS})\n"
+        f"  knobs off : {base * 1e3:8.1f} ms\n"
+        f"  knobs on  : {armed * 1e3:8.1f} ms  (restarts=3, hedge=0.99)\n"
+        f"  factor    : {factor:8.3f}x",
+        name="resilience_overhead",
+    )
+    # the armed-but-undisturbed run must cost within 5% of the baseline
+    assert factor < 1.05
+
+
+def test_one_kill_run_recovers_correctly(benchmark, record):
+    kernel = _kernel()
+    serial = kernel.combine([kernel.body(v) for v in kernel.values])
+
+    def measure():
+        clean, _ = _timed_run(kernel, restarts=3)
+        chaos = ChaosInjector(seed=1, kill_rate=0.15)
+        recovery = []
+        started = time.perf_counter()
+        out = parallel_for(
+            list(kernel.values),
+            kernel.body,
+            workers=WORKERS,
+            chunk_size=kernel.chunk_size,
+            backend="process",
+            chaos=chaos,
+            restarts=3,
+            recovery=recovery,
+        )
+        killed = time.perf_counter() - started
+        return clean, killed, out, recovery
+
+    clean, killed, out, recovery = once(benchmark, measure)
+    # recovered run is correct: every element accounted for, same answer
+    assert kernel.combine(out) == serial
+    kinds = [e.kind for e in recovery]
+    assert "respawn" in kinds and "redispatch" in kinds
+    record(
+        f"worker-kill recovery ({kernel.name}, {WORKERS} workers, "
+        f"seed 1 @ 15% kill rate)\n"
+        f"  undisturbed : {clean * 1e3:8.1f} ms\n"
+        f"  with kills  : {killed * 1e3:8.1f} ms "
+        f"({kinds.count('worker_lost')} worker(s) lost, "
+        f"{kinds.count('respawn')} respawn(s))\n"
+        f"  recovery    : {', '.join(e.describe() for e in recovery)}",
+        name="resilience_recovery",
+    )

@@ -17,6 +17,10 @@ its workflows are not; each subcommand is one of them:
 * ``trace``     — run a benchmark's transformed functions with span
   tracing on: per-stage latency/utilization report, optional Chrome
   trace-event export (Perfetto), optional seeded chaos.
+* ``run``       — execute one CPU-bound kernel on the resilient runtime:
+  crash recovery (``--restarts``), checkpoint/resume (``--checkpoint`` /
+  ``--resume``), straggler hedging (``--hedge``) and seeded chaos worker
+  kills (``--chaos --chaos-kill-rate``).
 * ``calibrate`` — run a cost-model workload for real under tracing, fit
   an empirical (quantile-sampled) cost model from the measured per-stage
   latency distributions, write it as a reusable calibration JSON, and
@@ -462,6 +466,134 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one CPU-bound kernel end to end on the resilient runtime.
+
+    The crash-recovery workflow: ``--checkpoint`` journals every
+    completed chunk to an append-only file; a run killed mid-flight can
+    be restarted with ``--resume`` and re-executes only the unfinished
+    chunks.  ``--restarts`` bounds worker respawns on worker loss,
+    ``--hedge`` speculatively re-dispatches stragglers, and ``--chaos``
+    with ``--chaos-kill-rate`` SIGKILLs seeded workers to exercise the
+    recovery path on purpose.
+    """
+    import time
+
+    from repro.evalq.realexec import default_kernels
+    from repro.report import fault_report
+    from repro.runtime import ChaosInjector, ChunkJournal, FaultPolicy, parallel_for
+
+    kernels = {k.name: k for k in default_kernels(args.scale)}
+    kernel = kernels[args.kernel]
+    values = list(kernel.values)
+    chunk_size = args.chunk_size or kernel.chunk_size
+
+    journal = None
+    if args.resume:
+        journal = ChunkJournal.resume(args.resume)
+    elif args.checkpoint:
+        journal = ChunkJournal.create(args.checkpoint)
+
+    injector = None
+    policy = None
+    if args.chaos is not None:
+        injector = ChaosInjector(
+            seed=args.chaos,
+            fail_rate=args.chaos_fail_rate,
+            kill_rate=args.chaos_kill_rate,
+        )
+        if args.chaos_fail_rate:
+            # keep the run alive under injected call faults: retry once,
+            # then record the failure instead of raising (worker kills
+            # need no policy — the respawn budget handles those)
+            policy = FaultPolicy(retries=1, on_error="skip")
+
+    ledger: list = []
+    events: list = []
+    recovery: list = []
+    started = time.monotonic()
+    error: BaseException | None = None
+    results: list = []
+    try:
+        results = parallel_for(
+            values,
+            kernel.body,
+            workers=args.workers,
+            chunk_size=chunk_size,
+            schedule=args.schedule,
+            backend=args.backend,
+            policy=policy,
+            chaos=injector,
+            ledger=ledger,
+            events=events,
+            restarts=args.restarts,
+            hedge=args.hedge,
+            recovery=recovery,
+            checkpoint=journal,
+        )
+    except Exception as exc:  # noqa: BLE001 - report, don't traceback
+        error = exc
+    finally:
+        if journal is not None:
+            journal.close()
+    elapsed = time.monotonic() - started
+
+    print(
+        f"kernel {kernel.name!r}: {len(values)} element(s), "
+        f"chunk size {chunk_size}, {args.workers} worker(s), "
+        f"{args.schedule} schedule, {args.backend} backend, "
+        f"{elapsed:.2f}s"
+    )
+    failed = sorted({r.seq for r in ledger})
+    delivered = len(results) - len(failed) if results else 0
+    accounted = error is None and delivered + len(failed) == len(values)
+    if error is not None:
+        print(f"run failed: {error!r}")
+    else:
+        print(
+            f"accounting: {delivered} delivered + {len(failed)} "
+            f"failed = {delivered + len(failed)}/{len(values)} "
+            f"item(s) accounted for"
+        )
+    stats = {
+        "backend": args.backend,
+        "backend_events": [e.as_dict() for e in events],
+        "generated": len(values),
+        "delivered": delivered,
+        "skipped": len(failed),
+        "errors": [(r.stage, r.seq, repr(r.error)) for r in ledger],
+        "recovery": recovery,
+    }
+    if journal is not None:
+        stats["checkpoint"] = journal.summary()
+    if injector is not None:
+        cs = injector.stats()
+        print(
+            f"chaos: seed {args.chaos}, "
+            f"{cs.get('injected_failures', 0)} failure(s), "
+            f"{cs.get('injected_delays', 0)} delay(s) injected"
+        )
+    print()
+    print(fault_report(stats))
+    verified = True
+    if args.verify and error is None:
+        if failed:
+            print(f"\nverify: skipped ({len(failed)} failed element(s))")
+        else:
+            expect = kernel.combine([kernel.body(v) for v in values])
+            got = kernel.combine(list(results))
+            verified = got == expect
+            print(
+                f"\nverify: parallel {got!r} vs serial {expect!r} — "
+                + ("OK" if verified else "MISMATCH")
+            )
+    return 0 if accounted and verified else 1
+
+
+# ---------------------------------------------------------------------------
 # backends
 # ---------------------------------------------------------------------------
 
@@ -631,6 +763,43 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chaos-fail-rate", type=_rate, default=0.05,
                        help="per-call injected failure probability in [0, 1]")
         p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "run",
+        help="run one kernel on the resilient runtime "
+             "(crash recovery, checkpoint/resume, hedging, chaos)",
+    )
+    p.add_argument("--kernel", default="montecarlo",
+                   choices=["mandelbrot", "montecarlo", "nbody"])
+    p.add_argument("--scale", type=float, default=0.15,
+                   help="work multiplier per kernel element")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--chunk-size", type=int, default=0,
+                   help="elements per dispatched chunk (0 = kernel default)")
+    p.add_argument("--schedule", default="dynamic",
+                   choices=["static", "dynamic"])
+    p.add_argument("--backend", default="process",
+                   choices=["serial", "thread", "process"])
+    p.add_argument("--restarts", type=int, default=2,
+                   help="worker respawn budget on worker loss (PoolRestarts)")
+    p.add_argument("--hedge", type=_rate, default=0.0,
+                   help="straggler-hedging latency quantile (0 = off)")
+    ck = p.add_mutually_exclusive_group()
+    ck.add_argument("--checkpoint", metavar="PATH",
+                    help="journal completed chunks to PATH (fresh run)")
+    ck.add_argument("--resume", metavar="PATH",
+                    help="resume an existing journal: only unfinished "
+                         "chunks re-execute")
+    p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="run under seeded fault injection")
+    p.add_argument("--chaos-fail-rate", type=_rate, default=0.0,
+                   help="per-call injected failure probability in [0, 1]")
+    p.add_argument("--chaos-kill-rate", type=_rate, default=0.0,
+                   help="per-chunk worker SIGKILL probability "
+                        "(process backend)")
+    p.add_argument("--verify", action="store_true",
+                   help="compare the combined result against a serial rerun")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
         "backends",

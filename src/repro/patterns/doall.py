@@ -29,11 +29,15 @@ from repro.patterns.tuning import (
     BACKEND,
     BACKEND_DOMAIN,
     CHUNK_SIZE,
+    HEDGE,
+    HEDGE_DOMAIN,
     ITEM_TIMEOUT,
     ITEM_TIMEOUT_DOMAIN,
     NUM_WORKERS,
     ON_ERROR,
     ON_ERROR_DOMAIN,
+    POOL_RESTARTS,
+    POOL_RESTARTS_DOMAIN,
     RETRIES,
     RETRIES_DOMAIN,
     SCHEDULE,
@@ -174,6 +178,23 @@ class DoallPattern(SourcePattern):
                 target="loop",
                 default="fail_fast",
                 choices=ON_ERROR_DOMAIN,
+                location=loc,
+            ),
+            # resilience knobs (process backend): worker respawn budget
+            # and straggler-hedging quantile; defaults keep both off so
+            # the historical behaviour is the zero configuration
+            ChoiceParameter(
+                name=POOL_RESTARTS,
+                target="loop",
+                default=0,
+                choices=POOL_RESTARTS_DOMAIN,
+                location=loc,
+            ),
+            ChoiceParameter(
+                name=HEDGE,
+                target="loop",
+                default=0.0,
+                choices=HEDGE_DOMAIN,
                 location=loc,
             ),
             # observability: per-element span collection (off by default;

@@ -175,3 +175,15 @@ STALL_TIMEOUT_DOMAIN = (0.0, 1.0, 5.0, 30.0, 120.0)
 # the tuning cycle's measure phase turns it on to get per-stage timings
 # instead of tuning blind between whole-run wall clocks.
 TRACE = "Trace"
+
+# Resilience knobs (crash recovery; see repro.runtime.backend).
+# PoolRestarts bounds how many dead process-pool workers a run may
+# respawn (0 = historical fail-on-loss); Hedge is the latency quantile
+# above which a straggling chunk gets a speculative duplicate dispatch
+# (0.0 = off).  Both are behaviour-only: recovered and hedged runs
+# produce the same results as undisturbed ones.
+POOL_RESTARTS = "PoolRestarts"
+HEDGE = "Hedge"
+
+POOL_RESTARTS_DOMAIN = (0, 1, 2, 3)
+HEDGE_DOMAIN = (0.0, 0.9, 0.95, 0.99)

@@ -229,6 +229,34 @@ def fault_report(stats: dict) -> str:
         lines.append(
             "  leaked     : " + ", ".join(stats["leaked_threads"])
         )
+    recovery = [
+        e if isinstance(e, dict) else e.as_dict()
+        for e in stats.get("recovery") or []
+    ]
+    if recovery:
+        counts: dict[str, int] = {}
+        for e in recovery:
+            counts[e["kind"]] = counts.get(e["kind"], 0) + 1
+        lines.append(
+            "  recovery   : "
+            + ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        )
+        for e in recovery[:20]:
+            chunks = ",".join(str(k) for k in e.get("chunks") or ()) or "-"
+            detail = f" ({e['detail']})" if e.get("detail") else ""
+            lines.append(
+                f"    {e['kind']}: worker={e.get('worker') or '-'} "
+                f"chunks={chunks}{detail}"
+            )
+        if len(recovery) > 20:
+            lines.append(f"    ... and {len(recovery) - 20} more")
+    checkpoint = stats.get("checkpoint")
+    if checkpoint:
+        lines.append(
+            f"  checkpoint : {checkpoint.get('path')} — "
+            f"{checkpoint.get('resumed', 0)} chunk(s) resumed, "
+            f"{checkpoint.get('recorded', 0)} recorded this run"
+        )
     return "\n".join(lines)
 
 
@@ -267,6 +295,16 @@ def trace_report(stats_or_summary: dict) -> str:
             f"timeouts {st['timeouts']}, errors {st['errors']}, "
             f"chaos {st['chaos']}, cancelled {st['cancelled']}"
         )
+        if any(
+            st.get(key)
+            for key in ("respawns", "redispatches", "hedges", "checkpoints")
+        ):
+            lines.append(
+                f"    recovery respawns {st.get('respawns', 0)}, "
+                f"redispatches {st.get('redispatches', 0)}, "
+                f"hedges {st.get('hedges', 0)}, "
+                f"checkpoints {st.get('checkpoints', 0)}"
+            )
         lines.append(
             f"    execute  mean {st['execute_mean'] * 1000:.3f}ms  "
             f"p50 {st['execute_p50'] * 1000:.3f}ms  "

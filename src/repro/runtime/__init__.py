@@ -19,11 +19,14 @@ from repro.runtime.backend import (
     BackendEvent,
     BackendFallbackWarning,
     ProcessCancellationToken,
+    RecoveryEvent,
     ShipError,
     TuningError,
+    WorkerLostError,
     ship_callable,
 )
 from repro.runtime.buffer import BoundedBuffer, EndOfStream
+from repro.runtime.checkpoint import CheckpointError, ChunkJournal
 from repro.runtime.faults import (
     BufferTimeout,
     CancellationToken,
@@ -61,11 +64,15 @@ __all__ = [
     "BackendEvent",
     "BackendFallbackWarning",
     "ProcessCancellationToken",
+    "RecoveryEvent",
     "ShipError",
     "TuningError",
+    "WorkerLostError",
     "ship_callable",
     "BoundedBuffer",
     "EndOfStream",
+    "CheckpointError",
+    "ChunkJournal",
     "Item",
     "MasterWorker",
     "Pipeline",

@@ -40,6 +40,23 @@ Design contract, mirroring the supervised thread pools:
 A wedged pool cannot hang the caller: the result collector polls worker
 liveness and a worker that dies without its done-marker is detected,
 reported, and the stragglers terminated.
+
+**Resilience** (the crash-recovery layer): chunk dispatch is tracked in
+an ownership ledger — every worker announces a ``claim`` message before
+running a chunk, so the collector knows exactly which chunks die with a
+worker.  A dead worker's in-flight chunks are *re-dispatched* to a
+replacement process (bounded by ``max_restarts``, the ``PoolRestarts``
+knob) with at-least-once semantics: the ordered collector reassembles by
+chunk index and the first result wins, so duplicate completions are
+idempotent.  When the restart budget is exhausted, lost chunks surface
+as per-element :class:`WorkerLostError` records through the ordinary
+``ErrorRecord`` road — every input element is accounted for, as a result
+or an error, never silently dropped.  Chunks whose latency exceeds a
+quantile of the observed distribution can be *hedged* (``hedge``, the
+``Hedge`` knob): a speculative duplicate is dispatched and the loser's
+result is discarded deterministically.  Every recovery decision is
+recorded as a :class:`RecoveryEvent` (rendered by ``fault_report``) and
+as ``respawn`` / ``redispatch`` / ``hedge`` trace spans.
 """
 
 from __future__ import annotations
@@ -47,15 +64,17 @@ from __future__ import annotations
 import builtins
 import importlib
 import marshal
+import math
 import multiprocessing
 import os
 import pickle
 import queue as _queue
+import signal
 import threading
 import time
 import types
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.runtime.chaos import ChaosInjector
@@ -84,6 +103,53 @@ class BackendFallbackWarning(RuntimeWarning):
 
 class ShipError(RuntimeError):
     """A callable cannot be shipped across a process boundary."""
+
+
+class WorkerLostError(RuntimeError):
+    """A worker process died and its chunks could not be recovered.
+
+    Raised (via the ordinary ``ErrorRecord`` road) for every element of a
+    chunk that was in flight on a dead worker after the ``PoolRestarts``
+    budget was exhausted — the bookkeeping guarantee that a SIGKILLed
+    worker costs an *error you can see*, never silently missing results.
+    """
+
+
+@dataclass
+class RecoveryEvent:
+    """One recorded crash-recovery decision of the process pool.
+
+    ``kind`` is one of:
+
+    * ``worker_lost`` — the liveness poll found a dead worker; ``chunks``
+      are the chunks that were in flight on it;
+    * ``respawn``     — a replacement process was started;
+    * ``redispatch``  — a lost chunk was handed to the replacement
+      (at-least-once: a duplicate completion is discarded by the ordered
+      collector);
+    * ``hedge``       — a speculative duplicate of a straggling chunk was
+      dispatched (first result wins);
+    * ``lost``        — chunks abandoned after the restart budget ran
+      out; they surface as :class:`WorkerLostError` records.
+    """
+
+    kind: str
+    worker: str
+    chunks: tuple[int, ...]
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "chunks": list(self.chunks),
+            "detail": self.detail,
+        }
+
+    def describe(self) -> str:
+        where = f" [{self.detail}]" if self.detail else ""
+        chunks = ",".join(str(k) for k in self.chunks) or "-"
+        return f"{self.kind}: worker={self.worker or '-'} chunks={chunks}{where}"
 
 
 @dataclass
@@ -371,9 +437,16 @@ class ProcessRun:
     chunks: dict[int, ChunkResult]
     fatal: list[str]
     leaked: list[str]
+    #: crash-recovery history (worker_lost / respawn / redispatch / hedge)
+    recovery: list[RecoveryEvent] = field(default_factory=list)
 
-    def missing(self, n_chunks: int) -> list[int]:
-        return [k for k in range(n_chunks) if k not in self.chunks]
+    def missing(
+        self, n_chunks: int, completed: frozenset[int] = frozenset()
+    ) -> list[int]:
+        return [
+            k for k in range(n_chunks)
+            if k not in self.chunks and k not in completed
+        ]
 
 
 def build_process_payload(
@@ -530,8 +603,18 @@ def _worker_main(
     result_q,
     stop_event,
     cancel_event,
+    assigned: Sequence[tuple[int, int]] | None = None,
+    skip: Sequence[int] = (),
 ) -> None:
-    """Pool worker entry point (module-level: spawn-safe by construction)."""
+    """Pool worker entry point (module-level: spawn-safe by construction).
+
+    Original pool members claim chunks per ``schedule``; replacement and
+    hedge workers receive an explicit ``assigned`` list of
+    ``(chunk, attempt)`` pairs instead.  ``skip`` holds chunk indices a
+    resumed run already has journaled — never re-executed.  Every claim
+    is announced on ``result_q`` before the chunk runs, which is the
+    ownership ledger the parent's recovery logic reads.
+    """
     try:
         body, vals, chunks, policy, chaos_spec, reduce_op, label, trace_spec = (
             pickle.loads(blob)
@@ -557,26 +640,53 @@ def _worker_main(
             cancel_event is not None and cancel_event.is_set()
         )
 
-    if schedule == "static":
-        assigned = iter(range(wid, len(chunks), nworkers))
+    skip_set = frozenset(skip)
+    if assigned is not None:
+        handed = iter(list(assigned))
 
-        def claim() -> int | None:
-            return next(assigned, None)
+        def claim() -> tuple[int, int] | None:
+            return next(handed, None)
+    elif schedule == "static":
+        stripe = iter(
+            k for k in range(wid, len(chunks), nworkers) if k not in skip_set
+        )
+
+        def claim() -> tuple[int, int] | None:
+            k = next(stripe, None)
+            return None if k is None else (k, 1)
     else:
 
-        def claim() -> int | None:
-            with counter.get_lock():
-                k = counter.value
-                if k >= len(chunks):
-                    return None
-                counter.value += 1
-                return k
+        def claim() -> tuple[int, int] | None:
+            while True:
+                with counter.get_lock():
+                    k = counter.value
+                    if k >= len(chunks):
+                        return None
+                    counter.value += 1
+                if k in skip_set:
+                    continue
+                return (k, 1)
 
     try:
         while not should_stop():
-            k = claim()
-            if k is None:
+            claimed = claim()
+            if claimed is None:
                 break
+            k, attempt = claimed
+            # ownership ledger: announce the claim before running, so a
+            # death mid-chunk tells the parent exactly what to re-dispatch
+            result_q.put(pickle.dumps(("claim", wid, k, attempt)))
+            if injector is not None and injector.should_kill(
+                f"{label}#c{k}", attempt
+            ):
+                # Seeded chaos worker-kill.  Flush the queue feeder and
+                # release its shared write lock *before* dying: a SIGKILL
+                # that strands the lock would wedge every sibling.  (A
+                # real OOM kill can still do that; the parent's final
+                # sweep covers claims that never made it out.)
+                result_q.close()
+                result_q.join_thread()
+                os.kill(os.getpid(), signal.SIGKILL)
             # one chaos stream per chunk: deterministic for a given chunk
             # assignment regardless of which worker claims it
             fn = (
@@ -638,20 +748,58 @@ def _worker_main(
 
 def run_process_chunks(
     blob: bytes,
-    n_chunks: int,
+    chunks: Sequence[tuple[int, int]] | int,
     *,
     workers: int,
     schedule: str = "dynamic",
     cancel: CancellationToken | None = None,
+    max_restarts: int = 0,
+    hedge: float = 0.0,
+    hedge_min_samples: int = 3,
+    completed: frozenset[int] = frozenset(),
+    trace: TraceCollector | None = None,
+    label: str = "loop",
+    checkpoint: Any = None,
 ) -> ProcessRun:
     """Execute a prepared payload on a process pool and collect chunks.
 
     The collector never blocks indefinitely: it polls worker liveness, so
     a worker that dies without delivering its done-marker surfaces as
     lost chunks instead of a hang.  Stragglers are terminated on exit.
+
+    Resilience contract:
+
+    * ``chunks`` are the chunk bounds (an ``int`` is accepted as a count
+      of unit chunks); every dispatch is tracked in an ownership ledger
+      fed by worker ``claim`` messages.
+    * A dead worker's in-flight chunks are re-dispatched to a fresh
+      replacement process while ``max_restarts`` budget remains
+      (at-least-once: duplicate completions are discarded, first result
+      wins).  With the budget exhausted, lost chunks come back as failed
+      :class:`ChunkResult` s carrying per-element
+      :class:`WorkerLostError` records.
+    * ``hedge`` > 0 turns on straggler hedging: once
+      ``hedge_min_samples`` chunk latencies are observed, a chunk older
+      than the ``hedge`` quantile of that sample gets a speculative
+      duplicate dispatch.
+    * ``completed`` chunk indices (a resumed run's journal) are never
+      executed; ``checkpoint`` (a duck-typed ``record(k, lo, hi,
+      values)``) is fed every successful chunk *as it is delivered*, so
+      a kill mid-run loses at most the in-flight chunks.
+    * Recovery decisions are returned as :attr:`ProcessRun.recovery` and
+      mirrored as ``respawn``/``redispatch``/``hedge``/``checkpoint``
+      spans on ``trace``.
     """
+    if isinstance(chunks, int):
+        chunks = [(k, k + 1) for k in range(chunks)]
+    bounds = list(chunks)
+    n_chunks = len(bounds)
+    skip = frozenset(k for k in completed if 0 <= k < n_chunks)
+    live_chunks = n_chunks - len(skip)
+    if live_chunks <= 0:
+        return ProcessRun(chunks={}, fatal=[], leaked=[])
     ctx = mp_context()
-    nworkers = max(1, min(workers, n_chunks))
+    nworkers = max(1, min(workers, live_chunks))
     counter = ctx.Value("i", 0)
     result_q = ctx.Queue()
     stop_event = ctx.Event()
@@ -660,37 +808,196 @@ def run_process_chunks(
         if isinstance(cancel, ProcessCancellationToken)
         else None
     )
-    procs = [
-        ctx.Process(
+
+    delivered: dict[int, ChunkResult] = {}
+    fatal: list[str] = []
+    recovery: list[RecoveryEvent] = []
+    procs: dict[int, Any] = {}
+    done_uids: set[int] = set()
+    dead_uids: set[int] = set()
+    #: the ownership ledger: chunk -> worker uids currently responsible
+    inflight: dict[int, set[int]] = {}
+    claim_time: dict[int, float] = {}
+    attempts: dict[int, int] = {}
+    latencies: list[float] = []
+    hedged: set[int] = set()
+    next_uid = 0
+    restarts_used = 0
+    hedges_used = 0
+    failed_seen = False
+
+    def spawn(assigned: list[tuple[int, int]] | None = None):
+        """Start one worker; uid doubles as the static-stripe wid."""
+        nonlocal next_uid
+        uid = next_uid
+        next_uid += 1
+        p = ctx.Process(
             target=_worker_main,
             args=(
-                wid, nworkers, blob, schedule, counter, result_q,
-                stop_event, cancel_event,
+                uid, nworkers, blob, schedule, counter, result_q,
+                stop_event, cancel_event, assigned, tuple(sorted(skip)),
             ),
             daemon=True,
-            name=f"repro-pool-{wid}",
+            name=f"repro-pool-{uid}",
         )
-        for wid in range(nworkers)
-    ]
-    for p in procs:
+        procs[uid] = p
+        if assigned is not None:
+            for k, att in assigned:
+                inflight.setdefault(k, set()).add(uid)
+                attempts[k] = max(attempts.get(k, 0), att)
+                claim_time[k] = time.monotonic()
+        elif schedule == "static":
+            # the stripe is ownership from birth: a static worker's
+            # unclaimed chunks die with it and must be re-dispatched
+            for k in range(uid, n_chunks, nworkers):
+                if k not in skip:
+                    inflight.setdefault(k, set()).add(uid)
         p.start()
-
-    chunks: dict[int, ChunkResult] = {}
-    fatal: list[str] = []
-    done = 0
+        return uid, p
 
     def absorb(message: tuple) -> None:
-        nonlocal done
+        nonlocal failed_seen
         tag = message[0]
         if tag == "chunk":
-            chunks[message[1].index] = message[1]
+            chunk = message[1]
+            k = chunk.index
+            inflight.pop(k, None)
+            if k in delivered or k in skip:
+                # at-least-once dedup: a hedge loser or a redispatch
+                # duplicate — the first result won; dropping the loser
+                # whole (values, counters, chaos deltas, spans) keeps
+                # parent-side accounting exactly-once
+                return
+            delivered[k] = chunk
+            if chunk.failed:
+                failed_seen = True
+            t0 = claim_time.get(k)
+            if t0 is not None:
+                latencies.append(time.monotonic() - t0)
+            if checkpoint is not None and not chunk.failed:
+                lo, hi = bounds[k]
+                checkpoint.record(k, lo, hi, chunk.values)
+                if trace is not None:
+                    trace.instant("checkpoint", label, lo, chunk=k)
+        elif tag == "claim":
+            _tag, uid, k, att = message
+            inflight.setdefault(k, set()).add(uid)
+            claim_time[k] = time.monotonic()
+            attempts[k] = max(attempts.get(k, 0), att)
         elif tag == "done":
-            done += 1
+            done_uids.add(message[1])
         else:
             fatal.append(message[2])
 
+    def drain_nowait() -> None:
+        while True:
+            try:
+                absorb(pickle.loads(result_q.get_nowait()))
+            except _queue.Empty:
+                return
+
+    def unwinding() -> bool:
+        # a failed chunk, a fatal worker, or cancellation means the run
+        # is coming down anyway: no respawns, no hedges
+        return (
+            failed_seen
+            or bool(fatal)
+            or stop_event.is_set()
+            or (cancel is not None and cancel.cancelled)
+        )
+
+    def redispatch_to(p2_name: str, assigned: list[tuple[int, int]]) -> None:
+        for k, att in assigned:
+            recovery.append(
+                RecoveryEvent("redispatch", p2_name, (k,), detail=f"attempt={att}")
+            )
+            if trace is not None:
+                trace.instant(
+                    "redispatch", label, bounds[k][0], chunk=k, attempt=att
+                )
+
+    def handle_death(uid: int) -> None:
+        nonlocal restarts_used
+        p = procs[uid]
+        dead_uids.add(uid)
+        lost: list[int] = []
+        for k in sorted(inflight):
+            owners = inflight[k]
+            owners.discard(uid)
+            if not owners and k not in delivered:
+                lost.append(k)
+        recovery.append(
+            RecoveryEvent(
+                "worker_lost", p.name, tuple(lost),
+                detail=f"exitcode={p.exitcode}",
+            )
+        )
+        if not lost or unwinding() or restarts_used >= max_restarts:
+            return
+        restarts_used += 1
+        assigned = [(k, attempts.get(k, 1) + 1) for k in lost]
+        for k in lost:
+            inflight.pop(k, None)
+        _uid2, p2 = spawn(assigned)
+        recovery.append(
+            RecoveryEvent(
+                "respawn", p2.name, tuple(lost),
+                detail=f"replaces={p.name} restarts_used={restarts_used}",
+            )
+        )
+        if trace is not None:
+            trace.instant(
+                "respawn", label, -1,
+                worker=p2.name, replaces=p.name, chunks=len(lost),
+            )
+        redispatch_to(p2.name, assigned)
+
+    def maybe_hedge() -> None:
+        nonlocal hedges_used
+        if hedge <= 0.0 or unwinding():
+            return
+        if len(latencies) < hedge_min_samples or hedges_used >= nworkers:
+            return
+        durs = sorted(latencies)
+        n = len(durs)
+        threshold = durs[min(n - 1, max(0, math.ceil(hedge * n) - 1))]
+        now = time.monotonic()
+        for k in sorted(inflight):
+            if hedges_used >= nworkers:
+                return
+            if k in hedged or k in delivered or not inflight[k]:
+                continue
+            t0 = claim_time.get(k)
+            if t0 is None:  # a static stripe chunk not yet started
+                continue
+            elapsed = now - t0
+            if elapsed <= threshold:
+                continue
+            hedged.add(k)
+            hedges_used += 1
+            att = attempts.get(k, 1) + 1
+            _uid2, p2 = spawn([(k, att)])
+            recovery.append(
+                RecoveryEvent(
+                    "hedge", p2.name, (k,),
+                    detail=(
+                        f"elapsed={elapsed:.3f}s "
+                        f"threshold={threshold:.3f}s attempt={att}"
+                    ),
+                )
+            )
+            if trace is not None:
+                trace.instant(
+                    "hedge", label, bounds[k][0],
+                    chunk=k, elapsed=elapsed, threshold=threshold,
+                    attempt=att,
+                )
+
+    for _ in range(nworkers):
+        spawn()
+
     try:
-        while done < len(procs):
+        while True:
             # bridge a plain (thread-level) token into the pool
             if (
                 cancel is not None
@@ -698,26 +1005,152 @@ def run_process_chunks(
                 and cancel.cancelled
             ):
                 stop_event.set()
-            try:
-                absorb(pickle.loads(result_q.get(timeout=0.1)))
-            except _queue.Empty:
-                if all(not p.is_alive() for p in procs):
-                    while True:  # final drain: queue may still hold items
-                        try:
-                            absorb(pickle.loads(result_q.get_nowait()))
-                        except _queue.Empty:
-                            break
+            if len(delivered) >= live_chunks:
+                # every chunk accounted for: don't wait out hedge losers
+                # — stragglers are stopped and reaped in the finally
+                break
+            active = [
+                uid for uid in procs
+                if uid not in done_uids and uid not in dead_uids
+            ]
+            if not active:
+                drain_nowait()
+                if len(delivered) >= live_chunks:
                     break
+                missing = [
+                    k for k in range(n_chunks)
+                    if k not in delivered and k not in skip
+                ]
+                if (
+                    missing
+                    and not unwinding()
+                    and restarts_used < max_restarts
+                ):
+                    # Final sweep: a SIGKILL can land before the dying
+                    # worker's queue feeder flushes its claim, so a chunk
+                    # can go missing without ever appearing in the
+                    # ownership ledger.  Re-dispatch everything missing
+                    # to one fresh worker while budget remains.
+                    restarts_used += 1
+                    assigned = [
+                        (k, attempts.get(k, 0) + 1) for k in missing
+                    ]
+                    for k in missing:
+                        inflight.pop(k, None)
+                    _uid2, p2 = spawn(assigned)
+                    recovery.append(
+                        RecoveryEvent(
+                            "respawn", p2.name, tuple(missing),
+                            detail=(
+                                "final sweep "
+                                f"restarts_used={restarts_used}"
+                            ),
+                        )
+                    )
+                    if trace is not None:
+                        trace.instant(
+                            "respawn", label, -1,
+                            worker=p2.name, chunks=len(missing), sweep=True,
+                        )
+                    redispatch_to(p2.name, assigned)
+                    continue
+                break
+            try:
+                absorb(pickle.loads(result_q.get(timeout=0.05)))
+                drain_nowait()
+            except _queue.Empty:
+                suspects = [
+                    uid for uid in active if not procs[uid].is_alive()
+                ]
+                if suspects:
+                    # a just-exited worker's results and done-marker may
+                    # still be in the pipe: give the feeder a beat, then
+                    # drain before declaring anyone dead
+                    time.sleep(0.05)
+                    drain_nowait()
+                    for uid in suspects:
+                        if uid in done_uids or uid in dead_uids:
+                            continue
+                        handle_death(uid)
+                maybe_hedge()
+        # Synthesize failures for chunks abandoned with their workers:
+        # every element is accounted for — a result or an ErrorRecord —
+        # so exhausted recovery surfaces through the ordinary fault road
+        # instead of as silently missing results.
+        if (
+            dead_uids
+            and not failed_seen
+            and not fatal
+            and not (cancel is not None and cancel.cancelled)
+        ):
+            abandoned = [
+                k for k in range(n_chunks)
+                if k not in delivered and k not in skip
+            ]
+            if abandoned:
+                recovery.append(
+                    RecoveryEvent(
+                        "lost", "", tuple(abandoned),
+                        detail=(
+                            "restart budget exhausted "
+                            f"(max_restarts={max_restarts})"
+                        ),
+                    )
+                )
+                for k in abandoned:
+                    lo, hi = bounds[k]
+                    att = max(1, attempts.get(k, 1))
+                    records = [
+                        (
+                            i,
+                            WorkerLostError(
+                                f"worker process died with chunk {k} "
+                                f"(element {i}) in flight; restarts "
+                                f"exhausted ({restarts_used}/{max_restarts})"
+                            ),
+                            att,
+                            "failed",
+                        )
+                        for i in range(lo, hi)
+                    ]
+                    delivered[k] = ChunkResult(
+                        k, [], records,
+                        {
+                            "delivered": 0, "retried": 0, "skipped": 0,
+                            "fallbacks": 0, "failed": hi - lo,
+                        },
+                        None, True,
+                    )
     finally:
-        for p in procs:
+        stop_event.set()  # live workers stop claiming; hedge losers unwind
+        for p in procs.values():
             p.join(timeout=1.0)
-        leaked = [p.name for p in procs if p.is_alive()]
-        for p in procs:
+        leaked = [p.name for p in procs.values() if p.is_alive()]
+        for p in procs.values():
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=0.5)
+                if p.is_alive():
+                    # SIGTERM can be blocked or ignored mid-syscall;
+                    # SIGKILL cannot — a straggler never leaks past the
+                    # pool
+                    p.kill()
+                    p.join(timeout=0.5)
+        # Queue teardown contract: drain everything the worker feeders
+        # already flushed *first* (late results are absorbed and deduped
+        # — close() must never discard wanted data), then close() our
+        # sender side, then cancel_join_thread() so interpreter exit can
+        # never block joining a feeder whose reader is gone.
+        try:
+            while True:
+                absorb(pickle.loads(result_q.get_nowait()))
+        except (_queue.Empty, OSError, EOFError):
+            pass
         result_q.close()
-    return ProcessRun(chunks=chunks, fatal=fatal, leaked=leaked)
+        result_q.cancel_join_thread()
+    return ProcessRun(
+        chunks=delivered, fatal=fatal, leaked=leaked, recovery=recovery
+    )
 
 
 def invoke_task(task: Callable[[], Any]) -> Any:

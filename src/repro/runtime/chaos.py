@@ -59,15 +59,23 @@ class ChaosInjector:
         delay: float = 0.001,
         fail_first: int = 0,
         exception: Callable[[str], BaseException] = ChaosError,
+        kill_rate: float = 0.0,
+        kill_attempts: int = 1,
     ) -> None:
         if not 0.0 <= fail_rate <= 1.0 or not 0.0 <= delay_rate <= 1.0:
             raise ValueError("fail_rate/delay_rate must be in [0, 1]")
+        if not 0.0 <= kill_rate <= 1.0:
+            raise ValueError("kill_rate must be in [0, 1]")
+        if kill_attempts < 1:
+            raise ValueError("kill_attempts must be >= 1")
         self.seed = seed
         self.fail_rate = fail_rate
         self.delay_rate = delay_rate
         self.delay = delay
         self.fail_first = fail_first
         self.exception = exception
+        self.kill_rate = kill_rate
+        self.kill_attempts = kill_attempts
         self._streams: dict[str, _NamedStream] = {}
         self._lock = threading.Lock()
         self.injected_failures = 0
@@ -125,6 +133,34 @@ class ChaosInjector:
         chaotic.__name__ = f"chaos_{label}"
         return chaotic
 
+    def should_kill(self, name: str, attempt: int = 1) -> bool:
+        """Whether a seeded SIGKILL fires for this dispatch of ``name``.
+
+        Decided from ``(seed, name, attempt)`` alone — no mutable stream
+        state — so the verdict is identical no matter which worker claims
+        the chunk, and the parent can replay it.  ``attempt`` counts
+        dispatches of the same chunk (re-dispatch after a kill is attempt
+        2): with the default ``kill_attempts=1`` only a chunk's *first*
+        dispatch can be killed, so a seeded kill scenario always
+        converges once recovery re-dispatches; raise ``kill_attempts`` to
+        exercise restart-budget exhaustion.
+
+        The caller (the process-pool worker) performs the actual
+        ``os.kill(os.getpid(), SIGKILL)`` — this injector only decides.
+        """
+        if self.kill_rate <= 0.0 or attempt > self.kill_attempts:
+            return False
+        import random
+
+        rng = random.Random(
+            zlib.crc32(f"kill:{name}".encode("utf-8"))
+            ^ (self.seed & 0xFFFFFFFF)
+        )
+        hit = False
+        for _ in range(attempt):
+            hit = rng.random() < self.kill_rate
+        return hit
+
     def wrap_item(self, item: Any) -> None:
         """Inject into a runtime :class:`~repro.runtime.item.Item` (or a
         MasterWorker group's members) in place, preserving tuning state."""
@@ -157,6 +193,8 @@ class ChaosInjector:
             "delay_rate": self.delay_rate,
             "delay": self.delay,
             "fail_first": self.fail_first,
+            "kill_rate": self.kill_rate,
+            "kill_attempts": self.kill_attempts,
         }
         if self.exception is not ChaosError:
             out["exception"] = self.exception

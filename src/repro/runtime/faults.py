@@ -144,6 +144,9 @@ class FaultPolicy:
     item_timeout: float | None = None
     on_error: str = "fail_fast"
     fallback: Any = None
+    #: how many dead process-pool workers may be respawned per run
+    #: (``PoolRestarts``); 0 keeps the historical fail-on-loss behaviour
+    pool_restarts: int = 0
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_MODES:
@@ -153,6 +156,8 @@ class FaultPolicy:
             )
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.pool_restarts < 0:
+            raise ValueError("pool_restarts must be >= 0")
 
     def delays(self) -> list[float]:
         """The deterministic backoff schedule for one element."""
@@ -312,3 +317,4 @@ RETRIES = "Retries"
 ITEM_TIMEOUT = "ItemTimeout"
 ON_ERROR = "OnError"
 STALL_TIMEOUT = "StallTimeout"
+POOL_RESTARTS = "PoolRestarts"

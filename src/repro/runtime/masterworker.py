@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.runtime.backend import (
     BackendEvent,
+    RecoveryEvent,
     ShipError,
     build_process_payload,
     downgrade,
@@ -51,14 +52,19 @@ class MasterWorker:
         merge: Callable[[Any, Sequence[Any]], Any] | None = None,
         name: str = "masterworker",
         backend: str = "thread",
+        restarts: int = 0,
     ) -> None:
         self.items: list[Item] = list(items)
         self.workers = workers or max(len(self.items), 1)
         self.merge = merge or (lambda value, results: tuple(results))
         self.name = name
         self.backend = normalize_backend(backend)
+        #: worker respawn budget for the process backend (PoolRestarts)
+        self.restarts = restarts
         #: backend decisions (downgrades) from the most recent run
         self.last_events: list[BackendEvent] = []
+        #: crash-recovery history from the most recent process run
+        self.last_recovery: list[RecoveryEvent] = []
         # pipeline-element tuning state (an MW group is one pipeline stage)
         self.replicable = all(i.replicable for i in self.items) if items else False
         self.replication = 1
@@ -97,6 +103,7 @@ class MasterWorker:
         trace = resolve_collector(trace)
         tasks = list(tasks)
         self.last_events = []
+        self.last_recovery = []
         backend = self.backend
         if not tasks:
             return []
@@ -209,11 +216,15 @@ class MasterWorker:
             return None
         run = run_process_chunks(
             blob,
-            len(chunks),
+            chunks,
             workers=self.workers,
             schedule="dynamic",
             cancel=cancel,
+            max_restarts=self.restarts,
+            trace=trace,
+            label=self.name,
         )
+        self.last_recovery = list(run.recovery)
         results: list[Any] = [None] * len(tasks)
         first_error: BaseException | None = None
         for k in sorted(run.chunks):

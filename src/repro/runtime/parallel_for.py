@@ -36,6 +36,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.runtime.backend import (
     BackendEvent,
+    RecoveryEvent,
     TuningError,
     build_process_payload,
     downgrade,
@@ -43,6 +44,7 @@ from repro.runtime.backend import (
     run_process_chunks,
 )
 from repro.runtime.chaos import ChaosInjector
+from repro.runtime.checkpoint import ChunkJournal
 from repro.runtime.faults import (
     CancellationToken,
     CancelledError,
@@ -179,6 +181,7 @@ def _assemble_process_run(
     cancel: CancellationToken | None,
     trace: TraceCollector | None = None,
     stage: str = "loop",
+    completed: frozenset[int] = frozenset(),
 ) -> None:
     """Fold a :class:`~repro.runtime.backend.ProcessRun` into caller state.
 
@@ -218,7 +221,7 @@ def _assemble_process_run(
         raise CancelledError(cancel.reason or "cancelled")
     if run.fatal:
         raise RuntimeError(f"worker process failed to start: {run.fatal[0]}")
-    missing = run.missing(len(chunks))
+    missing = run.missing(len(chunks), completed)
     if missing:
         raise RuntimeError(
             f"worker pool lost {len(missing)} chunk(s) "
@@ -243,6 +246,10 @@ def parallel_for(
     events: list[BackendEvent] | None = None,
     trace: TraceCollector | None = None,
     shared_writes: Sequence[str] = (),
+    restarts: int | None = None,
+    hedge: float = 0.0,
+    recovery: list[RecoveryEvent] | None = None,
+    checkpoint: ChunkJournal | None = None,
 ) -> list[Any]:
     """Apply ``body`` to every value; return results in input order.
 
@@ -262,8 +269,25 @@ def parallel_for(
     place; a non-empty value pins execution off the process backend —
     worker-side mutations of a pickled copy would be silently lost — via
     a recorded downgrade.
+
+    Resilience (see :mod:`repro.runtime.backend`): ``restarts`` bounds
+    process-pool worker respawns after a crash (``PoolRestarts@loop``;
+    defaults to ``policy.pool_restarts``), ``hedge`` in ``(0, 1]``
+    speculatively re-dispatches chunks above that latency quantile
+    (``Hedge@loop``), ``recovery`` collects the run's
+    :class:`~repro.runtime.backend.RecoveryEvent` history, and
+    ``checkpoint`` is a :class:`~repro.runtime.checkpoint.ChunkJournal`:
+    completed chunks are journaled as they are delivered (every backend)
+    and a journal opened with ``ChunkJournal.resume`` skips its
+    already-completed chunks.
     """
     _validate(workers, chunk_size, schedule)
+    if not 0.0 <= hedge <= 1.0:
+        raise TuningError(f"Hedge must be a quantile in [0, 1], got {hedge}")
+    if restarts is None:
+        restarts = policy.pool_restarts if policy is not None else 0
+    if restarts < 0:
+        raise TuningError(f"PoolRestarts must be >= 0, got {restarts}")
     effective = normalize_backend(backend)
     trace = resolve_collector(trace)
     raw_body = body
@@ -288,6 +312,20 @@ def parallel_for(
             trace=trace,
         )
 
+    # A resumed journal's completed chunks are prefilled and never
+    # re-executed; chunks completed by *this* run are journaled as they
+    # are delivered, on every backend.
+    journal_done: dict[int, list[Any]] = {}
+    if checkpoint is not None and n:
+        checkpoint.bind(n, chunk_size, "loop")
+        journal_done = checkpoint.completed()
+        if trace is not None and journal_done:
+            trace.instant(
+                "checkpoint", "loop", -1,
+                resumed=len(journal_done), path=str(checkpoint.path),
+            )
+    journal_skip = frozenset(journal_done)
+
     if not go_serial and effective == "process":
         chunks = _chunks(n, chunk_size)
         blob, reason = build_process_payload(
@@ -300,15 +338,30 @@ def parallel_for(
             )
         else:
             results: list[Any] = [None] * n
+            for k, done_vals in journal_done.items():
+                lo, _hi = chunks[k]
+                for offset, value in enumerate(done_vals):
+                    results[lo + offset] = value
+            if len(journal_skip) >= len(chunks):
+                return results
             run = run_process_chunks(
                 blob,
-                len(chunks),
+                chunks,
                 workers=workers,
                 schedule=schedule,
                 cancel=cancel,
+                max_restarts=restarts,
+                hedge=hedge,
+                completed=journal_skip,
+                trace=trace,
+                label="loop",
+                checkpoint=checkpoint,
             )
+            if recovery is not None:
+                recovery.extend(run.recovery)
             _assemble_process_run(
-                run, chunks, results, ledger, chaos, cancel, trace=trace
+                run, chunks, results, ledger, chaos, cancel, trace=trace,
+                completed=journal_skip,
             )
             return results
 
@@ -319,6 +372,29 @@ def parallel_for(
 
     if go_serial:
         element = _make_element(body, policy, cancel, ledger, None, trace)
+        if checkpoint is not None and n:
+            # chunk-wise so progress is journaled at the same granularity
+            # as the pool backends; the element-wise hot path below stays
+            # untouched when checkpointing is off
+            out_c: list[Any] = [None] * n
+            for k, (lo, hi) in enumerate(_chunks(n, chunk_size)):
+                if k in journal_done:
+                    for offset, value in enumerate(journal_done[k]):
+                        out_c[lo + offset] = value
+                    continue
+                for i in range(lo, hi):
+                    if cancel is not None:
+                        if trace is not None and cancel.cancelled:
+                            trace.instant(
+                                "cancel", "loop", -1,
+                                reason=cancel.reason or "cancelled",
+                            )
+                        cancel.raise_if_cancelled()
+                    out_c[i] = element(i, vals[i])
+                checkpoint.record(k, lo, hi, out_c[lo:hi])
+                if trace is not None:
+                    trace.instant("checkpoint", "loop", lo, chunk=k)
+            return out_c
         out = []
         for i, v in enumerate(vals):
             if cancel is not None:
@@ -336,20 +412,34 @@ def parallel_for(
     ledger_lock = threading.Lock() if ledger is not None else None
     element = _make_element(body, policy, cancel, ledger, ledger_lock, trace)
     chunks = _chunks(n, chunk_size)
-    nworkers = min(workers, len(chunks))
+    for k, done_vals in journal_done.items():
+        lo, _hi = chunks[k]
+        for offset, value in enumerate(done_vals):
+            results[lo + offset] = value
+    nworkers = min(workers, max(1, len(chunks) - len(journal_skip)))
+
+    def run_chunk(k: int, lo: int, hi: int) -> None:
+        for i in range(lo, hi):
+            results[i] = element(i, vals[i])
+        if checkpoint is not None:
+            checkpoint.record(k, lo, hi, results[lo:hi])
+            if trace is not None:
+                trace.instant("checkpoint", "loop", lo, chunk=k)
 
     if schedule == "static":
-        assignments: list[list[tuple[int, int]]] = [[] for _ in range(nworkers)]
-        for i, c in enumerate(chunks):
-            assignments[i % nworkers].append(c)
+        assignments: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(nworkers)
+        ]
+        for i, (lo, hi) in enumerate(chunks):
+            if i not in journal_skip:
+                assignments[i % nworkers].append((i, lo, hi))
 
-        def static_worker(mine: list[tuple[int, int]]) -> None:
+        def static_worker(mine: list[tuple[int, int, int]]) -> None:
             try:
-                for lo, hi in mine:
+                for k, lo, hi in mine:
                     if _stopped(errors, cancel):
                         return
-                    for i in range(lo, hi):
-                        results[i] = element(i, vals[i])
+                    run_chunk(k, lo, hi)
             except BaseException as exc:
                 errors.append(exc)
 
@@ -373,9 +463,10 @@ def parallel_for(
                         if k >= len(chunks):
                             return
                         next_chunk[0] += 1
+                    if k in journal_skip:
+                        continue
                     lo, hi = chunks[k]
-                    for i in range(lo, hi):
-                        results[i] = element(i, vals[i])
+                    run_chunk(k, lo, hi)
             except BaseException as exc:
                 errors.append(exc)
 
@@ -404,6 +495,10 @@ def parallel_reduce(
     backend: str = "thread",
     events: list[BackendEvent] | None = None,
     trace: TraceCollector | None = None,
+    restarts: int = 0,
+    hedge: float = 0.0,
+    recovery: list[RecoveryEvent] | None = None,
+    checkpoint: ChunkJournal | None = None,
 ) -> Any:
     """Map ``body`` over values and fold with the associative ``op``.
 
@@ -416,8 +511,18 @@ def parallel_reduce(
 
     Traced at chunk granularity (one ``execute`` span per folded chunk):
     per-element hooks would distort the tight fold loop.
+
+    ``restarts`` / ``hedge`` / ``recovery`` mirror :func:`parallel_for`
+    (process backend).  ``checkpoint`` journals each chunk's folded
+    partial, so a resumed reduction re-folds only unfinished chunks — on
+    the pooled backends; the sequential path has no chunk structure and
+    ignores the journal.
     """
     _validate(workers, chunk_size, "dynamic")
+    if not 0.0 <= hedge <= 1.0:
+        raise TuningError(f"Hedge must be a quantile in [0, 1], got {hedge}")
+    if restarts < 0:
+        raise TuningError(f"PoolRestarts must be >= 0, got {restarts}")
     effective = normalize_backend(backend)
     trace = resolve_collector(trace)
     vals = list(values)
@@ -434,6 +539,16 @@ def parallel_reduce(
         return acc
 
     chunks = _chunks(n, chunk_size)
+    journal_done: dict[int, list[Any]] = {}
+    if checkpoint is not None:
+        checkpoint.bind(n, chunk_size, "reduce")
+        journal_done = checkpoint.completed()
+        if trace is not None and journal_done:
+            trace.instant(
+                "checkpoint", "reduce", -1,
+                resumed=len(journal_done), path=str(checkpoint.path),
+            )
+    journal_skip = frozenset(journal_done)
 
     if effective == "process":
         blob, reason = build_process_payload(
@@ -445,39 +560,53 @@ def parallel_reduce(
                 trace=trace, stage="reduce",
             )
         else:
-            run = run_process_chunks(
-                blob,
-                len(chunks),
-                workers=workers,
-                schedule="dynamic",
-                cancel=cancel,
-            )
             partials: list[Any] = [None] * len(chunks)
-            for k in sorted(run.chunks):
-                chunk = run.chunks[k]
-                if trace is not None and chunk.spans is not None:
-                    trace.absorb(chunk.spans, chunk.spans_dropped)
-                if chunk.failed:
-                    raise chunk.records[0][1]
-                partials[k] = chunk.values[0]
-            if cancel is not None and cancel.cancelled:
-                if trace is not None:
-                    trace.instant(
-                        "cancel", "reduce", -1,
-                        reason=cancel.reason or "cancelled",
-                    )
-                raise CancelledError(cancel.reason or "cancelled")
-            if run.fatal or run.missing(len(chunks)):
-                raise RuntimeError(
-                    "worker pool lost reduce partials: "
-                    f"fatal={run.fatal} missing={run.missing(len(chunks))}"
+            for k in journal_done:
+                partials[k] = journal_done[k][0]
+            if len(journal_skip) < len(chunks):
+                run = run_process_chunks(
+                    blob,
+                    chunks,
+                    workers=workers,
+                    schedule="dynamic",
+                    cancel=cancel,
+                    max_restarts=restarts,
+                    hedge=hedge,
+                    completed=journal_skip,
+                    trace=trace,
+                    label="reduce",
+                    checkpoint=checkpoint,
                 )
+                if recovery is not None:
+                    recovery.extend(run.recovery)
+                for k in sorted(run.chunks):
+                    chunk = run.chunks[k]
+                    if trace is not None and chunk.spans is not None:
+                        trace.absorb(chunk.spans, chunk.spans_dropped)
+                    if chunk.failed:
+                        raise chunk.records[0][1]
+                    partials[k] = chunk.values[0]
+                if cancel is not None and cancel.cancelled:
+                    if trace is not None:
+                        trace.instant(
+                            "cancel", "reduce", -1,
+                            reason=cancel.reason or "cancelled",
+                        )
+                    raise CancelledError(cancel.reason or "cancelled")
+                if run.fatal or run.missing(len(chunks), journal_skip):
+                    raise RuntimeError(
+                        "worker pool lost reduce partials: "
+                        f"fatal={run.fatal} "
+                        f"missing={run.missing(len(chunks), journal_skip)}"
+                    )
             acc = init
             for p in partials:
                 acc = op(acc, p)
             return acc
 
     partials = [None] * len(chunks)
+    for k in journal_done:
+        partials[k] = journal_done[k][0]
     errors: list[BaseException] = []
     lock = threading.Lock()
     next_chunk = [0]
@@ -492,12 +621,18 @@ def parallel_reduce(
                     if k >= len(chunks):
                         return
                     next_chunk[0] += 1
+                if k in journal_skip:
+                    continue
                 lo, hi = chunks[k]
                 started = time.monotonic()
                 acc = body(vals[lo])
                 for i in range(lo + 1, hi):
                     acc = op(acc, body(vals[i]))
                 partials[k] = acc
+                if checkpoint is not None:
+                    checkpoint.record(k, lo, hi, [acc])
+                    if trace is not None:
+                        trace.instant("checkpoint", "reduce", lo, chunk=k)
                 if trace is not None:
                     trace.add(
                         "execute", "reduce", lo, started,
@@ -508,7 +643,7 @@ def parallel_reduce(
 
     threads = [
         threading.Thread(target=worker, daemon=True)
-        for _ in range(min(workers, len(chunks)))
+        for _ in range(min(workers, max(1, len(chunks) - len(journal_skip))))
     ]
     for t in threads:
         t.start()
@@ -532,6 +667,8 @@ def configured_parallel_for(
     events: list[BackendEvent] | None = None,
     trace: TraceCollector | None = None,
     shared_writes: Sequence[str] = (),
+    recovery: list[RecoveryEvent] | None = None,
+    checkpoint: ChunkJournal | None = None,
 ) -> list[Any]:
     """``parallel_for`` driven by a tuning configuration mapping.
 
@@ -570,4 +707,11 @@ def configured_parallel_for(
             trace, enabled=bool(config.get("Trace@loop", False))
         ),
         shared_writes=shared_writes,
+        # passed explicitly (not via a synthetic FaultPolicy) so turning
+        # the resilience knobs on cannot perturb the worker-side
+        # execution path a policy would add
+        restarts=int(config.get("PoolRestarts@loop", 0) or 0),
+        hedge=float(config.get("Hedge@loop", 0.0) or 0.0),
+        recovery=recovery,
+        checkpoint=checkpoint,
     )

@@ -14,7 +14,11 @@ becomes a sequence of typed :class:`Span` records —
 * ``timeout``    — an attempt that exceeded its ``ItemTimeout`` deadline;
 * ``chaos``      — a seeded fault/delay injection firing;
 * ``cancel``     — a worker unwinding on cancellation;
-* ``fallback``   — a backend downgrade decision (process -> thread).
+* ``fallback``   — a backend downgrade decision (process -> thread);
+* ``respawn``    — a dead pool worker replaced (crash recovery);
+* ``redispatch`` — a lost chunk handed to a replacement worker;
+* ``hedge``      — a speculative duplicate dispatch of a straggling chunk;
+* ``checkpoint`` — a completed chunk journaled (or a journal resumed).
 
 Spans are collected into a bounded, thread-safe :class:`TraceCollector`
 ring buffer.  Overflow is *accounted*, never silent: the oldest span is
@@ -57,7 +61,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
-#: the eight span kinds, in rough pipeline order
+#: the span kinds, in rough pipeline order
 KINDS = (
     "queue_wait",
     "execute",
@@ -67,9 +71,16 @@ KINDS = (
     "chaos",
     "cancel",
     "fallback",
+    "respawn",
+    "redispatch",
+    "hedge",
+    "checkpoint",
 )
 
-QUEUE_WAIT, EXECUTE, RETRY, BACKOFF, TIMEOUT, CHAOS, CANCEL, FALLBACK = KINDS
+(
+    QUEUE_WAIT, EXECUTE, RETRY, BACKOFF, TIMEOUT, CHAOS, CANCEL, FALLBACK,
+    RESPAWN, REDISPATCH, HEDGE, CHECKPOINT,
+) = KINDS
 
 #: canonical tuning-parameter name (sibling of Retries/Backend/...)
 TRACE = "Trace"
@@ -292,6 +303,10 @@ class TraceCollector:
                     "chaos": 0,
                     "cancelled": 0,
                     "errors": 0,
+                    "respawns": 0,
+                    "redispatches": 0,
+                    "hedges": 0,
+                    "checkpoints": 0,
                 },
             )
             if s.kind in (EXECUTE, RETRY):
@@ -312,6 +327,14 @@ class TraceCollector:
                 st["chaos"] += 1
             elif s.kind == CANCEL:
                 st["cancelled"] += 1
+            elif s.kind == RESPAWN:
+                st["respawns"] += 1
+            elif s.kind == REDISPATCH:
+                st["redispatches"] += 1
+            elif s.kind == HEDGE:
+                st["hedges"] += 1
+            elif s.kind == CHECKPOINT:
+                st["checkpoints"] += 1
         wall = out["wall"] or 1e-12
         for stage, st in stages.items():
             durs = sorted(st.pop("execute"))

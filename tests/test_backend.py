@@ -526,6 +526,78 @@ class TestChaosProcess:
 
 
 # ---------------------------------------------------------------------------
+# worker loss: the dead-worker path under both schedules
+# ---------------------------------------------------------------------------
+
+def _kill_worker_once(x, marker="", victim=7):
+    """SIGKILL the hosting worker the first time ``victim`` is seen; the
+    sentinel file makes later dispatches of the same element succeed.
+    The sleep lets the result queue's feeder flush delivered chunks
+    before the process dies."""
+    if x == victim:
+        import pathlib
+        import signal
+
+        path = pathlib.Path(marker)
+        if not path.exists():
+            path.write_text("died")
+            time.sleep(0.1)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+class TestWorkerLoss:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_no_budget_raises_worker_lost(self, tmp_path, schedule):
+        # pre-recovery contract, pinned: restarts=0 keeps the historical
+        # fail-on-loss behaviour — the death surfaces, nothing hangs
+        import functools
+
+        from repro.runtime.backend import WorkerLostError
+
+        body = functools.partial(
+            _kill_worker_once, marker=str(tmp_path / "died"), victim=7
+        )
+        with pytest.raises(WorkerLostError, match="restarts exhausted"):
+            parallel_for(
+                range(12),
+                body,
+                workers=3,
+                chunk_size=2,
+                schedule=schedule,
+                backend="process",
+                restarts=0,
+            )
+
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_budget_recovers_and_completes(self, tmp_path, schedule):
+        # post-recovery: a respawned worker re-executes the dead one's
+        # chunks and the run's results are indistinguishable from an
+        # undisturbed run
+        import functools
+
+        body = functools.partial(
+            _kill_worker_once, marker=str(tmp_path / "died"), victim=7
+        )
+        recovery = []
+        out = parallel_for(
+            range(12),
+            body,
+            workers=3,
+            chunk_size=2,
+            schedule=schedule,
+            backend="process",
+            restarts=2,
+            recovery=recovery,
+        )
+        assert out == [x * x for x in range(12)]
+        kinds = [e.kind for e in recovery]
+        assert "worker_lost" in kinds
+        assert "respawn" in kinds
+        assert "redispatch" in kinds
+
+
+# ---------------------------------------------------------------------------
 # the process pool really uses processes
 # ---------------------------------------------------------------------------
 

@@ -340,6 +340,8 @@ class TestDoallPattern:
             "Retries@loop",
             "ItemTimeout@loop",
             "OnError@loop",
+            "PoolRestarts@loop",
+            "Hedge@loop",
             "Trace@loop",
         }
         assert match.parameter("NumWorkers@loop").domain() == [1, 2, 3, 4]
