@@ -1,0 +1,192 @@
+"""Data-plane cost: shared-memory transport and warm pool reuse.
+
+The process backend's historical data plane pickles the whole input to
+every worker and pickles every chunk's results back through one queue —
+for a flat numeric DOALL with a cheap body, IPC *is* the runtime.  This
+benchmark measures the two knobs that attack it (`Transport@loop`,
+`PoolReuse@loop`):
+
+* **transport**: `shm` vs `pickle` on a large flat-int loop, both on a
+  warm pool so transport is the only variable.  Gate (≥4 cores):
+  `shm` at least 2× faster.
+* **pool reuse**: a warm session's second call vs a cold call (spawn +
+  run + teardown) on a tiny workload where setup dominates.  Gate
+  (≥4 cores): warm pays < 25% of cold.
+
+Results always persist to ``benchmarks/results/ipc_speedup.json``
+(schema ``ipc_speedup/v1``; ``gated`` records whether the machine was
+big enough to assert).  Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ipc.py --smoke
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.evalq.realexec import available_cores
+from repro.runtime import parallel_for, shutdown_sessions
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "ipc_speedup.json"
+
+
+def triple(x: int) -> int:
+    """Deliberately trivial: the measurement is the data plane."""
+    return x * 3
+
+
+def _timed(vals, *, workers, chunk_size, transport, reuse, repeats=1):
+    """Best-of-``repeats`` wall clock; asserts the results en route."""
+    best = float("inf")
+    out = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        out = parallel_for(
+            vals, triple,
+            workers=workers, chunk_size=chunk_size, backend="process",
+            transport=transport, reuse=reuse,
+        )
+        best = min(best, time.perf_counter() - started)
+    assert out == [v * 3 for v in vals], "data-plane parity violated"
+    return best
+
+
+def ipc_sweep(n: int = 200_000, workers: int = 4, repeats: int = 3) -> dict:
+    """Measure both knobs; returns the results-file payload."""
+    vals = list(range(n))
+    chunk_size = max(1, n // 32)
+    try:
+        # --- transport: pickle vs shm, both warm (one warm-up call
+        # each charges the pool spawn and the kernel ship) ---
+        _timed(vals, workers=workers, chunk_size=chunk_size,
+               transport="pickle", reuse=True)
+        pickle_s = _timed(vals, workers=workers, chunk_size=chunk_size,
+                          transport="pickle", reuse=True, repeats=repeats)
+        _timed(vals, workers=workers, chunk_size=chunk_size,
+               transport="shm", reuse=True)
+        shm_s = _timed(vals, workers=workers, chunk_size=chunk_size,
+                       transport="shm", reuse=True, repeats=repeats)
+
+        # --- pool reuse: tiny workload, setup-dominated.  The cold
+        # call spawns and tears down its own pool; the warm call rides
+        # the session the warm-up above already paid for. ---
+        tiny = list(range(64))
+        cold_s = _timed(tiny, workers=workers, chunk_size=1,
+                        transport="pickle", reuse=False)
+        _timed(tiny, workers=workers, chunk_size=1,
+               transport="pickle", reuse=True)
+        warm_s = _timed(tiny, workers=workers, chunk_size=1,
+                        transport="pickle", reuse=True)
+    finally:
+        shutdown_sessions()
+
+    cores = available_cores()
+    return {
+        "schema": "ipc_speedup/v1",
+        "cores_available": cores,
+        "gated": cores >= 4,
+        "workers": workers,
+        "n": n,
+        "transport": {
+            "pickle_s": round(pickle_s, 6),
+            "shm_s": round(shm_s, 6),
+            "shm_speedup": round(pickle_s / shm_s, 3) if shm_s else 0.0,
+        },
+        "pool_reuse": {
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "warm_ratio": round(warm_s / cold_s, 3) if cold_s else 0.0,
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    t, p = payload["transport"], payload["pool_reuse"]
+    return "\n".join([
+        f"flat-int DOALL, n={payload['n']}, "
+        f"{payload['workers']} workers, "
+        f"{payload['cores_available']} core(s)",
+        f"  transport  pickle {t['pickle_s']:.4f}s   "
+        f"shm {t['shm_s']:.4f}s   shm speedup {t['shm_speedup']:.2f}x",
+        f"  pool       cold {p['cold_s']:.4f}s   "
+        f"warm {p['warm_s']:.4f}s   warm/cold {p['warm_ratio']:.3f}",
+        f"  gates {'ASSERTED' if payload['gated'] else 'SKIPPED (<4 cores)'}",
+    ])
+
+
+def _write(payload: dict) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _assert_gates(payload: dict) -> None:
+    t, p = payload["transport"], payload["pool_reuse"]
+    assert t["shm_speedup"] >= 2.0, (
+        f"shm transport {t['shm_speedup']:.2f}x < 2x over pickle "
+        f"(pickle {t['pickle_s']:.4f}s, shm {t['shm_s']:.4f}s)"
+    )
+    assert p["warm_ratio"] < 0.25, (
+        f"warm call pays {p['warm_ratio']:.1%} of cold setup, wanted <25% "
+        f"(cold {p['cold_s']:.4f}s, warm {p['warm_s']:.4f}s)"
+    )
+
+
+def test_ipc_speedup(benchmark, record):
+    """The data-plane gates, asserted only where cores make them fair."""
+    from conftest import once
+
+    payload = once(benchmark, ipc_sweep)
+    _write(payload)
+    record(render(payload), name="ipc_speedup")
+    if payload["gated"]:
+        _assert_gates(payload)
+
+
+def _smoke(workers: int) -> dict:
+    """CI parity pass: tiny n, every road, no timing asserts."""
+    vals = list(range(2000))
+    expect = [v * 3 for v in vals]
+    try:
+        assert parallel_for(vals, triple, workers=workers, chunk_size=64,
+                            backend="thread") == expect
+        for transport in ("pickle", "shm"):
+            for reuse in (False, True):
+                got = parallel_for(
+                    vals, triple, workers=workers, chunk_size=64,
+                    backend="process", transport=transport, reuse=reuse,
+                )
+                assert got == expect, (transport, reuse)
+    finally:
+        shutdown_sessions()
+    return ipc_sweep(n=5_000, workers=workers, repeats=1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone CI entry: ``python benchmarks/bench_ipc.py [--smoke]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny n; thread+process parity cross-check, "
+                             "no timing assertions")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--n", type=int, default=200_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = _smoke(args.workers)
+    else:
+        payload = ipc_sweep(n=args.n, workers=args.workers,
+                            repeats=args.repeats)
+    _write(payload)
+    print(render(payload))
+    print(f"results written to {RESULTS_PATH}")
+    if not args.smoke and payload["gated"]:
+        _assert_gates(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -533,6 +533,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             hedge=args.hedge,
             recovery=recovery,
             checkpoint=journal,
+            transport=args.transport,
+            reuse=args.reuse,
         )
     except Exception as exc:  # noqa: BLE001 - report, don't traceback
         error = exc
@@ -541,11 +543,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             journal.close()
     elapsed = time.monotonic() - started
 
+    plane = ""
+    if args.backend == "process":
+        plane = (
+            f"{args.transport} transport"
+            + (", warm pool, " if args.reuse else ", ")
+        )
     print(
         f"kernel {kernel.name!r}: {len(values)} element(s), "
         f"chunk size {chunk_size}, {args.workers} worker(s), "
         f"{args.schedule} schedule, {args.backend} backend, "
-        f"{elapsed:.2f}s"
+        f"{plane}{elapsed:.2f}s"
     )
     failed = sorted({r.seq for r in ledger})
     delivered = len(results) - len(failed) if results else 0
@@ -606,7 +614,10 @@ def cmd_backends(args: argparse.Namespace) -> int:
     )
 
     scale = 0.15 if args.smoke else args.scale
-    rows = sweep_backends(workers=args.workers, scale=scale)
+    rows = sweep_backends(
+        workers=args.workers, scale=scale,
+        transport=args.transport, reuse=args.reuse,
+    )
     print(render_table(rows))
     cores = available_cores()
     print(
@@ -784,6 +795,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker respawn budget on worker loss (PoolRestarts)")
     p.add_argument("--hedge", type=_rate, default=0.0,
                    help="straggler-hedging latency quantile (0 = off)")
+    p.add_argument("--transport", default="pickle",
+                   choices=["pickle", "shm"],
+                   help="process-backend data plane: pickle messages or "
+                        "zero-copy shared memory (Transport)")
+    p.add_argument("--reuse", action="store_true",
+                   help="run on a warm worker pool kept alive across "
+                        "calls (PoolReuse)")
     ck = p.add_mutually_exclusive_group()
     ck.add_argument("--checkpoint", metavar="PATH",
                     help="journal completed chunks to PATH (fresh run)")
@@ -810,6 +828,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="work multiplier per kernel element")
     p.add_argument("--smoke", action="store_true",
                    help="small fixed scale for CI (a few seconds total)")
+    p.add_argument("--transport", default="pickle",
+                   choices=["pickle", "shm"],
+                   help="process-backend data plane for the sweep")
+    p.add_argument("--reuse", action="store_true",
+                   help="sweep the process backend on a warm worker pool")
     p.add_argument("--json", metavar="PATH",
                    help="also write the sweep as a results JSON")
     p.set_defaults(func=cmd_backends)

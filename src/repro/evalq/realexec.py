@@ -162,12 +162,18 @@ def sweep_backends(
     workers: int = 4,
     scale: float = 1.0,
     repeats: int = 1,
+    transport: str = "pickle",
+    reuse: bool = False,
 ) -> list[SweepRow]:
     """Run every kernel under every backend; measure and cross-check.
 
     Each row's checksum must match the kernel's serial checksum — a
     backend that returned different results would make its timing
     meaningless, so the sweep raises instead of reporting it.
+
+    ``transport`` / ``reuse`` select the process backend's data plane
+    for the sweep (ignored by serial/thread rows); a transport downgrade
+    surfaces in the row's events like a backend downgrade does.
     """
     kernels = default_kernels(scale) if kernels is None else list(kernels)
     rows: list[SweepRow] = []
@@ -188,6 +194,8 @@ def sweep_backends(
                     chunk_size=kernel.chunk_size,
                     backend=backend,
                     events=events,
+                    transport=transport,
+                    reuse=reuse,
                 )
                 best = min(best, time.perf_counter() - started)
                 checksum = kernel.combine(results)

@@ -38,11 +38,14 @@ from repro.patterns.tuning import (
     ON_ERROR_DOMAIN,
     POOL_RESTARTS,
     POOL_RESTARTS_DOMAIN,
+    POOL_REUSE,
     RETRIES,
     RETRIES_DOMAIN,
     SCHEDULE,
     SEQUENTIAL_EXECUTION,
     TRACE,
+    TRANSPORT,
+    TRANSPORT_DOMAIN,
     BoolParameter,
     ChoiceParameter,
     IntParameter,
@@ -195,6 +198,22 @@ class DoallPattern(SourcePattern):
                 target="loop",
                 default=0.0,
                 choices=HEDGE_DOMAIN,
+                location=loc,
+            ),
+            # data-plane knobs (process backend): how data crosses the
+            # process boundary and whether workers stay warm between
+            # calls; pickle/cold defaults keep the historical behaviour
+            ChoiceParameter(
+                name=TRANSPORT,
+                target="loop",
+                default="pickle",
+                choices=TRANSPORT_DOMAIN,
+                location=loc,
+            ),
+            BoolParameter(
+                name=POOL_REUSE,
+                target="loop",
+                default=False,
                 location=loc,
             ),
             # observability: per-element span collection (off by default;

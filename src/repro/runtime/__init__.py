@@ -18,15 +18,19 @@ from repro.runtime.backend import (
     BACKENDS,
     BackendEvent,
     BackendFallbackWarning,
+    PoolSession,
     ProcessCancellationToken,
     RecoveryEvent,
     ShipError,
     TuningError,
     WorkerLostError,
+    ship_blob,
     ship_callable,
+    shutdown_sessions,
 )
 from repro.runtime.buffer import BoundedBuffer, EndOfStream
 from repro.runtime.checkpoint import CheckpointError, ChunkJournal
+from repro.runtime.shm import TRANSPORTS, normalize_transport
 from repro.runtime.faults import (
     BufferTimeout,
     CancellationToken,
@@ -65,10 +69,15 @@ __all__ = [
     "BackendFallbackWarning",
     "ProcessCancellationToken",
     "RecoveryEvent",
+    "PoolSession",
     "ShipError",
+    "TRANSPORTS",
     "TuningError",
     "WorkerLostError",
+    "normalize_transport",
+    "ship_blob",
     "ship_callable",
+    "shutdown_sessions",
     "BoundedBuffer",
     "EndOfStream",
     "CheckpointError",

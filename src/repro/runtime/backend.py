@@ -61,7 +61,9 @@ as ``respawn`` / ``redispatch`` / ``hedge`` trace spans.
 
 from __future__ import annotations
 
+import atexit
 import builtins
+import hashlib
 import importlib
 import marshal
 import math
@@ -74,7 +76,9 @@ import threading
 import time
 import types
 import warnings
+import weakref
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mpconn
 from typing import Any, Callable, Sequence
 
 from repro.runtime.chaos import ChaosInjector
@@ -205,6 +209,36 @@ def downgrade(
     return actual
 
 
+def downgrade_transport(
+    reason: str,
+    events: list[BackendEvent] | None = None,
+    trace: TraceCollector | None = None,
+    stage: str = "loop",
+) -> str:
+    """Record an shm → pickle transport downgrade; returns ``"pickle"``.
+
+    The data plane mirrors the backend's downgrade road: non-qualifying
+    input is never an error — the run proceeds on the pickle transport
+    with the decision recorded as a :class:`BackendEvent` (and a
+    ``fallback`` trace instant), so a tuner or a fault report can see
+    why the zero-copy road was not taken.
+    """
+    event = BackendEvent("shm", "pickle", reason)
+    if events is not None:
+        events.append(event)
+    if trace is not None:
+        trace.instant(
+            "fallback", stage, -1,
+            requested="shm", actual="pickle", reason=reason,
+        )
+    warnings.warn(
+        f"transport downgrade: {event.describe()}",
+        BackendFallbackWarning,
+        stacklevel=3,
+    )
+    return "pickle"
+
+
 def start_method() -> str:
     """The multiprocessing start method the process backend uses.
 
@@ -279,6 +313,48 @@ def _plain_picklable(obj: Any) -> bool:
         return True
     except Exception:
         return False
+
+
+#: pickled-bytes cache per callable identity.  Only *plain* pickles are
+#: cached: they serialize as a ``module.qualname`` reference, so the
+#: bytes can never go stale.  A :class:`ShippedFunction` captures live
+#: globals and closure cells by value and is rebuilt per call.
+_SHIP_CACHE: "weakref.WeakKeyDictionary[Any, bytes]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def ship_blob(fn: Callable) -> bytes:
+    """Pickle a callable for worker shipment — once.
+
+    The old road probed picklability with a throwaway ``pickle.dumps``
+    and then pickled the callable *again* inside the payload; here the
+    probe's bytes *are* the payload bytes, and plain picklable callables
+    (the common case: module-level kernels) are cached per identity so
+    repeated calls with the same function pay the pickler once ever.
+
+    Raises :class:`ShipError` for callables that neither pickle nor ship
+    by value.
+    """
+    try:
+        cached = _SHIP_CACHE.get(fn)
+    except TypeError:  # unhashable / non-weakrefable callable
+        cached = None
+    if cached is not None:
+        return cached
+    try:
+        blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        if isinstance(fn, types.FunctionType):
+            return pickle.dumps(
+                ShippedFunction(fn), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        raise ShipError(f"cannot ship {fn!r} to a worker process") from None
+    try:
+        _SHIP_CACHE[fn] = blob
+    except TypeError:
+        pass
+    return blob
 
 
 def _ship_value(value: Any, memo: dict[int, Any]) -> Any:
@@ -428,6 +504,9 @@ class ChunkResult:
     #: defaulted so pre-trace positional construction stays valid
     spans: list | None = None
     spans_dropped: int = 0
+    #: values live in the shared output region, not in ``values`` — the
+    #: collector materializes them exactly once at absorb time
+    shm: bool = False
 
 
 @dataclass
@@ -449,6 +528,27 @@ class ProcessRun:
         ]
 
 
+@dataclass
+class ProcessPayload:
+    """A prepared work payload, split along the ship-once seam.
+
+    ``kernel_blob`` is everything constant across calls with the same
+    loop body (the body, policy, chaos spec, reduce op, label, trace
+    spec) — a warm :class:`PoolSession` ships it to each worker once per
+    distinct ``digest`` and refers to it by digest afterwards.
+    ``call_blob`` is the per-call delta: the input spec (inline values
+    or a shared-memory block reference), the output-region spec, and the
+    chunk bounds.
+    """
+
+    kernel_blob: bytes
+    call_blob: bytes
+    digest: str
+
+    def __bool__(self) -> bool:  # truthy like the old non-None blob
+        return True
+
+
 def build_process_payload(
     body: Callable,
     vals: Sequence[Any],
@@ -459,26 +559,38 @@ def build_process_payload(
     reduce_op: Callable | None = None,
     label: str = "loop",
     trace: TraceCollector | None = None,
-) -> tuple[bytes | None, str | None]:
+    input_spec: tuple[str, Any] | None = None,
+    out_spec: dict[str, Any] | None = None,
+) -> tuple[ProcessPayload | None, str | None]:
     """Pickle the whole work payload up front.
 
-    Returns ``(blob, None)`` when the work can cross a process boundary,
-    ``(None, reason)`` when it cannot — the up-front detection that turns
-    an unpicklable loop body into a recorded thread fallback instead of a
-    mid-run crash.
+    Returns ``(payload, None)`` when the work can cross a process
+    boundary, ``(None, reason)`` when it cannot — the up-front detection
+    that turns an unpicklable loop body into a recorded thread fallback
+    instead of a mid-run crash.
+
+    ``input_spec`` defaults to shipping ``vals`` inline; the shm
+    transport passes ``("shm", block_spec)`` instead, and ``out_spec``
+    names the preallocated result region workers write into.
     """
     try:
-        payload = (
-            ship_callable(body),
-            list(vals),
-            list(chunks),
+        kernel = (
+            ship_blob(body),
             policy,
             chaos.spec() if chaos is not None else None,
-            ship_callable(reduce_op) if reduce_op is not None else None,
+            ship_blob(reduce_op) if reduce_op is not None else None,
             label,
             trace.spec() if trace is not None else None,
         )
-        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), None
+        kernel_blob = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+        if input_spec is None:
+            input_spec = ("inline", list(vals))
+        call_blob = pickle.dumps(
+            (input_spec, out_spec, list(chunks)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha1(kernel_blob).hexdigest()
+        return ProcessPayload(kernel_blob, call_blob, digest), None
     except Exception as exc:
         return None, f"not process-safe ({type(exc).__name__}: {exc})"
 
@@ -594,19 +706,74 @@ def _run_reduce_chunk(
         return [], [(lo, _shippable_error(exc), 1, "failed")], counters, True
 
 
-def _worker_main(
-    wid: int,
+#: generation tag layout in the shared claim counter: the high 32 bits
+#: name the call generation, the low 32 bits are the next chunk index.
+#: A warm pool reuses one counter across calls; a straggler from a
+#: previous generation sees the mismatch and stops claiming.
+_GEN_SHIFT = 32
+_GEN_MASK = 0xFFFFFFFF
+
+
+def _load_kernel(kernel_blob: bytes) -> tuple:
+    """Unpickle a kernel: (body, policy, chaos_spec, reduce_op, label,
+    trace_spec).  Session workers cache the result per digest — the body
+    (possibly a :class:`ShippedFunction`) is rebuilt once per kernel,
+    not once per call."""
+    body_blob, policy, chaos_spec, reduce_blob, label, trace_spec = (
+        pickle.loads(kernel_blob)
+    )
+    body = pickle.loads(body_blob)
+    reduce_op = pickle.loads(reduce_blob) if reduce_blob is not None else None
+    return body, policy, chaos_spec, reduce_op, label, trace_spec
+
+
+def _resolve_input(input_spec: tuple[str, Any]):
+    """``(vals, closer)`` for a call's input spec (inline or shm)."""
+    kind, data = input_spec
+    if kind == "inline":
+        return data, None
+    if kind == "shm":
+        from repro.runtime import shm as _shm
+
+        view = _shm.ShmInputView(data)
+        return view, view.close
+    raise RuntimeError(f"unknown input transport {kind!r}")
+
+
+def _resolve_output(out_spec: dict[str, Any] | None):
+    """``(writer, closer)`` for a call's shared output region, if any."""
+    if out_spec is None:
+        return None, None
+    from repro.runtime import shm as _shm
+
+    writer = _shm.ShmOutputWriter(out_spec)
+    return writer, writer.close
+
+
+def _serve_call(
+    uid: int,
+    slot: int,
+    gen: int,
     nworkers: int,
-    blob: bytes,
     schedule: str,
     counter,
     result_q,
     stop_event,
     cancel_event,
-    assigned: Sequence[tuple[int, int]] | None = None,
-    skip: Sequence[int] = (),
+    kernel: tuple,
+    vals,
+    chunks: list[tuple[int, int]],
+    out,
+    skip: Sequence[int],
+    assigned: Sequence[tuple[int, int]] | None,
 ) -> None:
-    """Pool worker entry point (module-level: spawn-safe by construction).
+    """Claim and execute chunks for one call — the worker-side protocol.
+
+    Shared between cold one-shot workers and warm session workers.
+    ``uid`` is the worker's identity in every message; ``slot`` is its
+    static-stripe position for this call (equal to ``uid`` in a cold
+    pool).  Every message carries ``gen`` so the parent can discard
+    stragglers from earlier calls of a reused pool.
 
     Original pool members claim chunks per ``schedule``; replacement and
     hedge workers receive an explicit ``assigned`` list of
@@ -615,14 +782,7 @@ def _worker_main(
     is announced on ``result_q`` before the chunk runs, which is the
     ownership ledger the parent's recovery logic reads.
     """
-    try:
-        body, vals, chunks, policy, chaos_spec, reduce_op, label, trace_spec = (
-            pickle.loads(blob)
-        )
-    except BaseException as exc:  # pragma: no cover - probed parent-side
-        result_q.put(pickle.dumps(("fatal", wid, repr(exc))))
-        result_q.put(pickle.dumps(("done", wid)))
-        return
+    body, policy, chaos_spec, reduce_op, label, trace_spec = kernel
     injector = (
         ChaosInjector.from_spec(chaos_spec) if chaos_spec is not None else None
     )
@@ -631,7 +791,7 @@ def _worker_main(
         # worker-side collection, drained per chunk: span parity with the
         # thread backend travels the same road as the error ledger
         trace = TraceCollector.from_spec(trace_spec)
-        trace.worker_label = f"{label}-w{wid}@pid{os.getpid()}"
+        trace.worker_label = f"{label}-w{uid}@pid{os.getpid()}"
         if injector is not None:
             injector.trace = trace
 
@@ -648,7 +808,7 @@ def _worker_main(
             return next(handed, None)
     elif schedule == "static":
         stripe = iter(
-            k for k in range(wid, len(chunks), nworkers) if k not in skip_set
+            k for k in range(slot, len(chunks), nworkers) if k not in skip_set
         )
 
         def claim() -> tuple[int, int] | None:
@@ -659,95 +819,454 @@ def _worker_main(
         def claim() -> tuple[int, int] | None:
             while True:
                 with counter.get_lock():
-                    k = counter.value
+                    v = counter.value
+                    if (v >> _GEN_SHIFT) != gen:
+                        return None  # the pool moved on to a newer call
+                    k = v & _GEN_MASK
                     if k >= len(chunks):
                         return None
-                    counter.value += 1
+                    counter.value = v + 1
                 if k in skip_set:
                     continue
                 return (k, 1)
 
-    try:
-        while not should_stop():
-            claimed = claim()
-            if claimed is None:
-                break
-            k, attempt = claimed
-            # ownership ledger: announce the claim before running, so a
-            # death mid-chunk tells the parent exactly what to re-dispatch
-            result_q.put(pickle.dumps(("claim", wid, k, attempt)))
-            if injector is not None and injector.should_kill(
-                f"{label}#c{k}", attempt
-            ):
-                # Seeded chaos worker-kill.  Flush the queue feeder and
-                # release its shared write lock *before* dying: a SIGKILL
-                # that strands the lock would wedge every sibling.  (A
-                # real OOM kill can still do that; the parent's final
-                # sweep covers claims that never made it out.)
-                result_q.close()
-                result_q.join_thread()
-                os.kill(os.getpid(), signal.SIGKILL)
-            # one chaos stream per chunk: deterministic for a given chunk
-            # assignment regardless of which worker claims it
-            fn = (
-                injector.wrap(body, name=f"{label}#c{k}")
-                if injector is not None
-                else body
+    while not should_stop():
+        claimed = claim()
+        if claimed is None:
+            break
+        k, attempt = claimed
+        # ownership ledger: announce the claim before running, so a
+        # death mid-chunk tells the parent exactly what to re-dispatch
+        result_q.put(pickle.dumps(("claim", uid, k, attempt, gen)))
+        if injector is not None and injector.should_kill(
+            f"{label}#c{k}", attempt
+        ):
+            # Seeded chaos worker-kill.  Flush the queue feeder and
+            # release its shared write lock *before* dying: a SIGKILL
+            # that strands the lock would wedge every sibling.  (A
+            # real OOM kill can still do that; the parent's final
+            # sweep covers claims that never made it out.)
+            result_q.close()
+            result_q.join_thread()
+            os.kill(os.getpid(), signal.SIGKILL)
+        # one chaos stream per chunk: deterministic for a given chunk
+        # assignment regardless of which worker claims it
+        fn = (
+            injector.wrap(body, name=f"{label}#c{k}")
+            if injector is not None
+            else body
+        )
+        before = injector.stats() if injector is not None else None
+        if reduce_op is not None:
+            values, records, counters, failed = _run_reduce_chunk(
+                k, chunks[k], fn, vals, reduce_op,
+                trace=trace, stage=label,
             )
-            before = injector.stats() if injector is not None else None
-            if reduce_op is not None:
-                values, records, counters, failed = _run_reduce_chunk(
-                    k, chunks[k], fn, vals, reduce_op,
-                    trace=trace, stage=label,
-                )
-                aborted = False
-            else:
-                values, records, counters, failed, aborted = _run_map_chunk(
-                    k, chunks[k], fn, vals, policy, should_stop,
-                    trace=trace, stage=label,
-                )
-            if aborted:
-                break
-            delta = None
-            if injector is not None:
-                after = injector.stats()
-                delta = {key: after[key] - before[key] for key in after}
-            spans, spans_dropped = (
-                trace.drain() if trace is not None else (None, 0)
+            aborted = False
+        else:
+            values, records, counters, failed, aborted = _run_map_chunk(
+                k, chunks[k], fn, vals, policy, should_stop,
+                trace=trace, stage=label,
             )
+        if aborted:
+            break
+        delta = None
+        if injector is not None:
+            after = injector.stats()
+            delta = {key: after[key] - before[key] for key in after}
+        spans, spans_dropped = (
+            trace.drain() if trace is not None else (None, 0)
+        )
+        in_shm = False
+        if (
+            out is not None
+            and reduce_op is None
+            and not failed
+            and len(values) == chunks[k][1] - chunks[k][0]
+        ):
+            # per-chunk degradation: only a complete, uniformly numeric
+            # chunk takes the zero-copy road; anything else ships inline
+            in_shm = out.write(k, chunks[k][0], values)
+        chunk = ChunkResult(
+            k, [] if in_shm else values, records, counters, delta, failed,
+            spans, spans_dropped, in_shm,
+        )
+        try:
+            msg = pickle.dumps(("chunk", chunk, gen))
+        except Exception as exc:
             chunk = ChunkResult(
-                k, values, records, counters, delta, failed,
-                spans, spans_dropped,
+                k,
+                [],
+                [(
+                    chunks[k][0],
+                    RuntimeError(f"chunk result not picklable: {exc!r}"),
+                    1,
+                    "failed",
+                )],
+                counters,
+                delta,
+                True,
+                spans,
+                spans_dropped,
             )
-            try:
-                out = pickle.dumps(("chunk", chunk))
-            except Exception as exc:
-                chunk = ChunkResult(
-                    k,
-                    [],
-                    [(
-                        chunks[k][0],
-                        RuntimeError(f"chunk result not picklable: {exc!r}"),
-                        1,
-                        "failed",
-                    )],
-                    counters,
-                    delta,
-                    True,
-                    spans,
-                    spans_dropped,
-                )
-                out = pickle.dumps(("chunk", chunk))
-            result_q.put(out)
-            if chunk.failed:
-                stop_event.set()  # siblings stop claiming, like threads
-                break
+            msg = pickle.dumps(("chunk", chunk, gen))
+        result_q.put(msg)
+        if chunk.failed:
+            if gen == 0:
+                # cold pool: siblings stop claiming, like threads.  A warm
+                # pool leaves the stop event to the parent — a straggler
+                # setting it late could race the next call's clear.
+                stop_event.set()
+            break
+
+
+def _worker_main(
+    wid: int,
+    nworkers: int,
+    kernel_blob: bytes,
+    call_blob: bytes,
+    schedule: str,
+    counter,
+    result_q,
+    stop_event,
+    cancel_event,
+    assigned: Sequence[tuple[int, int]] | None = None,
+    skip: Sequence[int] = (),
+) -> None:
+    """Cold pool worker entry point (module-level: spawn-safe)."""
+    closers = []
+    try:
+        kernel = _load_kernel(kernel_blob)
+        input_spec, out_spec, chunks = pickle.loads(call_blob)
+        vals, close_in = _resolve_input(input_spec)
+        if close_in is not None:
+            closers.append(close_in)
+        out, close_out = _resolve_output(out_spec)
+        if close_out is not None:
+            closers.append(close_out)
+    except BaseException as exc:  # pragma: no cover - probed parent-side
+        result_q.put(pickle.dumps(("fatal", wid, repr(exc), 0)))
+        result_q.put(pickle.dumps(("done", wid, 0)))
+        return
+    try:
+        _serve_call(
+            wid, wid, 0, nworkers, schedule, counter, result_q,
+            stop_event, cancel_event, kernel, vals, chunks, out,
+            skip, assigned,
+        )
     finally:
-        result_q.put(pickle.dumps(("done", wid)))
+        for close in closers:
+            try:
+                close()
+            except Exception:
+                pass
+        result_q.put(pickle.dumps(("done", wid, 0)))
+
+
+def _session_worker_main(
+    uid: int,
+    task_q,
+    result_q,
+    counter,
+    stop_event,
+) -> None:
+    """Warm pool worker: serve calls from ``task_q`` until the sentinel.
+
+    Kernels are cached per digest, so a session re-running the same loop
+    unpickles (and, for shipped functions, re-marshals) the body exactly
+    once; later calls ship only the per-call delta.  A bad task is
+    answered with ``fatal`` + ``done`` and the worker stays available —
+    one poisoned call must not cost the pool a member.
+    """
+    kernels: dict[str, tuple] = {}
+    while True:
+        raw = task_q.get()
+        if raw is None:
+            break
+        gen = -1
+        closers = []
+        try:
+            (
+                gen, digest, kernel_blob, call_blob,
+                schedule, nworkers, slot, skip, assigned,
+            ) = pickle.loads(raw)
+            if kernel_blob is not None and digest not in kernels:
+                kernels[digest] = _load_kernel(kernel_blob)
+            kernel = kernels[digest]
+            input_spec, out_spec, chunks = pickle.loads(call_blob)
+            vals, close_in = _resolve_input(input_spec)
+            if close_in is not None:
+                closers.append(close_in)
+            out, close_out = _resolve_output(out_spec)
+            if close_out is not None:
+                closers.append(close_out)
+        except BaseException as exc:
+            result_q.put(pickle.dumps(("fatal", uid, repr(exc), gen)))
+            result_q.put(pickle.dumps(("done", uid, gen)))
+            continue
+        try:
+            _serve_call(
+                uid, slot, gen, nworkers, schedule, counter, result_q,
+                stop_event, None, kernel, vals, chunks, out,
+                skip, assigned,
+            )
+        finally:
+            for close in closers:
+                try:
+                    close()
+                except Exception:
+                    pass
+            result_q.put(pickle.dumps(("done", uid, gen)))
+
+
+class PoolSession:
+    """A warm process pool, reused across calls (the ``PoolReuse`` knob).
+
+    Cold pools pay a full spawn + kernel unpickle on every call.  A
+    session keeps its workers alive between calls: the claim counter,
+    result queue and stop event are created once (multiprocessing
+    primitives can only be inherited at spawn, never sent through a
+    queue) and reused with a per-call *generation* tag — every worker
+    message and every counter claim carries the generation, so
+    stragglers from an earlier call are filtered instead of corrupting
+    the next one.  Kernels ship once per distinct digest per worker;
+    later calls send only the per-call delta (input spec + chunks).
+
+    Sessions are single-caller: the collector takes :attr:`lock`
+    non-blocking and falls back to a cold pool when the session is busy.
+    Workers are never terminated mid-call — retirement is a sentinel on
+    the worker's own task queue, honoured when idle, so the shared
+    result queue's feeder lock can never be stranded by the pool itself.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.ctx = mp_context()
+        self.nworkers = max(1, int(workers))
+        self.counter = self.ctx.Value("Q", 0)
+        self.result_q = self.ctx.Queue()
+        self.stop_event = self.ctx.Event()
+        self.gen = 0
+        #: calls served (observability + the warm-vs-cold benchmark)
+        self.calls = 0
+        self.lock = threading.Lock()
+        self._members: dict[int, tuple[Any, Any]] = {}
+        self._known: dict[int, set[str]] = {}
+        self._retired: list[Any] = []
+        self._next_uid = 0
+        self._call: tuple | None = None
+
+    @property
+    def pids(self) -> list[int]:
+        return [p.pid for p, _q in self._members.values()]
+
+    def _spawn_member(self) -> tuple[int, Any]:
+        uid = self._next_uid
+        self._next_uid += 1
+        task_q = self.ctx.Queue()
+        p = self.ctx.Process(
+            target=_session_worker_main,
+            args=(
+                uid, task_q, self.result_q, self.counter, self.stop_event,
+            ),
+            daemon=True,
+            name=f"repro-warm-{uid}",
+        )
+        p.start()
+        self._members[uid] = (p, task_q)
+        self._known[uid] = set()
+        return uid, p
+
+    def _drop_member(self, uid: int, sentinel: bool) -> None:
+        member = self._members.pop(uid, None)
+        self._known.pop(uid, None)
+        if member is None:
+            return
+        p, q = member
+        if sentinel:
+            try:
+                q.put(None)
+            except Exception:  # pragma: no cover - queue already down
+                pass
+        q.close()
+        q.cancel_join_thread()
+        self._retired.append(p)
+
+    def _prune_dead(self) -> None:
+        for uid in [
+            u for u, (p, _q) in self._members.items() if not p.is_alive()
+        ]:
+            self._drop_member(uid, sentinel=False)
+
+    def begin_call(
+        self,
+        payload: "ProcessPayload",
+        *,
+        schedule: str,
+        skip: frozenset[int],
+    ) -> list[tuple[int, int, Any]]:
+        """Heal to strength, open a new generation, dispatch the call.
+
+        Returns the roster as ``(uid, slot, process)`` — ``slot`` is the
+        worker's static-stripe position for this call only.
+        """
+        self.gen = (self.gen + 1) & _GEN_MASK or 1
+        # anything still queued belongs to an earlier generation
+        while True:
+            try:
+                self.result_q.get_nowait()
+            except _queue.Empty:
+                break
+        self.stop_event.clear()
+        with self.counter.get_lock():
+            self.counter.value = self.gen << _GEN_SHIFT
+        self._prune_dead()
+        while len(self._members) < self.nworkers:
+            self._spawn_member()
+        self._call = (payload, schedule, tuple(sorted(skip)))
+        roster = []
+        for slot, uid in enumerate(sorted(self._members)[: self.nworkers]):
+            self._send_task(uid, slot=slot, assigned=None)
+            roster.append((uid, slot, self._members[uid][0]))
+        self.calls += 1
+        return roster
+
+    def _send_task(
+        self,
+        uid: int,
+        *,
+        slot: int,
+        assigned: list[tuple[int, int]] | None,
+    ) -> None:
+        payload, schedule, skip = self._call
+        known = self._known[uid]
+        msg = (
+            self.gen,
+            payload.digest,
+            None if payload.digest in known else payload.kernel_blob,
+            payload.call_blob,
+            schedule,
+            self.nworkers,
+            slot,
+            skip,
+            assigned,
+        )
+        known.add(payload.digest)
+        self._members[uid][1].put(
+            pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def spawn_assigned(
+        self, assigned: list[tuple[int, int]]
+    ) -> tuple[int, Any]:
+        """A replacement or hedge worker joining the current call."""
+        uid, p = self._spawn_member()
+        self._send_task(uid, slot=self.nworkers, assigned=list(assigned))
+        return uid, p
+
+    def note_dead(self, uid: int) -> None:
+        """The collector found a dead member; forget it."""
+        self._drop_member(uid, sentinel=False)
+
+    def end_call(self) -> None:
+        """Close the call: stop stragglers, retire beyond-strength extras."""
+        self.stop_event.set()
+        self._call = None
+        self._prune_dead()
+        for uid in sorted(self._members)[self.nworkers:]:
+            self._drop_member(uid, sentinel=True)
+
+    def shutdown(self) -> None:
+        for uid in list(self._members):
+            self._drop_member(uid, sentinel=True)
+        for p in self._retired:
+            p.join(timeout=1.0)
+        for p in self._retired:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=0.5)
+                if p.is_alive():
+                    p.kill()
+                    p.join(timeout=0.5)
+        self._retired.clear()
+        try:
+            while True:
+                self.result_q.get_nowait()
+        except (_queue.Empty, OSError, EOFError):
+            pass
+        self.result_q.close()
+        self.result_q.cancel_join_thread()
+
+
+#: warm pools by (start method, width); insertion order is LRU order
+_SESSIONS: dict[tuple[str, int], PoolSession] = {}
+_SESSIONS_LOCK = threading.Lock()
+
+#: distinct warm pools kept alive at once
+MAX_SESSIONS = 4
+
+
+def get_session(workers: int) -> PoolSession:
+    """The warm pool for this width, created on first use (LRU-bounded)."""
+    key = (start_method(), max(1, int(workers)))
+    evicted: list[PoolSession] = []
+    with _SESSIONS_LOCK:
+        session = _SESSIONS.pop(key, None)
+        if session is None:
+            session = PoolSession(key[1])
+        _SESSIONS[key] = session
+        while len(_SESSIONS) > MAX_SESSIONS:
+            victim = next(
+                (
+                    k for k, s in _SESSIONS.items()
+                    if k != key and not s.lock.locked()
+                ),
+                None,
+            )
+            if victim is None:
+                break
+            evicted.append(_SESSIONS.pop(victim))
+    for s in evicted:
+        s.shutdown()
+    return session
+
+
+def shutdown_sessions() -> None:
+    """Stop every warm pool (test teardown; registered at exit)."""
+    with _SESSIONS_LOCK:
+        sessions = list(_SESSIONS.values())
+        _SESSIONS.clear()
+    for s in sessions:
+        s.shutdown()
+
+
+atexit.register(shutdown_sessions)
+
+
+def _pool_wait(result_q, procs: Sequence[Any], timeout: float) -> None:
+    """Sleep until a result message or a worker death, bounded by timeout.
+
+    ``multiprocessing.connection.wait`` on the queue's reader pipe plus
+    the workers' sentinels replaces the old fixed 50 ms poll quantum:
+    per-event wakeup latency is the pipe write itself, without
+    busy-waiting, and a worker death wakes the collector immediately.
+    """
+    reader = getattr(result_q, "_reader", None)
+    if reader is None:  # pragma: no cover - unexpected queue internals
+        time.sleep(min(timeout, 0.02))
+        return
+    handles: list[Any] = [reader]
+    for p in procs:
+        sentinel = getattr(p, "sentinel", None)
+        if sentinel is not None:
+            handles.append(sentinel)
+    try:
+        _mpconn.wait(handles, timeout)
+    except OSError:  # pragma: no cover - a sentinel closed mid-wait
+        time.sleep(0.001)
 
 
 def run_process_chunks(
-    blob: bytes,
+    payload: "ProcessPayload | bytes",
     chunks: Sequence[tuple[int, int]] | int,
     *,
     workers: int,
@@ -760,6 +1279,8 @@ def run_process_chunks(
     trace: TraceCollector | None = None,
     label: str = "loop",
     checkpoint: Any = None,
+    reuse: bool = False,
+    out_values: Any = None,
 ) -> ProcessRun:
     """Execute a prepared payload on a process pool and collect chunks.
 
@@ -789,7 +1310,16 @@ def run_process_chunks(
     * Recovery decisions are returned as :attr:`ProcessRun.recovery` and
       mirrored as ``respawn``/``redispatch``/``hedge``/``checkpoint``
       spans on ``trace``.
+    * ``reuse`` serves the call from the warm :class:`PoolSession` for
+      this worker width (falling back to a cold pool when the session is
+      busy); ``out_values`` is the parent-side shared output region a
+      chunk flagged ``shm`` is materialized from at absorb time.
     """
+    if isinstance(payload, bytes):
+        kernel_blob, call_blob = pickle.loads(payload)
+        payload = ProcessPayload(
+            kernel_blob, call_blob, hashlib.sha1(kernel_blob).hexdigest()
+        )
     if isinstance(chunks, int):
         chunks = [(k, k + 1) for k in range(chunks)]
     bounds = list(chunks)
@@ -798,16 +1328,28 @@ def run_process_chunks(
     live_chunks = n_chunks - len(skip)
     if live_chunks <= 0:
         return ProcessRun(chunks={}, fatal=[], leaked=[])
-    ctx = mp_context()
     nworkers = max(1, min(workers, live_chunks))
-    counter = ctx.Value("i", 0)
-    result_q = ctx.Queue()
-    stop_event = ctx.Event()
-    cancel_event = (
-        cancel.shared_event
-        if isinstance(cancel, ProcessCancellationToken)
-        else None
-    )
+    session: PoolSession | None = None
+    if reuse:
+        candidate = get_session(nworkers)
+        if candidate.lock.acquire(blocking=False):
+            session = candidate  # released in the finally below
+    if session is not None:
+        ctx = session.ctx
+        counter = session.counter
+        result_q = session.result_q
+        stop_event = session.stop_event
+        cancel_event = None  # session workers predate the token: bridge
+    else:
+        ctx = mp_context()
+        counter = ctx.Value("Q", 0)
+        result_q = ctx.Queue()
+        stop_event = ctx.Event()
+        cancel_event = (
+            cancel.shared_event
+            if isinstance(cancel, ProcessCancellationToken)
+            else None
+        )
 
     delivered: dict[int, ChunkResult] = {}
     fatal: list[str] = []
@@ -826,20 +1368,27 @@ def run_process_chunks(
     hedges_used = 0
     failed_seen = False
 
+    gen = 0  # reassigned by begin_call for a warm session
+
     def spawn(assigned: list[tuple[int, int]] | None = None):
-        """Start one worker; uid doubles as the static-stripe wid."""
+        """Start one worker; in a cold pool, uid doubles as the
+        static-stripe slot."""
         nonlocal next_uid
-        uid = next_uid
-        next_uid += 1
-        p = ctx.Process(
-            target=_worker_main,
-            args=(
-                uid, nworkers, blob, schedule, counter, result_q,
-                stop_event, cancel_event, assigned, tuple(sorted(skip)),
-            ),
-            daemon=True,
-            name=f"repro-pool-{uid}",
-        )
+        if session is not None:
+            uid, p = session.spawn_assigned(assigned or [])
+        else:
+            uid = next_uid
+            next_uid += 1
+            p = ctx.Process(
+                target=_worker_main,
+                args=(
+                    uid, nworkers, payload.kernel_blob, payload.call_blob,
+                    schedule, counter, result_q, stop_event, cancel_event,
+                    assigned, tuple(sorted(skip)),
+                ),
+                daemon=True,
+                name=f"repro-pool-{uid}",
+            )
         procs[uid] = p
         if assigned is not None:
             for k, att in assigned:
@@ -852,15 +1401,31 @@ def run_process_chunks(
             for k in range(uid, n_chunks, nworkers):
                 if k not in skip:
                     inflight.setdefault(k, set()).add(uid)
-        p.start()
+        if session is None:
+            p.start()
         return uid, p
 
     def absorb(message: tuple) -> None:
         nonlocal failed_seen
+        if message[-1] != gen:
+            # a straggler from an earlier call of a reused pool: its
+            # claims, results and markers are all stale — drop whole
+            return
         tag = message[0]
         if tag == "chunk":
             chunk = message[1]
             k = chunk.index
+            if chunk.shm and k not in delivered and k not in skip:
+                # materialize from the shared region exactly once, while
+                # the region is still alive; the message itself carried
+                # no data
+                if out_values is None:
+                    raise RuntimeError(
+                        f"chunk {k} arrived on the shm transport but no "
+                        "output region is attached"
+                    )
+                chunk.values = out_values.read(k, *bounds[k])
+                chunk.shm = False
             inflight.pop(k, None)
             if k in delivered or k in skip:
                 # at-least-once dedup: a hedge loser or a redispatch
@@ -871,6 +1436,9 @@ def run_process_chunks(
             delivered[k] = chunk
             if chunk.failed:
                 failed_seen = True
+                # warm workers leave the stop event to the parent (a
+                # late straggler setting it could race the next call)
+                stop_event.set()
             t0 = claim_time.get(k)
             if t0 is not None:
                 latencies.append(time.monotonic() - t0)
@@ -880,7 +1448,7 @@ def run_process_chunks(
                 if trace is not None:
                     trace.instant("checkpoint", label, lo, chunk=k)
         elif tag == "claim":
-            _tag, uid, k, att = message
+            _tag, uid, k, att, _gen = message
             inflight.setdefault(k, set()).add(uid)
             claim_time[k] = time.monotonic()
             attempts[k] = max(attempts.get(k, 0), att)
@@ -920,6 +1488,8 @@ def run_process_chunks(
         nonlocal restarts_used
         p = procs[uid]
         dead_uids.add(uid)
+        if session is not None:
+            session.note_dead(uid)
         lost: list[int] = []
         for k in sorted(inflight):
             owners = inflight[k]
@@ -993,8 +1563,32 @@ def run_process_chunks(
                     attempt=att,
                 )
 
-    for _ in range(nworkers):
-        spawn()
+    try:
+        if session is not None:
+            roster = session.begin_call(payload, schedule=schedule, skip=skip)
+            gen = session.gen
+            for uid, slot, p in roster:
+                procs[uid] = p
+                if schedule == "static":
+                    for k in range(slot, n_chunks, nworkers):
+                        if k not in skip:
+                            inflight.setdefault(k, set()).add(uid)
+        else:
+            for _ in range(nworkers):
+                spawn()
+    except BaseException:
+        if session is not None:
+            session.lock.release()
+        raise
+
+    # Hedging and parent-side cancel bridging are the only reasons to
+    # wake without a pool event; otherwise the wait can stretch — every
+    # message and every worker death interrupts it.
+    poll = (
+        0.05
+        if hedge > 0.0 or (cancel is not None and cancel_event is None)
+        else 0.25
+    )
 
     try:
         while True:
@@ -1056,7 +1650,14 @@ def run_process_chunks(
                     continue
                 break
             try:
-                absorb(pickle.loads(result_q.get(timeout=0.05)))
+                absorb(pickle.loads(result_q.get_nowait()))
+                drain_nowait()
+                continue
+            except _queue.Empty:
+                pass
+            _pool_wait(result_q, [procs[uid] for uid in active], poll)
+            try:
+                absorb(pickle.loads(result_q.get_nowait()))
                 drain_nowait()
             except _queue.Empty:
                 suspects = [
@@ -1066,7 +1667,7 @@ def run_process_chunks(
                     # a just-exited worker's results and done-marker may
                     # still be in the pipe: give the feeder a beat, then
                     # drain before declaring anyone dead
-                    time.sleep(0.05)
+                    _pool_wait(result_q, (), 0.05)
                     drain_nowait()
                     for uid in suspects:
                         if uid in done_uids or uid in dead_uids:
@@ -1123,31 +1724,46 @@ def run_process_chunks(
                     )
     finally:
         stop_event.set()  # live workers stop claiming; hedge losers unwind
-        for p in procs.values():
-            p.join(timeout=1.0)
-        leaked = [p.name for p in procs.values() if p.is_alive()]
-        for p in procs.values():
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=0.5)
-                if p.is_alive():
-                    # SIGTERM can be blocked or ignored mid-syscall;
-                    # SIGKILL cannot — a straggler never leaks past the
-                    # pool
-                    p.kill()
-                    p.join(timeout=0.5)
-        # Queue teardown contract: drain everything the worker feeders
-        # already flushed *first* (late results are absorbed and deduped
-        # — close() must never discard wanted data), then close() our
-        # sender side, then cancel_join_thread() so interpreter exit can
-        # never block joining a feeder whose reader is gone.
+        # Drain everything the worker feeders already flushed (late
+        # results are absorbed and deduped — teardown must never discard
+        # wanted data).
         try:
             while True:
                 absorb(pickle.loads(result_q.get_nowait()))
         except (_queue.Empty, OSError, EOFError):
             pass
-        result_q.close()
-        result_q.cancel_join_thread()
+        if session is not None:
+            # warm pool: members stay alive for the next call; a busy
+            # straggler finishes its stale-generation chunk and idles
+            leaked = []
+            try:
+                session.end_call()
+            finally:
+                session.lock.release()
+        else:
+            for p in procs.values():
+                p.join(timeout=1.0)
+            leaked = [p.name for p in procs.values() if p.is_alive()]
+            for p in procs.values():
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=0.5)
+                    if p.is_alive():
+                        # SIGTERM can be blocked or ignored mid-syscall;
+                        # SIGKILL cannot — a straggler never leaks past
+                        # the pool
+                        p.kill()
+                        p.join(timeout=0.5)
+            # Queue teardown contract: drain first (above), then close()
+            # our sender side, then cancel_join_thread() so interpreter
+            # exit can never block joining a feeder whose reader is gone.
+            try:
+                while True:
+                    absorb(pickle.loads(result_q.get_nowait()))
+            except (_queue.Empty, OSError, EOFError):
+                pass
+            result_q.close()
+            result_q.cancel_join_thread()
     return ProcessRun(
         chunks=delivered, fatal=fatal, leaked=leaked, recovery=recovery
     )

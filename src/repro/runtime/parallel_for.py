@@ -40,6 +40,7 @@ from repro.runtime.backend import (
     TuningError,
     build_process_payload,
     downgrade,
+    downgrade_transport,
     normalize_backend,
     run_process_chunks,
 )
@@ -51,6 +52,7 @@ from repro.runtime.faults import (
     ErrorRecord,
     FaultPolicy,
 )
+from repro.runtime.shm import ShmInput, ShmOutput, normalize_transport
 from repro.runtime.trace import TraceCollector, resolve_collector
 
 SCHEDULES = ("static", "dynamic")
@@ -250,6 +252,8 @@ def parallel_for(
     hedge: float = 0.0,
     recovery: list[RecoveryEvent] | None = None,
     checkpoint: ChunkJournal | None = None,
+    transport: str = "pickle",
+    reuse: bool = False,
 ) -> list[Any]:
     """Apply ``body`` to every value; return results in input order.
 
@@ -280,8 +284,19 @@ def parallel_for(
     completed chunks are journaled as they are delivered (every backend)
     and a journal opened with ``ChunkJournal.resume`` skips its
     already-completed chunks.
+
+    Data plane (process backend only): ``transport="shm"``
+    (``Transport@loop``) places flat numeric inputs in a
+    :mod:`multiprocessing.shared_memory` block and collects fixed-width
+    results from a preallocated region instead of pickling data through
+    the result queue; non-qualifying data downgrades to the pickle
+    transport with a recorded :class:`BackendEvent`.  ``reuse=True``
+    (``PoolReuse@loop``) runs the call on a warm
+    :class:`~repro.runtime.backend.PoolSession` that keeps workers alive
+    across calls and ships each distinct kernel once.
     """
     _validate(workers, chunk_size, schedule)
+    plane = normalize_transport(transport)
     if not 0.0 <= hedge <= 1.0:
         raise TuningError(f"Hedge must be a quantile in [0, 1], got {hedge}")
     if restarts is None:
@@ -328,42 +343,64 @@ def parallel_for(
 
     if not go_serial and effective == "process":
         chunks = _chunks(n, chunk_size)
-        blob, reason = build_process_payload(
-            raw_body, vals, chunks, policy=policy, chaos=chaos,
-            label="loop", trace=trace,
-        )
-        if blob is None:
-            effective = downgrade(
-                "process", "thread", reason, events, trace=trace
+        shm_in = shm_out = None
+        input_spec = out_spec = None
+        if plane == "shm":
+            shm_in, why = ShmInput.build(vals)
+            if shm_in is None:
+                plane = downgrade_transport(why, events, trace=trace)
+            else:
+                shm_out = ShmOutput.build(n, len(chunks))
+                input_spec = ("shm", shm_in.spec())
+                out_spec = shm_out.spec()
+        try:
+            blob, reason = build_process_payload(
+                raw_body, vals, chunks, policy=policy, chaos=chaos,
+                label="loop", trace=trace,
+                input_spec=input_spec, out_spec=out_spec,
             )
-        else:
-            results: list[Any] = [None] * n
-            for k, done_vals in journal_done.items():
-                lo, _hi = chunks[k]
-                for offset, value in enumerate(done_vals):
-                    results[lo + offset] = value
-            if len(journal_skip) >= len(chunks):
+            if blob is None:
+                effective = downgrade(
+                    "process", "thread", reason, events, trace=trace
+                )
+            else:
+                results: list[Any] = [None] * n
+                for k, done_vals in journal_done.items():
+                    lo, _hi = chunks[k]
+                    for offset, value in enumerate(done_vals):
+                        results[lo + offset] = value
+                if len(journal_skip) >= len(chunks):
+                    return results
+                run = run_process_chunks(
+                    blob,
+                    chunks,
+                    workers=workers,
+                    schedule=schedule,
+                    cancel=cancel,
+                    max_restarts=restarts,
+                    hedge=hedge,
+                    completed=journal_skip,
+                    trace=trace,
+                    label="loop",
+                    checkpoint=checkpoint,
+                    reuse=reuse,
+                    out_values=shm_out,
+                )
+                if recovery is not None:
+                    recovery.extend(run.recovery)
+                _assemble_process_run(
+                    run, chunks, results, ledger, chaos, cancel,
+                    trace=trace, completed=journal_skip,
+                )
                 return results
-            run = run_process_chunks(
-                blob,
-                chunks,
-                workers=workers,
-                schedule=schedule,
-                cancel=cancel,
-                max_restarts=restarts,
-                hedge=hedge,
-                completed=journal_skip,
-                trace=trace,
-                label="loop",
-                checkpoint=checkpoint,
-            )
-            if recovery is not None:
-                recovery.extend(run.recovery)
-            _assemble_process_run(
-                run, chunks, results, ledger, chaos, cancel, trace=trace,
-                completed=journal_skip,
-            )
-            return results
+        finally:
+            # stragglers retired by the warm pool may still hold the
+            # mapped segments; POSIX keeps unlinked blocks alive until
+            # the last close, so disposing here is always safe
+            if shm_in is not None:
+                shm_in.dispose()
+            if shm_out is not None:
+                shm_out.dispose()
 
     if chaos is not None:
         if trace is not None:
@@ -483,6 +520,69 @@ def parallel_for(
     return results
 
 
+def _process_reduce(
+    blob,
+    chunks: list[tuple[int, int]],
+    op: Callable[[Any, Any], Any],
+    init: Any,
+    workers: int,
+    cancel: CancellationToken | None,
+    restarts: int,
+    hedge: float,
+    journal_done: dict[int, list[Any]],
+    journal_skip: frozenset[int],
+    trace: TraceCollector | None,
+    checkpoint: ChunkJournal | None,
+    recovery: list[RecoveryEvent] | None,
+    reuse: bool,
+) -> Any:
+    """The process-backend road of :func:`parallel_reduce`."""
+    partials: list[Any] = [None] * len(chunks)
+    for k in journal_done:
+        partials[k] = journal_done[k][0]
+    if len(journal_skip) < len(chunks):
+        run = run_process_chunks(
+            blob,
+            chunks,
+            workers=workers,
+            schedule="dynamic",
+            cancel=cancel,
+            max_restarts=restarts,
+            hedge=hedge,
+            completed=journal_skip,
+            trace=trace,
+            label="reduce",
+            checkpoint=checkpoint,
+            reuse=reuse,
+        )
+        if recovery is not None:
+            recovery.extend(run.recovery)
+        for k in sorted(run.chunks):
+            chunk = run.chunks[k]
+            if trace is not None and chunk.spans is not None:
+                trace.absorb(chunk.spans, chunk.spans_dropped)
+            if chunk.failed:
+                raise chunk.records[0][1]
+            partials[k] = chunk.values[0]
+        if cancel is not None and cancel.cancelled:
+            if trace is not None:
+                trace.instant(
+                    "cancel", "reduce", -1,
+                    reason=cancel.reason or "cancelled",
+                )
+            raise CancelledError(cancel.reason or "cancelled")
+        if run.fatal or run.missing(len(chunks), journal_skip):
+            raise RuntimeError(
+                "worker pool lost reduce partials: "
+                f"fatal={run.fatal} "
+                f"missing={run.missing(len(chunks), journal_skip)}"
+            )
+    acc = init
+    for p in partials:
+        acc = op(acc, p)
+    return acc
+
+
 def parallel_reduce(
     values: Iterable[Any],
     body: Callable[[Any], Any],
@@ -499,6 +599,8 @@ def parallel_reduce(
     hedge: float = 0.0,
     recovery: list[RecoveryEvent] | None = None,
     checkpoint: ChunkJournal | None = None,
+    transport: str = "pickle",
+    reuse: bool = False,
 ) -> Any:
     """Map ``body`` over values and fold with the associative ``op``.
 
@@ -517,8 +619,15 @@ def parallel_reduce(
     partial, so a resumed reduction re-folds only unfinished chunks — on
     the pooled backends; the sequential path has no chunk structure and
     ignores the journal.
+
+    ``transport`` / ``reuse`` mirror :func:`parallel_for` too, with one
+    asymmetry: a reduction's shared-memory road covers the *input* block
+    only.  Partials are single folded values shipped through the control
+    queue regardless — there is exactly one per chunk, so a fixed-width
+    output region would save nothing.
     """
     _validate(workers, chunk_size, "dynamic")
+    plane = normalize_transport(transport)
     if not 0.0 <= hedge <= 1.0:
         raise TuningError(f"Hedge must be a quantile in [0, 1], got {hedge}")
     if restarts < 0:
@@ -551,58 +660,35 @@ def parallel_reduce(
     journal_skip = frozenset(journal_done)
 
     if effective == "process":
-        blob, reason = build_process_payload(
-            body, vals, chunks, reduce_op=op, label="reduce", trace=trace
-        )
-        if blob is None:
-            effective = downgrade(
-                "process", "thread", reason, events,
-                trace=trace, stage="reduce",
-            )
-        else:
-            partials: list[Any] = [None] * len(chunks)
-            for k in journal_done:
-                partials[k] = journal_done[k][0]
-            if len(journal_skip) < len(chunks):
-                run = run_process_chunks(
-                    blob,
-                    chunks,
-                    workers=workers,
-                    schedule="dynamic",
-                    cancel=cancel,
-                    max_restarts=restarts,
-                    hedge=hedge,
-                    completed=journal_skip,
-                    trace=trace,
-                    label="reduce",
-                    checkpoint=checkpoint,
+        shm_in = None
+        input_spec = None
+        if plane == "shm":
+            shm_in, why = ShmInput.build(vals)
+            if shm_in is None:
+                plane = downgrade_transport(
+                    why, events, trace=trace, stage="reduce"
                 )
-                if recovery is not None:
-                    recovery.extend(run.recovery)
-                for k in sorted(run.chunks):
-                    chunk = run.chunks[k]
-                    if trace is not None and chunk.spans is not None:
-                        trace.absorb(chunk.spans, chunk.spans_dropped)
-                    if chunk.failed:
-                        raise chunk.records[0][1]
-                    partials[k] = chunk.values[0]
-                if cancel is not None and cancel.cancelled:
-                    if trace is not None:
-                        trace.instant(
-                            "cancel", "reduce", -1,
-                            reason=cancel.reason or "cancelled",
-                        )
-                    raise CancelledError(cancel.reason or "cancelled")
-                if run.fatal or run.missing(len(chunks), journal_skip):
-                    raise RuntimeError(
-                        "worker pool lost reduce partials: "
-                        f"fatal={run.fatal} "
-                        f"missing={run.missing(len(chunks), journal_skip)}"
-                    )
-            acc = init
-            for p in partials:
-                acc = op(acc, p)
-            return acc
+            else:
+                input_spec = ("shm", shm_in.spec())
+        try:
+            blob, reason = build_process_payload(
+                body, vals, chunks, reduce_op=op, label="reduce",
+                trace=trace, input_spec=input_spec,
+            )
+            if blob is None:
+                effective = downgrade(
+                    "process", "thread", reason, events,
+                    trace=trace, stage="reduce",
+                )
+            else:
+                return _process_reduce(
+                    blob, chunks, op, init, workers, cancel, restarts,
+                    hedge, journal_done, journal_skip, trace, checkpoint,
+                    recovery, reuse,
+                )
+        finally:
+            if shm_in is not None:
+                shm_in.dispose()
 
     partials = [None] * len(chunks)
     for k in journal_done:
@@ -714,4 +800,6 @@ def configured_parallel_for(
         hedge=float(config.get("Hedge@loop", 0.0) or 0.0),
         recovery=recovery,
         checkpoint=checkpoint,
+        transport=str(config.get("Transport@loop", "pickle")),
+        reuse=bool(config.get("PoolReuse@loop", False)),
     )

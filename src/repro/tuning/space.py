@@ -103,6 +103,45 @@ def with_backend_dimension(
     )
 
 
+def data_plane_dimensions(target: str = "loop") -> list[TuningParameter]:
+    """The process backend's data-plane knobs as search dimensions.
+
+    ``Transport@<target>`` picks how data crosses the process boundary
+    (``pickle`` vs zero-copy ``shm``) and ``PoolReuse@<target>`` whether
+    workers stay warm between calls — the same keys
+    ``configured_parallel_for`` honours.  Both degrade gracefully
+    (recorded downgrade, cold pool) so the tuner can explore them on any
+    workload; they only *win* on flat numeric data and repeated calls,
+    which is exactly what measuring discovers.
+    """
+    from repro.patterns.tuning import (
+        POOL_REUSE,
+        TRANSPORT,
+        TRANSPORT_DOMAIN,
+        BoolParameter,
+        ChoiceParameter,
+    )
+
+    return [
+        ChoiceParameter(
+            name=TRANSPORT,
+            target=target,
+            default="pickle",
+            choices=TRANSPORT_DOMAIN,
+        ),
+        BoolParameter(name=POOL_REUSE, target=target, default=False),
+    ]
+
+
+def with_data_plane_dimensions(
+    space: "ParameterSpace", target: str = "loop"
+) -> "ParameterSpace":
+    """A copy of ``space`` widened by the data-plane dimensions."""
+    return ParameterSpace(
+        parameters=list(space.parameters) + data_plane_dimensions(target)
+    )
+
+
 @dataclass
 class ParameterSpace:
     """An ordered space of tuning parameters with finite domains."""

@@ -342,6 +342,8 @@ class TestDoallPattern:
             "OnError@loop",
             "PoolRestarts@loop",
             "Hedge@loop",
+            "Transport@loop",
+            "PoolReuse@loop",
             "Trace@loop",
         }
         assert match.parameter("NumWorkers@loop").domain() == [1, 2, 3, 4]

@@ -1,0 +1,356 @@
+"""The zero-copy data plane: shm transport parity with pickle, strict
+qualification with recorded downgrades, warm pool reuse across calls,
+and respawn-then-reuse after a chaos worker kill under ``Transport=shm``.
+"""
+
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.runtime import (
+    BackendFallbackWarning,
+    FaultPolicy,
+    TuningError,
+    parallel_for,
+    parallel_reduce,
+    shutdown_sessions,
+)
+from repro.runtime.backend import _SESSIONS, get_session, ship_blob
+from repro.runtime.shm import (
+    ShmInput,
+    ShmInputView,
+    ShmOutput,
+    ShmOutputWriter,
+    _typed,
+    normalize_transport,
+)
+from repro.runtime.trace import TraceCollector
+
+
+def square(x):
+    return x * x
+
+
+def third(x):
+    return x / 3
+
+
+def shout(s):
+    return s.upper()
+
+
+def poison_13(x):
+    if x == 13:
+        raise ValueError("poison")
+    return x * x
+
+
+def kill_once(x, marker="", victim=7):
+    """SIGKILL the hosting worker the first time ``victim`` is seen."""
+    if x == victim:
+        path = pathlib.Path(marker)
+        if not path.exists():
+            path.write_text("died")
+            time.sleep(0.1)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_sessions():
+    """Every test starts and ends with no warm pools alive."""
+    shutdown_sessions()
+    yield
+    shutdown_sessions()
+
+
+# ---------------------------------------------------------------------------
+# qualification and the block primitives
+# ---------------------------------------------------------------------------
+
+class TestQualification:
+    def test_exact_int_and_float_qualify(self):
+        assert _typed([1, 2, 3])[0] == "q"
+        assert _typed([1.5, 2.5])[0] == "d"
+
+    @pytest.mark.parametrize(
+        "values, why",
+        [
+            ([], "empty"),
+            ([True, False], "not flat numeric"),  # bool is not int here
+            ([1, 2.0], "mixed"),
+            (["a", "b"], "not flat numeric"),
+            ([1, None], "mixed"),
+            ([2**63, 1], "64-bit"),
+        ],
+    )
+    def test_rejections_state_why(self, values, why):
+        typecode, _packed, reason = _typed(values)
+        assert typecode is None
+        assert why in reason
+
+    def test_input_round_trip(self):
+        for values in ([5, -7, 2**62], [0.25, -1.5, 3.75]):
+            block, reason = ShmInput.build(values)
+            assert reason is None
+            view = ShmInputView(block.spec())
+            assert [view[i] for i in range(len(view))] == values
+            view.close()
+            block.dispose()
+
+    def test_output_round_trip_and_tag_guard(self):
+        out = ShmOutput.build(6, 2)
+        writer = ShmOutputWriter(out.spec())
+        assert writer.write(0, 0, [1, 2, 3])
+        assert out.read(0, 0, 3) == [1, 2, 3]
+        # chunk 1 was never written: reading it is a protocol violation
+        with pytest.raises(RuntimeError, match="chunk 1"):
+            out.read(1, 3, 6)
+        # a non-numeric chunk is refused, leaving its tag empty
+        assert not writer.write(1, 3, ["x", "y", "z"])
+        with pytest.raises(RuntimeError):
+            out.read(1, 3, 6)
+        writer.close()
+        out.dispose()
+
+    def test_writes_are_idempotent(self):
+        out = ShmOutput.build(3, 1)
+        writer = ShmOutputWriter(out.spec())
+        for _ in range(2):  # hedge winner and loser write the same bytes
+            assert writer.write(0, 0, [4, 5, 6])
+        assert out.read(0, 0, 3) == [4, 5, 6]
+        writer.close()
+        out.dispose()
+
+    def test_normalize_transport(self):
+        assert normalize_transport("shm") == "shm"
+        with pytest.raises(TuningError, match="Transport"):
+            normalize_transport("carrier-pigeon")
+
+
+# ---------------------------------------------------------------------------
+# transport parity: shm and pickle must be observably identical
+# ---------------------------------------------------------------------------
+
+class TestTransportParity:
+    def run_one(self, transport, body=square, values=None, policy=None):
+        values = list(range(40)) if values is None else values
+        ledger, events, trace = [], [], TraceCollector()
+        out = parallel_for(
+            values, body,
+            workers=2, chunk_size=8, backend="process",
+            transport=transport, policy=policy,
+            ledger=ledger, events=events, trace=trace,
+        )
+        return out, ledger, events, trace
+
+    def test_values_ledger_and_spans_match(self):
+        got_p, ledger_p, events_p, trace_p = self.run_one("pickle")
+        got_s, ledger_s, events_s, trace_s = self.run_one("shm")
+        assert got_s == got_p == [v * v for v in range(40)]
+        assert ledger_s == ledger_p == []
+        assert events_s == events_p == []
+        # same span shapes: one execute span per element on both planes
+        kinds_p = sorted((s.kind, s.seq) for s in trace_p.spans())
+        kinds_s = sorted((s.kind, s.seq) for s in trace_s.spans())
+        assert kinds_s == kinds_p
+
+    def test_float_results_keep_their_type(self):
+        got, _ledger, events, _trace = self.run_one("shm", body=third)
+        assert got == [v / 3 for v in range(40)]
+        assert all(type(v) is float for v in got)
+        assert events == []
+
+    def test_fallback_chunk_degrades_inline_with_same_accounting(self):
+        # element 13 is poison; the policy substitutes None, making its
+        # chunk non-numeric — that chunk ships inline while its numeric
+        # siblings use the region, and the ledgers stay identical
+        policy = FaultPolicy(on_error="fallback")
+        got_p, ledger_p, _e, _t = self.run_one("pickle", poison_13,
+                                               policy=policy)
+        got_s, ledger_s, _e2, _t2 = self.run_one("shm", poison_13,
+                                                 policy=policy)
+        assert got_s == got_p
+        assert got_s[13] is None and got_s[12] == 144
+        assert [(r.seq, r.attempts) for r in ledger_s] == [
+            (r.seq, r.attempts) for r in ledger_p
+        ] == [(13, 1)]
+
+    def test_reduce_parity(self):
+        values = list(range(60))
+        import operator
+        totals = {
+            transport: parallel_reduce(
+                values, square, operator.add, 10,
+                workers=2, chunk_size=8, backend="process",
+                transport=transport,
+            )
+            for transport in ("pickle", "shm")
+        }
+        assert totals["shm"] == totals["pickle"]
+        assert totals["shm"] == 10 + sum(v * v for v in values)
+
+
+# ---------------------------------------------------------------------------
+# non-qualifying data: a recorded downgrade, never a crash
+# ---------------------------------------------------------------------------
+
+class TestTransportDowngrade:
+    def test_non_numeric_input_records_event_and_succeeds(self):
+        events = []
+        with pytest.warns(BackendFallbackWarning, match="transport downgrade"):
+            out = parallel_for(
+                ["ab", "cd", "ef", "gh"], shout,
+                workers=2, chunk_size=1, backend="process",
+                transport="shm", events=events,
+            )
+        assert out == ["AB", "CD", "EF", "GH"]
+        assert len(events) == 1
+        event = events[0].as_dict()
+        assert event["requested"] == "shm"
+        assert event["actual"] == "pickle"
+        assert "not flat numeric" in event["reason"]
+
+    def test_bool_input_downgrades(self):
+        events = []
+        with pytest.warns(BackendFallbackWarning):
+            out = parallel_for(
+                [True, False, True, False], square,
+                workers=2, chunk_size=1, backend="process",
+                transport="shm", events=events,
+            )
+        assert out == [1, 0, 1, 0]
+        assert len(events) == 1
+
+    def test_junk_transport_raises(self):
+        with pytest.raises(TuningError, match="Transport"):
+            parallel_for(
+                [1, 2, 3], square, workers=2, backend="process",
+                transport="smoke-signals",
+            )
+
+
+# ---------------------------------------------------------------------------
+# warm pool reuse
+# ---------------------------------------------------------------------------
+
+class TestWarmPool:
+    def test_workers_survive_across_calls(self):
+        values = list(range(30))
+        for _ in range(2):
+            out = parallel_for(
+                values, square, workers=2, chunk_size=5,
+                backend="process", reuse=True,
+            )
+            assert out == [v * v for v in values]
+        assert len(_SESSIONS) == 1
+        session = next(iter(_SESSIONS.values()))
+        assert session.calls == 2
+        first_pids = set(session.pids)
+        assert len(first_pids) == 2
+        # a third call reuses the exact same worker processes
+        parallel_for(values, square, workers=2, chunk_size=5,
+                     backend="process", reuse=True)
+        assert set(session.pids) == first_pids
+        assert session.calls == 3
+
+    def test_sessions_keyed_by_width(self):
+        values = list(range(12))
+        parallel_for(values, square, workers=2, chunk_size=3,
+                     backend="process", reuse=True)
+        parallel_for(values, square, workers=3, chunk_size=3,
+                     backend="process", reuse=True)
+        assert len(_SESSIONS) == 2
+
+    def test_distinct_kernels_share_one_session(self):
+        values = list(range(20))
+        assert parallel_for(values, square, workers=2, chunk_size=4,
+                            backend="process", reuse=True) == [
+            v * v for v in values
+        ]
+        assert parallel_for(values, third, workers=2, chunk_size=4,
+                            backend="process", reuse=True) == [
+            v / 3 for v in values
+        ]
+        session = next(iter(_SESSIONS.values()))
+        assert session.calls == 2
+
+    def test_ship_blob_caches_plain_callables(self):
+        # the picklability probe's bytes ARE the payload: no double
+        # serialization, and repeat ships are cache hits
+        first = ship_blob(square)
+        assert ship_blob(square) is first
+        # closures go by value and are rebuilt per call, never cached
+        def closure(x, k=[]):  # noqa: B006 - identity matters, not style
+            return x
+        assert ship_blob(closure) is not ship_blob(closure)
+
+
+# ---------------------------------------------------------------------------
+# recovery semantics are transport-independent
+# ---------------------------------------------------------------------------
+
+class TestRespawnUnderShm:
+    def test_chaos_kill_respawns_then_session_reuses(self, tmp_path):
+        import functools
+
+        marker = tmp_path / "died"
+        body = functools.partial(kill_once, marker=str(marker))
+        values = list(range(32))
+        recovery = []
+        out = parallel_for(
+            values, body,
+            workers=2, chunk_size=4, backend="process",
+            transport="shm", reuse=True,
+            restarts=2, recovery=recovery,
+        )
+        assert out == [v * v for v in values]
+        assert marker.exists()
+        kinds = [e.kind for e in recovery]
+        assert "respawn" in kinds and "redispatch" in kinds
+        # the healed warm pool keeps serving: the next call reuses it
+        session = next(iter(_SESSIONS.values()))
+        healed = set(session.pids)
+        out2 = parallel_for(
+            values, square, workers=2, chunk_size=4,
+            backend="process", transport="shm", reuse=True,
+        )
+        assert out2 == [v * v for v in values]
+        assert set(session.pids) == healed
+        assert session.calls == 2
+
+    def test_worker_loss_without_budget_still_fails(self, tmp_path):
+        import functools
+
+        from repro.runtime import WorkerLostError
+
+        marker = tmp_path / "died"
+        body = functools.partial(kill_once, marker=str(marker))
+        with pytest.raises(WorkerLostError):
+            parallel_for(
+                list(range(32)), body,
+                workers=2, chunk_size=4, backend="process",
+                transport="shm", restarts=0,
+            )
+
+
+# ---------------------------------------------------------------------------
+# the session registry
+# ---------------------------------------------------------------------------
+
+class TestSessionRegistry:
+    def test_get_session_is_lru_bounded(self):
+        from repro.runtime.backend import MAX_SESSIONS
+
+        for width in range(2, 2 + MAX_SESSIONS + 2):
+            get_session(width)
+        assert len(_SESSIONS) == MAX_SESSIONS
+
+    def test_shutdown_sessions_clears_everything(self):
+        get_session(2)
+        assert _SESSIONS
+        shutdown_sessions()
+        assert not _SESSIONS
