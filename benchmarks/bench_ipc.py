@@ -20,7 +20,6 @@ big enough to assert).  Also runnable standalone::
     PYTHONPATH=src python benchmarks/bench_ipc.py --smoke
 """
 
-import json
 import pathlib
 import sys
 import time
@@ -82,23 +81,41 @@ def ipc_sweep(n: int = 200_000, workers: int = 4, repeats: int = 3) -> dict:
         shutdown_sessions()
 
     cores = available_cores()
-    return {
-        "schema": "ipc_speedup/v1",
-        "cores_available": cores,
-        "gated": cores >= 4,
-        "workers": workers,
-        "n": n,
-        "transport": {
+    shm_speedup = round(pickle_s / shm_s, 3) if shm_s else 0.0
+    warm_ratio = round(warm_s / cold_s, 3) if cold_s else 0.0
+    from repro.benchresults import result_doc
+
+    return result_doc(
+        "ipc_speedup",
+        [
+            {
+                "label": "transport shm-vs-pickle",
+                "seconds": round(shm_s, 6),
+                "speedup": shm_speedup,
+                "note": f"pickle {round(pickle_s, 6)}s",
+            },
+            {
+                "label": "pool warm-vs-cold",
+                "seconds": round(warm_s, 6),
+                "ratio": warm_ratio,
+                "note": f"cold {round(cold_s, 6)}s",
+            },
+        ],
+        cores_available=cores,
+        gated=cores >= 4,
+        workers=workers,
+        n=n,
+        transport={
             "pickle_s": round(pickle_s, 6),
             "shm_s": round(shm_s, 6),
-            "shm_speedup": round(pickle_s / shm_s, 3) if shm_s else 0.0,
+            "shm_speedup": shm_speedup,
         },
-        "pool_reuse": {
+        pool_reuse={
             "cold_s": round(cold_s, 6),
             "warm_s": round(warm_s, 6),
-            "warm_ratio": round(warm_s / cold_s, 3) if cold_s else 0.0,
+            "warm_ratio": warm_ratio,
         },
-    }
+    )
 
 
 def render(payload: dict) -> str:
@@ -116,8 +133,9 @@ def render(payload: dict) -> str:
 
 
 def _write(payload: dict) -> None:
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    from repro.benchresults import write_result_doc
+
+    write_result_doc(RESULTS_PATH, payload)
 
 
 def _assert_gates(payload: dict) -> None:

@@ -10,16 +10,17 @@ benchmark functions.
 contract: with tracing *off* the supervised runtime must cost within 5%
 of an element loop with no trace branches at all, and the enabled factor
 is measured and persisted (``benchmarks/results/trace_overhead.json``).
+``test_metrics_overhead`` gates the metrics layer to the same contract
+(``benchmarks/results/metrics_overhead.json``).
 """
 
-import json
-import pathlib
 import time
 
-from conftest import RESULTS_DIR, once
+from conftest import RESULTS_DIR, once, result_doc, write_result_doc
 
 from repro.benchsuite import get_program
 from repro.evalq import measure_overhead
+from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.parallel_for import parallel_for
 from repro.runtime.trace import TraceCollector
 
@@ -65,7 +66,7 @@ def test_dynamic_analysis_overhead(benchmark, record):
 # span tracing: the disabled-overhead ceiling
 # ---------------------------------------------------------------------------
 
-_N = 4000
+_N = 20000
 _REPEATS = 9
 
 
@@ -90,61 +91,110 @@ def _baseline_loop(vals):
     return [element(v) for v in vals]
 
 
-def _best_of(fn, repeats=_REPEATS):
-    best = float("inf")
+def _best_of(fns, repeats=_REPEATS):
+    """Best-of wall clock per callable, rounds *interleaved* so clock
+    drift (CPU frequency scaling, noisy neighbours) biases every variant
+    alike instead of whichever happened to run last."""
+    best = [float("inf")] * len(fns)
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
     return best
 
 
 def _measure_tracing():
     vals = list(range(_N))
-    baseline = _best_of(lambda: _baseline_loop(vals))
-    disabled = _best_of(
-        lambda: parallel_for(vals, _work, sequential=True)
-    )
     collector = TraceCollector()
 
     def traced():
         collector.clear()
         parallel_for(vals, _work, sequential=True, trace=collector)
 
-    enabled = _best_of(traced)
-    return {
-        "elements": _N,
-        "repeats": _REPEATS,
-        "baseline_ms": baseline * 1e3,
-        "disabled_ms": disabled * 1e3,
-        "enabled_ms": enabled * 1e3,
-        "disabled_overhead_pct": (disabled / baseline - 1.0) * 100.0,
-        "enabled_overhead_pct": (enabled / baseline - 1.0) * 100.0,
-    }
+    baseline, disabled, enabled = _best_of([
+        lambda: _baseline_loop(vals),
+        lambda: parallel_for(vals, _work, sequential=True),
+        traced,
+    ])
+    return _overhead_doc("trace_overhead", baseline, disabled, enabled)
+
+
+def _overhead_doc(family, baseline, disabled, enabled):
+    """The uniform off-vs-on overhead document (schema-enveloped)."""
+    disabled_pct = (disabled / baseline - 1.0) * 100.0
+    enabled_pct = (enabled / baseline - 1.0) * 100.0
+    return result_doc(
+        family,
+        [
+            {"label": "disabled", "seconds": disabled,
+             "overhead": disabled_pct},
+            {"label": "enabled", "seconds": enabled,
+             "overhead": enabled_pct},
+        ],
+        elements=_N,
+        repeats=_REPEATS,
+        baseline_ms=baseline * 1e3,
+        disabled_ms=disabled * 1e3,
+        enabled_ms=enabled * 1e3,
+        disabled_overhead_pct=disabled_pct,
+        enabled_overhead_pct=enabled_pct,
+    )
+
+
+def _render_overhead(label, doc):
+    return "\n".join(
+        [
+            f"{'variant':<22} {'ms/run':>9} {'overhead':>9}",
+            f"{'baseline':<22} {doc['baseline_ms']:>9.3f} "
+            f"{'-':>9}",
+            f"{label + ' disabled':<22} {doc['disabled_ms']:>9.3f} "
+            f"{doc['disabled_overhead_pct']:>8.2f}%",
+            f"{label + ' enabled':<22} {doc['enabled_ms']:>9.3f} "
+            f"{doc['enabled_overhead_pct']:>8.2f}%",
+        ]
+    )
 
 
 def test_span_tracing_overhead(benchmark, record):
     doc = once(benchmark, _measure_tracing)
-    record(
-        "\n".join(
-            [
-                f"{'variant':<22} {'ms/run':>9} {'overhead':>9}",
-                f"{'no-trace baseline':<22} {doc['baseline_ms']:>9.3f} "
-                f"{'-':>9}",
-                f"{'tracing disabled':<22} {doc['disabled_ms']:>9.3f} "
-                f"{doc['disabled_overhead_pct']:>8.2f}%",
-                f"{'tracing enabled':<22} {doc['enabled_ms']:>9.3f} "
-                f"{doc['enabled_overhead_pct']:>8.2f}%",
-            ]
-        )
-    )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "trace_overhead.json").write_text(
-        json.dumps(doc, indent=2) + "\n"
-    )
+    record(_render_overhead("tracing", doc))
+    write_result_doc(RESULTS_DIR / "trace_overhead.json", doc)
 
     # the observability contract: off means free (within measurement noise)
     assert doc["disabled_overhead_pct"] < 5.0
     # enabled tracing costs something, but stays in the same order of
     # magnitude — a per-element span, not a profiler
+    assert doc["enabled_overhead_pct"] < 100.0
+
+
+# ---------------------------------------------------------------------------
+# metrics: the disabled-overhead ceiling (the Metrics@loop gate)
+# ---------------------------------------------------------------------------
+
+
+def _measure_metrics():
+    vals = list(range(_N))
+    registry = MetricsRegistry()
+
+    def counted():
+        parallel_for(vals, _work, sequential=True, metrics=registry)
+
+    baseline, disabled, enabled = _best_of([
+        lambda: _baseline_loop(vals),
+        lambda: parallel_for(vals, _work, sequential=True),
+        counted,
+    ])
+    return _overhead_doc("metrics_overhead", baseline, disabled, enabled)
+
+
+def test_metrics_overhead(benchmark, record):
+    doc = once(benchmark, _measure_metrics)
+    record(_render_overhead("metrics", doc))
+    write_result_doc(RESULTS_DIR / "metrics_overhead.json", doc)
+
+    # the metrics contract mirrors tracing: a disabled registry is one
+    # `is None` check per element, within noise of no metrics code at all
+    assert doc["disabled_overhead_pct"] < 5.0
+    # enabled metrics bump one counter per element — cheaper than spans
     assert doc["enabled_overhead_pct"] < 100.0

@@ -12,6 +12,15 @@ import pathlib
 
 import pytest
 
+# the schema-versioned JSON result contract, re-exported so benchmarks
+# write machine-readable results through one helper (and `repro bench
+# report` parses them through one reader); see repro.benchresults
+from repro.benchresults import (  # noqa: F401 - re-exported for benches
+    result_doc,
+    write_result_doc,
+    write_results_doc,
+)
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 

@@ -1,0 +1,172 @@
+"""Schema-versioned benchmark result documents.
+
+Every benchmark that persists machine-readable results
+(``benchmarks/results/*.json``) historically invented its own JSON
+shape, which made cross-benchmark tooling impossible: a consolidated
+trajectory table would have needed one parser per file.  This module is
+the single home for that contract:
+
+* :func:`result_doc` / :func:`write_result_doc` — build and persist a
+  document stamped ``{"schema": "<family>/v1", "results": [...]}`` where
+  every entry is a flat dict with a ``label`` and metric keys
+  (``seconds``, ``speedup``, ``overhead`` ...);
+* :func:`normalize` — lift the *legacy* shapes that predate the schema
+  (``backend_speedup/v1`` rows, ``ipc_speedup/v1`` nested sections, the
+  unversioned ``trace_overhead.json``) into the same ``results`` list,
+  so ``repro bench report`` renders old checked-in files and new ones
+  through one code path;
+* :func:`load_results` — parse a results directory, normalizing as it
+  goes and skipping files that are not result documents.
+
+Benchmarks import the writer through ``benchmarks/conftest.py``; the CLI
+(``repro bench report``) and :func:`repro.report.bench_report` consume
+the reader side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+#: bumped when the envelope (not a family's metric keys) changes shape
+SCHEMA_VERSION = 1
+
+
+def schema_tag(family: str) -> str:
+    return f"{family}/v{SCHEMA_VERSION}"
+
+
+def result_doc(
+    family: str,
+    results: Iterable[dict[str, Any]],
+    **meta: Any,
+) -> dict[str, Any]:
+    """The canonical result document: schema tag, metadata, flat rows."""
+    doc: dict[str, Any] = {"schema": schema_tag(family)}
+    doc.update(meta)
+    doc["results"] = [dict(r) for r in results]
+    return doc
+
+
+def write_result_doc(path: str | Path, doc: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def write_results_doc(
+    path: str | Path,
+    family: str,
+    results: Iterable[dict[str, Any]],
+    **meta: Any,
+) -> Path:
+    """Build and persist in one call (what the benchmarks use)."""
+    return write_result_doc(path, result_doc(family, results, **meta))
+
+
+# ---------------------------------------------------------------------------
+# the reader side: legacy shapes lifted into the uniform envelope
+# ---------------------------------------------------------------------------
+def _from_rows(doc: dict[str, Any]) -> list[dict[str, Any]]:
+    """``backend_speedup/v1``: one entry per (kernel, backend) row."""
+    out = []
+    for row in doc.get("rows", []):
+        entry: dict[str, Any] = {
+            "label": f"{row.get('kernel', '?')}/{row.get('backend', '?')}",
+        }
+        seconds = row.get("elapsed_s", row.get("elapsed"))
+        if seconds is not None:
+            entry["seconds"] = seconds
+        speedup = row.get("speedup_vs_serial", row.get("speedup"))
+        if speedup is not None:
+            entry["speedup"] = speedup
+        if row.get("downgraded"):
+            entry["note"] = "downgraded to thread"
+        out.append(entry)
+    return out
+
+
+def _from_ipc(doc: dict[str, Any]) -> list[dict[str, Any]]:
+    """``ipc_speedup/v1``: its two nested sections become two entries."""
+    out = []
+    t = doc.get("transport") or {}
+    if t:
+        out.append({
+            "label": "transport shm-vs-pickle",
+            "seconds": t.get("shm_s", 0.0),
+            "speedup": t.get("shm_speedup", 0.0),
+            "note": f"pickle {t.get('pickle_s', 0.0)}s",
+        })
+    p = doc.get("pool_reuse") or {}
+    if p:
+        out.append({
+            "label": "pool warm-vs-cold",
+            "seconds": p.get("warm_s", 0.0),
+            "ratio": p.get("warm_ratio", 0.0),
+            "note": f"cold {p.get('cold_s', 0.0)}s",
+        })
+    return out
+
+
+def _from_overhead(doc: dict[str, Any]) -> list[dict[str, Any]]:
+    """The flat (historically unversioned) overhead documents."""
+    out = []
+    for key, label in (
+        ("disabled", "disabled"),
+        ("enabled", "enabled"),
+    ):
+        ms = doc.get(f"{key}_ms")
+        pct = doc.get(f"{key}_overhead_pct")
+        if ms is None and pct is None:
+            continue
+        entry: dict[str, Any] = {"label": label}
+        if ms is not None:
+            entry["seconds"] = ms / 1e3
+        if pct is not None:
+            entry["overhead"] = pct
+        out.append(entry)
+    return out
+
+
+def normalize(doc: dict[str, Any], name: str = "") -> dict[str, Any] | None:
+    """A result document in the canonical envelope, or None if ``doc``
+    is not recognizably a benchmark result."""
+    if not isinstance(doc, dict):
+        return None
+    if isinstance(doc.get("results"), list):
+        return doc
+    schema = str(doc.get("schema", ""))
+    if doc.get("rows") is not None:
+        results = _from_rows(doc)
+    elif "transport" in doc or "pool_reuse" in doc:
+        results = _from_ipc(doc)
+    elif "disabled_overhead_pct" in doc or "enabled_overhead_pct" in doc:
+        results = _from_overhead(doc)
+        if not schema:
+            schema = schema_tag(name or "overhead")
+    else:
+        return None
+    out = dict(doc)
+    out["schema"] = schema or schema_tag(name or "unversioned")
+    out["results"] = results
+    return out
+
+
+def load_results(directory: str | Path) -> list[dict[str, Any]]:
+    """Every parseable result document under ``directory``, normalized."""
+    directory = Path(directory)
+    docs: list[dict[str, Any]] = []
+    if not directory.is_dir():
+        return docs
+    for path in sorted(directory.glob("*.json")):
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        doc = normalize(raw, name=os.path.splitext(path.name)[0])
+        if doc is not None:
+            docs.append(doc)
+    return docs

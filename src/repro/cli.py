@@ -19,8 +19,13 @@ its workflows are not; each subcommand is one of them:
   trace-event export (Perfetto), optional seeded chaos.
 * ``run``       — execute one CPU-bound kernel on the resilient runtime:
   crash recovery (``--restarts``), checkpoint/resume (``--checkpoint`` /
-  ``--resume``), straggler hedging (``--hedge``) and seeded chaos worker
-  kills (``--chaos --chaos-kill-rate``).
+  ``--resume``), straggler hedging (``--hedge``), seeded chaos worker
+  kills (``--chaos --chaos-kill-rate``), run-wide metrics
+  (``--metrics`` / ``--metrics-out``) and a live dashboard (``--live``).
+* ``metrics``   — render a metrics snapshot written by
+  ``run --metrics-out`` (human report or ``--openmetrics`` text).
+* ``bench``     — benchmark results tooling: ``bench report``
+  consolidates ``benchmarks/results/*.json`` into one trajectory table.
 * ``calibrate`` — run a cost-model workload for real under tracing, fit
   an empirical (quantile-sampled) cost model from the measured per-stage
   latency distributions, write it as a reusable calibration JSON, and
@@ -459,7 +464,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.export_json:
         path = pathlib.Path(args.export_json)
         path.parent.mkdir(parents=True, exist_ok=True)
-        write_chrome_trace(path, collector.spans(), label=args.benchmark)
+        write_chrome_trace(
+            path, collector.spans(), label=args.benchmark,
+            anchor=collector.anchor,
+        )
         print(f"\nChrome trace written to {path} "
               f"(load in Perfetto or chrome://tracing)")
     return 0
@@ -479,12 +487,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     ``--hedge`` speculatively re-dispatches stragglers, and ``--chaos``
     with ``--chaos-kill-rate`` SIGKILLs seeded workers to exercise the
     recovery path on purpose.
+
+    The observability workflow rides the same command: ``--metrics``
+    collects run-wide counters (merged from the workers over the chunk
+    result road), ``--metrics-out`` persists them (JSON snapshot, or
+    OpenMetrics text for ``.txt``/``.prom`` paths), ``--live`` renders a
+    one-line TTY dashboard while the run is in flight, and whenever
+    metrics and a checkpoint are both active a flight recorder keeps a
+    crash-surviving snapshot ring beside the journal — which ``--resume``
+    reports before continuing.
     """
     import time
 
     from repro.evalq.realexec import default_kernels
-    from repro.report import fault_report
+    from repro.report import fault_report, metrics_report
     from repro.runtime import ChaosInjector, ChunkJournal, FaultPolicy, parallel_for
+    from repro.runtime.flight import FlightRecorder, describe_last, flight_path
+    from repro.runtime.metrics import MetricsRegistry, to_openmetrics
 
     kernels = {k.name: k for k in default_kernels(args.scale)}
     kernel = kernels[args.kernel]
@@ -493,9 +512,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     journal = None
     if args.resume:
+        note = describe_last(flight_path(args.resume))
+        if note:
+            print(note)
         journal = ChunkJournal.resume(args.resume)
     elif args.checkpoint:
         journal = ChunkJournal.create(args.checkpoint)
+
+    metrics = None
+    if args.metrics or args.metrics_out or args.live:
+        metrics = MetricsRegistry()
 
     injector = None
     policy = None
@@ -510,6 +536,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             # then record the failure instead of raising (worker kills
             # need no policy — the respawn budget handles those)
             policy = FaultPolicy(retries=1, on_error="skip")
+
+    recorder = None
+    if metrics is not None and journal is not None:
+        recorder = FlightRecorder(metrics, flight_path(journal.path)).start()
+    dashboard = None
+    if args.live and metrics is not None:
+        from repro.runtime.dashboard import LiveDashboard
+
+        nchunks = (len(values) + chunk_size - 1) // chunk_size
+        dashboard = LiveDashboard(
+            metrics, total_chunks=nchunks, label=kernel.name
+        ).start()
 
     ledger: list = []
     events: list = []
@@ -535,10 +573,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             checkpoint=journal,
             transport=args.transport,
             reuse=args.reuse,
+            metrics=metrics,
         )
     except Exception as exc:  # noqa: BLE001 - report, don't traceback
         error = exc
     finally:
+        if dashboard is not None:
+            dashboard.stop()
+        if recorder is not None:
+            recorder.stop()
         if journal is not None:
             journal.close()
     elapsed = time.monotonic() - started
@@ -586,6 +629,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     print()
     print(fault_report(stats))
+    if metrics is not None:
+        print()
+        print(metrics_report(metrics.snapshot()))
+    if args.metrics_out:
+        out = pathlib.Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        if out.suffix in (".txt", ".prom", ".om"):
+            out.write_text(to_openmetrics(metrics.snapshot()))
+        else:
+            out.write_text(json.dumps(metrics.snapshot(), indent=2) + "\n")
+        print(f"\nmetrics written to {out}")
     verified = True
     if args.verify and error is None:
         if failed:
@@ -599,6 +653,47 @@ def cmd_run(args: argparse.Namespace) -> int:
                 + ("OK" if verified else "MISMATCH")
             )
     return 0 if accounted and verified else 1
+
+
+# ---------------------------------------------------------------------------
+# metrics / bench
+# ---------------------------------------------------------------------------
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a persisted metrics snapshot (``repro run --metrics-out``).
+
+    Default output is the human report; ``--openmetrics`` re-exports the
+    snapshot as OpenMetrics v1 text instead — the snapshot and the text
+    exposition are two views of the same registry, so the round trip is
+    lossless for counters and gauges.
+    """
+    from repro.report import metrics_report
+    from repro.runtime.metrics import to_openmetrics
+
+    try:
+        snap = json.loads(pathlib.Path(args.snapshot).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read snapshot {args.snapshot}: {exc}", file=sys.stderr)
+        return 1
+    if args.openmetrics:
+        print(to_openmetrics(snap), end="")
+    else:
+        print(metrics_report(snap))
+    return 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Consolidate ``benchmarks/results/*.json`` into one table."""
+    from repro.benchresults import load_results
+    from repro.report import bench_report
+
+    docs = load_results(args.dir)
+    if not docs:
+        print(f"no benchmark results found under {args.dir}",
+              file=sys.stderr)
+        return 1
+    print(bench_report(docs))
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -817,7 +912,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "(process backend)")
     p.add_argument("--verify", action="store_true",
                    help="compare the combined result against a serial rerun")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect run-wide metrics (Metrics) and print the "
+                        "metric report")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="persist the metrics (implies --metrics): JSON "
+                        "snapshot, or OpenMetrics text for .txt/.prom paths")
+    p.add_argument("--live", action="store_true",
+                   help="render a live one-line dashboard while the run "
+                        "is in flight (implies --metrics)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot written by `run --metrics-out`",
+    )
+    p.add_argument("snapshot", help="metrics snapshot JSON file")
+    p.add_argument("--openmetrics", action="store_true",
+                   help="emit OpenMetrics v1 text instead of the report")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark results tooling (`bench report`)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "report",
+        help="consolidate benchmarks/results/*.json into one table",
+    )
+    p.add_argument("--dir", default="benchmarks/results",
+                   help="results directory to consolidate")
+    p.set_defaults(func=cmd_bench_report)
 
     p = sub.add_parser(
         "backends",

@@ -244,24 +244,40 @@ def render_table(rows: Sequence[SweepRow]) -> str:
 def sweep_payload(
     rows: Sequence[SweepRow], workers: int, scale: float
 ) -> dict[str, Any]:
-    """The JSON document the bench results file stores."""
-    return {
-        "schema": "backend_speedup/v1",
-        "workers": workers,
-        "scale": scale,
-        "cores_available": available_cores(),
-        "gil_note": (
+    """The JSON document the bench results file stores.
+
+    Keeps the historical ``rows`` key (per-measurement detail) and adds
+    the schema-envelope ``results`` list (see
+    :mod:`repro.benchresults`) so ``repro bench report`` parses this
+    family through the same reader as every other benchmark.
+    """
+    from repro.benchresults import result_doc
+
+    return result_doc(
+        "backend_speedup",
+        [
+            {
+                "label": f"{r.kernel}/{r.backend}",
+                "seconds": r.elapsed,
+                "speedup": r.speedup,
+                **({"note": "downgraded to thread"} if r.downgraded else {}),
+            }
+            for r in rows
+        ],
+        workers=workers,
+        scale=scale,
+        cores_available=available_cores(),
+        gil_note=(
             "thread backend cannot speed up CPU-bound bodies under "
             "CPython; process backend uses real cores"
         ),
-        "rows": [r.as_dict() for r in rows],
-    }
+        rows=[r.as_dict() for r in rows],
+    )
 
 
 def write_results(
     rows: Sequence[SweepRow], path: str, workers: int, scale: float
 ) -> None:
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(sweep_payload(rows, workers, scale), fh, indent=2)
-        fh.write("\n")
+    from repro.benchresults import write_result_doc
+
+    write_result_doc(path, sweep_payload(rows, workers, scale))

@@ -41,6 +41,7 @@ from repro.patterns.tuning import (
     POOL_REUSE,
     RETRIES,
     RETRIES_DOMAIN,
+    METRICS,
     SCHEDULE,
     SEQUENTIAL_EXECUTION,
     TRACE,
@@ -220,6 +221,14 @@ class DoallPattern(SourcePattern):
             # the tuner's measure phase and `repro trace` turn it on)
             BoolParameter(
                 name=TRACE,
+                target="loop",
+                default=False,
+                location=loc,
+            ),
+            # observability: counter/gauge/histogram collection (off by
+            # default; `repro run --metrics-out` / `--live` turn it on)
+            BoolParameter(
+                name=METRICS,
                 target="loop",
                 default=False,
                 location=loc,

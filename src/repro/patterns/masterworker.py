@@ -22,6 +22,7 @@ from repro.patterns.base import PatternMatch, SourcePattern, stage_names
 from repro.patterns.tuning import (
     BACKEND,
     BACKEND_DOMAIN,
+    METRICS,
     NUM_WORKERS,
     SEQUENTIAL_EXECUTION,
     TRACE,
@@ -151,6 +152,12 @@ class MasterWorkerPattern(SourcePattern):
                 default=False,
                 location=loc,
             ),
+            BoolParameter(
+                name=METRICS,
+                target="workers",
+                default=False,
+                location=loc,
+            ),
         ]
         return PatternMatch(
             pattern=self.name,
@@ -223,6 +230,12 @@ def match_region(
             ),
             BoolParameter(
                 name=TRACE,
+                target="workers",
+                default=False,
+                location=loc,
+            ),
+            BoolParameter(
+                name=METRICS,
                 target="workers",
                 default=False,
                 location=loc,

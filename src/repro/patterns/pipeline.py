@@ -46,6 +46,7 @@ from repro.patterns.tuning import (
     SEQUENTIAL_EXECUTION,
     STAGE_FUSION,
     STAGE_REPLICATION,
+    METRICS,
     STALL_TIMEOUT,
     STALL_TIMEOUT_DOMAIN,
     TRACE,
@@ -476,6 +477,16 @@ class PipelinePattern(SourcePattern):
         params.append(
             BoolParameter(
                 name=TRACE,
+                target="pipeline",
+                default=False,
+                location=loc,
+            )
+        )
+        # observability: counter/gauge/histogram collection (off by
+        # default; `repro run --metrics-out` / `--live` turn it on)
+        params.append(
+            BoolParameter(
+                name=METRICS,
                 target="pipeline",
                 default=False,
                 location=loc,

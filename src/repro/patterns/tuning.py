@@ -176,6 +176,11 @@ STALL_TIMEOUT_DOMAIN = (0.0, 1.0, 5.0, 30.0, 120.0)
 # instead of tuning blind between whole-run wall clocks.
 TRACE = "Trace"
 
+# Observability: counter/gauge/histogram collection
+# (repro.runtime.metrics).  Off by default like Trace; `repro run
+# --metrics-out` and the live dashboard turn it on.
+METRICS = "Metrics"
+
 # Resilience knobs (crash recovery; see repro.runtime.backend).
 # PoolRestarts bounds how many dead process-pool workers a run may
 # respawn (0 = historical fail-on-loss); Hedge is the latency quantile

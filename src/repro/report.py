@@ -285,15 +285,20 @@ def trace_report(stats_or_summary: dict) -> str:
         f"wall {summary.get('wall', 0.0) * 1000:.1f}ms"
     )
     stages = summary.get("stages", {})
+    # .get() throughout: a summary JSON written by an older runtime
+    # simply lacks newer keys, and a report must render it, not KeyError
     for name in sorted(stages):
         st = stages[name]
         lines.append(
             f"  {name}:"
         )
         lines.append(
-            f"    elements {st['count']}, retries {st['retries']}, "
-            f"timeouts {st['timeouts']}, errors {st['errors']}, "
-            f"chaos {st['chaos']}, cancelled {st['cancelled']}"
+            f"    elements {st.get('count', 0)}, "
+            f"retries {st.get('retries', 0)}, "
+            f"timeouts {st.get('timeouts', 0)}, "
+            f"errors {st.get('errors', 0)}, "
+            f"chaos {st.get('chaos', 0)}, "
+            f"cancelled {st.get('cancelled', 0)}"
         )
         if any(
             st.get(key)
@@ -306,15 +311,15 @@ def trace_report(stats_or_summary: dict) -> str:
                 f"checkpoints {st.get('checkpoints', 0)}"
             )
         lines.append(
-            f"    execute  mean {st['execute_mean'] * 1000:.3f}ms  "
-            f"p50 {st['execute_p50'] * 1000:.3f}ms  "
-            f"p95 {st['execute_p95'] * 1000:.3f}ms  "
-            f"max {st['execute_max'] * 1000:.3f}ms"
+            f"    execute  mean {st.get('execute_mean', 0.0) * 1000:.3f}ms  "
+            f"p50 {st.get('execute_p50', 0.0) * 1000:.3f}ms  "
+            f"p95 {st.get('execute_p95', 0.0) * 1000:.3f}ms  "
+            f"max {st.get('execute_max', 0.0) * 1000:.3f}ms"
         )
-        bar = "#" * max(0, round(st["utilization"] * 20))
+        bar = "#" * max(0, round(st.get("utilization", 0.0) * 20))
         lines.append(
-            f"    busy     {st['execute_total'] * 1000:.1f}ms "
-            f"({st['utilization'] * 100:.0f}% of wall) |{bar:<20}|"
+            f"    busy     {st.get('execute_total', 0.0) * 1000:.1f}ms "
+            f"({st.get('utilization', 0.0) * 100:.0f}% of wall) |{bar:<20}|"
         )
         if st.get("queue_wait") or st.get("backoff"):
             lines.append(
@@ -332,6 +337,111 @@ def trace_report(stats_or_summary: dict) -> str:
         stage, share = hot
         lines.append(
             f"  bottleneck : {stage!r} ({share * 100:.0f}% of execute time)"
+        )
+    return "\n".join(lines)
+
+
+def metrics_report(stats_or_snapshot: dict) -> str:
+    """A run's metric families, rendered.
+
+    Accepts either ``Pipeline.stats`` (reads its ``"metrics"`` key) or a
+    bare :meth:`~repro.runtime.metrics.MetricsRegistry.snapshot` dict.
+    Counters and gauges print one line per label set; histograms print
+    their count/sum and the populated buckets.
+    """
+    snap = stats_or_snapshot
+    if isinstance(snap.get("metrics"), dict):
+        # Pipeline.stats nests the whole snapshot under "metrics"; a bare
+        # snapshot's own "metrics" key is the family *list*
+        snap = snap["metrics"]
+    families = snap.get("metrics")
+    if not isinstance(families, list) or not families:
+        return "metrics report\n  (metrics were not enabled for this run)"
+    lines = ["metrics report"]
+    for family in families:
+        name = family.get("name", "?")
+        kind = family.get("kind", "?")
+        help_ = family.get("help") or ""
+        suffix = f"  ({help_})" if help_ else ""
+        lines.append(f"  {name} [{kind}]{suffix}")
+        for series in family.get("series", []):
+            labels = series.get("labels") or {}
+            key = (
+                "{" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+                if labels
+                else ""
+            )
+            if kind == "histogram":
+                count = series.get("count", 0)
+                total = series.get("sum", 0.0)
+                lines.append(
+                    f"    {key or 'all'}: count {count}, sum {total:.6g}"
+                )
+                edges = series.get("edges") or []
+                buckets = series.get("buckets") or []
+                for edge, n in zip(list(edges) + ["+Inf"], buckets):
+                    if n:
+                        lines.append(f"      le {edge}: {n}")
+            else:
+                value = series.get("value", 0)
+                lines.append(f"    {key or 'value'}: {value:g}")
+    return "\n".join(lines)
+
+
+def bench_report(results: list[dict]) -> str:
+    """One trajectory table over benchmark result documents.
+
+    Takes the parsed ``benchmarks/results/*.json`` docs (each carrying a
+    ``schema`` tag; see :mod:`repro.benchresults`) and renders one
+    row per recorded measurement, so the performance trajectory across
+    benchmark families reads in a single table.
+    """
+    rows: list[tuple[str, str, str, str]] = []
+    for doc in sorted(results, key=lambda d: str(d.get("schema", ""))):
+        schema = str(doc.get("schema", "unversioned"))
+        family = schema.split("/", 1)[0]
+        for entry in doc.get("results", []):
+            label = str(
+                entry.get("label")
+                or entry.get("name")
+                or entry.get("case")
+                or "?"
+            )
+            metric_parts = []
+            for key in (
+                "speedup", "ratio", "overhead", "seconds", "ops_per_s",
+                "bytes", "p50", "p95",
+            ):
+                if key in entry:
+                    value = entry[key]
+                    metric_parts.append(
+                        f"{key} {value:.4g}"
+                        if isinstance(value, float)
+                        else f"{key} {value}"
+                    )
+            note = str(entry.get("note") or "")
+            rows.append(
+                (family, label, ", ".join(metric_parts) or "-", note)
+            )
+    if not rows:
+        return "bench report\n  (no benchmark results found)"
+    w_family = max(len(r[0]) for r in rows + [("family",) * 4])
+    w_label = max(len(r[1]) for r in rows + [("case",) * 4])
+    w_metric = max(len(r[2]) for r in rows + [("metrics",) * 4])
+    lines = ["bench report"]
+    lines.append(
+        f"  {'family':<{w_family}}  {'case':<{w_label}}  "
+        f"{'metrics':<{w_metric}}  note"
+    )
+    lines.append(
+        f"  {'-' * w_family}  {'-' * w_label}  {'-' * w_metric}  ----"
+    )
+    for family, label, metric, note in rows:
+        lines.append(
+            f"  {family:<{w_family}}  {label:<{w_label}}  "
+            f"{metric:<{w_metric}}  {note}"
         )
     return "\n".join(lines)
 

@@ -51,6 +51,20 @@ from repro.runtime.parallel_for import (
     configured_parallel_for,
 )
 from repro.runtime.futures import AutoFuture, spawn, join_all
+from repro.runtime.dashboard import LiveDashboard, render_line
+from repro.runtime.flight import FlightRecorder, flight_path
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    last_metrics,
+    metrics_session,
+    parse_openmetrics,
+    resolve_registry,
+    to_openmetrics,
+)
 from repro.runtime.trace import (
     Span,
     TraceCollector,
@@ -103,6 +117,20 @@ __all__ = [
     "AutoFuture",
     "spawn",
     "join_all",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_registry",
+    "last_metrics",
+    "metrics_session",
+    "parse_openmetrics",
+    "resolve_registry",
+    "to_openmetrics",
+    "FlightRecorder",
+    "flight_path",
+    "LiveDashboard",
+    "render_line",
     "Span",
     "TraceCollector",
     "active_collector",

@@ -83,6 +83,7 @@ from typing import Any, Callable, Sequence
 
 from repro.runtime.chaos import ChaosInjector
 from repro.runtime.faults import CancellationToken, FaultPolicy
+from repro.runtime.metrics import MetricsRegistry, count_chunk_counters
 from repro.runtime.trace import TraceCollector
 
 #: the three execution substrates, in increasing setup-cost order
@@ -507,6 +508,10 @@ class ChunkResult:
     #: values live in the shared output region, not in ``values`` — the
     #: collector materializes them exactly once at absorb time
     shm: bool = False
+    #: worker-side metric delta drained after the chunk — rides the same
+    #: road as ``spans`` and is deduped whole with the chunk, so metric
+    #: accounting stays exactly-once under recovery
+    metrics: list | None = None
 
 
 @dataclass
@@ -559,6 +564,7 @@ def build_process_payload(
     reduce_op: Callable | None = None,
     label: str = "loop",
     trace: TraceCollector | None = None,
+    metrics: MetricsRegistry | None = None,
     input_spec: tuple[str, Any] | None = None,
     out_spec: dict[str, Any] | None = None,
 ) -> tuple[ProcessPayload | None, str | None]:
@@ -581,6 +587,7 @@ def build_process_payload(
             ship_blob(reduce_op) if reduce_op is not None else None,
             label,
             trace.spec() if trace is not None else None,
+            metrics.spec() if metrics is not None else None,
         )
         kernel_blob = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
         if input_spec is None:
@@ -611,6 +618,7 @@ def _run_map_chunk(
     should_stop: Callable[[], bool],
     trace: TraceCollector | None = None,
     stage: str = "loop",
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[list[Any], list, dict[str, int], bool, bool]:
     """(values, records, counters, failed, aborted) for one map chunk."""
     lo, hi = bounds
@@ -641,7 +649,8 @@ def _run_map_chunk(
                 return values, records, counters, True, False
         else:
             outcome = policy.execute(
-                fn, vals[i], trace=trace, stage=stage, seq=i
+                fn, vals[i], trace=trace, stage=stage, seq=i,
+                metrics=metrics,
             )
             counters["retried"] += outcome.retried
             if outcome.error is not None:
@@ -716,15 +725,18 @@ _GEN_MASK = 0xFFFFFFFF
 
 def _load_kernel(kernel_blob: bytes) -> tuple:
     """Unpickle a kernel: (body, policy, chaos_spec, reduce_op, label,
-    trace_spec).  Session workers cache the result per digest — the body
-    (possibly a :class:`ShippedFunction`) is rebuilt once per kernel,
-    not once per call."""
-    body_blob, policy, chaos_spec, reduce_blob, label, trace_spec = (
-        pickle.loads(kernel_blob)
-    )
+    trace_spec, metrics_spec).  Session workers cache the result per
+    digest — the body (possibly a :class:`ShippedFunction`) is rebuilt
+    once per kernel, not once per call."""
+    (
+        body_blob, policy, chaos_spec, reduce_blob, label,
+        trace_spec, metrics_spec,
+    ) = pickle.loads(kernel_blob)
     body = pickle.loads(body_blob)
     reduce_op = pickle.loads(reduce_blob) if reduce_blob is not None else None
-    return body, policy, chaos_spec, reduce_op, label, trace_spec
+    return (
+        body, policy, chaos_spec, reduce_op, label, trace_spec, metrics_spec
+    )
 
 
 def _resolve_input(input_spec: tuple[str, Any]):
@@ -782,7 +794,9 @@ def _serve_call(
     is announced on ``result_q`` before the chunk runs, which is the
     ownership ledger the parent's recovery logic reads.
     """
-    body, policy, chaos_spec, reduce_op, label, trace_spec = kernel
+    (
+        body, policy, chaos_spec, reduce_op, label, trace_spec, metrics_spec,
+    ) = kernel
     injector = (
         ChaosInjector.from_spec(chaos_spec) if chaos_spec is not None else None
     )
@@ -794,6 +808,14 @@ def _serve_call(
         trace.worker_label = f"{label}-w{uid}@pid{os.getpid()}"
         if injector is not None:
             injector.trace = trace
+    wmetrics = None
+    if metrics_spec is not None:
+        # same chunked-merge road as spans: collect locally, drain per
+        # chunk, let the parent's first-result-wins dedup keep totals
+        # exactly-once under respawn/hedge duplicates
+        wmetrics = MetricsRegistry.from_spec(metrics_spec)
+        if injector is not None:
+            injector.metrics = wmetrics
 
     def should_stop() -> bool:
         return stop_event.is_set() or (
@@ -841,11 +863,15 @@ def _serve_call(
         if injector is not None and injector.should_kill(
             f"{label}#c{k}", attempt
         ):
-            # Seeded chaos worker-kill.  Flush the queue feeder and
-            # release its shared write lock *before* dying: a SIGKILL
-            # that strands the lock would wedge every sibling.  (A
-            # real OOM kill can still do that; the parent's final
-            # sweep covers claims that never made it out.)
+            # Seeded chaos worker-kill.  Announce the kill first (the
+            # registry dies with the process, so the one metric a kill
+            # produces must travel ahead of it), then flush the queue
+            # feeder and release its shared write lock *before* dying:
+            # a SIGKILL that strands the lock would wedge every
+            # sibling.  (A real OOM kill can still do that; the
+            # parent's final sweep covers claims that never made it
+            # out.)
+            result_q.put(pickle.dumps(("chaos_kill", uid, k, attempt, gen)))
             result_q.close()
             result_q.join_thread()
             os.kill(os.getpid(), signal.SIGKILL)
@@ -866,7 +892,7 @@ def _serve_call(
         else:
             values, records, counters, failed, aborted = _run_map_chunk(
                 k, chunks[k], fn, vals, policy, should_stop,
-                trace=trace, stage=label,
+                trace=trace, stage=label, metrics=wmetrics,
             )
         if aborted:
             break
@@ -874,6 +900,10 @@ def _serve_call(
         if injector is not None:
             after = injector.stats()
             delta = {key: after[key] - before[key] for key in after}
+        metrics_delta = None
+        if wmetrics is not None:
+            count_chunk_counters(wmetrics, label, counters)
+            metrics_delta = wmetrics.drain()
         spans, spans_dropped = (
             trace.drain() if trace is not None else (None, 0)
         )
@@ -889,7 +919,7 @@ def _serve_call(
             in_shm = out.write(k, chunks[k][0], values)
         chunk = ChunkResult(
             k, [] if in_shm else values, records, counters, delta, failed,
-            spans, spans_dropped, in_shm,
+            spans, spans_dropped, in_shm, metrics_delta,
         )
         try:
             msg = pickle.dumps(("chunk", chunk, gen))
@@ -908,6 +938,7 @@ def _serve_call(
                 True,
                 spans,
                 spans_dropped,
+                metrics=metrics_delta,
             )
             msg = pickle.dumps(("chunk", chunk, gen))
         result_q.put(msg)
@@ -1277,6 +1308,7 @@ def run_process_chunks(
     hedge_min_samples: int = 3,
     completed: frozenset[int] = frozenset(),
     trace: TraceCollector | None = None,
+    metrics: MetricsRegistry | None = None,
     label: str = "loop",
     checkpoint: Any = None,
     reuse: bool = False,
@@ -1334,6 +1366,14 @@ def run_process_chunks(
         candidate = get_session(nworkers)
         if candidate.lock.acquire(blocking=False):
             session = candidate  # released in the finally below
+        if metrics is not None:
+            # a hit means warm workers serve the call; a miss means the
+            # session was busy and a cold pool pays the spawn cost
+            metrics.inc(
+                "pool_warm_hits" if session is not None
+                else "pool_warm_misses",
+                stage=label,
+            )
     if session is not None:
         ctx = session.ctx
         counter = session.counter
@@ -1405,6 +1445,28 @@ def run_process_chunks(
             p.start()
         return uid, p
 
+    def recv_nowait() -> tuple:
+        """One raw message off the result queue, metering its bytes."""
+        raw = result_q.get_nowait()
+        if metrics is not None:
+            metrics.inc(
+                "transport_bytes", len(raw), transport="pickle", stage=label
+            )
+        return pickle.loads(raw)
+
+    _RECOVERY_METRICS = {
+        "worker_lost": "pool_workers_lost",
+        "respawn": "pool_respawns",
+        "redispatch": "pool_redispatches",
+        "hedge": "pool_hedges",
+        "lost": "pool_chunks_lost",
+    }
+
+    def note_recovery(event: RecoveryEvent) -> None:
+        recovery.append(event)
+        if metrics is not None:
+            metrics.inc(_RECOVERY_METRICS[event.kind], stage=label)
+
     def absorb(message: tuple) -> None:
         nonlocal failed_seen
         if message[-1] != gen:
@@ -1415,6 +1477,11 @@ def run_process_chunks(
         if tag == "chunk":
             chunk = message[1]
             k = chunk.index
+            if metrics is not None:
+                # counts every arrival, duplicates included; the paired
+                # chunks_deduped increment below keeps the conservation
+                # invariant completed - deduped = n_chunks exact
+                metrics.inc("chunks_completed", stage=label)
             if chunk.shm and k not in delivered and k not in skip:
                 # materialize from the shared region exactly once, while
                 # the region is still alive; the message itself carried
@@ -1426,14 +1493,24 @@ def run_process_chunks(
                     )
                 chunk.values = out_values.read(k, *bounds[k])
                 chunk.shm = False
+                if metrics is not None:
+                    lo, hi = bounds[k]
+                    metrics.inc(
+                        "transport_bytes", (hi - lo) * 8,
+                        transport="shm", stage=label,
+                    )
             inflight.pop(k, None)
             if k in delivered or k in skip:
                 # at-least-once dedup: a hedge loser or a redispatch
                 # duplicate — the first result won; dropping the loser
-                # whole (values, counters, chaos deltas, spans) keeps
-                # parent-side accounting exactly-once
+                # whole (values, counters, chaos deltas, spans, metric
+                # deltas) keeps parent-side accounting exactly-once
+                if metrics is not None:
+                    metrics.inc("chunks_deduped", stage=label)
                 return
             delivered[k] = chunk
+            if metrics is not None and chunk.metrics is not None:
+                metrics.absorb(chunk.metrics)
             if chunk.failed:
                 failed_seen = True
                 # warm workers leave the stop event to the parent (a
@@ -1442,6 +1519,10 @@ def run_process_chunks(
             t0 = claim_time.get(k)
             if t0 is not None:
                 latencies.append(time.monotonic() - t0)
+                if metrics is not None:
+                    metrics.histogram(
+                        "chunk_latency_seconds", stage=label
+                    ).observe(latencies[-1])
             if checkpoint is not None and not chunk.failed:
                 lo, hi = bounds[k]
                 checkpoint.record(k, lo, hi, chunk.values)
@@ -1452,6 +1533,13 @@ def run_process_chunks(
             inflight.setdefault(k, set()).add(uid)
             claim_time[k] = time.monotonic()
             attempts[k] = max(attempts.get(k, 0), att)
+            if metrics is not None:
+                metrics.inc("chunks_dispatched", stage=label)
+        elif tag == "chaos_kill":
+            # a worker announcing its own seeded SIGKILL; the death
+            # itself surfaces via handle_death as usual
+            if metrics is not None:
+                metrics.inc("chaos_kills", stage=label)
         elif tag == "done":
             done_uids.add(message[1])
         else:
@@ -1460,7 +1548,7 @@ def run_process_chunks(
     def drain_nowait() -> None:
         while True:
             try:
-                absorb(pickle.loads(result_q.get_nowait()))
+                absorb(recv_nowait())
             except _queue.Empty:
                 return
 
@@ -1476,7 +1564,7 @@ def run_process_chunks(
 
     def redispatch_to(p2_name: str, assigned: list[tuple[int, int]]) -> None:
         for k, att in assigned:
-            recovery.append(
+            note_recovery(
                 RecoveryEvent("redispatch", p2_name, (k,), detail=f"attempt={att}")
             )
             if trace is not None:
@@ -1496,7 +1584,7 @@ def run_process_chunks(
             owners.discard(uid)
             if not owners and k not in delivered:
                 lost.append(k)
-        recovery.append(
+        note_recovery(
             RecoveryEvent(
                 "worker_lost", p.name, tuple(lost),
                 detail=f"exitcode={p.exitcode}",
@@ -1509,7 +1597,7 @@ def run_process_chunks(
         for k in lost:
             inflight.pop(k, None)
         _uid2, p2 = spawn(assigned)
-        recovery.append(
+        note_recovery(
             RecoveryEvent(
                 "respawn", p2.name, tuple(lost),
                 detail=f"replaces={p.name} restarts_used={restarts_used}",
@@ -1547,7 +1635,7 @@ def run_process_chunks(
             hedges_used += 1
             att = attempts.get(k, 1) + 1
             _uid2, p2 = spawn([(k, att)])
-            recovery.append(
+            note_recovery(
                 RecoveryEvent(
                     "hedge", p2.name, (k,),
                     detail=(
@@ -1632,7 +1720,7 @@ def run_process_chunks(
                     for k in missing:
                         inflight.pop(k, None)
                     _uid2, p2 = spawn(assigned)
-                    recovery.append(
+                    note_recovery(
                         RecoveryEvent(
                             "respawn", p2.name, tuple(missing),
                             detail=(
@@ -1650,14 +1738,14 @@ def run_process_chunks(
                     continue
                 break
             try:
-                absorb(pickle.loads(result_q.get_nowait()))
+                absorb(recv_nowait())
                 drain_nowait()
                 continue
             except _queue.Empty:
                 pass
             _pool_wait(result_q, [procs[uid] for uid in active], poll)
             try:
-                absorb(pickle.loads(result_q.get_nowait()))
+                absorb(recv_nowait())
                 drain_nowait()
             except _queue.Empty:
                 suspects = [
@@ -1689,7 +1777,7 @@ def run_process_chunks(
                 if k not in delivered and k not in skip
             ]
             if abandoned:
-                recovery.append(
+                note_recovery(
                     RecoveryEvent(
                         "lost", "", tuple(abandoned),
                         detail=(
@@ -1729,7 +1817,7 @@ def run_process_chunks(
         # wanted data).
         try:
             while True:
-                absorb(pickle.loads(result_q.get_nowait()))
+                absorb(recv_nowait())
         except (_queue.Empty, OSError, EOFError):
             pass
         if session is not None:
@@ -1759,7 +1847,7 @@ def run_process_chunks(
             # exit can never block joining a feeder whose reader is gone.
             try:
                 while True:
-                    absorb(pickle.loads(result_q.get_nowait()))
+                    absorb(recv_nowait())
             except (_queue.Empty, OSError, EOFError):
                 pass
             result_q.close()

@@ -85,6 +85,12 @@ class ChaosInjector:
         #: when set, every injection that fires is recorded as a "chaos"
         #: span so a seeded fault scenario can be read back span-by-span
         self.trace: Any = None
+        #: optional duck-typed metrics registry (``inc``-shaped, see
+        #: repro.runtime.metrics): fired injections bump ``chaos_faults``
+        #: / ``chaos_delays``.  Label-free on purpose — wrap names differ
+        #: per backend (per-chunk streams under the process pool), so
+        #: only the unlabelled totals are backend-comparable
+        self.metrics: Any = None
 
     def _stream(self, name: str) -> _NamedStream:
         with self._lock:
@@ -117,6 +123,11 @@ class ChaosInjector:
 
         def chaotic(*args: Any, **kwargs: Any) -> Any:
             fail, delay = self._decide(label)
+            if self.metrics is not None:
+                if fail:
+                    self.metrics.inc("chaos_faults")
+                if delay:
+                    self.metrics.inc("chaos_delays")
             if (fail or delay) and self.trace is not None:
                 injected = "+".join(
                     k for k, hit in (("fail", fail), ("delay", delay)) if hit

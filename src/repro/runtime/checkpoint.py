@@ -133,6 +133,12 @@ class ChunkJournal:
         self.resumed = len(completed)
         #: chunks appended through this handle
         self.recorded = 0
+        #: optional duck-typed metrics registry (``inc``-shaped, see
+        #: repro.runtime.metrics); when set, appends bump
+        #: ``checkpoint_records`` / ``checkpoint_bytes`` and every real
+        #: flush bumps ``checkpoint_flushes`` — the batch-vs-chunk flush
+        #: trade becomes observable instead of inferred
+        self.metrics: Any = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -254,20 +260,24 @@ class ChunkJournal:
             "values": list(values),
         }
         payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = _frame(payload)
         with self._lock:
             if self._fh is None:
                 raise CheckpointError(
                     f"journal {self.path} is not open for appending"
                 )
-            self._fh.write(_frame(payload))
+            self._fh.write(framed)
             self._maybe_flush()
             self._completed[record["index"]] = record
             self.recorded += 1
+        if self.metrics is not None:
+            self.metrics.inc("checkpoint_records")
+            self.metrics.inc("checkpoint_bytes", len(framed))
 
     def _maybe_flush(self) -> None:
         """Apply the flush discipline; caller holds ``self._lock``."""
         if self.flush_mode == "chunk":
-            self._fh.flush()
+            self._flush_locked()
             return
         now = time.monotonic()
         if self._pending == 0:
@@ -277,14 +287,20 @@ class ChunkJournal:
             self._pending >= _BATCH_COUNT
             or now - self._pending_since >= _BATCH_SECS
         ):
-            self._fh.flush()
+            self._flush_locked()
             self._pending = 0
+
+    def _flush_locked(self) -> None:
+        """Flush and count it; caller holds ``self._lock``."""
+        self._fh.flush()
+        if self.metrics is not None:
+            self.metrics.inc("checkpoint_flushes")
 
     def flush(self) -> None:
         """Force any coalesced records to the OS (batch mode)."""
         with self._lock:
             if self._fh is not None:
-                self._fh.flush()
+                self._flush_locked()
                 self._pending = 0
 
     def _append(self, record: dict[str, Any]) -> None:

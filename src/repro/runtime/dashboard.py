@@ -1,0 +1,147 @@
+"""A live TTY dashboard for supervised runs (``repro run --live``).
+
+One status line, redrawn in place on a TTY (carriage return + erase) or
+appended once a second on a dumb pipe, rendered from the run's
+:class:`~repro.runtime.metrics.MetricsRegistry`:
+
+    [run] chunks 24/32 (75%) | 186.2 chunk/s | eta 0.0s | stages loop:24 | respawns 1 hedges 0
+
+Throughput and ETA come from the chunk ledger counters
+(``chunks_completed`` against the known chunk total), per-stage counts
+from the element counters, and recovery events from the pool counters —
+the dashboard is a *reader*: it owns no state the metrics registry
+doesn't already carry, so it can never disagree with the final report.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+from repro.runtime.metrics import MetricsRegistry
+
+#: redraw period on a TTY; on a pipe, lines append at this period too
+DEFAULT_INTERVAL = 0.25
+
+
+def render_line(
+    registry: MetricsRegistry,
+    total_chunks: int | None = None,
+    elapsed: float = 0.0,
+    label: str = "run",
+) -> str:
+    """The dashboard line for a registry's current state (pure)."""
+    completed = registry.total("chunks_completed")
+    deduped = registry.total("chunks_deduped")
+    unique = completed - deduped
+    parts: list[str] = []
+    if total_chunks:
+        pct = 100.0 * unique / total_chunks
+        parts.append(f"chunks {int(unique)}/{total_chunks} ({pct:.0f}%)")
+    elif unique:
+        parts.append(f"chunks {int(unique)}")
+    if elapsed > 0 and unique:
+        rate = unique / elapsed
+        parts.append(f"{rate:.1f} chunk/s")
+        if total_chunks and total_chunks > unique and rate > 0:
+            parts.append(f"eta {(total_chunks - unique) / rate:.1f}s")
+    stages = registry.label_values("elements_delivered", "stage")
+    if stages:
+        per = [
+            f"{s}:{int(registry.value('elements_delivered', stage=s))}"
+            for s in stages
+        ]
+        parts.append("stages " + " ".join(per))
+    depth = registry.total("stage_queue_depth")
+    inflight = registry.total("items_in_flight")
+    if depth or inflight:
+        parts.append(f"queued {int(depth)} inflight {int(inflight)}")
+    recov = []
+    for name, short in (
+        ("pool_respawns", "respawns"),
+        ("pool_hedges", "hedges"),
+        ("pool_workers_lost", "lost"),
+        ("chaos_kills", "kills"),
+    ):
+        total = registry.total(name)
+        if total:
+            recov.append(f"{short} {int(total)}")
+    if recov:
+        parts.append(" ".join(recov))
+    return f"[{label}] " + (" | ".join(parts) if parts else "starting...")
+
+
+class LiveDashboard:
+    """Background renderer: one line, refreshed until :meth:`stop`."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        total_chunks: int | None = None,
+        stream: TextIO | None = None,
+        interval: float = DEFAULT_INTERVAL,
+        label: str = "run",
+    ) -> None:
+        self.registry = registry
+        self.total_chunks = total_chunks
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.label = label
+        self._t0 = time.monotonic()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last = ""
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def _emit(self, final: bool = False) -> None:
+        line = render_line(
+            self.registry,
+            self.total_chunks,
+            elapsed=time.monotonic() - self._t0,
+            label=self.label,
+        )
+        if self._tty:
+            # redraw in place; erase to end so a shrinking line is clean
+            self.stream.write("\r\x1b[2K" + line)
+            if final:
+                self.stream.write("\n")
+        else:
+            if line != self._last or final:
+                self.stream.write(line + "\n")
+        self.stream.flush()
+        self._last = line
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self._emit()
+            except (OSError, ValueError):  # pragma: no cover - closed pipe
+                return
+
+    def start(self) -> "LiveDashboard":
+        if self._thread is not None:
+            raise RuntimeError("dashboard already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-dashboard", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop refreshing and print the final state once."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        try:
+            self._emit(final=True)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "LiveDashboard":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

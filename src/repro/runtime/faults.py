@@ -177,6 +177,7 @@ class FaultPolicy:
         trace: Any = None,
         stage: str = "",
         seq: int = -1,
+        metrics: Any = None,
     ) -> Outcome:
         """Run ``fn(value)`` under this policy; never raises user errors.
 
@@ -191,6 +192,12 @@ class FaultPolicy:
         deadline a ``timeout`` span, and each inter-attempt sleep a
         ``backoff`` span.  ``None`` (the default) costs one ``is None``
         check per attempt.
+
+        ``metrics`` is likewise duck-typed (a
+        ``MetricsRegistry``-shaped ``inc``): every policy *fire* — a
+        retry attempt, a missed deadline, a backoff sleep — bumps a
+        counter, so aggregate fault pressure is visible without reading
+        spans.
         """
         schedule = self.delays()
         attempts = 0
@@ -208,6 +215,8 @@ class FaultPolicy:
                         f"element took {elapsed:.3f}s, deadline "
                         f"{self.item_timeout:.3f}s"
                     )
+                if metrics is not None and attempts > 1:
+                    metrics.inc("policy_retries", stage=stage)
                 if trace is not None:
                     trace.add(
                         "execute" if attempts == 1 else "retry",
@@ -221,6 +230,11 @@ class FaultPolicy:
                 raise
             except BaseException as exc:
                 last = exc
+                if metrics is not None:
+                    if isinstance(exc, ItemTimeoutError):
+                        metrics.inc("policy_timeouts", stage=stage)
+                    if attempts > 1:
+                        metrics.inc("policy_retries", stage=stage)
                 if trace is not None:
                     if isinstance(exc, ItemTimeoutError):
                         kind = "timeout"
@@ -242,6 +256,8 @@ class FaultPolicy:
                         cancel.raise_if_cancelled()
                 elif delay > 0:
                     time.sleep(delay)
+                if metrics is not None:
+                    metrics.inc("policy_backoffs", stage=stage)
                 if trace is not None:
                     trace.add(
                         "backoff",

@@ -1,0 +1,178 @@
+"""The flight recorder: a crash-surviving ring of metric snapshots.
+
+The :class:`~repro.runtime.checkpoint.ChunkJournal` preserves a killed
+run's *results*; the flight recorder preserves its *state*: a bounded
+ring of timestamped :meth:`~repro.runtime.metrics.MetricsRegistry.snapshot`
+documents written beside the journal, so after a SIGKILL the last file
+on disk answers "what did the run look like when it died" — chunks
+completed, respawns, queue depths — before ``repro run --resume``
+continues it.
+
+Crash tolerance comes from the write discipline, not from framing: each
+tick serializes the whole ring to ``<path>.tmp`` and ``os.replace``\\ s
+it over ``<path>``.  The rename is atomic on POSIX, so the file is
+always a complete, parseable JSON document — a kill between ticks
+loses at most one interval of staleness, never the file.  (The journal
+needs per-record framing because it appends; the recorder rewrites a
+bounded document, so atomicity is cheaper than CRCs.)
+
+The recorder is a daemon thread sampling every ``interval`` seconds.
+It is started by ``repro run`` whenever metrics and a checkpoint path
+are both active, and is deliberately independent of the run's control
+flow: a wedged run still leaves fresh snapshots behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.metrics import MetricsRegistry
+
+#: flight-recorder document schema tag
+FLIGHT_SCHEMA = "repro_flight/v1"
+
+#: default ring depth: enough history to see a trend, bounded on disk
+DEFAULT_KEEP = 16
+
+#: default sampling interval (seconds)
+DEFAULT_INTERVAL = 0.25
+
+
+def flight_path(checkpoint_path: str | Path) -> Path:
+    """The recorder file that lives beside a chunk journal."""
+    p = Path(checkpoint_path)
+    return p.with_name(p.name + ".flight")
+
+
+class FlightRecorder:
+    """Background snapshotter writing a bounded snapshot ring to disk."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str | Path,
+        interval: float = DEFAULT_INTERVAL,
+        keep: int = DEFAULT_KEEP,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.registry = registry
+        self.path = Path(path)
+        self.interval = interval
+        self.keep = keep
+        self.ticks = 0
+        self._ring: list[dict[str, Any]] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Take one snapshot and rewrite the ring file atomically."""
+        snap = self.registry.snapshot()
+        self._ring.append(snap)
+        del self._ring[: -self.keep]
+        self.ticks += 1
+        doc = {
+            "schema": FLIGHT_SCHEMA,
+            "keep": self.keep,
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "snapshots": self._ring,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(doc) + "\n")
+        os.replace(tmp, self.path)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except OSError:  # pragma: no cover - disk full / dir gone
+                return
+
+    def start(self) -> "FlightRecorder":
+        if self._thread is not None:
+            raise RuntimeError("flight recorder already started")
+        self.tick()  # a kill before the first interval still leaves a file
+        self._thread = threading.Thread(
+            target=self._run, name="repro-flight", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Final snapshot + join; safe to call without :meth:`start`."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        try:
+            self.tick()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # reading (the --resume report)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(path: str | Path) -> dict[str, Any]:
+        """The recorder document at ``path`` (raises on absence/schema)."""
+        doc = json.loads(Path(path).read_text())
+        schema = doc.get("schema")
+        if schema != FLIGHT_SCHEMA:
+            raise ValueError(
+                f"not a flight recording (schema={schema!r}, "
+                f"expected {FLIGHT_SCHEMA!r})"
+            )
+        return doc
+
+    @staticmethod
+    def last_snapshot(path: str | Path) -> dict[str, Any] | None:
+        """The most recent snapshot in a recording, or ``None``."""
+        try:
+            doc = FlightRecorder.load(path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            return None
+        snaps = doc.get("snapshots") or []
+        return snaps[-1] if snaps else None
+
+
+def describe_last(path: str | Path) -> str | None:
+    """A one-line human summary of a recording's final snapshot.
+
+    What ``repro run --resume`` prints before continuing: age of the
+    last sample plus the headline counters, so the operator knows what
+    the dead run had finished.
+    """
+    snap = FlightRecorder.last_snapshot(path)
+    if snap is None:
+        return None
+    reg = MetricsRegistry.from_snapshot(snap)
+    age = max(0.0, time.time() - float(snap.get("time", 0.0)))
+    parts = [f"age {age:.1f}s"]
+    for name, label in (
+        ("chunks_completed", "chunks"),
+        ("chunks_deduped", "deduped"),
+        ("elements_delivered", "delivered"),
+        ("pool_respawns", "respawns"),
+        ("pool_hedges", "hedges"),
+    ):
+        total = reg.total(name)
+        if total:
+            parts.append(f"{label}={int(total)}")
+    return "last flight snapshot: " + ", ".join(parts)

@@ -39,6 +39,7 @@ from repro.runtime.backend import (
 )
 from repro.runtime.faults import CancellationToken, CancelledError
 from repro.runtime.item import Item
+from repro.runtime.metrics import MetricsRegistry, resolve_registry
 from repro.runtime.trace import TraceCollector, resolve_collector
 
 
@@ -91,16 +92,21 @@ class MasterWorker:
         tasks: Iterable[Callable[[], Any]],
         cancel: CancellationToken | None = None,
         trace: TraceCollector | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> list[Any]:
         """Execute independent thunks; results in task order.
 
         A sibling failure (or a fired token) stops the pool from claiming
         further tasks; the first error is re-raised after the join.
         Each task becomes one ``execute`` span when tracing is on
-        (``trace``, or the active session).
+        (``trace``, or the active session); with metrics on (``metrics``,
+        or the active session) each finished task bumps
+        ``tasks_completed`` / ``tasks_failed`` — identically on every
+        backend.
         """
         cancel = cancel or self.cancel
         trace = resolve_collector(trace)
+        metrics = resolve_registry(metrics)
         tasks = list(tasks)
         self.last_events = []
         self.last_recovery = []
@@ -117,18 +123,22 @@ class MasterWorker:
                 try:
                     results.append(task())
                 except BaseException as exc:
+                    if metrics is not None:
+                        metrics.inc("tasks_failed", stage=self.name)
                     if trace is not None:
                         trace.add(
                             "execute", self.name, i, started,
                             attempt=1, error=repr(exc),
                         )
                     raise
+                if metrics is not None:
+                    metrics.inc("tasks_completed", stage=self.name)
                 if trace is not None:
                     trace.add("execute", self.name, i, started, attempt=1)
             return results
 
         if backend == "process":
-            done = self._run_process(tasks, cancel, trace)
+            done = self._run_process(tasks, cancel, trace, metrics)
             if done is not None:
                 return done
             # _run_process recorded the downgrade; fall through to threads
@@ -150,11 +160,15 @@ class MasterWorker:
                 started = time.monotonic()
                 try:
                     results[i] = tasks[i]()
+                    if metrics is not None:
+                        metrics.inc("tasks_completed", stage=self.name)
                     if trace is not None:
                         trace.add(
                             "execute", self.name, i, started, attempt=1
                         )
                 except BaseException as exc:  # propagate to the master
+                    if metrics is not None:
+                        metrics.inc("tasks_failed", stage=self.name)
                     if trace is not None:
                         trace.add(
                             "execute", self.name, i, started,
@@ -190,6 +204,7 @@ class MasterWorker:
         tasks: list[Callable[[], Any]],
         cancel: CancellationToken | None,
         trace: TraceCollector | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> list[Any] | None:
         """Run the thunks on a process pool; None means "use threads".
 
@@ -206,7 +221,8 @@ class MasterWorker:
             )
             return None
         blob, reason = build_process_payload(
-            invoke_task, shipped, chunks, label=self.name, trace=trace
+            invoke_task, shipped, chunks, label=self.name, trace=trace,
+            metrics=metrics,
         )
         if blob is None:
             downgrade(
@@ -223,6 +239,7 @@ class MasterWorker:
             max_restarts=self.restarts,
             trace=trace,
             label=self.name,
+            metrics=metrics,
         )
         self.last_recovery = list(run.recovery)
         results: list[Any] = [None] * len(tasks)
@@ -234,8 +251,12 @@ class MasterWorker:
             if chunk.failed:
                 if first_error is None:
                     first_error = chunk.records[0][1]
+                if metrics is not None:
+                    metrics.inc("tasks_failed", stage=self.name)
                 continue
             results[k] = chunk.values[0]
+            if metrics is not None:
+                metrics.inc("tasks_completed", stage=self.name)
         if first_error is not None:
             raise first_error
         if cancel is not None and cancel.cancelled:

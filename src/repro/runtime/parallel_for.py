@@ -52,6 +52,11 @@ from repro.runtime.faults import (
     ErrorRecord,
     FaultPolicy,
 )
+from repro.runtime.metrics import (
+    MetricsRegistry,
+    count_outcome,
+    resolve_registry,
+)
 from repro.runtime.shm import ShmInput, ShmOutput, normalize_transport
 from repro.runtime.trace import TraceCollector, resolve_collector
 
@@ -126,43 +131,71 @@ def _make_element(
     lock: threading.Lock | None,
     trace: TraceCollector | None = None,
     stage: str = "loop",
+    metrics: MetricsRegistry | None = None,
 ) -> Callable[[int, Any], Any]:
     """The per-element runner shared by the serial and thread paths.
 
     Applies the fault policy and feeds the ledger, so serial, thread and
     process runs of the same workload produce the same error records —
     and, when ``trace`` is set, the same span shapes the process workers
-    emit in :func:`~repro.runtime.backend._run_map_chunk`.
+    emit in :func:`~repro.runtime.backend._run_map_chunk`.  ``metrics``
+    mirrors the worker-side counter accounting
+    (:func:`~repro.runtime.metrics.count_chunk_counters`) element by
+    element, so counter totals agree across backends.
     """
+    if policy is None and trace is None and metrics is None:
+        # the fully-disabled runner is specialized at build time: no
+        # trace/metrics branches (not even an ``is None``), no clock read
+        def plain(seq: int, value: Any) -> Any:
+            try:
+                return body(value)
+            except CancelledError:
+                raise
+            except BaseException as exc:
+                _record(ledger, lock, seq, exc, 1)
+                raise
+
+        return plain
+
+    # resolve the hot-path series once per loop, not once per element:
+    # the common outcome (delivered, no retries) then pays one lock+add
+    delivered = (
+        metrics.counter("elements_delivered", stage=stage)
+        if metrics is not None
+        else None
+    )
 
     def element(seq: int, value: Any) -> Any:
         if policy is None:
-            if trace is None:
-                # the disabled path must not even pay a clock read
-                try:
-                    return body(value)
-                except CancelledError:
-                    raise
-                except BaseException as exc:
-                    _record(ledger, lock, seq, exc, 1)
-                    raise
-            started = time.monotonic()
+            started = time.monotonic() if trace is not None else 0.0
             try:
                 result = body(value)
-                trace.add("execute", stage, seq, started, attempt=1)
+                if delivered is not None:
+                    delivered.inc()
+                if trace is not None:
+                    trace.add("execute", stage, seq, started, attempt=1)
                 return result
             except CancelledError:
                 raise
             except BaseException as exc:
-                trace.add(
-                    "execute", stage, seq, started,
-                    attempt=1, error=repr(exc),
-                )
+                if metrics is not None:
+                    count_outcome(metrics, stage, "failed")
+                if trace is not None:
+                    trace.add(
+                        "execute", stage, seq, started,
+                        attempt=1, error=repr(exc),
+                    )
                 _record(ledger, lock, seq, exc, 1)
                 raise
         outcome = policy.execute(
-            body, value, cancel=cancel, trace=trace, stage=stage, seq=seq
+            body, value, cancel=cancel, trace=trace, stage=stage, seq=seq,
+            metrics=metrics,
         )
+        if metrics is not None:
+            if outcome.action == "delivered" and not outcome.retried:
+                delivered.inc()
+            else:
+                count_outcome(metrics, stage, outcome.action, outcome.retried)
         if outcome.error is not None:
             _record(ledger, lock, seq, outcome.error, outcome.attempts)
         if outcome.action == "failed":
@@ -254,6 +287,7 @@ def parallel_for(
     checkpoint: ChunkJournal | None = None,
     transport: str = "pickle",
     reuse: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> list[Any]:
     """Apply ``body`` to every value; return results in input order.
 
@@ -294,6 +328,14 @@ def parallel_for(
     (``PoolReuse@loop``) runs the call on a warm
     :class:`~repro.runtime.backend.PoolSession` that keeps workers alive
     across calls and ships each distinct kernel once.
+
+    ``metrics`` is a :class:`~repro.runtime.metrics.MetricsRegistry`
+    (``Metrics@loop``; defaults to the active
+    :func:`~repro.runtime.metrics.metrics_session`, if any): chunk and
+    element counters land in it on every backend — worker-side registries
+    merge back over the chunk result road — so counter totals are
+    backend-independent.  ``None`` (the default) keeps the hot paths to
+    one ``is None`` check.
     """
     _validate(workers, chunk_size, schedule)
     plane = normalize_transport(transport)
@@ -305,6 +347,7 @@ def parallel_for(
         raise TuningError(f"PoolRestarts must be >= 0, got {restarts}")
     effective = normalize_backend(backend)
     trace = resolve_collector(trace)
+    metrics = resolve_registry(metrics)
     raw_body = body
 
     vals = list(values)
@@ -332,6 +375,8 @@ def parallel_for(
     # are delivered, on every backend.
     journal_done: dict[int, list[Any]] = {}
     if checkpoint is not None and n:
+        if metrics is not None:
+            checkpoint.metrics = metrics
         checkpoint.bind(n, chunk_size, "loop")
         journal_done = checkpoint.completed()
         if trace is not None and journal_done:
@@ -356,7 +401,7 @@ def parallel_for(
         try:
             blob, reason = build_process_payload(
                 raw_body, vals, chunks, policy=policy, chaos=chaos,
-                label="loop", trace=trace,
+                label="loop", trace=trace, metrics=metrics,
                 input_spec=input_spec, out_spec=out_spec,
             )
             if blob is None:
@@ -385,6 +430,7 @@ def parallel_for(
                     checkpoint=checkpoint,
                     reuse=reuse,
                     out_values=shm_out,
+                    metrics=metrics,
                 )
                 if recovery is not None:
                     recovery.extend(run.recovery)
@@ -405,10 +451,14 @@ def parallel_for(
     if chaos is not None:
         if trace is not None:
             chaos.trace = trace
+        if metrics is not None:
+            chaos.metrics = metrics
         body = chaos.wrap(raw_body, name="loop")
 
     if go_serial:
-        element = _make_element(body, policy, cancel, ledger, None, trace)
+        element = _make_element(
+            body, policy, cancel, ledger, None, trace, metrics=metrics
+        )
         if checkpoint is not None and n:
             # chunk-wise so progress is journaled at the same granularity
             # as the pool backends; the element-wise hot path below stays
@@ -419,6 +469,8 @@ def parallel_for(
                     for offset, value in enumerate(journal_done[k]):
                         out_c[lo + offset] = value
                     continue
+                if metrics is not None:
+                    metrics.inc("chunks_dispatched", stage="loop")
                 for i in range(lo, hi):
                     if cancel is not None:
                         if trace is not None and cancel.cancelled:
@@ -428,6 +480,8 @@ def parallel_for(
                             )
                         cancel.raise_if_cancelled()
                     out_c[i] = element(i, vals[i])
+                if metrics is not None:
+                    metrics.inc("chunks_completed", stage="loop")
                 checkpoint.record(k, lo, hi, out_c[lo:hi])
                 if trace is not None:
                     trace.instant("checkpoint", "loop", lo, chunk=k)
@@ -442,12 +496,21 @@ def parallel_for(
                     )
                 cancel.raise_if_cancelled()
             out.append(element(i, v))
+        if metrics is not None and n:
+            # the element-wise hot loop has no chunk structure; account
+            # the logical chunking wholesale so chunk-counter totals
+            # match the pooled backends exactly
+            nchunks = len(_chunks(n, chunk_size))
+            metrics.inc("chunks_dispatched", nchunks, stage="loop")
+            metrics.inc("chunks_completed", nchunks, stage="loop")
         return out
 
     results = [None] * n
     errors: list[BaseException] = []
     ledger_lock = threading.Lock() if ledger is not None else None
-    element = _make_element(body, policy, cancel, ledger, ledger_lock, trace)
+    element = _make_element(
+        body, policy, cancel, ledger, ledger_lock, trace, metrics=metrics
+    )
     chunks = _chunks(n, chunk_size)
     for k, done_vals in journal_done.items():
         lo, _hi = chunks[k]
@@ -456,8 +519,16 @@ def parallel_for(
     nworkers = min(workers, max(1, len(chunks) - len(journal_skip)))
 
     def run_chunk(k: int, lo: int, hi: int) -> None:
+        if metrics is not None:
+            metrics.inc("chunks_dispatched", stage="loop")
+        started = time.monotonic() if metrics is not None else 0.0
         for i in range(lo, hi):
             results[i] = element(i, vals[i])
+        if metrics is not None:
+            metrics.inc("chunks_completed", stage="loop")
+            metrics.histogram("chunk_latency_seconds", stage="loop").observe(
+                time.monotonic() - started
+            )
         if checkpoint is not None:
             checkpoint.record(k, lo, hi, results[lo:hi])
             if trace is not None:
@@ -535,6 +606,7 @@ def _process_reduce(
     checkpoint: ChunkJournal | None,
     recovery: list[RecoveryEvent] | None,
     reuse: bool,
+    metrics: MetricsRegistry | None = None,
 ) -> Any:
     """The process-backend road of :func:`parallel_reduce`."""
     partials: list[Any] = [None] * len(chunks)
@@ -554,6 +626,7 @@ def _process_reduce(
             label="reduce",
             checkpoint=checkpoint,
             reuse=reuse,
+            metrics=metrics,
         )
         if recovery is not None:
             recovery.extend(run.recovery)
@@ -601,6 +674,7 @@ def parallel_reduce(
     checkpoint: ChunkJournal | None = None,
     transport: str = "pickle",
     reuse: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> Any:
     """Map ``body`` over values and fold with the associative ``op``.
 
@@ -634,6 +708,7 @@ def parallel_reduce(
         raise TuningError(f"PoolRestarts must be >= 0, got {restarts}")
     effective = normalize_backend(backend)
     trace = resolve_collector(trace)
+    metrics = resolve_registry(metrics)
     vals = list(values)
     n = len(vals)
     if effective == "serial" or sequential or workers <= 1 or n == 0:
@@ -650,6 +725,8 @@ def parallel_reduce(
     chunks = _chunks(n, chunk_size)
     journal_done: dict[int, list[Any]] = {}
     if checkpoint is not None:
+        if metrics is not None:
+            checkpoint.metrics = metrics
         checkpoint.bind(n, chunk_size, "reduce")
         journal_done = checkpoint.completed()
         if trace is not None and journal_done:
@@ -673,7 +750,7 @@ def parallel_reduce(
         try:
             blob, reason = build_process_payload(
                 body, vals, chunks, reduce_op=op, label="reduce",
-                trace=trace, input_spec=input_spec,
+                trace=trace, metrics=metrics, input_spec=input_spec,
             )
             if blob is None:
                 effective = downgrade(
@@ -684,7 +761,7 @@ def parallel_reduce(
                 return _process_reduce(
                     blob, chunks, op, init, workers, cancel, restarts,
                     hedge, journal_done, journal_skip, trace, checkpoint,
-                    recovery, reuse,
+                    recovery, reuse, metrics=metrics,
                 )
         finally:
             if shm_in is not None:
@@ -710,11 +787,23 @@ def parallel_reduce(
                 if k in journal_skip:
                     continue
                 lo, hi = chunks[k]
+                if metrics is not None:
+                    metrics.inc("chunks_dispatched", stage="reduce")
                 started = time.monotonic()
                 acc = body(vals[lo])
                 for i in range(lo + 1, hi):
                     acc = op(acc, body(vals[i]))
                 partials[k] = acc
+                if metrics is not None:
+                    # chunk-granular, matching the worker-side reduce
+                    # counters (delivered = chunk width, one fold span)
+                    metrics.inc("chunks_completed", stage="reduce")
+                    metrics.inc(
+                        "elements_delivered", hi - lo, stage="reduce"
+                    )
+                    metrics.histogram(
+                        "chunk_latency_seconds", stage="reduce"
+                    ).observe(time.monotonic() - started)
                 if checkpoint is not None:
                     checkpoint.record(k, lo, hi, [acc])
                     if trace is not None:
@@ -755,16 +844,19 @@ def configured_parallel_for(
     shared_writes: Sequence[str] = (),
     recovery: list[RecoveryEvent] | None = None,
     checkpoint: ChunkJournal | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> list[Any]:
     """``parallel_for`` driven by a tuning configuration mapping.
 
     Fault-policy keys (``Retries@loop``, ``ItemTimeout@loop``,
     ``OnError@loop``), the execution substrate (``Backend@loop``) and
-    observability (``Trace@loop``) are honoured alongside the performance
-    knobs, so generated DOALL code is supervisable — and movable between
-    threads and processes, and traceable — without recompilation.  A
-    ``Trace@loop``-created collector is retrievable afterwards via
-    :func:`repro.runtime.trace.last_trace`.
+    observability (``Trace@loop``, ``Metrics@loop``) are honoured
+    alongside the performance knobs, so generated DOALL code is
+    supervisable — and movable between threads and processes, and
+    traceable — without recompilation.  A ``Trace@loop``-created
+    collector is retrievable afterwards via
+    :func:`repro.runtime.trace.last_trace`; a ``Metrics@loop``-created
+    registry via :func:`repro.runtime.metrics.last_metrics`.
     """
     policy = None
     retries = int(config.get("Retries@loop", 0))
@@ -791,6 +883,9 @@ def configured_parallel_for(
         events=events,
         trace=resolve_collector(
             trace, enabled=bool(config.get("Trace@loop", False))
+        ),
+        metrics=resolve_registry(
+            metrics, enabled=bool(config.get("Metrics@loop", False))
         ),
         shared_writes=shared_writes,
         # passed explicitly (not via a synthetic FaultPolicy) so turning

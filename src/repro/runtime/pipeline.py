@@ -52,6 +52,11 @@ from repro.runtime.faults import (
 )
 from repro.runtime.item import Item
 from repro.runtime.masterworker import MasterWorker
+from repro.runtime.metrics import (
+    MetricsRegistry,
+    count_outcome,
+    resolve_registry,
+)
 from repro.runtime.trace import TraceCollector, resolve_collector
 
 Element = Item | MasterWorker
@@ -193,6 +198,7 @@ class Pipeline:
         name: str = "pipeline",
         backend: str = "thread",
         trace: TraceCollector | bool | None = None,
+        metrics: MetricsRegistry | bool | None = None,
     ) -> None:
         if not elements:
             raise ValueError("a pipeline needs at least one element")
@@ -214,6 +220,11 @@ class Pipeline:
         self._trace_request: TraceCollector | bool | None = trace
         #: the collector of the most recent run (None when tracing off)
         self.trace: TraceCollector | None = None
+        #: a registry, True (build one per run), or None (session/off);
+        #: also settable through the ``Metrics@pipeline`` tuning parameter
+        self._metrics_request: MetricsRegistry | bool | None = metrics
+        #: the registry of the most recent run (None when metrics off)
+        self.metrics: MetricsRegistry | None = None
         self._injector: Any = None
 
     # ------------------------------------------------------------------
@@ -329,6 +340,16 @@ class Pipeline:
                         f"Trace targets the whole pipeline "
                         f"('Trace@pipeline'), got {key!r}"
                     )
+            elif pname == "Metrics":
+                if target == "pipeline":
+                    self._metrics_request = bool(value)
+                elif target in _LOOP_TARGETS:
+                    continue  # a sibling pattern's metrics knob; tolerated
+                else:
+                    raise KeyError(
+                        f"Metrics targets the whole pipeline "
+                        f"('Metrics@pipeline'), got {key!r}"
+                    )
             elif pname in ("NumWorkers", "ChunkSize", "Schedule"):
                 continue  # parameters of sibling patterns; tolerated in shared files
             else:
@@ -352,6 +373,21 @@ class Pipeline:
         if trace is not None and self._injector is not None:
             self._injector.trace = trace
         return trace
+
+    def _resolve_metrics(self) -> MetricsRegistry | None:
+        """The registry this run counts into (None = metrics off)."""
+        explicit = (
+            self._metrics_request
+            if isinstance(self._metrics_request, MetricsRegistry)
+            else None
+        )
+        metrics = resolve_registry(
+            explicit, enabled=self._metrics_request is True
+        )
+        self.metrics = metrics
+        if metrics is not None and self._injector is not None:
+            self._injector.metrics = metrics
+        return metrics
 
     def _effective_elements(self) -> list[Element]:
         """Apply StageFusion pairs to the element list."""
@@ -414,6 +450,7 @@ class Pipeline:
         ``SequentialExecution``)."""
         self.backend_events = []
         trace = self._resolve_trace()
+        metrics = self._resolve_metrics()
         counters = {el.name: StageCounters() for el in elements}
         records: list[ErrorRecord] = []
         generated = 0
@@ -424,9 +461,14 @@ class Pipeline:
             for el in elements:
                 policy = el.fault_policy or _DEFAULT_POLICY
                 outcome = policy.execute(
-                    el.apply, v, trace=trace, stage=el.name, seq=seq
+                    el.apply, v, trace=trace, stage=el.name, seq=seq,
+                    metrics=metrics,
                 )
                 counters[el.name].account(outcome)
+                if metrics is not None:
+                    count_outcome(
+                        metrics, el.name, outcome.action, outcome.retried
+                    )
                 if outcome.error is not None:
                     records.append(
                         ErrorRecord(el.name, seq, outcome.error, outcome.attempts)
@@ -489,6 +531,8 @@ class Pipeline:
             ),
             "leaked_threads": leaked,
         }
+        if self.metrics is not None:
+            self.stats["metrics"] = self.metrics.snapshot()
         if self.trace is not None:
             self.stats["trace"] = self.trace.summary()
             if stall:
@@ -509,6 +553,7 @@ class Pipeline:
     def _stream_threaded(self, values, elements: list[Element]):
         self.backend_events = []
         trace = self._resolve_trace()
+        metrics = self._resolve_metrics()
         # every stage worker comes from the backend seam, so lifting
         # whole stages onto processes later is a factory change, not a
         # pipeline rewrite; a requested process backend records its
@@ -614,17 +659,36 @@ class Pipeline:
                         seq, value = item
                         if trace is not None:
                             trace.add("queue_wait", el.name, seq, wait_start)
+                        if metrics is not None:
+                            # live queue-depth / in-flight gauges: this is
+                            # what the dashboard renders as utilization
+                            metrics.gauge(
+                                "stage_queue_depth", stage=el.name
+                            ).set(len(inbuf))
+                            metrics.gauge(
+                                "items_in_flight", stage=el.name
+                            ).inc()
                         with fl_lock:
                             flights.add(seq)
                         try:
                             outcome = policy.execute(
                                 el.apply, value, cancel=token,
                                 trace=trace, stage=el.name, seq=seq,
+                                metrics=metrics,
                             )
                         finally:
                             with fl_lock:
                                 flights.discard(seq)
+                            if metrics is not None:
+                                metrics.gauge(
+                                    "items_in_flight", stage=el.name
+                                ).dec()
                         stage_counters.account(outcome)
+                        if metrics is not None:
+                            count_outcome(
+                                metrics, el.name,
+                                outcome.action, outcome.retried,
+                            )
                         if outcome.error is not None:
                             record(el.name, seq, outcome.error, outcome.attempts)
                         if outcome.action == "failed":
@@ -734,6 +798,13 @@ class Pipeline:
             if watchdog_thread is not None:
                 watchdog_thread.join(1.0)
             leaked = [t.name for t in threads if t.is_alive()]
+            if metrics is not None:
+                # settle the gauges to the final buffer state so the
+                # closing snapshot reflects the drained (or wedged) run
+                for i, el in enumerate(elements):
+                    metrics.gauge(
+                        "stage_queue_depth", stage=el.name
+                    ).set(len(buffers[i]))
             self._set_stats(
                 elements, buffers, counters, records, generated[0],
                 delivered, token.reason if token.cancelled else None,

@@ -145,7 +145,11 @@ class TraceCollector:
     growing or silently forgetting that truncation happened.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        anchor: tuple[float, float] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("trace capacity must be >= 1")
         self.capacity = capacity
@@ -157,6 +161,21 @@ class TraceCollector:
         #: label stamped on spans when the recording thread name is not
         #: meaningful (process-pool workers are all "MainThread")
         self.worker_label: str | None = None
+        #: clock anchor ``(monotonic, epoch)`` sampled once at creation:
+        #: span stamps are monotonic, so this single pairing is what maps
+        #: them to wall-clock time downstream (summaries, Perfetto export,
+        #: metrics snapshots).  Worker-side rebuilds inherit the parent's
+        #: anchor through :meth:`spec` so every process agrees on the map.
+        self.anchor: tuple[float, float] = (
+            (float(anchor[0]), float(anchor[1]))
+            if anchor is not None
+            else (time.monotonic(), time.time())
+        )
+
+    def to_epoch(self, monotonic_stamp: float) -> float:
+        """Map a ``time.monotonic`` span stamp to epoch seconds."""
+        mono0, epoch0 = self.anchor
+        return epoch0 + (monotonic_stamp - mono0)
 
     # ------------------------------------------------------------------
     # recording
@@ -245,7 +264,7 @@ class TraceCollector:
     # ------------------------------------------------------------------
     def spec(self) -> dict[str, Any]:
         """Picklable constructor arguments for a worker-side rebuild."""
-        return {"capacity": self.capacity}
+        return {"capacity": self.capacity, "anchor": list(self.anchor)}
 
     @classmethod
     def from_spec(cls, spec: dict[str, Any]) -> "TraceCollector":
@@ -280,16 +299,22 @@ class TraceCollector:
     def summary(self) -> dict[str, Any]:
         """Self-contained per-stage aggregates for reports and the tuner."""
         spans = self.spans()
+        mono0, epoch0 = self.anchor
         out: dict[str, Any] = {
             "spans": len(spans),
             "dropped": self.dropped,
             "capacity": self.capacity,
+            "anchor": {"monotonic": mono0, "epoch": epoch0},
             "wall": 0.0,
             "stages": {},
         }
         if not spans:
             return out
-        out["wall"] = max(s.end for s in spans) - min(s.start for s in spans)
+        start = min(s.start for s in spans)
+        out["wall"] = max(s.end for s in spans) - start
+        # the run's first span as a real timestamp — orders summaries
+        # from different runs (and processes) on one wall clock
+        out["started_epoch"] = self.to_epoch(start)
         stages: dict[str, dict[str, Any]] = {}
         for s in spans:
             st = stages.setdefault(
@@ -542,13 +567,18 @@ def resolve_collector(
 # ---------------------------------------------------------------------------
 
 def chrome_trace(
-    spans: Iterable[Span | dict[str, Any]], label: str = "repro"
+    spans: Iterable[Span | dict[str, Any]],
+    label: str = "repro",
+    anchor: tuple[float, float] | None = None,
 ) -> dict[str, Any]:
     """Chrome trace-event JSON for a span list.
 
     Complete ("X") events on one process row, one thread row per worker,
     timestamps rebased to the earliest span.  The output loads directly
-    in Perfetto (ui.perfetto.dev) and ``chrome://tracing``.
+    in Perfetto (ui.perfetto.dev) and ``chrome://tracing``.  With a
+    collector's ``(monotonic, epoch)`` clock ``anchor``, ``otherData``
+    records the run's start as a real epoch timestamp, so exported
+    traces from different runs order on one wall clock.
     """
     normalized: list[Span] = [
         s if isinstance(s, Span) else Span.from_dict(s) for s in spans
@@ -593,10 +623,14 @@ def chrome_trace(
                 "args": args,
             }
         )
+    other: dict[str, Any] = {"tool": "repro", "spans": len(normalized)}
+    if anchor is not None:
+        mono0, epoch0 = anchor
+        other["started_epoch"] = epoch0 + (t0 - mono0)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"tool": "repro", "spans": len(normalized)},
+        "otherData": other,
     }
 
 
@@ -604,7 +638,10 @@ def write_chrome_trace(
     path: str | Path,
     spans: Iterable[Span | dict[str, Any]],
     label: str = "repro",
+    anchor: tuple[float, float] | None = None,
 ) -> Path:
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(spans, label=label)) + "\n")
+    path.write_text(
+        json.dumps(chrome_trace(spans, label=label, anchor=anchor)) + "\n"
+    )
     return path

@@ -345,6 +345,7 @@ class TestDoallPattern:
             "Transport@loop",
             "PoolReuse@loop",
             "Trace@loop",
+            "Metrics@loop",
         }
         assert match.parameter("NumWorkers@loop").domain() == [1, 2, 3, 4]
 
