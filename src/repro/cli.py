@@ -544,7 +544,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.live and metrics is not None:
         from repro.runtime.dashboard import LiveDashboard
 
-        nchunks = (len(values) + chunk_size - 1) // chunk_size
+        from repro.runtime.adaptive import plan_chunks
+
+        # for adaptive the controller owns the real plan; the guided
+        # plan is its zero-feedback prior, so this is an estimate the
+        # dashboard's chunks_planned-aware rendering refines live
+        nchunks = len(
+            plan_chunks(len(values), chunk_size, args.schedule, args.workers)
+        )
         dashboard = LiveDashboard(
             metrics, total_chunks=nchunks, label=kernel.name
         ).start()
@@ -712,6 +719,7 @@ def cmd_backends(args: argparse.Namespace) -> int:
     rows = sweep_backends(
         workers=args.workers, scale=scale,
         transport=args.transport, reuse=args.reuse,
+        schedule=args.schedule,
     )
     print(render_table(rows))
     cores = available_cores()
@@ -883,7 +891,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-size", type=int, default=0,
                    help="elements per dispatched chunk (0 = kernel default)")
     p.add_argument("--schedule", default="dynamic",
-                   choices=["static", "dynamic"])
+                   choices=["static", "dynamic", "guided", "adaptive"],
+                   help="chunk discipline: fixed stripes (static/dynamic), "
+                        "geometric shrink (guided), or in-run re-tuning "
+                        "from latency feedback (adaptive)")
     p.add_argument("--backend", default="process",
                    choices=["serial", "thread", "process"])
     p.add_argument("--restarts", type=int, default=2,
@@ -959,6 +970,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-backend data plane for the sweep")
     p.add_argument("--reuse", action="store_true",
                    help="sweep the process backend on a warm worker pool")
+    p.add_argument("--schedule", default="dynamic",
+                   choices=["static", "dynamic", "guided", "adaptive"],
+                   help="chunk discipline for the pooled rows (Schedule)")
     p.add_argument("--json", metavar="PATH",
                    help="also write the sweep as a results JSON")
     p.set_defaults(func=cmd_backends)

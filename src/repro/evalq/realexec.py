@@ -164,6 +164,7 @@ def sweep_backends(
     repeats: int = 1,
     transport: str = "pickle",
     reuse: bool = False,
+    schedule: str = "dynamic",
 ) -> list[SweepRow]:
     """Run every kernel under every backend; measure and cross-check.
 
@@ -174,6 +175,9 @@ def sweep_backends(
     ``transport`` / ``reuse`` select the process backend's data plane
     for the sweep (ignored by serial/thread rows); a transport downgrade
     surfaces in the row's events like a backend downgrade does.
+    ``schedule`` picks the chunk discipline (static / dynamic / guided /
+    adaptive) for the pooled rows — schedules change timing, never
+    results, which the checksum cross-check enforces.
     """
     kernels = default_kernels(scale) if kernels is None else list(kernels)
     rows: list[SweepRow] = []
@@ -192,6 +196,7 @@ def sweep_backends(
                     kernel.body,
                     workers=workers,
                     chunk_size=kernel.chunk_size,
+                    schedule=schedule,
                     backend=backend,
                     events=events,
                     transport=transport,

@@ -12,8 +12,9 @@ Control flow: ``continue`` only affects its own iteration and is fine;
 ``break``/``return``/``raise`` couple iterations and disqualify the loop
 (same reasoning as the pipeline PLCD rule).
 
-Tuning parameters: ``NumWorkers``, ``ChunkSize``, ``Schedule`` (static or
-dynamic assignment of chunks) and ``SequentialExecution`` — the latter
+Tuning parameters: ``NumWorkers``, ``ChunkSize``, ``Schedule`` (static /
+dynamic / guided / adaptive assignment of chunk descriptors — see
+``repro.runtime.adaptive``) and ``SequentialExecution`` — the latter
 implements the paper's guarantee that a transformed loop "never leads to a
 slowdown in comparison to the former sequential version" on short streams.
 """
@@ -43,6 +44,7 @@ from repro.patterns.tuning import (
     RETRIES_DOMAIN,
     METRICS,
     SCHEDULE,
+    SCHEDULE_DOMAIN,
     SEQUENTIAL_EXECUTION,
     TRACE,
     TRANSPORT,
@@ -142,7 +144,7 @@ class DoallPattern(SourcePattern):
                 name=SCHEDULE,
                 target="loop",
                 default="dynamic",
-                choices=("static", "dynamic"),
+                choices=SCHEDULE_DOMAIN,
                 location=loc,
             ),
             BoolParameter(

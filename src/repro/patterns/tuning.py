@@ -145,6 +145,15 @@ CHUNK_SIZE = "ChunkSize"
 SCHEDULE = "Schedule"
 BUFFER_CAPACITY = "BufferCapacity"
 
+#: legal Schedule values, in increasing smarts order: fixed-stride
+#: chunks assigned round-robin (static) or claimed from a shared
+#: counter (dynamic); geometrically shrinking descriptors à la OpenMP
+#: guided self-scheduling (guided, where ChunkSize is the minimum
+#: chunk); and the in-run feedback controller that re-tunes chunk size
+#: and pool width from per-chunk latency (adaptive) — see
+#: repro.runtime.adaptive
+SCHEDULE_DOMAIN = ("static", "dynamic", "guided", "adaptive")
+
 # The execution substrate.  Like every other knob it changes runtime
 # behaviour, never semantics: ``serial`` runs in the calling thread,
 # ``thread`` on the supervised thread pool (I/O-bound work), ``process``

@@ -14,6 +14,13 @@ these types directly:
 [4, 6, 8]
 """
 
+from repro.runtime.adaptive import (
+    SCHEDULES,
+    AdaptDecision,
+    AdaptiveController,
+    plan_chunks,
+    plan_guided,
+)
 from repro.runtime.backend import (
     BACKENDS,
     BackendEvent,
@@ -79,6 +86,11 @@ from repro.runtime.tunable import TuningConfig
 
 __all__ = [
     "BACKENDS",
+    "SCHEDULES",
+    "AdaptDecision",
+    "AdaptiveController",
+    "plan_chunks",
+    "plan_guided",
     "BackendEvent",
     "BackendFallbackWarning",
     "ProcessCancellationToken",

@@ -523,6 +523,10 @@ class ProcessRun:
     leaked: list[str]
     #: crash-recovery history (worker_lost / respawn / redispatch / hedge)
     recovery: list[RecoveryEvent] = field(default_factory=list)
+    #: chunk index -> claim-to-delivery seconds from the ownership
+    #: ledger (first result only; dedup losers are not timed) — the
+    #: feedback the adaptive scheduler's controller consumes
+    latencies: dict[int, float] = field(default_factory=dict)
 
     def missing(
         self, n_chunks: int, completed: frozenset[int] = frozenset()
@@ -1198,6 +1202,21 @@ class PoolSession:
         """The collector found a dead member; forget it."""
         self._drop_member(uid, sentinel=False)
 
+    def resize(self, workers: int) -> None:
+        """Re-tune the session's target width between calls.
+
+        The adaptive scheduler's in-run controller calls this while
+        holding :attr:`lock` between waves: the next ``begin_call``
+        heals *up* to the new strength (spawning any missing members)
+        and ``end_call`` retires members *beyond* it — workers are
+        never terminated mid-call, only grown or shed at the
+        generation boundary.  Callers that resize a session obtained
+        from the width-keyed :func:`get_session` registry must restore
+        the original width before releasing the lock, or the registry
+        key would lie about the pool underneath it.
+        """
+        self.nworkers = max(1, int(workers))
+
     def end_call(self) -> None:
         """Close the call: stop stragglers, retire beyond-strength extras."""
         self.stop_event.set()
@@ -1313,6 +1332,7 @@ def run_process_chunks(
     checkpoint: Any = None,
     reuse: bool = False,
     out_values: Any = None,
+    session: "PoolSession | None" = None,
 ) -> ProcessRun:
     """Execute a prepared payload on a process pool and collect chunks.
 
@@ -1346,6 +1366,13 @@ def run_process_chunks(
       this worker width (falling back to a cold pool when the session is
       busy); ``out_values`` is the parent-side shared output region a
       chunk flagged ``shm`` is materialized from at absorb time.
+    * ``session`` passes a *caller-owned* :class:`PoolSession` instead:
+      the caller already holds ``session.lock`` across a sequence of
+      calls (the adaptive scheduler's wave loop re-tunes the pool width
+      between calls with :meth:`PoolSession.resize`) and releases it
+      afterwards — this function then neither acquires nor releases the
+      lock, but still runs the per-call generation protocol
+      (``begin_call``/``end_call``).
     """
     if isinstance(payload, bytes):
         kernel_blob, call_blob = pickle.loads(payload)
@@ -1361,8 +1388,11 @@ def run_process_chunks(
     if live_chunks <= 0:
         return ProcessRun(chunks={}, fatal=[], leaked=[])
     nworkers = max(1, min(workers, live_chunks))
-    session: PoolSession | None = None
-    if reuse:
+    caller_owned = session is not None
+    if caller_owned:
+        if metrics is not None:
+            metrics.inc("pool_warm_hits", stage=label)
+    elif reuse:
         candidate = get_session(nworkers)
         if candidate.lock.acquire(blocking=False):
             session = candidate  # released in the finally below
@@ -1402,6 +1432,7 @@ def run_process_chunks(
     claim_time: dict[int, float] = {}
     attempts: dict[int, int] = {}
     latencies: list[float] = []
+    chunk_latency: dict[int, float] = {}
     hedged: set[int] = set()
     next_uid = 0
     restarts_used = 0
@@ -1519,6 +1550,7 @@ def run_process_chunks(
             t0 = claim_time.get(k)
             if t0 is not None:
                 latencies.append(time.monotonic() - t0)
+                chunk_latency[k] = latencies[-1]
                 if metrics is not None:
                     metrics.histogram(
                         "chunk_latency_seconds", stage=label
@@ -1665,7 +1697,7 @@ def run_process_chunks(
             for _ in range(nworkers):
                 spawn()
     except BaseException:
-        if session is not None:
+        if session is not None and not caller_owned:
             session.lock.release()
         raise
 
@@ -1827,7 +1859,8 @@ def run_process_chunks(
             try:
                 session.end_call()
             finally:
-                session.lock.release()
+                if not caller_owned:
+                    session.lock.release()
         else:
             for p in procs.values():
                 p.join(timeout=1.0)
@@ -1853,7 +1886,8 @@ def run_process_chunks(
             result_q.close()
             result_q.cancel_join_thread()
     return ProcessRun(
-        chunks=delivered, fatal=fatal, leaked=leaked, recovery=recovery
+        chunks=delivered, fatal=fatal, leaked=leaked, recovery=recovery,
+        latencies=chunk_latency,
     )
 
 

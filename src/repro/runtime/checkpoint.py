@@ -19,9 +19,20 @@ Design contract:
   discarded on load, and is truncated away on :meth:`resume` so the
   journal stays well-formed for further appends;
 * **shape-validated** — the journal records the run shape
-  (``n``/``chunk_size``/``label``) the first time a run binds to it;
-  resuming with a different shape raises :class:`CheckpointError`
-  instead of silently splicing mismatched chunk bounds;
+  (``n``/``chunk_size``/``label``, and since the adaptive-scheduling
+  work the ``schedule``) the first time a run binds to it; resuming
+  with a different shape raises :class:`CheckpointError` instead of
+  silently splicing mismatched chunk bounds;
+* **plan-carrying** — variable-size schedules (``guided``,
+  ``adaptive``) journal their chunk *plan* (append-only ``plan``
+  records mapping chunk index → ``(lo, hi)`` bounds) before
+  dispatching, because those plans depend on worker count and in-run
+  feedback and cannot be re-derived deterministically on resume; a
+  resumed run replays the journaled descriptors verbatim, which is
+  what keeps chunk identity (ledger, dedup, journal indices) stable
+  across the round-trip.  The planned-descriptor count is the
+  generalized conservation denominator:
+  ``chunks_completed - chunks_deduped = planned descriptors``;
 * **at-least-once tolerant** — duplicate records for a chunk index are
   legal (recovery re-dispatches chunks with at-least-once semantics);
   the last record wins, and because chunk execution is deterministic
@@ -129,6 +140,9 @@ class ChunkJournal:
         self.flush_mode = flush
         self._pending = 0
         self._pending_since = 0.0
+        #: chunk index -> (lo, hi) bounds planned by a variable-size
+        #: schedule (populated by :meth:`plan` and on :meth:`resume`)
+        self._planned: dict[int, tuple[int, int]] = {}
         #: chunks loaded from disk at open time (what resume skips)
         self.resumed = len(completed)
         #: chunks appended through this handle
@@ -189,13 +203,20 @@ class ChunkJournal:
                 trunc.truncate(valid)
         shape: dict[str, Any] | None = None
         completed: dict[int, dict[str, Any]] = {}
+        planned: dict[int, tuple[int, int]] = {}
         for record in records:
             if record["kind"] == "shape":
                 shape = record
             elif record["kind"] == "chunk":
                 completed[int(record["index"])] = record
+            elif record["kind"] == "plan":
+                base = int(record["base"])
+                for i, (lo, hi) in enumerate(record["bounds"]):
+                    planned[base + i] = (int(lo), int(hi))
         fh = open(path, "ab")
-        return cls(path, fh, shape, completed, flush=flush)
+        journal = cls(path, fh, shape, completed, flush=flush)
+        journal._planned = planned
+        return journal
 
     @classmethod
     def load(cls, path: str | Path) -> "ChunkJournal":
@@ -207,13 +228,25 @@ class ChunkJournal:
     # ------------------------------------------------------------------
     # the run-binding contract
     # ------------------------------------------------------------------
-    def bind(self, n: int, chunk_size: int, label: str = "loop") -> None:
+    def bind(
+        self,
+        n: int,
+        chunk_size: int,
+        label: str = "loop",
+        schedule: str | None = None,
+    ) -> None:
         """Bind the journal to one run shape; validate on re-bind.
 
         The first run to use a journal stamps its shape; any later run
         (the ``--resume`` path) must present the same ``n`` /
         ``chunk_size`` / ``label``, because chunk indices are only
-        meaningful relative to that chunking.
+        meaningful relative to that chunking.  Since variable-size
+        schedules arrived, the ``schedule`` is part of the shape too —
+        a journal planned by ``guided`` cannot be resumed as
+        ``dynamic``, because the chunk indices would name different
+        element ranges.  Journals written before schedules were
+        recorded (no ``schedule`` in their shape record) resume under
+        any schedule, for backward compatibility.
         """
         wanted = {
             "kind": "shape",
@@ -221,22 +254,75 @@ class ChunkJournal:
             "chunk_size": int(chunk_size),
             "label": str(label),
         }
+        if schedule is not None:
+            wanted["schedule"] = str(schedule)
         if self._shape is None:
             self._append(wanted)
             self._shape = wanted
             return
-        have = {k: self._shape.get(k) for k in ("n", "chunk_size", "label")}
-        want = {k: wanted[k] for k in ("n", "chunk_size", "label")}
+        keys = ["n", "chunk_size", "label"]
+        if schedule is not None and self._shape.get("schedule") is not None:
+            keys.append("schedule")
+        have = {k: self._shape.get(k) for k in keys}
+        want = {k: wanted[k] for k in keys}
         if have != want:
             raise CheckpointError(
                 f"journal {self.path} was written for run shape {have}, "
                 f"cannot resume a run with shape {want}"
             )
 
+    def plan(self, base: int, bounds: list[tuple[int, int]]) -> None:
+        """Journal one wave of planned descriptors *before* dispatch.
+
+        ``bounds[i]`` becomes chunk index ``base + i``.  Plan-ahead
+        logging: the record is appended and flushed before any of the
+        wave executes, so a kill mid-wave leaves the plan on disk and
+        resume re-executes exactly these descriptors under their
+        original indices.  Re-planning an index already journaled is
+        idempotent (identical bounds win; conflicting bounds raise).
+        """
+        clean: list[tuple[int, int]] = []
+        for i, (lo, hi) in enumerate(bounds):
+            index = int(base) + i
+            bound = (int(lo), int(hi))
+            prior = self._planned.get(index)
+            if prior is not None and prior != bound:
+                raise CheckpointError(
+                    f"journal {self.path} planned chunk {index} as "
+                    f"{prior}, cannot re-plan it as {bound}"
+                )
+            clean.append(bound)
+        self._append(
+            {"kind": "plan", "base": int(base), "bounds": clean}
+        )
+        for i, bound in enumerate(clean):
+            self._planned[int(base) + i] = bound
+
+    def planned(self) -> dict[int, tuple[int, int]]:
+        """``{chunk index: (lo, hi)}`` for every planned descriptor."""
+        return dict(sorted(self._planned.items()))
+
+    @property
+    def planned_total(self) -> int:
+        """Planned-descriptor count: the generalized conservation RHS."""
+        return len(self._planned)
+
     def completed(self) -> dict[int, list[Any]]:
         """``{chunk index: delivered values}`` for every journaled chunk."""
         return {
             k: list(rec["values"]) for k, rec in sorted(self._completed.items())
+        }
+
+    def completed_ranges(self) -> dict[int, tuple[int, int, list[Any]]]:
+        """``{chunk index: (lo, hi, values)}`` — bounds-aware prefill.
+
+        Variable-size schedules cannot recover a chunk's element range
+        from ``index * chunk_size``; the journaled record carries the
+        real bounds, and resume must use them.
+        """
+        return {
+            k: (int(rec["lo"]), int(rec["hi"]), list(rec["values"]))
+            for k, rec in sorted(self._completed.items())
         }
 
     def completed_indices(self) -> frozenset[int]:
@@ -349,9 +435,10 @@ class ChunkJournal:
     def shape(self) -> dict[str, Any] | None:
         if self._shape is None:
             return None
-        return {
-            k: self._shape.get(k) for k in ("n", "chunk_size", "label")
-        }
+        keys = ["n", "chunk_size", "label"]
+        if self._shape.get("schedule") is not None:
+            keys.append("schedule")
+        return {k: self._shape.get(k) for k in keys}
 
     def summary(self) -> dict[str, Any]:
         """What ``fault_report`` renders under its checkpoint section."""
@@ -360,5 +447,6 @@ class ChunkJournal:
             "resumed": self.resumed,
             "recorded": self.recorded,
             "chunks": len(self._completed),
+            "planned": len(self._planned),
             "shape": self.shape,
         }

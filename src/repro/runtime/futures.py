@@ -8,6 +8,7 @@ generator uses it for fire-and-join statement groups.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from typing import Any, Callable
@@ -70,7 +71,17 @@ class AutoFuture:
         if not self._done.wait(timeout):
             raise TimeoutError("autofuture did not complete in time")
         if self._error is not None:
-            raise self._error
+            # Re-raise a fresh copy anchored at the original traceback.
+            # Raising the stored object itself would append this raise
+            # site to its __traceback__ on every call, so a future whose
+            # result is read by several callers accumulates one frame
+            # chain per caller.
+            err = self._error
+            try:
+                fresh = copy.copy(err)
+            except Exception:
+                raise err from err.__cause__
+            raise fresh.with_traceback(err.__traceback__)
         return self._value
 
     @property
@@ -84,5 +95,29 @@ def spawn(fn: Callable, *args: Any, **kwargs: Any) -> AutoFuture:
 
 
 def join_all(*futures: AutoFuture) -> list[Any]:
-    """Join a group of futures, re-raising the first failure."""
-    return [f.result() for f in futures]
+    """Join a group of futures, re-raising the first failure.
+
+    Every future is joined *before* anything is raised — a fire-and-join
+    statement group must not leave helper threads running (or their
+    errors unobserved) because an earlier sibling failed.  The first
+    failure (in argument order) is raised; any later failures ride
+    along on its ``suppressed`` attribute and, on Python ≥ 3.11, as
+    exception notes, so a fault report shows the whole group.
+    """
+    outcomes: list[tuple[Any, BaseException | None]] = []
+    for f in futures:
+        try:
+            outcomes.append((f.result(), None))
+        except BaseException as exc:
+            outcomes.append((None, exc))
+    failures = [exc for _v, exc in outcomes if exc is not None]
+    if failures:
+        first, rest = failures[0], failures[1:]
+        first.suppressed = tuple(rest)
+        if rest and hasattr(first, "add_note"):
+            for exc in rest:
+                first.add_note(
+                    f"join_all: sibling future also failed: {exc!r}"
+                )
+        raise first
+    return [v for v, _exc in outcomes]

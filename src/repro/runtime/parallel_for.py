@@ -30,22 +30,35 @@ is backend-independent.
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.runtime.adaptive import (
+    SCHEDULES,
+    AdaptiveController,
+    WaveJournal,
+    WaveResult,
+    plan_chunks,
+    plan_fixed,
+    plan_guided,
+    run_adaptive,
+)
 from repro.runtime.backend import (
     BackendEvent,
+    ProcessPayload,
     RecoveryEvent,
     TuningError,
     build_process_payload,
     downgrade,
     downgrade_transport,
+    get_session,
     normalize_backend,
     run_process_chunks,
 )
 from repro.runtime.chaos import ChaosInjector
-from repro.runtime.checkpoint import ChunkJournal
+from repro.runtime.checkpoint import CheckpointError, ChunkJournal
 from repro.runtime.faults import (
     CancellationToken,
     CancelledError,
@@ -60,16 +73,9 @@ from repro.runtime.metrics import (
 from repro.runtime.shm import ShmInput, ShmOutput, normalize_transport
 from repro.runtime.trace import TraceCollector, resolve_collector
 
-SCHEDULES = ("static", "dynamic")
-
-
-def _chunks(n: int, chunk_size: int) -> list[tuple[int, int]]:
-    if chunk_size <= 0:
-        raise TuningError(
-            f"ChunkSize must be >= 1, got {chunk_size} "
-            "(zero or negative chunking emits no work)"
-        )
-    return [(i, min(i + chunk_size, n)) for i in range(0, n, chunk_size)]
+#: fixed-stride planning (kept under its historical private name; the
+#: planner family lives in :mod:`repro.runtime.adaptive` now)
+_chunks = plan_fixed
 
 
 def _validate(workers: int, chunk_size: int, schedule: str) -> None:
@@ -82,6 +88,53 @@ def _validate(workers: int, chunk_size: int, schedule: str) -> None:
         raise TuningError(f"ChunkSize must be >= 1, got {chunk_size}")
     if schedule not in SCHEDULES:
         raise ValueError(f"unknown schedule {schedule!r}")
+
+
+def _resolve_plan(
+    n: int,
+    chunk_size: int,
+    schedule: str,
+    workers: int,
+    checkpoint: ChunkJournal | None,
+) -> list[tuple[int, int]]:
+    """The run's chunk descriptors, honoring a resumed journal's plan.
+
+    ``static``/``dynamic`` plans are a pure function of ``(n,
+    chunk_size)``, so they are recomputed (and always equal what an
+    earlier run journaled).  Variable-size plans (``guided``, and the
+    serial degradation of ``adaptive``) depend on worker count and
+    feedback, so a resumed journal's ``plan`` records are
+    authoritative: the journaled descriptors are replayed verbatim —
+    that is what keeps chunk indices naming the same element ranges
+    across the resume — and any uncovered tail (a run killed before it
+    finished planning) is extended with the guided shrink and
+    journaled.  Fresh plans are journaled before dispatch when a
+    checkpoint is attached.
+    """
+    if schedule in ("static", "dynamic"):
+        return plan_fixed(n, chunk_size)
+    planned = checkpoint.planned() if checkpoint is not None else {}
+    if not planned:
+        bounds = plan_chunks(n, chunk_size, schedule, workers)
+        if checkpoint is not None:
+            checkpoint.plan(0, bounds)
+        return bounds
+    bounds = []
+    end = 0
+    for i, k in enumerate(sorted(planned)):
+        lo, hi = planned[k]
+        if k != i or lo != end or hi < lo:
+            raise CheckpointError(
+                f"journal {checkpoint.path} holds a non-contiguous plan "
+                f"(chunk {k} spans [{lo}, {hi}) after element {end})"
+            )
+        bounds.append((lo, hi))
+        end = hi
+    if end < n:
+        tail = plan_guided(n, chunk_size, workers, start=end)
+        checkpoint.plan(len(bounds), tail)
+        bounds.extend(tail)
+    return bounds
 
 
 def _stopped(
@@ -265,6 +318,233 @@ def _assemble_process_run(
         )
 
 
+def _adaptive_for(
+    vals: list[Any],
+    raw_body: Callable[[Any], Any],
+    *,
+    workers: int,
+    chunk_size: int,
+    cancel: CancellationToken | None,
+    policy: FaultPolicy | None,
+    effective: str,
+    chaos: ChaosInjector | None,
+    ledger: list[ErrorRecord] | None,
+    events: list[BackendEvent] | None,
+    trace: TraceCollector | None,
+    restarts: int,
+    hedge: float,
+    recovery: list[RecoveryEvent] | None,
+    checkpoint: ChunkJournal | None,
+    journal_done: dict[int, tuple[int, int, list[Any]]],
+    plane: str,
+    reuse: bool,
+    metrics: MetricsRegistry | None,
+) -> list[Any]:
+    """The ``Schedule=adaptive`` road: wave dispatch with in-run re-tuning.
+
+    The :class:`~repro.runtime.adaptive.AdaptiveController` plans the
+    iteration space wave by wave; each wave is one pool call (process
+    backend: the existing chunk collector with a caller-owned warm
+    :class:`~repro.runtime.backend.PoolSession`, resized between waves;
+    thread backend: a shared-counter wave executor), and the wave's
+    per-chunk claim-to-delivery latencies feed the controller before
+    the next wave is planned.  Chunk indices are global and journaled
+    plan-ahead, so checkpoint/resume replays planned-but-unfinished
+    descriptors under their original identity.  Recovery budgets
+    (``restarts``, ``hedge``) apply per wave — each wave is one pool
+    call, and that is the granularity the collector's ledger supervises.
+    """
+    n = len(vals)
+    results: list[Any] = [None] * n
+    for _k, (lo, _hi, done_vals) in journal_done.items():
+        for offset, value in enumerate(done_vals):
+            results[lo + offset] = value
+    planned = checkpoint.planned() if checkpoint is not None else {}
+    replay = {k: b for k, b in planned.items() if k not in journal_done}
+    base = (max(planned) + 1) if planned else 0
+    start = max((hi for _lo, hi in planned.values()), default=0)
+    controller = AdaptiveController(
+        n, chunk_size, workers, start=start,
+        trace=trace, metrics=metrics, label="loop",
+    )
+    if controller.done and not replay:
+        return results
+
+    if effective == "process":
+        shm_in = None
+        input_spec = None
+        if plane == "shm":
+            shm_in, why = ShmInput.build(vals)
+            if shm_in is None:
+                downgrade_transport(why, events, trace=trace)
+            else:
+                input_spec = ("shm", shm_in.spec())
+        try:
+            payload, reason = build_process_payload(
+                raw_body, vals, [], policy=policy, chaos=chaos,
+                label="loop", trace=trace, metrics=metrics,
+                input_spec=input_spec, out_spec=None,
+            )
+            if payload is None:
+                effective = downgrade(
+                    "process", "thread", reason, events, trace=trace
+                )
+            else:
+                if input_spec is None:
+                    input_spec = ("inline", list(vals))
+                session = None
+                if reuse:
+                    candidate = get_session(workers)
+                    if candidate.lock.acquire(blocking=False):
+                        session = candidate
+                    if metrics is not None:
+                        metrics.inc(
+                            "pool_warm_hits" if session is not None
+                            else "pool_warm_misses",
+                            stage="loop",
+                        )
+                original_width = (
+                    session.nworkers if session is not None else None
+                )
+
+                def dispatch_process(
+                    bounds: list[tuple[int, int]],
+                    indices: list[int],
+                    width: int,
+                ) -> WaveResult:
+                    # one pool call per wave: same kernel blob (shipped
+                    # once per warm worker), fresh per-wave call blob
+                    # carrying this wave's descriptors
+                    if session is not None:
+                        session.resize(width)
+                    wave_payload = ProcessPayload(
+                        payload.kernel_blob,
+                        pickle.dumps(
+                            (input_spec, None, list(bounds)),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                        payload.digest,
+                    )
+                    started = time.monotonic()
+                    run = run_process_chunks(
+                        wave_payload,
+                        bounds,
+                        workers=width,
+                        schedule="adaptive",
+                        cancel=cancel,
+                        max_restarts=restarts,
+                        hedge=hedge,
+                        trace=trace,
+                        label="loop",
+                        checkpoint=(
+                            WaveJournal(checkpoint, indices)
+                            if checkpoint is not None else None
+                        ),
+                        reuse=False,
+                        session=session,
+                        metrics=metrics,
+                    )
+                    if recovery is not None:
+                        recovery.extend(run.recovery)
+                    _assemble_process_run(
+                        run, list(bounds), results, ledger, chaos, cancel,
+                        trace=trace,
+                    )
+                    return WaveResult(
+                        latencies=dict(run.latencies),
+                        elapsed=time.monotonic() - started,
+                    )
+
+                try:
+                    run_adaptive(
+                        controller, dispatch_process,
+                        journal=checkpoint, replay=replay, base=base,
+                    )
+                finally:
+                    if session is not None:
+                        # the registry keys sessions by width: restore
+                        # it before releasing so the key stays truthful
+                        session.resize(original_width)
+                        session.lock.release()
+                return results
+        finally:
+            if shm_in is not None:
+                shm_in.dispose()
+
+    # thread substrate (or the recorded downgrade road from above)
+    body = raw_body
+    if chaos is not None:
+        if trace is not None:
+            chaos.trace = trace
+        if metrics is not None:
+            chaos.metrics = metrics
+        body = chaos.wrap(raw_body, name="loop")
+    ledger_lock = threading.Lock() if ledger is not None else None
+    element = _make_element(
+        body, policy, cancel, ledger, ledger_lock, trace, metrics=metrics
+    )
+
+    def dispatch_threads(
+        bounds: list[tuple[int, int]], indices: list[int], width: int
+    ) -> WaveResult:
+        errors: list[BaseException] = []
+        latencies: dict[int, float] = {}
+        wave_lock = threading.Lock()
+        claim = [0]
+        wave_started = time.monotonic()
+
+        def wave_worker() -> None:
+            try:
+                while True:
+                    if _stopped(errors, cancel):
+                        return
+                    with wave_lock:
+                        j = claim[0]
+                        if j >= len(bounds):
+                            return
+                        claim[0] += 1
+                    lo, hi = bounds[j]
+                    if metrics is not None:
+                        metrics.inc("chunks_dispatched", stage="loop")
+                    t0 = time.monotonic()
+                    for i in range(lo, hi):
+                        results[i] = element(i, vals[i])
+                    dur = time.monotonic() - t0
+                    with wave_lock:
+                        latencies[j] = dur
+                    if metrics is not None:
+                        metrics.inc("chunks_completed", stage="loop")
+                        metrics.histogram(
+                            "chunk_latency_seconds", stage="loop"
+                        ).observe(dur)
+                    if checkpoint is not None:
+                        k = indices[j]
+                        checkpoint.record(k, lo, hi, results[lo:hi])
+                        if trace is not None:
+                            trace.instant("checkpoint", "loop", lo, chunk=k)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=wave_worker, daemon=True)
+            for _ in range(max(1, min(width, len(bounds))))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        _finish(errors, cancel, trace=trace)
+        return WaveResult(
+            latencies=latencies, elapsed=time.monotonic() - wave_started
+        )
+
+    run_adaptive(
+        controller, dispatch_threads,
+        journal=checkpoint, replay=replay, base=base,
+    )
+    return results
+
+
 def parallel_for(
     values: Iterable[Any],
     body: Callable[[Any], Any],
@@ -292,8 +572,14 @@ def parallel_for(
     """Apply ``body`` to every value; return results in input order.
 
     ``schedule="static"`` pre-assigns chunks round-robin to workers;
-    ``"dynamic"`` lets workers pull the next chunk from a shared counter.
-    ``sequential=True`` (the SequentialExecution parameter), a
+    ``"dynamic"`` lets workers pull the next chunk from a shared
+    counter.  ``"guided"`` plans geometrically shrinking descriptors
+    (``ChunkSize`` becomes the minimum chunk) claimed from the same
+    counter; ``"adaptive"`` dispatches in waves and re-tunes chunk size
+    and pool width mid-run from per-chunk latency feedback (see
+    :mod:`repro.runtime.adaptive`; on the serial path it degrades to
+    the guided plan).  ``sequential=True`` (the SequentialExecution
+    parameter), a
     ``backend="serial"``, or a stream shorter than
     ``sequential_threshold`` falls back to a plain loop so the
     transformed program is never slower than the original.
@@ -372,13 +658,15 @@ def parallel_for(
 
     # A resumed journal's completed chunks are prefilled and never
     # re-executed; chunks completed by *this* run are journaled as they
-    # are delivered, on every backend.
-    journal_done: dict[int, list[Any]] = {}
+    # are delivered, on every backend.  Prefill uses the *journaled*
+    # bounds, not ``index * chunk_size`` — variable-size schedules make
+    # the latter a lie.
+    journal_done: dict[int, tuple[int, int, list[Any]]] = {}
     if checkpoint is not None and n:
         if metrics is not None:
             checkpoint.metrics = metrics
-        checkpoint.bind(n, chunk_size, "loop")
-        journal_done = checkpoint.completed()
+        checkpoint.bind(n, chunk_size, "loop", schedule=schedule)
+        journal_done = checkpoint.completed_ranges()
         if trace is not None and journal_done:
             trace.instant(
                 "checkpoint", "loop", -1,
@@ -386,8 +674,35 @@ def parallel_for(
             )
     journal_skip = frozenset(journal_done)
 
+    if not go_serial and schedule == "adaptive":
+        return _adaptive_for(
+            vals, raw_body,
+            workers=workers, chunk_size=chunk_size, cancel=cancel,
+            policy=policy, effective=effective, chaos=chaos,
+            ledger=ledger, events=events, trace=trace, restarts=restarts,
+            hedge=hedge, recovery=recovery, checkpoint=checkpoint,
+            journal_done=journal_done, plane=plane, reuse=reuse,
+            metrics=metrics,
+        )
+
+    # every non-adaptive road — process, thread, serial-with-checkpoint
+    # — executes this one plan, so the descriptor count is known up
+    # front; ``chunks_planned`` counts the descriptors *this* run will
+    # execute (a resumed journal's completed chunks are not re-planned),
+    # the right-hand side of the generalized conservation invariant
+    # chunks_completed - chunks_deduped = chunks_planned
+    chunks = (
+        _resolve_plan(n, chunk_size, schedule, workers, checkpoint)
+        if n else []
+    )
+    if metrics is not None and n:
+        metrics.inc(
+            "chunks_planned",
+            max(0, len(chunks) - len(journal_skip)),
+            stage="loop",
+        )
+
     if not go_serial and effective == "process":
-        chunks = _chunks(n, chunk_size)
         shm_in = shm_out = None
         input_spec = out_spec = None
         if plane == "shm":
@@ -410,8 +725,7 @@ def parallel_for(
                 )
             else:
                 results: list[Any] = [None] * n
-                for k, done_vals in journal_done.items():
-                    lo, _hi = chunks[k]
+                for _k, (lo, _hi, done_vals) in journal_done.items():
                     for offset, value in enumerate(done_vals):
                         results[lo + offset] = value
                 if len(journal_skip) >= len(chunks):
@@ -464,10 +778,11 @@ def parallel_for(
             # as the pool backends; the element-wise hot path below stays
             # untouched when checkpointing is off
             out_c: list[Any] = [None] * n
-            for k, (lo, hi) in enumerate(_chunks(n, chunk_size)):
+            for k, (lo, hi) in enumerate(chunks):
                 if k in journal_done:
-                    for offset, value in enumerate(journal_done[k]):
-                        out_c[lo + offset] = value
+                    done_lo, _done_hi, done_vals = journal_done[k]
+                    for offset, value in enumerate(done_vals):
+                        out_c[done_lo + offset] = value
                     continue
                 if metrics is not None:
                     metrics.inc("chunks_dispatched", stage="loop")
@@ -500,7 +815,7 @@ def parallel_for(
             # the element-wise hot loop has no chunk structure; account
             # the logical chunking wholesale so chunk-counter totals
             # match the pooled backends exactly
-            nchunks = len(_chunks(n, chunk_size))
+            nchunks = len(chunks)
             metrics.inc("chunks_dispatched", nchunks, stage="loop")
             metrics.inc("chunks_completed", nchunks, stage="loop")
         return out
@@ -511,9 +826,7 @@ def parallel_for(
     element = _make_element(
         body, policy, cancel, ledger, ledger_lock, trace, metrics=metrics
     )
-    chunks = _chunks(n, chunk_size)
-    for k, done_vals in journal_done.items():
-        lo, _hi = chunks[k]
+    for _k, (lo, _hi, done_vals) in journal_done.items():
         for offset, value in enumerate(done_vals):
             results[lo + offset] = value
     nworkers = min(workers, max(1, len(chunks) - len(journal_skip)))
@@ -735,6 +1048,14 @@ def parallel_reduce(
                 resumed=len(journal_done), path=str(checkpoint.path),
             )
     journal_skip = frozenset(journal_done)
+    if metrics is not None:
+        # the generalized conservation denominator, mirrored from the
+        # loop stage: completed - deduped = planned, per run
+        metrics.inc(
+            "chunks_planned",
+            max(0, len(chunks) - len(journal_skip)),
+            stage="reduce",
+        )
 
     if effective == "process":
         shm_in = None

@@ -204,7 +204,16 @@ def simulate_doall(
 ) -> SimResult:
     """Simulate a data-parallel loop under DOALL tuning keys
     (``NumWorkers@loop``, ``ChunkSize@loop``, ``Schedule@loop``,
-    ``SequentialExecution@loop``)."""
+    ``SequentialExecution@loop``).
+
+    ``Schedule@loop`` covers the full runtime domain: ``static`` stripes
+    fixed chunks round-robin, ``dynamic`` claims fixed chunks from a
+    shared counter, and ``guided``/``adaptive`` claim the variable-size
+    descriptor plan from :func:`repro.runtime.adaptive.plan_chunks`
+    (the simulator has no in-run latency feedback, so ``adaptive`` is
+    modeled by its zero-feedback prior — the guided plan; the real
+    controller only improves on it).
+    """
     config = dict(config or {})
     costs = list(element_costs)
     n = len(costs)
@@ -216,7 +225,9 @@ def simulate_doall(
     if config.get("SequentialExecution@loop") or workers <= 1 or n == 0:
         return SimResult(makespan=seq_time, sequential_time=seq_time)
 
-    chunks = [(i, min(i + chunk, n)) for i in range(0, n, chunk)]
+    from repro.runtime.adaptive import plan_chunks
+
+    chunks = plan_chunks(n, chunk, schedule, workers)
     nworkers = min(workers, len(chunks))
 
     env = Environment()
@@ -232,7 +243,10 @@ def simulate_doall(
     def worker(w: int) -> Any:
         yield env.timeout((w + 1) * machine.thread_spawn)
         while True:
-            if schedule == "dynamic":
+            if schedule != "static":
+                # dynamic, guided and adaptive all claim descriptors
+                # from the shared counter; the plans differ, not the
+                # claim discipline
                 if shared["next"] >= len(chunks):
                     break
                 lo, hi = chunks[shared["next"]]

@@ -103,6 +103,42 @@ def with_backend_dimension(
     )
 
 
+def schedule_dimension(target: str = "loop") -> TuningParameter:
+    """The chunk-assignment discipline as a search-space dimension.
+
+    The same ``Schedule@<target>`` key ``configured_parallel_for``
+    honours, widened past the classic static/dynamic pair: ``guided``
+    plans geometrically shrinking descriptors (OpenMP guided
+    self-scheduling — ``ChunkSize`` becomes the minimum chunk) and
+    ``adaptive`` re-tunes chunk size and pool width *during* the run
+    from per-chunk latency feedback (``repro.runtime.adaptive``).  A
+    tuner explores the discipline like any other knob, so skewed
+    workloads discover guided/adaptive empirically instead of by
+    rule-of-thumb.
+    """
+    from repro.patterns.tuning import (
+        SCHEDULE,
+        SCHEDULE_DOMAIN,
+        ChoiceParameter,
+    )
+
+    return ChoiceParameter(
+        name=SCHEDULE,
+        target=target,
+        default="dynamic",
+        choices=SCHEDULE_DOMAIN,
+    )
+
+
+def with_schedule_dimension(
+    space: "ParameterSpace", target: str = "loop"
+) -> "ParameterSpace":
+    """A copy of ``space`` widened by the ``Schedule`` dimension."""
+    return ParameterSpace(
+        parameters=list(space.parameters) + [schedule_dimension(target)]
+    )
+
+
 def data_plane_dimensions(target: str = "loop") -> list[TuningParameter]:
     """The process backend's data-plane knobs as search dimensions.
 

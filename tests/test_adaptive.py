@@ -1,0 +1,373 @@
+"""Adaptive scheduling: descriptor planners, the in-run controller,
+wave dispatch, plan-carrying journals, and checkpoint/resume round
+trips with variable-size chunks — including under seeded worker kills."""
+
+import functools
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.runtime import (
+    SCHEDULES,
+    AdaptiveController,
+    ChaosInjector,
+    CheckpointError,
+    ChunkJournal,
+    TuningError,
+    WorkerLostError,
+    parallel_for,
+    plan_chunks,
+    plan_guided,
+)
+from repro.runtime.adaptive import (
+    WaveResult,
+    plan_fixed,
+    run_adaptive,
+)
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.trace import TraceCollector
+
+
+def square(x):
+    return x * x
+
+
+def kill_once(x, marker="", victim=7):
+    """SIGKILL the hosting worker the first time ``victim`` is seen."""
+    if x == victim:
+        path = pathlib.Path(marker)
+        if not path.exists():
+            path.write_text("died")
+            time.sleep(0.1)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def contiguous(bounds, n, start=0):
+    """True iff ``bounds`` tiles ``[start, n)`` without gap or overlap."""
+    lo = start
+    for b_lo, b_hi in bounds:
+        if b_lo != lo or b_hi <= b_lo:
+            return False
+        lo = b_hi
+    return lo == n
+
+
+# ---------------------------------------------------------------------------
+# descriptor planners
+# ---------------------------------------------------------------------------
+
+class TestPlanners:
+    def test_fixed_stride(self):
+        assert plan_fixed(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_fixed_rejects_bad_chunk(self):
+        with pytest.raises(TuningError):
+            plan_fixed(10, 0)
+
+    def test_guided_covers_space(self):
+        bounds = plan_guided(1000, 1, 4)
+        assert contiguous(bounds, 1000)
+
+    def test_guided_shrinks_geometrically(self):
+        bounds = plan_guided(1000, 1, 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        # first descriptor is ceil(remaining / (2 * workers))
+        assert sizes[0] == 125
+        # never grows, and the tail reaches the floor
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] == 1
+
+    def test_guided_respects_min_chunk(self):
+        sizes = [hi - lo for lo, hi in plan_guided(200, 8, 4)]
+        # the floor binds everywhere except the final descriptor, which
+        # is truncated at n (whatever remainder is left)
+        assert all(s >= 8 for s in sizes[:-1])
+        assert sizes[-1] <= 8
+
+    def test_guided_start_offset(self):
+        bounds = plan_guided(100, 1, 2, start=60)
+        assert contiguous(bounds, 100, start=60)
+
+    def test_plan_chunks_per_schedule(self):
+        fixed = plan_chunks(40, 4, "static")
+        assert fixed == plan_chunks(40, 4, "dynamic") == plan_fixed(40, 4)
+        guided = plan_chunks(40, 1, "guided", workers=4)
+        assert guided == plan_guided(40, 1, 4)
+        # adaptive's single-shot plan is its zero-feedback prior
+        assert plan_chunks(40, 1, "adaptive", workers=4) == guided
+
+    def test_plan_chunks_rejects_junk(self):
+        with pytest.raises(TuningError):
+            plan_chunks(10, 1, "magic")
+
+
+# ---------------------------------------------------------------------------
+# the in-run controller
+# ---------------------------------------------------------------------------
+
+class TestController:
+    def test_waves_tile_the_space(self):
+        c = AdaptiveController(500, 4, workers=3)
+        all_bounds = []
+        while not c.done:
+            all_bounds.extend(c.next_wave())
+        assert contiguous(all_bounds, 500)
+
+    def test_knob_clamped_to_leave_feedback_room(self):
+        # a ChunkSize the size of the whole space must not hand wave one
+        # everything — the clamp keeps at least a few waves of feedback
+        c = AdaptiveController(100, 100, workers=4)
+        assert c.chunk == c.max_chunk == 13  # ceil(100 / 8)
+
+    def test_dispatch_bound_chunks_double(self):
+        c = AdaptiveController(10_000, 2, workers=2)
+        c.next_wave()
+        d = c.observe([0.001] * 4, elapsed=0.004)
+        assert d is not None and c.chunk == 4
+        assert "dispatch-bound" in d.reason
+
+    def test_long_chunks_halve(self):
+        c = AdaptiveController(10_000, 64, workers=2)
+        c.next_wave()
+        d = c.observe([0.5] * 4, elapsed=1.0)
+        assert d is not None and c.chunk == 32
+
+    def test_straggler_skew_halves_even_in_window(self):
+        c = AdaptiveController(10_000, 64, workers=2)
+        c.next_wave()
+        # mean sits inside the target window, but one chunk is 10x the
+        # median — skew evidence wins
+        d = c.observe([0.02, 0.02, 0.02, 0.2], elapsed=0.26)
+        assert d is not None and c.chunk == 32
+        assert "straggler" in d.reason
+
+    def test_idle_pool_sheds_a_worker(self):
+        c = AdaptiveController(100_000, 32, workers=4)
+        c.next_wave()
+        d = c.observe([0.02] * 8, elapsed=0.4)  # busy 16/160 = 10%
+        assert d is not None and c.workers == 3
+        assert "idling" in d.reason
+
+    def test_saturated_pool_regrows_to_cap(self):
+        c = AdaptiveController(100_000, 32, workers=4)
+        c.workers = 3
+        c.next_wave()
+        d = c.observe([0.1] * 6, elapsed=0.2)  # busy 0.6/0.6 = 100%
+        assert d is not None and c.workers == 4
+        # and never past the requested NumWorkers
+        c.next_wave()
+        d2 = c.observe([0.1] * 8, elapsed=0.2)
+        assert c.workers == 4
+
+    def test_steady_wave_changes_nothing(self):
+        c = AdaptiveController(100_000, 32, workers=2)
+        c.next_wave()
+        # mean inside the window, no skew, utilization in band
+        assert c.observe([0.05, 0.05, 0.06, 0.06], elapsed=0.15) is None
+        assert c.chunk == 32 and c.workers == 2
+
+    def test_decisions_emit_trace_and_metrics(self):
+        reg = MetricsRegistry()
+        collector = TraceCollector()
+        c = AdaptiveController(
+            10_000, 2, workers=2, trace=collector, metrics=reg
+        )
+        c.next_wave()
+        c.observe([0.001] * 4, elapsed=0.004)
+        assert reg.total("adapt_waves") == 1
+        assert reg.total("adapt_retunes") == 1
+        assert reg.total("adapt_grows") == 1
+        assert reg.gauge("adapt_chunk_size", stage="loop").value == 4
+        assert any(s.kind == "adapt" for s in collector.spans())
+
+    def test_run_adaptive_replays_sparse_indices_first(self):
+        seen: list[tuple[tuple[int, int], int]] = []
+
+        def dispatch(bounds, indices, workers):
+            seen.extend(zip(bounds, indices))
+            return WaveResult(
+                latencies={k: 0.05 for k in range(len(bounds))},
+                elapsed=0.1,
+            )
+
+        c = AdaptiveController(20, 2, workers=2, start=12)
+        n = run_adaptive(
+            c, dispatch,
+            replay={1: (2, 4), 4: (8, 10)},  # sparse survivors
+            base=6,
+        )
+        # the replayed descriptors went out first, under their original
+        # journal indices, before any freshly planned wave
+        assert seen[0] == ((2, 4), 1)
+        assert seen[1] == ((8, 10), 4)
+        fresh = [b for b, _k in seen[2:]]
+        assert contiguous(fresh, 20, start=12)
+        assert n == len(seen)
+
+
+# ---------------------------------------------------------------------------
+# plan-carrying journals
+# ---------------------------------------------------------------------------
+
+class TestPlanJournal:
+    def test_plan_round_trips(self, tmp_path):
+        path = tmp_path / "p.journal"
+        with ChunkJournal.create(path) as j:
+            j.bind(20, 2, schedule="guided")
+            j.plan(0, [(0, 8), (8, 14)])
+            j.plan(2, [(14, 20)])
+            j.record(1, 8, 14, [0] * 6)
+        j2 = ChunkJournal.load(path)
+        assert j2.planned() == {0: (0, 8), 1: (8, 14), 2: (14, 20)}
+        assert j2.planned_total == 3
+        assert j2.completed_ranges() == {1: (8, 14, [0] * 6)}
+        assert j2.shape["schedule"] == "guided"
+
+    def test_replan_identical_is_idempotent(self, tmp_path):
+        with ChunkJournal.create(tmp_path / "p.journal") as j:
+            j.plan(0, [(0, 4)])
+            j.plan(0, [(0, 4)])
+            assert j.planned_total == 1
+
+    def test_conflicting_replan_raises(self, tmp_path):
+        with ChunkJournal.create(tmp_path / "p.journal") as j:
+            j.plan(0, [(0, 4)])
+            with pytest.raises(CheckpointError, match="re-plan"):
+                j.plan(0, [(0, 6)])
+
+    def test_schedule_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "s.journal"
+        with ChunkJournal.create(path) as j:
+            j.bind(20, 2, schedule="guided")
+        with ChunkJournal.resume(path) as j2:
+            with pytest.raises(CheckpointError, match="shape"):
+                j2.bind(20, 2, schedule="dynamic")
+
+    def test_legacy_journal_resumes_under_any_schedule(self, tmp_path):
+        # journals written before schedules were part of the shape carry
+        # no schedule key; they must keep resuming
+        path = tmp_path / "old.journal"
+        with ChunkJournal.create(path) as j:
+            j.bind(20, 2)
+        with ChunkJournal.resume(path) as j2:
+            j2.bind(20, 2, schedule="dynamic")
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: variable-size schedules through parallel_for
+# ---------------------------------------------------------------------------
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("schedule", ["guided", "adaptive"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_schedules_on_every_backend(self, schedule, backend):
+        out = parallel_for(
+            range(50), square, workers=3, chunk_size=2,
+            schedule=schedule, backend=backend,
+        )
+        assert out == [x * x for x in range(50)]
+
+    def test_adaptive_emits_adapt_telemetry(self):
+        reg = MetricsRegistry()
+        out = parallel_for(
+            range(64), square, workers=3, chunk_size=2,
+            schedule="adaptive", backend="process", metrics=reg,
+        )
+        assert out == [x * x for x in range(64)]
+        assert reg.total("adapt_waves") > 0
+        assert reg.total("chunks_planned") > 0
+        assert (
+            reg.total("chunks_completed") - reg.total("chunks_deduped")
+            == reg.total("chunks_planned")
+        )
+
+    @pytest.mark.parametrize("schedule", ["guided", "adaptive"])
+    def test_full_run_resumes_without_reexecution(self, tmp_path, schedule):
+        path = tmp_path / "v.journal"
+        with ChunkJournal.create(path) as j:
+            out = parallel_for(
+                range(40), square, workers=3, chunk_size=2,
+                schedule=schedule, backend="thread", checkpoint=j,
+            )
+        assert out == [x * x for x in range(40)]
+        # resume with a DIFFERENT worker count: the journaled plan is
+        # authoritative (a recomputed guided plan would disagree), and
+        # a complete journal re-executes nothing
+        with ChunkJournal.resume(path) as j2:
+            out2 = parallel_for(
+                range(40), square, workers=5, chunk_size=2,
+                schedule=schedule, backend="thread", checkpoint=j2,
+            )
+            assert out2 == out
+            assert j2.summary()["recorded"] == 0
+
+    def test_adaptive_kill_then_resume_round_trip(self, tmp_path):
+        # phase 1: a worker SIGKILL with no restart budget fails the run
+        # mid-flight, leaving plan records ahead of chunk records
+        body = functools.partial(
+            kill_once, marker=str(tmp_path / "died"), victim=13
+        )
+        path = tmp_path / "a.journal"
+        j = ChunkJournal.create(path)
+        with pytest.raises(WorkerLostError):
+            try:
+                parallel_for(
+                    range(24), body, workers=3, chunk_size=2,
+                    schedule="adaptive", backend="process",
+                    restarts=0, checkpoint=j,
+                )
+            finally:
+                j.close()
+        loaded = ChunkJournal.load(path)
+        survived = loaded.completed_indices()
+        planned = loaded.planned()
+        assert planned  # plan-ahead logging put the wave on disk
+        assert set(survived) <= set(planned)
+        assert len(survived) < len(planned)  # the kill stranded chunks
+
+        # phase 2: resume replays exactly the planned-but-missing
+        # descriptors (verbatim bounds, original indices) and finishes
+        reg = MetricsRegistry()
+        j2 = ChunkJournal.resume(path)
+        out = parallel_for(
+            range(24), body, workers=3, chunk_size=2,
+            schedule="adaptive", backend="process",
+            checkpoint=j2, metrics=reg,
+        )
+        assert out == [x * x for x in range(24)]
+        assert j2.summary()["resumed"] == len(survived)
+        # the resumed run's conservation: planned-this-run descriptors
+        # (replays + fresh waves) all completed exactly once
+        assert (
+            reg.total("chunks_completed") - reg.total("chunks_deduped")
+            == reg.total("chunks_planned")
+        )
+        # the final journal tiles the whole space with no overlap
+        final = ChunkJournal.load(path)
+        ranges = sorted(
+            (lo, hi) for lo, hi, _v in final.completed_ranges().values()
+        )
+        assert contiguous(ranges, 24)
+        j2.close()
+
+    def test_adaptive_under_chaos_with_restarts(self):
+        chaos = ChaosInjector(seed=3, kill_rate=0.2)
+        reg = MetricsRegistry()
+        out = parallel_for(
+            range(32), square, workers=3, chunk_size=2,
+            schedule="adaptive", backend="process",
+            chaos=chaos, restarts=4, metrics=reg,
+        )
+        assert out == [x * x for x in range(32)]
+        assert reg.total("chaos_kills") > 0
+        assert (
+            reg.total("chunks_completed") - reg.total("chunks_deduped")
+            == reg.total("chunks_planned")
+        )
+
+    def test_schedules_constant_exported(self):
+        assert SCHEDULES == ("static", "dynamic", "guided", "adaptive")

@@ -283,7 +283,38 @@ class TestConservation:
         completed = reg.total("chunks_completed")
         deduped = reg.total("chunks_deduped")
         assert completed - deduped == 16  # 32 elements / chunk_size 2
+        assert reg.total("chunks_planned") == 16
         assert reg.total("elements_delivered") == 32
+
+    @pytest.mark.parametrize("schedule", ["guided", "adaptive"])
+    def test_seeded_kill_run_conserves_variable_chunks(self, schedule):
+        # the generalized invariant: with variable-size descriptors the
+        # logical chunk count is whatever the planner produced this run
+        # (chunks_planned), and completed-minus-deduped must land on it
+        # exactly even while chaos kills force respawns and re-dispatches
+        chaos = ChaosInjector(seed=1, kill_rate=0.15)
+        reg = MetricsRegistry()
+        out = parallel_for(
+            range(32),
+            square,
+            workers=3,
+            chunk_size=2,
+            schedule=schedule,
+            backend="process",
+            chaos=chaos,
+            restarts=4,
+            metrics=reg,
+        )
+        assert out == [x * x for x in range(32)]
+        assert reg.total("chaos_kills") > 0
+        planned = reg.total("chunks_planned")
+        completed = reg.total("chunks_completed")
+        deduped = reg.total("chunks_deduped")
+        assert planned > 0
+        assert completed - deduped == planned
+        assert reg.total("elements_delivered") == 32
+        if schedule == "adaptive":
+            assert reg.total("adapt_waves") > 0
 
     def test_hedged_run_conserves_chunks(self, tmp_path):
         body = functools.partial(
@@ -494,6 +525,20 @@ class TestDashboard:
         assert "4.0 chunk/s" in line
         assert "loop:16" in line
         assert "respawns 1" in line
+
+    def test_duplicate_chunk_never_moves_progress_backwards(self):
+        # a hedge loser / respawn re-dispatch arrives as one extra
+        # completed AND one extra deduped; rendered progress and ETA
+        # must be identical to before the duplicate landed
+        reg = MetricsRegistry()
+        reg.inc("chunks_completed", 10, stage="loop")
+        before = render_line(reg, total_chunks=20, elapsed=5.0)
+        reg.inc("chunks_completed", 1, stage="loop")
+        reg.inc("chunks_deduped", 1, stage="loop")
+        after = render_line(reg, total_chunks=20, elapsed=5.0)
+        assert after == before
+        assert "chunks 10/20 (50%)" in after
+        assert "eta 5.0s" in after  # 10 left at 2 chunk/s
 
 
 # -------------------------------------------------------------------------

@@ -76,6 +76,18 @@ class TestBoundedBuffer:
             b.put(i)
         assert b.max_occupancy == 5
 
+    def test_put_front_counts_toward_high_water(self):
+        # put_front bypasses the capacity bound (sentinel redistribution),
+        # so the high-water mark must record the real occupancy — even
+        # past capacity — or replication sizing would under-read pressure
+        b = BoundedBuffer(2)
+        b.put(1)
+        b.put(2)
+        b.put_front(0)
+        assert len(b) == 3
+        assert b.max_occupancy == 3
+        assert b.get() == 0
+
 
 class TestItem:
     def test_apply(self):
@@ -314,6 +326,29 @@ class TestParallelFor:
         )
         assert out == [x + 1 for x in range(20)]
 
+    def test_guided_schedule(self):
+        out = parallel_for(
+            range(40), lambda x: x * 3, workers=4, chunk_size=2,
+            schedule="guided",
+        )
+        assert out == [x * 3 for x in range(40)]
+
+    def test_adaptive_schedule(self):
+        out = parallel_for(
+            range(40), lambda x: x - 5, workers=4, chunk_size=2,
+            schedule="adaptive",
+        )
+        assert out == [x - 5 for x in range(40)]
+
+    def test_adaptive_error_propagates(self):
+        def body(x):
+            if x == 13:
+                raise KeyError("13")
+            return x
+
+        with pytest.raises(KeyError):
+            parallel_for(range(20), body, workers=3, schedule="adaptive")
+
     def test_unknown_schedule(self):
         with pytest.raises(ValueError):
             parallel_for([1], lambda x: x, schedule="magic")
@@ -351,7 +386,7 @@ class TestParallelFor:
         values=st.lists(st.integers(-100, 100), max_size=40),
         workers=st.integers(1, 6),
         chunk=st.integers(1, 8),
-        schedule=st.sampled_from(["static", "dynamic"]),
+        schedule=st.sampled_from(["static", "dynamic", "guided", "adaptive"]),
     )
     def test_property_order_preserved(self, values, workers, chunk, schedule):
         out = parallel_for(
@@ -422,6 +457,61 @@ class TestAutoFutures:
         with pytest.raises(TimeoutError):
             f.result(timeout=0.01)
         f.result()  # clean join
+
+    def test_join_all_joins_every_future_before_raising(self):
+        # an early failure must not strand later helper threads: the
+        # slow sibling's side effect has to be observed by the time
+        # join_all raises
+        finished = threading.Event()
+
+        def slow_ok():
+            time.sleep(0.05)
+            finished.set()
+            return "ok"
+
+        def fast_fail():
+            raise ValueError("first")
+
+        with pytest.raises(ValueError, match="first"):
+            join_all(spawn(fast_fail), spawn(slow_ok))
+        assert finished.is_set()
+
+    def test_join_all_attaches_sibling_failures(self):
+        def fail(msg):
+            raise RuntimeError(msg)
+
+        with pytest.raises(RuntimeError, match="one") as info:
+            join_all(
+                spawn(fail, "one"), spawn(lambda: 3), spawn(fail, "two")
+            )
+        suppressed = info.value.suppressed
+        assert len(suppressed) == 1
+        assert isinstance(suppressed[0], RuntimeError)
+        assert "two" in str(suppressed[0])
+        if hasattr(info.value, "__notes__"):
+            assert any("two" in n for n in info.value.__notes__)
+
+    def test_result_traceback_does_not_grow_across_calls(self):
+        def boom():
+            raise ValueError("boom")
+
+        f = spawn(boom)
+
+        def depth():
+            try:
+                f.result()
+            except ValueError as exc:
+                n, tb = 0, exc.__traceback__
+                while tb is not None:
+                    n, tb = n + 1, tb.tb_next
+                return n
+            raise AssertionError("did not raise")
+
+        first = depth()
+        # re-reading the result must re-raise from the same anchor, not
+        # accumulate one raise-site frame chain per caller
+        assert depth() == first
+        assert depth() == first
 
 
 class TestPipelineStreaming:
