@@ -11,7 +11,7 @@ track measured means, and the validated winner beats the serial baseline
 by a wide, real, measured margin.
 """
 
-from conftest import once
+from conftest import RESULTS_DIR, once, write_results_doc
 
 from repro.evalq.speedup import pipeline_space
 from repro.simcore import Machine
@@ -67,6 +67,23 @@ def test_calibrated_tuning_cycle(benchmark, record):
             f"(residual {row['residual'] * 100:+.1f}%)"
         )
     record("\n".join(lines))
+    write_results_doc(
+        RESULTS_DIR / "calibration_cycle.json",
+        "calibration_cycle",
+        [
+            {"label": "serial baseline", "seconds": serial_wall},
+            {"label": "fitted replay",
+             "seconds": calibration.simulated_makespan,
+             "note": f"replay error {calibration.makespan_error * 100:.1f}%"},
+            {"label": "validated winner", "seconds": best["measured"],
+             "speedup": serial_wall / best["measured"],
+             "note": f"simulated {best['simulated'] * 1e3:.2f}ms, "
+                     f"gap {best['error'] * 100:.0f}%"},
+        ],
+        elements=calibration.elements,
+        evaluations=result.evaluations,
+        validated=len(validations),
+    )
 
     # the fitted model replays the measured run within tolerance
     assert calibration.makespan_error < 0.10

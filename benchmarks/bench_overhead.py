@@ -198,3 +198,42 @@ def test_metrics_overhead(benchmark, record):
     assert doc["disabled_overhead_pct"] < 5.0
     # enabled metrics bump one counter per element — cheaper than spans
     assert doc["enabled_overhead_pct"] < 100.0
+
+
+# ---------------------------------------------------------------------------
+# sampling profiler: the disabled-overhead ceiling (the Profile@loop gate)
+# ---------------------------------------------------------------------------
+
+
+def _measure_profile():
+    from repro.runtime.profiler import SamplingProfiler
+
+    vals = list(range(_N))
+    profiler = SamplingProfiler()
+
+    def profiled():
+        profiler.clear()
+        parallel_for(
+            vals, _work, sequential=True, chunk_size=50, profiler=profiler
+        )
+
+    baseline, disabled, enabled = _best_of([
+        lambda: _baseline_loop(vals),
+        lambda: parallel_for(vals, _work, sequential=True, chunk_size=50),
+        profiled,
+    ])
+    profiler.stop()
+    return _overhead_doc("profile_overhead", baseline, disabled, enabled)
+
+
+def test_profile_overhead(benchmark, record):
+    doc = once(benchmark, _measure_profile)
+    record(_render_overhead("profile", doc))
+    write_result_doc(RESULTS_DIR / "profile_overhead.json", doc)
+
+    # the profiler contract mirrors tracing and metrics: disabled means
+    # one `is None` check per chunk, within noise of no profiler at all
+    assert doc["disabled_overhead_pct"] < 5.0
+    # enabled profiling marks work per *chunk* and samples on its own
+    # thread — far cheaper than per-element spans
+    assert doc["enabled_overhead_pct"] < 100.0

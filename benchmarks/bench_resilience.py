@@ -10,7 +10,7 @@ and asserts the recovered run still produces the undisturbed answer.
 
 import time
 
-from conftest import once
+from conftest import RESULTS_DIR, once, write_results_doc
 
 from repro.evalq.realexec import default_kernels
 from repro.runtime import ChaosInjector
@@ -62,6 +62,18 @@ def test_zero_failure_overhead(benchmark, record):
         f"  factor    : {factor:8.3f}x",
         name="resilience_overhead",
     )
+    write_results_doc(
+        RESULTS_DIR / "resilience_overhead.json",
+        "resilience_overhead",
+        [
+            {"label": "knobs off", "seconds": base},
+            {"label": "knobs on", "seconds": armed, "ratio": factor,
+             "note": "restarts=3, hedge=0.99"},
+        ],
+        kernel=kernel.name,
+        workers=WORKERS,
+        repeats=REPEATS,
+    )
     # the armed-but-undisturbed run must cost within 5% of the baseline
     assert factor < 1.05
 
@@ -102,4 +114,19 @@ def test_one_kill_run_recovers_correctly(benchmark, record):
         f"{kinds.count('respawn')} respawn(s))\n"
         f"  recovery    : {', '.join(e.describe() for e in recovery)}",
         name="resilience_recovery",
+    )
+    write_results_doc(
+        RESULTS_DIR / "resilience_recovery.json",
+        "resilience_recovery",
+        [
+            {"label": "undisturbed", "seconds": clean},
+            {"label": "with kills", "seconds": killed,
+             "ratio": killed / clean,
+             "note": f"{kinds.count('respawn')} respawn(s), "
+                     f"{kinds.count('redispatch')} redispatch(es)"},
+        ],
+        kernel=kernel.name,
+        workers=WORKERS,
+        seed=1,
+        kill_rate=0.15,
     )

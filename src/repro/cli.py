@@ -474,6 +474,120 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------------
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a benchmark's transformed functions under the sampling profiler.
+
+    The second observability workflow: like ``repro trace`` but with the
+    sampling profiler of :mod:`repro.runtime.profiler` active alongside
+    span tracing, so the report can split each stage's wall clock into
+    compute vs descheduled vs queue-wait vs IPC shares and diagnose what
+    the run is bound on (``repro.tuning.hints``).  ``--export-folded``
+    writes collapsed stacks for ``flamegraph.pl``, ``--export-speedscope``
+    a speedscope.app JSON document, and ``--export-json`` a Chrome trace
+    with the sampled work windows merged in as extra Perfetto tracks.
+    """
+    import copy
+
+    from repro.benchsuite import get_program
+    from repro.evalq import suppress_nested
+    from repro.report import profile_report
+    from repro.runtime.profiler import (
+        SamplingProfiler,
+        decompose,
+        profile_session,
+        write_folded,
+        write_speedscope,
+    )
+    from repro.runtime.trace import (
+        TraceCollector,
+        trace_session,
+        write_chrome_trace,
+    )
+    from repro.transform import CodegenError, compile_parallel
+    from repro.tuning.hints import classify
+
+    bp = get_program(args.benchmark)
+    prog = bp.parse()
+    ns = bp.namespace()
+    catalog = default_catalog(prefer=args.prefer)
+    matches = suppress_nested(
+        catalog.detect_in_program(prog, runner=bp.make_runner())
+    )
+
+    backend = args.backend
+    config = {
+        "Backend@loop": backend,
+        "Backend@workers": backend,
+        "Backend@pipeline": backend,
+    }
+
+    profiler = SamplingProfiler(hz=args.hz)
+    collector = TraceCollector()
+    ran = 0
+    with trace_session(collector=collector), profile_session(profiler=profiler):
+        for m in matches:
+            if "." in m.function or m.function not in bp.inputs:
+                continue
+            func_ir = prog.function(m.function)
+            try:
+                par = compile_parallel(func_ir, m, dict(ns))
+            except CodegenError as exc:
+                print(f"  skipped {m.function}: {exc}", file=sys.stderr)
+                continue
+            fargs, fkwargs = bp.inputs[m.function]
+            try:
+                par(
+                    *copy.deepcopy(fargs),
+                    **dict(fkwargs),
+                    __tuning__=dict(config),
+                )
+            except Exception as exc:  # noqa: BLE001 - report and continue
+                print(
+                    f"  {m.function} raised {type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+            ran += 1
+
+    if ran == 0:
+        print("no runnable transformed functions found", file=sys.stderr)
+        return 1
+
+    print(
+        f"profiled {ran} transformed function(s) of {args.benchmark!r} "
+        f"on the {backend!r} backend at {args.hz:g}Hz"
+    )
+    print()
+    summary = profiler.summary()
+    dec = decompose(summary, trace_summary=collector.summary())
+    diagnosis = classify(dec, backend=backend)
+    print(profile_report(summary, dec, diagnosis.to_dict()))
+    if args.export_folded:
+        path = pathlib.Path(args.export_folded)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_folded(path, profiler)
+        print(f"\ncollapsed stacks written to {path} "
+              f"(pipe through flamegraph.pl)")
+    if args.export_speedscope:
+        path = pathlib.Path(args.export_speedscope)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_speedscope(path, profiler, name=args.benchmark)
+        print(f"speedscope profile written to {path} "
+              f"(open at speedscope.app)")
+    if args.export_json:
+        path = pathlib.Path(args.export_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_chrome_trace(
+            path, collector.spans(), label=args.benchmark,
+            anchor=collector.anchor, profile=profiler.sample_events(),
+        )
+        print(f"Chrome trace with sample tracks written to {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # run
 # ---------------------------------------------------------------------------
 
@@ -522,6 +636,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     metrics = None
     if args.metrics or args.metrics_out or args.live:
         metrics = MetricsRegistry()
+
+    profiler = None
+    if args.profile or args.profile_out:
+        from repro.runtime.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        if metrics is None:
+            # the decomposition joins samples with the run-wide metrics
+            # (chunk latency, dedup counts), so profiling implies them
+            metrics = MetricsRegistry()
 
     injector = None
     policy = None
@@ -581,6 +705,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             transport=args.transport,
             reuse=args.reuse,
             metrics=metrics,
+            profiler=profiler,
         )
     except Exception as exc:  # noqa: BLE001 - report, don't traceback
         error = exc
@@ -636,9 +761,33 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     print()
     print(fault_report(stats))
-    if metrics is not None:
+    if args.metrics or args.metrics_out or args.live:
         print()
         print(metrics_report(metrics.snapshot()))
+    if profiler is not None:
+        from repro.report import profile_report
+        from repro.runtime.profiler import decompose, write_folded, write_speedscope
+        from repro.tuning.hints import classify
+
+        summary = profiler.summary()
+        dec = decompose(summary, metrics_registry=metrics)
+        diagnosis = classify(
+            dec,
+            backend=args.backend,
+            transport=args.transport,
+            chunk_size=chunk_size,
+            workers=args.workers,
+        )
+        print()
+        print(profile_report(summary, dec, diagnosis.to_dict()))
+        if args.profile_out:
+            out = pathlib.Path(args.profile_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            if out.suffix in (".folded", ".txt"):
+                write_folded(out, profiler)
+            else:
+                write_speedscope(out, profiler, name=kernel.name)
+            print(f"\nprofile written to {out}")
     if args.metrics_out:
         out = pathlib.Path(args.metrics_out)
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -669,23 +818,107 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Render a persisted metrics snapshot (``repro run --metrics-out``).
 
-    Default output is the human report; ``--openmetrics`` re-exports the
-    snapshot as OpenMetrics v1 text instead — the snapshot and the text
-    exposition are two views of the same registry, so the round trip is
-    lossless for counters and gauges.
+    Accepts either a JSON snapshot or an OpenMetrics v1 text exposition
+    (what ``--metrics-out`` writes for ``.txt``/``.prom`` paths) — the
+    two are views of the same registry, so both render.  Default output
+    is the human report; ``--openmetrics`` emits OpenMetrics text
+    instead, completing the round trip in either direction.
     """
     from repro.report import metrics_report
-    from repro.runtime.metrics import to_openmetrics
+    from repro.runtime.metrics import parse_openmetrics, to_openmetrics
 
     try:
-        snap = json.loads(pathlib.Path(args.snapshot).read_text())
-    except (OSError, ValueError) as exc:
+        text = pathlib.Path(args.snapshot).read_text()
+    except OSError as exc:
         print(f"cannot read snapshot {args.snapshot}: {exc}", file=sys.stderr)
         return 1
+    snap = None
+    try:
+        snap = json.loads(text)
+    except ValueError:
+        pass
+    if snap is not None:
+        if args.openmetrics:
+            print(to_openmetrics(snap), end="")
+        else:
+            print(metrics_report(snap))
+        return 0
+    # not JSON: try the OpenMetrics text exposition
+    try:
+        samples = parse_openmetrics(text)
+    except ValueError as exc:
+        print(
+            f"{args.snapshot} is neither a JSON snapshot nor an "
+            f"OpenMetrics exposition: {exc}",
+            file=sys.stderr,
+        )
+        return 1
     if args.openmetrics:
-        print(to_openmetrics(snap), end="")
-    else:
-        print(metrics_report(snap))
+        # already the requested representation; echo it verbatim
+        print(text, end="" if text.endswith("\n") else "\n")
+        return 0
+    lines = [f"metrics report ({len(samples)} OpenMetrics sample(s))"]
+    for name in sorted(samples):
+        lines.append(f"  {name}: {samples[name]:g}")
+    print("\n".join(lines))
+    return 0
+
+
+def cmd_flight(args: argparse.Namespace) -> int:
+    """Inspect a flight-recorder ring (``<checkpoint>.flight``).
+
+    Standalone access to what ``repro run --resume`` prints before
+    continuing: the last snapshot's headline counters, plus the whole
+    ring tick by tick with ``--all`` — useful for post-morteming a run
+    that was killed and will *not* be resumed.
+    """
+    from repro.runtime.flight import FlightRecorder, describe_last, flight_path
+    from repro.runtime.metrics import MetricsRegistry
+
+    path = pathlib.Path(args.snapshot)
+    if not path.name.endswith(".flight"):
+        # accept the checkpoint path and find the ring beside it
+        sibling = flight_path(path)
+        if not sibling.exists() and path.exists():
+            # a checkpoint journal with no ring beside it: the run was
+            # made without --metrics, so no recorder ever started
+            print(
+                f"no flight recording found beside {path} "
+                f"(expected {sibling}; was the run made with --metrics?)",
+                file=sys.stderr,
+            )
+            return 1
+        path = sibling
+    try:
+        doc = FlightRecorder.load(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read flight recording {path}: {exc}", file=sys.stderr)
+        return 1
+    snaps = doc.get("snapshots") or []
+    print(
+        f"flight recording {path}: {doc.get('ticks', 0)} tick(s) at "
+        f"{doc.get('interval', 0.0):g}s, ring keeps {doc.get('keep', 0)}, "
+        f"{len(snaps)} snapshot(s) on disk"
+    )
+    note = describe_last(path)
+    if note:
+        print(note)
+    if args.all:
+        base = float(snaps[0].get("time", 0.0)) if snaps else 0.0
+        for i, snap in enumerate(snaps):
+            reg = MetricsRegistry.from_snapshot(snap)
+            parts = [f"t+{float(snap.get('time', 0.0)) - base:6.2f}s"]
+            for name, label in (
+                ("chunks_completed", "chunks"),
+                ("chunks_deduped", "deduped"),
+                ("elements_delivered", "delivered"),
+                ("pool_respawns", "respawns"),
+                ("pool_hedges", "hedges"),
+            ):
+                total = reg.total(name)
+                if total:
+                    parts.append(f"{label}={int(total)}")
+            print(f"  [{i}] " + ", ".join(parts))
     return 0
 
 
@@ -862,6 +1095,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-call injected failure probability in [0, 1]")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "profile",
+        help="run a benchmark's transformed functions under the "
+             "sampling profiler (wall-clock decomposition + hints)",
+    )
+    p.add_argument("--benchmark", required=True)
+    p.add_argument("--prefer", default="doall",
+                   choices=["doall", "pipeline"])
+    p.add_argument("--backend", default="thread",
+                   choices=["serial", "thread", "process"])
+    p.add_argument("--hz", type=float, default=97.0,
+                   help="stack sampling frequency")
+    p.add_argument("--export-folded", metavar="PATH",
+                   help="write collapsed stacks (flamegraph.pl input)")
+    p.add_argument("--export-speedscope", metavar="PATH",
+                   help="write a speedscope.app JSON profile")
+    p.add_argument("--export-json", metavar="PATH",
+                   help="write a Chrome trace with sample tracks "
+                        "(Perfetto)")
+    p.set_defaults(func=cmd_profile)
+
     for name, help_ in (
         ("validate", "run generated parallel unit tests"),
         ("verify", "alias for validate"),
@@ -932,16 +1186,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--live", action="store_true",
                    help="render a live one-line dashboard while the run "
                         "is in flight (implies --metrics)")
+    p.add_argument("--profile", action="store_true",
+                   help="sample worker stacks during the run (Profile) "
+                        "and print the profile report with tuning hints")
+    p.add_argument("--profile-out", metavar="PATH",
+                   help="persist the profile (implies --profile): "
+                        "speedscope JSON, or collapsed stacks for "
+                        ".folded/.txt paths")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
         "metrics",
         help="render a metrics snapshot written by `run --metrics-out`",
     )
-    p.add_argument("snapshot", help="metrics snapshot JSON file")
+    p.add_argument("snapshot",
+                   help="metrics snapshot: JSON, or OpenMetrics text")
     p.add_argument("--openmetrics", action="store_true",
                    help="emit OpenMetrics v1 text instead of the report")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "flight",
+        help="inspect a flight-recorder ring written beside a checkpoint",
+    )
+    p.add_argument("snapshot",
+                   help="flight file (<checkpoint>.flight) or the "
+                        "checkpoint path itself")
+    p.add_argument("--all", action="store_true",
+                   help="list every snapshot in the ring, not just the last")
+    p.set_defaults(func=cmd_flight)
 
     p = sub.add_parser(
         "bench",

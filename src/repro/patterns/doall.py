@@ -43,6 +43,7 @@ from repro.patterns.tuning import (
     RETRIES,
     RETRIES_DOMAIN,
     METRICS,
+    PROFILE,
     SCHEDULE,
     SCHEDULE_DOMAIN,
     SEQUENTIAL_EXECUTION,
@@ -231,6 +232,14 @@ class DoallPattern(SourcePattern):
             # default; `repro run --metrics-out` / `--live` turn it on)
             BoolParameter(
                 name=METRICS,
+                target="loop",
+                default=False,
+                location=loc,
+            ),
+            # observability: sampling profiler with per-chunk folded
+            # stacks (off by default; `repro profile` turns it on)
+            BoolParameter(
+                name=PROFILE,
                 target="loop",
                 default=False,
                 location=loc,

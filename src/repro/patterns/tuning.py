@@ -190,6 +190,12 @@ TRACE = "Trace"
 # --metrics-out` and the live dashboard turn it on.
 METRICS = "Metrics"
 
+# Observability: sampling profiler (repro.runtime.profiler).  Off by
+# default; when on, workers stamp per-chunk work windows, sample their
+# own stacks at a fixed Hz, and ship folded stacks over the chunk-result
+# road.  `repro profile` and `repro run --profile-out` turn it on.
+PROFILE = "Profile"
+
 # Resilience knobs (crash recovery; see repro.runtime.backend).
 # PoolRestarts bounds how many dead process-pool workers a run may
 # respawn (0 = historical fail-on-loss); Hedge is the latency quantile

@@ -338,6 +338,94 @@ def trace_report(stats_or_summary: dict) -> str:
         lines.append(
             f"  bottleneck : {stage!r} ({share * 100:.0f}% of execute time)"
         )
+    profile = stats_or_summary.get("profile")
+    if isinstance(profile, dict) and profile.get("stages"):
+        from repro.runtime.profiler import decompose
+
+        dec = decompose(profile, trace_summary=summary)
+        lines.append("  wall split (sampled):")
+        lines.extend(_decomposition_lines(dec, indent="    "))
+    return "\n".join(lines)
+
+
+def _decomposition_lines(decomposition: dict, indent: str = "  ") -> list:
+    """Per-stage compute/wait/IPC share lines for a decomposition."""
+    lines = []
+    for name in sorted(decomposition.get("stages", {})):
+        row = decomposition["stages"][name]
+        lines.append(
+            f"{indent}{name}: "
+            f"compute {row.get('share_compute', 0.0) * 100:.0f}% | "
+            f"descheduled {row.get('share_descheduled', 0.0) * 100:.0f}% | "
+            f"queue {row.get('share_queue_wait', 0.0) * 100:.0f}% | "
+            f"ipc {row.get('share_ipc', 0.0) * 100:.0f}% | "
+            f"recovery {row.get('share_recovery', 0.0) * 100:.0f}%"
+        )
+    return lines
+
+
+def profile_report(
+    stats_or_summary: dict,
+    decomposition: dict | None = None,
+    diagnosis: dict | None = None,
+) -> str:
+    """A profiled run's sampled-stack breakdown, rendered.
+
+    Accepts either ``Pipeline.stats`` (reads its ``"profile"`` key) or a
+    bare :meth:`~repro.runtime.profiler.SamplingProfiler.summary` dict.
+    Shows sample accounting, per-stage chunk/CPU figures with the
+    heaviest folded stacks, the wall-clock decomposition (pass
+    ``decomposition`` from :func:`repro.runtime.profiler.decompose` to
+    include span/metrics joins; otherwise it is derived from the samples
+    alone), and — when a ``diagnosis`` from
+    :func:`repro.tuning.hints.classify` is supplied — the boundedness
+    verdict with its suggested knob moves.
+    """
+    summary = stats_or_summary.get("profile", stats_or_summary)
+    if not isinstance(summary, dict) or "stages" not in summary:
+        return "profile report\n  (profiling was not enabled for this run)"
+    lines = ["profile report"]
+    dropped = summary.get("dropped", 0)
+    drop_note = f" ({dropped} dropped by the ring)" if dropped else ""
+    lines.append(
+        f"  samples    : {summary.get('samples', 0)}{drop_note} "
+        f"@ {summary.get('hz', 0.0):g}Hz"
+    )
+    stages = summary.get("stages", {})
+    for name in sorted(stages):
+        st = stages[name]
+        lines.append(f"  {name}:")
+        lines.append(
+            f"    chunks {st.get('chunks', 0)}, "
+            f"samples {st.get('samples', 0)}, "
+            f"cpu {st.get('cpu_ratio', 0.0) * 100:.0f}% of "
+            f"{st.get('wall_total', 0.0) * 1000:.1f}ms worked"
+        )
+        top = st.get("top") or []
+        total = sum(c for _, c in top) or 1
+        for stack, count in top[:3]:
+            leaf = stack.rsplit(";", 1)[-1] if stack else "?"
+            lines.append(
+                f"    {count / max(st.get('samples', 1), 1) * 100:5.1f}%  "
+                f"{leaf}  [{stack[:80]}]"
+            )
+    if decomposition is None:
+        try:
+            from repro.runtime.profiler import decompose
+
+            decomposition = decompose(summary)
+        except Exception:
+            decomposition = None
+    if decomposition and decomposition.get("stages"):
+        lines.append("  wall split:")
+        lines.extend(_decomposition_lines(decomposition, indent="    "))
+    if diagnosis:
+        lines.append(f"  verdict    : {diagnosis.get('bound', '?')}-bound")
+        for hint in diagnosis.get("hints", []):
+            lines.append(
+                f"    try {hint.get('key')}={hint.get('value')} — "
+                f"{hint.get('reason')}"
+            )
     return "\n".join(lines)
 
 

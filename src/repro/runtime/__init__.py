@@ -72,6 +72,16 @@ from repro.runtime.metrics import (
     resolve_registry,
     to_openmetrics,
 )
+from repro.runtime.profiler import (
+    SamplingProfiler,
+    active_profiler,
+    decompose,
+    last_profile,
+    profile_session,
+    resolve_profiler,
+    write_folded,
+    write_speedscope,
+)
 from repro.runtime.trace import (
     Span,
     TraceCollector,
@@ -141,6 +151,14 @@ __all__ = [
     "to_openmetrics",
     "FlightRecorder",
     "flight_path",
+    "SamplingProfiler",
+    "active_profiler",
+    "decompose",
+    "last_profile",
+    "profile_session",
+    "resolve_profiler",
+    "write_folded",
+    "write_speedscope",
     "LiveDashboard",
     "render_line",
     "Span",

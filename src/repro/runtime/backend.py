@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import atexit
 import builtins
+import contextlib
 import hashlib
 import importlib
 import marshal
@@ -84,6 +85,7 @@ from typing import Any, Callable, Sequence
 from repro.runtime.chaos import ChaosInjector
 from repro.runtime.faults import CancellationToken, FaultPolicy
 from repro.runtime.metrics import MetricsRegistry, count_chunk_counters
+from repro.runtime.profiler import SamplingProfiler
 from repro.runtime.trace import TraceCollector
 
 #: the three execution substrates, in increasing setup-cost order
@@ -512,6 +514,10 @@ class ChunkResult:
     #: road as ``spans`` and is deduped whole with the chunk, so metric
     #: accounting stays exactly-once under recovery
     metrics: list | None = None
+    #: worker-side profiler delta (folded stacks + work records) drained
+    #: after the chunk — same road, same whole-chunk dedup, so sample
+    #: accounting stays exactly-once under recovery
+    profile: tuple | None = None
 
 
 @dataclass
@@ -569,6 +575,7 @@ def build_process_payload(
     label: str = "loop",
     trace: TraceCollector | None = None,
     metrics: MetricsRegistry | None = None,
+    profiler: SamplingProfiler | None = None,
     input_spec: tuple[str, Any] | None = None,
     out_spec: dict[str, Any] | None = None,
 ) -> tuple[ProcessPayload | None, str | None]:
@@ -592,6 +599,7 @@ def build_process_payload(
             label,
             trace.spec() if trace is not None else None,
             metrics.spec() if metrics is not None else None,
+            profiler.spec() if profiler is not None else None,
         )
         kernel_blob = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
         if input_spec is None:
@@ -729,17 +737,22 @@ _GEN_MASK = 0xFFFFFFFF
 
 def _load_kernel(kernel_blob: bytes) -> tuple:
     """Unpickle a kernel: (body, policy, chaos_spec, reduce_op, label,
-    trace_spec, metrics_spec).  Session workers cache the result per
-    digest — the body (possibly a :class:`ShippedFunction`) is rebuilt
-    once per kernel, not once per call."""
+    trace_spec, metrics_spec, profiler_spec).  Session workers cache the
+    result per digest — the body (possibly a :class:`ShippedFunction`)
+    is rebuilt once per kernel, not once per call."""
+    loaded = pickle.loads(kernel_blob)
+    # pre-profiler kernels are 7-tuples; a warm session's cached digest
+    # may replay one across the version seam, so default the tail
     (
         body_blob, policy, chaos_spec, reduce_blob, label,
         trace_spec, metrics_spec,
-    ) = pickle.loads(kernel_blob)
+    ) = loaded[:7]
+    profiler_spec = loaded[7] if len(loaded) > 7 else None
     body = pickle.loads(body_blob)
     reduce_op = pickle.loads(reduce_blob) if reduce_blob is not None else None
     return (
-        body, policy, chaos_spec, reduce_op, label, trace_spec, metrics_spec
+        body, policy, chaos_spec, reduce_op, label, trace_spec,
+        metrics_spec, profiler_spec,
     )
 
 
@@ -799,7 +812,8 @@ def _serve_call(
     ownership ledger the parent's recovery logic reads.
     """
     (
-        body, policy, chaos_spec, reduce_op, label, trace_spec, metrics_spec,
+        body, policy, chaos_spec, reduce_op, label, trace_spec,
+        metrics_spec, profiler_spec,
     ) = kernel
     injector = (
         ChaosInjector.from_spec(chaos_spec) if chaos_spec is not None else None
@@ -820,6 +834,12 @@ def _serve_call(
         wmetrics = MetricsRegistry.from_spec(metrics_spec)
         if injector is not None:
             injector.metrics = wmetrics
+    wprofiler = None
+    if profiler_spec is not None:
+        # worker-side sampling, drained per chunk: the samples take the
+        # same chunked road as spans/metrics and inherit its dedup
+        wprofiler = SamplingProfiler.from_spec(profiler_spec)
+        wprofiler.worker_label = f"{label}-w{uid}@pid{os.getpid()}"
 
     def should_stop() -> bool:
         return stop_event.is_set() or (
@@ -887,17 +907,23 @@ def _serve_call(
             else body
         )
         before = injector.stats() if injector is not None else None
-        if reduce_op is not None:
-            values, records, counters, failed = _run_reduce_chunk(
-                k, chunks[k], fn, vals, reduce_op,
-                trace=trace, stage=label,
-            )
-            aborted = False
-        else:
-            values, records, counters, failed, aborted = _run_map_chunk(
-                k, chunks[k], fn, vals, policy, should_stop,
-                trace=trace, stage=label, metrics=wmetrics,
-            )
+        work = (
+            wprofiler.work(label, k)
+            if wprofiler is not None
+            else contextlib.nullcontext()
+        )
+        with work:
+            if reduce_op is not None:
+                values, records, counters, failed = _run_reduce_chunk(
+                    k, chunks[k], fn, vals, reduce_op,
+                    trace=trace, stage=label,
+                )
+                aborted = False
+            else:
+                values, records, counters, failed, aborted = _run_map_chunk(
+                    k, chunks[k], fn, vals, policy, should_stop,
+                    trace=trace, stage=label, metrics=wmetrics,
+                )
         if aborted:
             break
         delta = None
@@ -908,6 +934,9 @@ def _serve_call(
         if wmetrics is not None:
             count_chunk_counters(wmetrics, label, counters)
             metrics_delta = wmetrics.drain()
+        profile_delta = (
+            wprofiler.drain() if wprofiler is not None else None
+        )
         spans, spans_dropped = (
             trace.drain() if trace is not None else (None, 0)
         )
@@ -923,7 +952,7 @@ def _serve_call(
             in_shm = out.write(k, chunks[k][0], values)
         chunk = ChunkResult(
             k, [] if in_shm else values, records, counters, delta, failed,
-            spans, spans_dropped, in_shm, metrics_delta,
+            spans, spans_dropped, in_shm, metrics_delta, profile_delta,
         )
         try:
             msg = pickle.dumps(("chunk", chunk, gen))
@@ -943,6 +972,7 @@ def _serve_call(
                 spans,
                 spans_dropped,
                 metrics=metrics_delta,
+                profile=profile_delta,
             )
             msg = pickle.dumps(("chunk", chunk, gen))
         result_q.put(msg)
@@ -1328,6 +1358,7 @@ def run_process_chunks(
     completed: frozenset[int] = frozenset(),
     trace: TraceCollector | None = None,
     metrics: MetricsRegistry | None = None,
+    profiler: SamplingProfiler | None = None,
     label: str = "loop",
     checkpoint: Any = None,
     reuse: bool = False,
@@ -1542,6 +1573,11 @@ def run_process_chunks(
             delivered[k] = chunk
             if metrics is not None and chunk.metrics is not None:
                 metrics.absorb(chunk.metrics)
+            if profiler is not None and chunk.profile is not None:
+                # behind the dedup above, so a chunk's samples and work
+                # records land exactly once no matter how many workers
+                # raced to produce them
+                profiler.absorb(chunk.profile)
             if chunk.failed:
                 failed_seen = True
                 # warm workers leave the stop event to the parent (a

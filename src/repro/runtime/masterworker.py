@@ -22,6 +22,7 @@ boundary downgrades the whole run to threads with a recorded
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from typing import Any, Callable, Iterable, Sequence
@@ -40,6 +41,7 @@ from repro.runtime.backend import (
 from repro.runtime.faults import CancellationToken, CancelledError
 from repro.runtime.item import Item
 from repro.runtime.metrics import MetricsRegistry, resolve_registry
+from repro.runtime.profiler import SamplingProfiler, resolve_profiler
 from repro.runtime.trace import TraceCollector, resolve_collector
 
 
@@ -93,6 +95,7 @@ class MasterWorker:
         cancel: CancellationToken | None = None,
         trace: TraceCollector | None = None,
         metrics: MetricsRegistry | None = None,
+        profiler: SamplingProfiler | None = None,
     ) -> list[Any]:
         """Execute independent thunks; results in task order.
 
@@ -102,11 +105,14 @@ class MasterWorker:
         (``trace``, or the active session); with metrics on (``metrics``,
         or the active session) each finished task bumps
         ``tasks_completed`` / ``tasks_failed`` — identically on every
-        backend.
+        backend.  With profiling on (``profiler``, or the active
+        :func:`~repro.runtime.profiler.profile_session`) each task is one
+        work window stamped ``(self.name, task index)``.
         """
         cancel = cancel or self.cancel
         trace = resolve_collector(trace)
         metrics = resolve_registry(metrics)
+        profiler = resolve_profiler(profiler)
         tasks = list(tasks)
         self.last_events = []
         self.last_recovery = []
@@ -120,8 +126,14 @@ class MasterWorker:
                 if cancel is not None:
                     cancel.raise_if_cancelled()
                 started = time.monotonic()
+                work = (
+                    profiler.work(self.name, i)
+                    if profiler is not None
+                    else contextlib.nullcontext()
+                )
                 try:
-                    results.append(task())
+                    with work:
+                        results.append(task())
                 except BaseException as exc:
                     if metrics is not None:
                         metrics.inc("tasks_failed", stage=self.name)
@@ -138,7 +150,7 @@ class MasterWorker:
             return results
 
         if backend == "process":
-            done = self._run_process(tasks, cancel, trace, metrics)
+            done = self._run_process(tasks, cancel, trace, metrics, profiler)
             if done is not None:
                 return done
             # _run_process recorded the downgrade; fall through to threads
@@ -159,7 +171,11 @@ class MasterWorker:
                     next_task[0] += 1
                 started = time.monotonic()
                 try:
-                    results[i] = tasks[i]()
+                    if profiler is not None:
+                        with profiler.work(self.name, i):
+                            results[i] = tasks[i]()
+                    else:
+                        results[i] = tasks[i]()
                     if metrics is not None:
                         metrics.inc("tasks_completed", stage=self.name)
                     if trace is not None:
@@ -205,6 +221,7 @@ class MasterWorker:
         cancel: CancellationToken | None,
         trace: TraceCollector | None = None,
         metrics: MetricsRegistry | None = None,
+        profiler: SamplingProfiler | None = None,
     ) -> list[Any] | None:
         """Run the thunks on a process pool; None means "use threads".
 
@@ -222,7 +239,7 @@ class MasterWorker:
             return None
         blob, reason = build_process_payload(
             invoke_task, shipped, chunks, label=self.name, trace=trace,
-            metrics=metrics,
+            metrics=metrics, profiler=profiler,
         )
         if blob is None:
             downgrade(
@@ -240,6 +257,7 @@ class MasterWorker:
             trace=trace,
             label=self.name,
             metrics=metrics,
+            profiler=profiler,
         )
         self.last_recovery = list(run.recovery)
         results: list[Any] = [None] * len(tasks)

@@ -30,6 +30,7 @@ is backend-independent.
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import threading
 import time
@@ -70,6 +71,7 @@ from repro.runtime.metrics import (
     count_outcome,
     resolve_registry,
 )
+from repro.runtime.profiler import SamplingProfiler, resolve_profiler
 from repro.runtime.shm import ShmInput, ShmOutput, normalize_transport
 from repro.runtime.trace import TraceCollector, resolve_collector
 
@@ -339,6 +341,7 @@ def _adaptive_for(
     plane: str,
     reuse: bool,
     metrics: MetricsRegistry | None,
+    profiler: SamplingProfiler | None = None,
 ) -> list[Any]:
     """The ``Schedule=adaptive`` road: wave dispatch with in-run re-tuning.
 
@@ -383,7 +386,7 @@ def _adaptive_for(
             payload, reason = build_process_payload(
                 raw_body, vals, [], policy=policy, chaos=chaos,
                 label="loop", trace=trace, metrics=metrics,
-                input_spec=input_spec, out_spec=None,
+                profiler=profiler, input_spec=input_spec, out_spec=None,
             )
             if payload is None:
                 effective = downgrade(
@@ -443,6 +446,7 @@ def _adaptive_for(
                         reuse=False,
                         session=session,
                         metrics=metrics,
+                        profiler=profiler,
                     )
                     if recovery is not None:
                         recovery.extend(run.recovery)
@@ -507,8 +511,13 @@ def _adaptive_for(
                     if metrics is not None:
                         metrics.inc("chunks_dispatched", stage="loop")
                     t0 = time.monotonic()
-                    for i in range(lo, hi):
-                        results[i] = element(i, vals[i])
+                    if profiler is not None:
+                        with profiler.work("loop", indices[j]):
+                            for i in range(lo, hi):
+                                results[i] = element(i, vals[i])
+                    else:
+                        for i in range(lo, hi):
+                            results[i] = element(i, vals[i])
                     dur = time.monotonic() - t0
                     with wave_lock:
                         latencies[j] = dur
@@ -568,6 +577,7 @@ def parallel_for(
     transport: str = "pickle",
     reuse: bool = False,
     metrics: MetricsRegistry | None = None,
+    profiler: SamplingProfiler | None = None,
 ) -> list[Any]:
     """Apply ``body`` to every value; return results in input order.
 
@@ -622,6 +632,14 @@ def parallel_for(
     merge back over the chunk result road — so counter totals are
     backend-independent.  ``None`` (the default) keeps the hot paths to
     one ``is None`` check.
+
+    ``profiler`` is a :class:`~repro.runtime.profiler.SamplingProfiler`
+    (``Profile@loop``; defaults to the active
+    :func:`~repro.runtime.profiler.profile_session`, if any): workers
+    register per-chunk work markers, folded stacks travel the chunk
+    result road, and sample accounting inherits the same exactly-once
+    dedup as metrics.  Chunk-granular on every backend, so the
+    per-element hot path never sees it.
     """
     _validate(workers, chunk_size, schedule)
     plane = normalize_transport(transport)
@@ -634,6 +652,7 @@ def parallel_for(
     effective = normalize_backend(backend)
     trace = resolve_collector(trace)
     metrics = resolve_registry(metrics)
+    profiler = resolve_profiler(profiler)
     raw_body = body
 
     vals = list(values)
@@ -682,7 +701,7 @@ def parallel_for(
             ledger=ledger, events=events, trace=trace, restarts=restarts,
             hedge=hedge, recovery=recovery, checkpoint=checkpoint,
             journal_done=journal_done, plane=plane, reuse=reuse,
-            metrics=metrics,
+            metrics=metrics, profiler=profiler,
         )
 
     # every non-adaptive road — process, thread, serial-with-checkpoint
@@ -717,7 +736,7 @@ def parallel_for(
             blob, reason = build_process_payload(
                 raw_body, vals, chunks, policy=policy, chaos=chaos,
                 label="loop", trace=trace, metrics=metrics,
-                input_spec=input_spec, out_spec=out_spec,
+                profiler=profiler, input_spec=input_spec, out_spec=out_spec,
             )
             if blob is None:
                 effective = downgrade(
@@ -745,6 +764,7 @@ def parallel_for(
                     reuse=reuse,
                     out_values=shm_out,
                     metrics=metrics,
+                    profiler=profiler,
                 )
                 if recovery is not None:
                     recovery.extend(run.recovery)
@@ -786,15 +806,21 @@ def parallel_for(
                     continue
                 if metrics is not None:
                     metrics.inc("chunks_dispatched", stage="loop")
-                for i in range(lo, hi):
-                    if cancel is not None:
-                        if trace is not None and cancel.cancelled:
-                            trace.instant(
-                                "cancel", "loop", -1,
-                                reason=cancel.reason or "cancelled",
-                            )
-                        cancel.raise_if_cancelled()
-                    out_c[i] = element(i, vals[i])
+                work = (
+                    profiler.work("loop", k)
+                    if profiler is not None
+                    else contextlib.nullcontext()
+                )
+                with work:
+                    for i in range(lo, hi):
+                        if cancel is not None:
+                            if trace is not None and cancel.cancelled:
+                                trace.instant(
+                                    "cancel", "loop", -1,
+                                    reason=cancel.reason or "cancelled",
+                                )
+                            cancel.raise_if_cancelled()
+                        out_c[i] = element(i, vals[i])
                 if metrics is not None:
                     metrics.inc("chunks_completed", stage="loop")
                 checkpoint.record(k, lo, hi, out_c[lo:hi])
@@ -802,15 +828,32 @@ def parallel_for(
                     trace.instant("checkpoint", "loop", lo, chunk=k)
             return out_c
         out = []
-        for i, v in enumerate(vals):
-            if cancel is not None:
-                if trace is not None and cancel.cancelled:
-                    trace.instant(
-                        "cancel", "loop", -1,
-                        reason=cancel.reason or "cancelled",
-                    )
-                cancel.raise_if_cancelled()
-            out.append(element(i, v))
+        if profiler is not None and n:
+            # chunk-granular only when sampling is on: one work record
+            # per logical chunk keeps profile accounting identical to
+            # the pooled backends; the profiler-off hot loop below stays
+            # untouched
+            for k, (lo, hi) in enumerate(chunks):
+                with profiler.work("loop", k):
+                    for i in range(lo, hi):
+                        if cancel is not None:
+                            if trace is not None and cancel.cancelled:
+                                trace.instant(
+                                    "cancel", "loop", -1,
+                                    reason=cancel.reason or "cancelled",
+                                )
+                            cancel.raise_if_cancelled()
+                        out.append(element(i, vals[i]))
+        else:
+            for i, v in enumerate(vals):
+                if cancel is not None:
+                    if trace is not None and cancel.cancelled:
+                        trace.instant(
+                            "cancel", "loop", -1,
+                            reason=cancel.reason or "cancelled",
+                        )
+                    cancel.raise_if_cancelled()
+                out.append(element(i, v))
         if metrics is not None and n:
             # the element-wise hot loop has no chunk structure; account
             # the logical chunking wholesale so chunk-counter totals
@@ -835,8 +878,13 @@ def parallel_for(
         if metrics is not None:
             metrics.inc("chunks_dispatched", stage="loop")
         started = time.monotonic() if metrics is not None else 0.0
-        for i in range(lo, hi):
-            results[i] = element(i, vals[i])
+        if profiler is not None:
+            with profiler.work("loop", k):
+                for i in range(lo, hi):
+                    results[i] = element(i, vals[i])
+        else:
+            for i in range(lo, hi):
+                results[i] = element(i, vals[i])
         if metrics is not None:
             metrics.inc("chunks_completed", stage="loop")
             metrics.histogram("chunk_latency_seconds", stage="loop").observe(
@@ -920,6 +968,7 @@ def _process_reduce(
     recovery: list[RecoveryEvent] | None,
     reuse: bool,
     metrics: MetricsRegistry | None = None,
+    profiler: SamplingProfiler | None = None,
 ) -> Any:
     """The process-backend road of :func:`parallel_reduce`."""
     partials: list[Any] = [None] * len(chunks)
@@ -940,6 +989,7 @@ def _process_reduce(
             checkpoint=checkpoint,
             reuse=reuse,
             metrics=metrics,
+            profiler=profiler,
         )
         if recovery is not None:
             recovery.extend(run.recovery)
@@ -988,6 +1038,7 @@ def parallel_reduce(
     transport: str = "pickle",
     reuse: bool = False,
     metrics: MetricsRegistry | None = None,
+    profiler: SamplingProfiler | None = None,
 ) -> Any:
     """Map ``body`` over values and fold with the associative ``op``.
 
@@ -1022,15 +1073,22 @@ def parallel_reduce(
     effective = normalize_backend(backend)
     trace = resolve_collector(trace)
     metrics = resolve_registry(metrics)
+    profiler = resolve_profiler(profiler)
     vals = list(values)
     n = len(vals)
     if effective == "serial" or sequential or workers <= 1 or n == 0:
         started = time.monotonic()
-        acc = init
-        for v in vals:
-            if cancel is not None:
-                cancel.raise_if_cancelled()
-            acc = op(acc, body(v))
+        work = (
+            profiler.work("reduce", 0)
+            if profiler is not None and n
+            else contextlib.nullcontext()
+        )
+        with work:
+            acc = init
+            for v in vals:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                acc = op(acc, body(v))
         if trace is not None and n:
             trace.add("execute", "reduce", 0, started, chunk=0, elements=n)
         return acc
@@ -1071,7 +1129,8 @@ def parallel_reduce(
         try:
             blob, reason = build_process_payload(
                 body, vals, chunks, reduce_op=op, label="reduce",
-                trace=trace, metrics=metrics, input_spec=input_spec,
+                trace=trace, metrics=metrics, profiler=profiler,
+                input_spec=input_spec,
             )
             if blob is None:
                 effective = downgrade(
@@ -1082,7 +1141,7 @@ def parallel_reduce(
                 return _process_reduce(
                     blob, chunks, op, init, workers, cancel, restarts,
                     hedge, journal_done, journal_skip, trace, checkpoint,
-                    recovery, reuse, metrics=metrics,
+                    recovery, reuse, metrics=metrics, profiler=profiler,
                 )
         finally:
             if shm_in is not None:
@@ -1111,9 +1170,15 @@ def parallel_reduce(
                 if metrics is not None:
                     metrics.inc("chunks_dispatched", stage="reduce")
                 started = time.monotonic()
-                acc = body(vals[lo])
-                for i in range(lo + 1, hi):
-                    acc = op(acc, body(vals[i]))
+                work = (
+                    profiler.work("reduce", k)
+                    if profiler is not None
+                    else contextlib.nullcontext()
+                )
+                with work:
+                    acc = body(vals[lo])
+                    for i in range(lo + 1, hi):
+                        acc = op(acc, body(vals[i]))
                 partials[k] = acc
                 if metrics is not None:
                     # chunk-granular, matching the worker-side reduce
@@ -1166,18 +1231,21 @@ def configured_parallel_for(
     recovery: list[RecoveryEvent] | None = None,
     checkpoint: ChunkJournal | None = None,
     metrics: MetricsRegistry | None = None,
+    profiler: SamplingProfiler | None = None,
 ) -> list[Any]:
     """``parallel_for`` driven by a tuning configuration mapping.
 
     Fault-policy keys (``Retries@loop``, ``ItemTimeout@loop``,
     ``OnError@loop``), the execution substrate (``Backend@loop``) and
-    observability (``Trace@loop``, ``Metrics@loop``) are honoured
-    alongside the performance knobs, so generated DOALL code is
-    supervisable — and movable between threads and processes, and
-    traceable — without recompilation.  A ``Trace@loop``-created
+    observability (``Trace@loop``, ``Metrics@loop``, ``Profile@loop``)
+    are honoured alongside the performance knobs, so generated DOALL
+    code is supervisable — and movable between threads and processes,
+    and traceable — without recompilation.  A ``Trace@loop``-created
     collector is retrievable afterwards via
     :func:`repro.runtime.trace.last_trace`; a ``Metrics@loop``-created
-    registry via :func:`repro.runtime.metrics.last_metrics`.
+    registry via :func:`repro.runtime.metrics.last_metrics`; a
+    ``Profile@loop``-created profiler via
+    :func:`repro.runtime.profiler.last_profile`.
     """
     policy = None
     retries = int(config.get("Retries@loop", 0))
@@ -1207,6 +1275,9 @@ def configured_parallel_for(
         ),
         metrics=resolve_registry(
             metrics, enabled=bool(config.get("Metrics@loop", False))
+        ),
+        profiler=resolve_profiler(
+            profiler, enabled=bool(config.get("Profile@loop", False))
         ),
         shared_writes=shared_writes,
         # passed explicitly (not via a synthetic FaultPolicy) so turning

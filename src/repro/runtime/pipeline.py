@@ -57,6 +57,7 @@ from repro.runtime.metrics import (
     count_outcome,
     resolve_registry,
 )
+from repro.runtime.profiler import SamplingProfiler, resolve_profiler
 from repro.runtime.trace import TraceCollector, resolve_collector
 
 Element = Item | MasterWorker
@@ -199,6 +200,7 @@ class Pipeline:
         backend: str = "thread",
         trace: TraceCollector | bool | None = None,
         metrics: MetricsRegistry | bool | None = None,
+        profile: SamplingProfiler | bool | None = None,
     ) -> None:
         if not elements:
             raise ValueError("a pipeline needs at least one element")
@@ -225,6 +227,11 @@ class Pipeline:
         self._metrics_request: MetricsRegistry | bool | None = metrics
         #: the registry of the most recent run (None when metrics off)
         self.metrics: MetricsRegistry | None = None
+        #: a profiler, True (build one per run), or None (session/off);
+        #: also settable through the ``Profile@pipeline`` tuning parameter
+        self._profile_request: SamplingProfiler | bool | None = profile
+        #: the profiler of the most recent run (None when profiling off)
+        self.profile: SamplingProfiler | None = None
         self._injector: Any = None
 
     # ------------------------------------------------------------------
@@ -350,6 +357,16 @@ class Pipeline:
                         f"Metrics targets the whole pipeline "
                         f"('Metrics@pipeline'), got {key!r}"
                     )
+            elif pname == "Profile":
+                if target == "pipeline":
+                    self._profile_request = bool(value)
+                elif target in _LOOP_TARGETS:
+                    continue  # a sibling pattern's profile knob; tolerated
+                else:
+                    raise KeyError(
+                        f"Profile targets the whole pipeline "
+                        f"('Profile@pipeline'), got {key!r}"
+                    )
             elif pname in ("NumWorkers", "ChunkSize", "Schedule"):
                 continue  # parameters of sibling patterns; tolerated in shared files
             else:
@@ -388,6 +405,19 @@ class Pipeline:
         if metrics is not None and self._injector is not None:
             self._injector.metrics = metrics
         return metrics
+
+    def _resolve_profile(self) -> SamplingProfiler | None:
+        """The profiler this run samples into (None = profiling off)."""
+        explicit = (
+            self._profile_request
+            if isinstance(self._profile_request, SamplingProfiler)
+            else None
+        )
+        profiler = resolve_profiler(
+            explicit, enabled=self._profile_request is True
+        )
+        self.profile = profiler
+        return profiler
 
     def _effective_elements(self) -> list[Element]:
         """Apply StageFusion pairs to the element list."""
@@ -451,6 +481,7 @@ class Pipeline:
         self.backend_events = []
         trace = self._resolve_trace()
         metrics = self._resolve_metrics()
+        profiler = self._resolve_profile()
         counters = {el.name: StageCounters() for el in elements}
         records: list[ErrorRecord] = []
         generated = 0
@@ -460,10 +491,17 @@ class Pipeline:
             dropped = False
             for el in elements:
                 policy = el.fault_policy or _DEFAULT_POLICY
-                outcome = policy.execute(
-                    el.apply, v, trace=trace, stage=el.name, seq=seq,
-                    metrics=metrics,
-                )
+                if profiler is not None:
+                    with profiler.work(el.name, seq):
+                        outcome = policy.execute(
+                            el.apply, v, trace=trace, stage=el.name,
+                            seq=seq, metrics=metrics,
+                        )
+                else:
+                    outcome = policy.execute(
+                        el.apply, v, trace=trace, stage=el.name, seq=seq,
+                        metrics=metrics,
+                    )
                 counters[el.name].account(outcome)
                 if metrics is not None:
                     count_outcome(
@@ -533,6 +571,8 @@ class Pipeline:
         }
         if self.metrics is not None:
             self.stats["metrics"] = self.metrics.snapshot()
+        if self.profile is not None:
+            self.stats["profile"] = self.profile.summary()
         if self.trace is not None:
             self.stats["trace"] = self.trace.summary()
             if stall:
@@ -554,6 +594,7 @@ class Pipeline:
         self.backend_events = []
         trace = self._resolve_trace()
         metrics = self._resolve_metrics()
+        profiler = self._resolve_profile()
         # every stage worker comes from the backend seam, so lifting
         # whole stages onto processes later is a factory change, not a
         # pipeline rewrite; a requested process backend records its
@@ -671,11 +712,19 @@ class Pipeline:
                         with fl_lock:
                             flights.add(seq)
                         try:
-                            outcome = policy.execute(
-                                el.apply, value, cancel=token,
-                                trace=trace, stage=el.name, seq=seq,
-                                metrics=metrics,
-                            )
+                            if profiler is not None:
+                                with profiler.work(el.name, seq):
+                                    outcome = policy.execute(
+                                        el.apply, value, cancel=token,
+                                        trace=trace, stage=el.name, seq=seq,
+                                        metrics=metrics,
+                                    )
+                            else:
+                                outcome = policy.execute(
+                                    el.apply, value, cancel=token,
+                                    trace=trace, stage=el.name, seq=seq,
+                                    metrics=metrics,
+                                )
                         finally:
                             with fl_lock:
                                 flights.discard(seq)

@@ -570,6 +570,7 @@ def chrome_trace(
     spans: Iterable[Span | dict[str, Any]],
     label: str = "repro",
     anchor: tuple[float, float] | None = None,
+    profile: Iterable[dict[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Chrome trace-event JSON for a span list.
 
@@ -579,10 +580,18 @@ def chrome_trace(
     collector's ``(monotonic, epoch)`` clock ``anchor``, ``otherData``
     records the run's start as a real epoch timestamp, so exported
     traces from different runs order on one wall clock.
+
+    ``profile`` optionally takes
+    :meth:`~repro.runtime.profiler.SamplingProfiler.sample_events` —
+    per-chunk work windows from the sampling profiler.  Each distinct
+    ``track`` (one per profiled stage) becomes an extra thread row below
+    the worker rows, so sampled compute windows line up with the spans
+    that dispatched them on the same Perfetto timeline.
     """
     normalized: list[Span] = [
         s if isinstance(s, Span) else Span.from_dict(s) for s in spans
     ]
+    profile_events = list(profile) if profile is not None else []
     events: list[dict[str, Any]] = [
         {
             "ph": "M",
@@ -592,9 +601,12 @@ def chrome_trace(
             "args": {"name": label},
         }
     ]
-    if not normalized:
+    if not normalized and not profile_events:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
-    t0 = min(s.start for s in normalized)
+    t0 = min(
+        [s.start for s in normalized]
+        + [float(e.get("start", 0.0)) for e in profile_events]
+    )
     tids: dict[str, int] = {}
     for s in normalized:
         tid = tids.get(s.worker)
@@ -623,7 +635,37 @@ def chrome_trace(
                 "args": args,
             }
         )
+    # Profiler work windows ride on their own per-stage thread rows so the
+    # sampled compute time sits under the spans that dispatched it.
+    for ev in profile_events:
+        track = str(ev.get("track", "profile"))
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": round((float(ev.get("start", t0)) - t0) * 1e6, 3),
+                "dur": round(float(ev.get("dur", 0.0)) * 1e6, 3),
+                "name": str(ev.get("name", "work")),
+                "cat": str(ev.get("cat", "profile")),
+                "args": dict(ev.get("args", {})),
+            }
+        )
     other: dict[str, Any] = {"tool": "repro", "spans": len(normalized)}
+    if profile_events:
+        other["profile_windows"] = len(profile_events)
     if anchor is not None:
         mono0, epoch0 = anchor
         other["started_epoch"] = epoch0 + (t0 - mono0)
@@ -639,9 +681,13 @@ def write_chrome_trace(
     spans: Iterable[Span | dict[str, Any]],
     label: str = "repro",
     anchor: tuple[float, float] | None = None,
+    profile: Iterable[dict[str, Any]] | None = None,
 ) -> Path:
     path = Path(path)
     path.write_text(
-        json.dumps(chrome_trace(spans, label=label, anchor=anchor)) + "\n"
+        json.dumps(
+            chrome_trace(spans, label=label, anchor=anchor, profile=profile)
+        )
+        + "\n"
     )
     return path

@@ -7,8 +7,10 @@ trailing ``__tuning__=None`` parameter taking a tuning-configuration
 mapping, so "whenever the parallel application is executed, it initializes
 the parallel patterns with the specified values".  The fault-policy keys
 (``Retries@…``, ``ItemTimeout@…``, ``OnError@…``, ``StallTimeout@…``)
-travel the same path, so generated code is supervisable without
-recompilation.  A second trailing parameter, ``__chaos__=None``, accepts a
+travel the same path, as do the observability knobs (``Trace@…``,
+``Metrics@…``, ``Profile@…`` — the last enables the sampling profiler of
+:mod:`repro.runtime.profiler`), so generated code is supervisable and
+profilable without recompilation.  A second trailing parameter, ``__chaos__=None``, accepts a
 :class:`~repro.runtime.chaos.ChaosInjector`: passing one wraps the
 generated stages / loop body with seeded fault injection, which is how the
 correctness-validation phase exercises the fault policies

@@ -22,6 +22,13 @@ from repro.tuning.tabu import TabuSearch
 from repro.tuning.autotuner import AutoTuner, Tuner
 from repro.tuning.tracesource import TracedPipelineSource
 from repro.tuning.calibrated import CalibratedSource
+from repro.tuning.hints import (
+    Diagnosis,
+    Hint,
+    classify,
+    prune_space,
+    seed_config,
+)
 
 __all__ = [
     "ParameterSpace",
@@ -36,4 +43,9 @@ __all__ = [
     "Tuner",
     "TracedPipelineSource",
     "CalibratedSource",
+    "Diagnosis",
+    "Hint",
+    "classify",
+    "prune_space",
+    "seed_config",
 ]

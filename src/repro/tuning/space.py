@@ -213,6 +213,37 @@ class ParameterSpace:
     def random_config(self, rng: random.Random) -> Config:
         return {p.key: rng.choice(p.domain()) for p in self.parameters}
 
+    def pin(self, key: str, value: Any) -> "ParameterSpace":
+        """A copy with ``key``'s domain collapsed to ``value``.
+
+        The pruning primitive behind profile-guided hints
+        (:func:`repro.tuning.hints.prune_space`): a pinned dimension
+        contributes one choice, so the remaining search budget explores
+        only the undiagnosed knobs.  Raises ``KeyError`` for an unknown
+        key and ``ValueError`` for a value outside the domain.
+        """
+        from repro.patterns.tuning import ChoiceParameter
+
+        if key not in self.keys:
+            raise KeyError(key)
+        if value not in self.domain(key):
+            raise ValueError(f"{value!r} not in the domain of {key}")
+        params = []
+        for p in self.parameters:
+            if p.key == key:
+                params.append(
+                    ChoiceParameter(
+                        name=p.name,
+                        target=p.target,
+                        default=value,
+                        choices=(value,),
+                        location=p.location,
+                    )
+                )
+            else:
+                params.append(p)
+        return ParameterSpace(parameters=params)
+
     def neighbors(self, config: Config) -> Iterator[Config]:
         """Configurations differing in exactly one parameter by one domain
         step (the move set for hill climbing and tabu search)."""

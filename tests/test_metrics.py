@@ -540,6 +540,45 @@ class TestDashboard:
         assert "chunks 10/20 (50%)" in after
         assert "eta 5.0s" in after  # 10 left at 2 chunk/s
 
+    def test_render_line_zero_planned_chunks(self):
+        # an empty input plans zero chunks; the renderer must neither
+        # divide by the zero total nor print a bogus "0/0" progress pair
+        reg = MetricsRegistry()
+        line = render_line(reg, total_chunks=0, elapsed=1.0)
+        assert "starting" in line
+        assert "/0" not in line
+        # completed chunks against a zero plan (a resumed journal whose
+        # remaining work was empty) fall back to the bare count
+        reg.inc("chunks_completed", 3, stage="loop")
+        line = render_line(reg, total_chunks=0, elapsed=1.0)
+        assert "chunks 3" in line and "/0" not in line
+        assert "eta" not in line
+
+    def test_render_line_unknown_total(self):
+        # total_chunks=None (adaptive schedule before its first plan):
+        # progress renders as a bare count, rate appears, eta cannot
+        reg = MetricsRegistry()
+        reg.inc("chunks_completed", 7, stage="loop")
+        line = render_line(reg, total_chunks=None, elapsed=2.0)
+        assert "chunks 7" in line
+        assert "3.5 chunk/s" in line
+        assert "eta" not in line and "%" not in line
+
+    def test_render_line_completed_briefly_exceeds_planned(self):
+        # hedge winners land before their losers are deduped, so for a
+        # moment completed-minus-deduped can exceed the plan; the line
+        # must stay well-formed and never print a negative eta
+        reg = MetricsRegistry()
+        reg.inc("chunks_completed", 12, stage="loop")
+        line = render_line(reg, total_chunks=10, elapsed=2.0)
+        assert "chunks 12/10 (120%)" in line
+        assert "eta" not in line
+        # once the dedups land the display snaps back to the plan
+        reg.inc("chunks_deduped", 2, stage="loop")
+        line = render_line(reg, total_chunks=10, elapsed=2.0)
+        assert "chunks 10/10 (100%)" in line
+        assert "eta" not in line
+
 
 # -------------------------------------------------------------------------
 # schema-versioned bench results

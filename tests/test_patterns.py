@@ -346,6 +346,7 @@ class TestDoallPattern:
             "PoolReuse@loop",
             "Trace@loop",
             "Metrics@loop",
+            "Profile@loop",
         }
         assert match.parameter("NumWorkers@loop").domain() == [1, 2, 3, 4]
 
